@@ -1,0 +1,59 @@
+//! Shared statistics for baseline backup systems.
+
+use std::time::Duration;
+
+/// Outcome counters of one baseline backup job.
+#[derive(Debug, Clone, Default)]
+pub struct BaselineBackupStats {
+    /// Logical bytes processed.
+    pub logical_bytes: u64,
+    /// Bytes of unique payload written.
+    pub stored_bytes: u64,
+    /// Chunks processed.
+    pub chunks: u64,
+    /// Chunks identified as duplicates.
+    pub duplicates: u64,
+    /// Index/manifest/block fetches performed.
+    pub index_fetches: u64,
+    /// Wall time of the job.
+    pub wall_time: Duration,
+}
+
+impl BaselineBackupStats {
+    /// Deduplication ratio (deleted duplicate bytes / logical bytes).
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.logical_bytes == 0 {
+            return 0.0;
+        }
+        // Saturating: aggressive merge settings can legitimately store more
+        // than the logical size in one version; the ratio floors at 0.
+        self.logical_bytes.saturating_sub(self.stored_bytes) as f64 / self.logical_bytes as f64
+    }
+
+    /// Throughput in MB/s.
+    pub fn throughput_mbps(&self) -> f64 {
+        let secs = self.wall_time.as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.logical_bytes as f64 / (1024.0 * 1024.0) / secs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_and_throughput() {
+        let s = BaselineBackupStats {
+            logical_bytes: 100,
+            stored_bytes: 25,
+            wall_time: Duration::from_secs(1),
+            ..Default::default()
+        };
+        assert!((s.dedup_ratio() - 0.75).abs() < 1e-9);
+        assert!(s.throughput_mbps() > 0.0);
+        assert_eq!(BaselineBackupStats::default().dedup_ratio(), 0.0);
+    }
+}

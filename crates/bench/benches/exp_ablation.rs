@@ -1,0 +1,113 @@
+//! Ablation study — what each SLIMSTORE design choice buys.
+//!
+//! Not a paper figure: DESIGN.md calls out the load-bearing design choices
+//! and this harness isolates them on one S-DB stream. Expected directions:
+//!
+//! * **skip chunking off** → lower backup throughput, identical space;
+//! * **chunk merging off** → lower late-version throughput, slightly better
+//!   space (no superchunk re-stores);
+//! * **G-node off** → more space (no exact dedup, no compaction) and more
+//!   containers read per restore (no SCC);
+//! * **prefetch off** → restore throughput collapses to the single-channel
+//!   latency-bound floor.
+
+use std::sync::Arc;
+
+use slim_bench::{bench_network, f1, scale, Table, VersionedFile};
+use slim_gnode::GNode;
+use slim_index::{GlobalIndex, SimilarFileIndex};
+use slim_lnode::restore::{RestoreEngine, RestoreOptions};
+use slim_lnode::{LNode, StorageLayer};
+use slim_oss::rocks::RocksConfig;
+use slim_oss::Oss;
+use slim_types::{SlimConfig, VersionId, VersionManifest};
+
+struct Outcome {
+    backup_mbps: f64,
+    space_mib: f64,
+    restore_mbps: f64,
+    containers_per_100mb: f64,
+}
+
+fn run(stream: &VersionedFile, versions: usize, cfg: SlimConfig, gnode_on: bool, prefetch: bool) -> Outcome {
+    let oss = Oss::new(bench_network());
+    let storage = StorageLayer::open(Arc::new(oss.clone()));
+    let similar = SimilarFileIndex::new();
+    let node = LNode::new(storage.clone(), similar.clone(), cfg.clone()).unwrap();
+    let gnode = gnode_on.then(|| {
+        let global =
+            GlobalIndex::open_with(Arc::new(oss.clone()), RocksConfig::default(), 1 << 20).unwrap();
+        GNode::new(storage.clone(), global, similar, cfg.clone()).unwrap()
+    });
+    let mut mbps_acc = 0.0;
+    let mut measured = 0usize;
+    for v in 0..versions {
+        let out = node
+            .backup_file(&stream.file, VersionId(v as u64), &stream.version(v))
+            .unwrap();
+        if v >= 1 {
+            mbps_acc += out.stats.throughput_mbps();
+            measured += 1;
+        }
+        if let Some(g) = &gnode {
+            let mut manifest = VersionManifest::new(VersionId(v as u64));
+            manifest.files.push(out.info.clone());
+            manifest.new_containers = out.new_containers.clone();
+            storage.put_manifest(&manifest).unwrap();
+            g.run_cycle(VersionId(v as u64)).unwrap();
+        }
+    }
+    if let Some(g) = &gnode {
+        g.vacuum().unwrap();
+    }
+    let space_mib = oss.stored_bytes_prefix("containers/") as f64 / (1024.0 * 1024.0);
+    let mut opts = RestoreOptions::from_config(&cfg);
+    if !prefetch {
+        opts.prefetch_threads = 0;
+    }
+    let global = gnode.as_ref().map(|g| g.global_index());
+    let engine = RestoreEngine::new(&storage, global);
+    let (_, stats) = engine
+        .restore_file(&stream.file, VersionId(versions as u64 - 1), &opts)
+        .unwrap();
+    Outcome {
+        backup_mbps: mbps_acc / measured.max(1) as f64,
+        space_mib,
+        restore_mbps: stats.throughput_mbps(),
+        containers_per_100mb: stats.containers_per_100mb(),
+    }
+}
+
+fn main() {
+    let bytes = (24.0 * 1024.0 * 1024.0 * scale()) as usize;
+    let versions = 12;
+    let stream = VersionedFile::new("ablation", bytes, versions, 0.84);
+    println!("\n== Ablation: contribution of each design choice ({versions} versions) ==\n");
+    let mut table = Table::new(&[
+        "configuration",
+        "backup MB/s (avg v1+)",
+        "container space MiB",
+        "restore MB/s (latest)",
+        "containers/100MB",
+    ]);
+    let base = SlimConfig::default();
+    let rows: Vec<(&str, SlimConfig, bool, bool)> = vec![
+        ("full system", base.clone(), true, true),
+        ("- skip chunking", base.clone().with_skip_chunking(false), true, true),
+        ("- chunk merging", base.clone().with_chunk_merging(false), true, true),
+        ("- G-node (reverse dedup + SCC)", base.clone(), false, true),
+        ("- LAW prefetching", base.clone(), true, false),
+    ];
+    for (name, cfg, gnode_on, prefetch) in rows {
+        let o = run(&stream, versions, cfg, gnode_on, prefetch);
+        table.row(vec![
+            name.to_string(),
+            f1(o.backup_mbps),
+            f1(o.space_mib),
+            f1(o.restore_mbps),
+            f1(o.containers_per_100mb),
+        ]);
+    }
+    table.print();
+    println!();
+}

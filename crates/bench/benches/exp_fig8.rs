@@ -1,0 +1,211 @@
+//! Fig 8 — restore performance: caches, sparse container compaction, LAW
+//! prefetching.
+//!
+//! Paper shapes (25 versions of S-DB backed up, then restored):
+//! * (a,b) with prefetching disabled, the full-vision (FV) cache reads the
+//!   fewest containers at every cache size; OPT (container-grained) wastes
+//!   space on useless chunks and is worst; ALACC sits between;
+//! * (c) with SCC the containers-read-per-100 MB of the *latest* version
+//!   stabilizes over versions instead of growing without bound (ALACC, no
+//!   SCC) — HAR+OPT also stabilizes but ~10 % worse than SCC+FV;
+//! * (d) with LAW prefetching on, SCC+FV reaches ≈9.75× HAR+OPT and
+//!   ≈16.35× ALACC restore throughput, and new versions restore as fast as
+//!   old ones.
+
+use std::sync::Arc;
+
+use slim_baselines::{AlaccRestore, HarSystem, LruContainerRestore, OptContainerRestore, RestoreCacheSim};
+use slim_bench::{bench_network, f1, scale, Table, VersionedFile};
+use slim_chunking::{ChunkSpec, FastCdcChunker};
+use slim_gnode::GNode;
+use slim_index::{GlobalIndex, SimilarFileIndex};
+use slim_lnode::restore::{RestoreEngine, RestoreOptions};
+use slim_lnode::{LNode, StorageLayer};
+use slim_oss::rocks::RocksConfig;
+use slim_oss::Oss;
+use slim_types::{SlimConfig, VersionId};
+
+struct Deployment {
+    storage: StorageLayer,
+    node: LNode,
+    gnode: Option<GNode>,
+}
+
+fn deploy(with_gnode: bool) -> Deployment {
+    let oss = Oss::new(bench_network());
+    let storage = StorageLayer::open(Arc::new(oss.clone()));
+    let similar = SimilarFileIndex::new();
+    let cfg = SlimConfig::default();
+    let node = LNode::new(storage.clone(), similar.clone(), cfg.clone()).unwrap();
+    let gnode = with_gnode.then(|| {
+        let global =
+            GlobalIndex::open_with(Arc::new(oss), RocksConfig::default(), 1 << 20).unwrap();
+        GNode::new(storage.clone(), global, similar, cfg).unwrap()
+    });
+    Deployment { storage, node, gnode }
+}
+
+/// Back up every version; with a G-node, run its cycle after each version
+/// and record the read amplification of restoring the *current* version —
+/// the Fig 8(c) time series.
+fn backup_all(dep: &Deployment, stream: &VersionedFile, versions: usize) -> Vec<f64> {
+    let mut series = Vec::new();
+    for v in 0..versions {
+        let out = dep
+            .node
+            .backup_file(&stream.file, VersionId(v as u64), &stream.version(v))
+            .unwrap();
+        if let Some(gnode) = &dep.gnode {
+            let mut manifest = slim_types::VersionManifest::new(VersionId(v as u64));
+            manifest.files.push(out.info.clone());
+            manifest.new_containers = out.new_containers.clone();
+            dep.storage.put_manifest(&manifest).unwrap();
+            gnode.run_cycle(VersionId(v as u64)).unwrap();
+            let opts = RestoreOptions::from_config(&SlimConfig::default()).without_prefetch();
+            let engine = RestoreEngine::new(&dep.storage, Some(gnode.global_index()));
+            let (_, st) = engine
+                .restore_file(&stream.file, VersionId(v as u64), &opts)
+                .unwrap();
+            series.push(st.containers_per_100mb());
+        }
+    }
+    series
+}
+
+fn main() {
+    let bytes = (24.0 * 1024.0 * 1024.0 * scale()) as usize;
+    let versions = 15;
+    let stream = VersionedFile::new("fig8", bytes, versions, 0.84);
+
+    // Plain deployment (no G-node): used for the cache comparison and as the
+    // "no SCC" arm of (c).
+    let plain = deploy(false);
+    backup_all(&plain, &stream, versions);
+    // SCC deployment: G-node cycle after every version, measuring the
+    // current version's read amplification as the history grows.
+    let scc = deploy(true);
+    let scc_series = backup_all(&scc, &stream, versions);
+    // HAR baseline.
+    let har_storage = StorageLayer::open(Arc::new(Oss::new(bench_network())));
+    let cfg = SlimConfig::default();
+    let mut har = HarSystem::new(
+        har_storage.clone(),
+        cfg.clone(),
+        Box::new(FastCdcChunker::new(ChunkSpec::from_config(&cfg))),
+    );
+    for v in 0..versions {
+        har.backup_file(&stream.file, VersionId(v as u64), &stream.version(v))
+            .unwrap();
+    }
+
+    let last = VersionId(versions as u64 - 1);
+
+    // ---- (a,b): cache comparison at several cache sizes, prefetch off ----
+    println!("\n== Fig 8(a,b): restore caches, prefetch disabled (version v{}) ==\n", last.0);
+    let mut table = Table::new(&[
+        "cache size",
+        "cache",
+        "MB/s",
+        "containers / 100MB",
+    ]);
+    for cache_mb in [2usize, 8, 32] {
+        let cache_bytes = cache_mb * 1024 * 1024;
+        // FV (SLIMSTORE, plain deployment to isolate the cache itself).
+        let opts = RestoreOptions {
+            cache_mem: cache_bytes,
+            cache_disk: 4 * cache_bytes,
+            law_window: SlimConfig::default().law_window,
+            prefetch_threads: 0,
+        };
+        let engine = RestoreEngine::new(&plain.storage, None);
+        let (_, fv) = engine.restore_file(&stream.file, last, &opts).unwrap();
+        let recipe = plain.storage.get_recipe(&stream.file, last).unwrap();
+        let mut rows: Vec<(&str, slim_lnode::RestoreStats)> = vec![("FV (SLIMSTORE)", fv)];
+        let mut opt = OptContainerRestore::new(cache_bytes, SlimConfig::default().law_window);
+        rows.push(("OPT container", opt.restore(&plain.storage, &recipe).unwrap().1));
+        let mut alacc = AlaccRestore::new(
+            cache_bytes / 4,
+            cache_bytes,
+            SlimConfig::default().law_window,
+        );
+        rows.push(("ALACC", alacc.restore(&plain.storage, &recipe).unwrap().1));
+        let mut lru = LruContainerRestore::new(cache_bytes);
+        rows.push(("LRU container", lru.restore(&plain.storage, &recipe).unwrap().1));
+        for (name, stats) in rows {
+            table.row(vec![
+                format!("{cache_mb} MB"),
+                name.to_string(),
+                f1(stats.throughput_mbps()),
+                f1(stats.containers_per_100mb()),
+            ]);
+        }
+    }
+    table.print();
+
+    // ---- (c): read amplification of the current version over time -------
+    println!("\n== Fig 8(c): containers / 100MB restoring the current version ==\n");
+    let big = 64 * 1024 * 1024;
+    let mut table = Table::new(&[
+        "version",
+        "SCC+FV",
+        "ALACC (no SCC)",
+        "HAR+OPT",
+    ]);
+    for v in 0..versions {
+        let vid = VersionId(v as u64);
+        // Without a G-node nothing changes after a version's backup, so
+        // restoring v now equals restoring it when it was current.
+        let plain_recipe = plain.storage.get_recipe(&stream.file, vid).unwrap();
+        let (_, alacc) = AlaccRestore::new(big / 4, big, SlimConfig::default().law_window)
+            .restore(&plain.storage, &plain_recipe)
+            .unwrap();
+        let har_recipe = har_storage.get_recipe(&stream.file, vid).unwrap();
+        let (_, opt) = OptContainerRestore::new(big, SlimConfig::default().law_window)
+            .restore(&har_storage, &har_recipe)
+            .unwrap();
+        table.row(vec![
+            format!("v{v}"),
+            f1(scc_series[v]),
+            f1(alacc.containers_per_100mb()),
+            f1(opt.containers_per_100mb()),
+        ]);
+    }
+    table.print();
+
+    // ---- (d): LAW prefetching -------------------------------------------
+    println!("\n== Fig 8(d): restore throughput with LAW prefetching ==\n");
+    let mut table = Table::new(&["configuration", "version", "MB/s"]);
+    for &(v, label) in &[(0u64, "old (v0)"), (last.0, "new (latest)")] {
+        let opts = RestoreOptions::from_config(&SlimConfig::default());
+        let scc_global = scc.gnode.as_ref().map(|g| g.global_index());
+        let engine = RestoreEngine::new(&scc.storage, scc_global);
+        let (_, fv) = engine
+            .restore_file(&stream.file, VersionId(v), &opts)
+            .unwrap();
+        table.row(vec![
+            "SCC+FV+LAW (SLIMSTORE)".into(),
+            label.to_string(),
+            f1(fv.throughput_mbps()),
+        ]);
+    }
+    let har_recipe = har_storage.get_recipe(&stream.file, last).unwrap();
+    let (_, opt) = OptContainerRestore::new(big, SlimConfig::default().law_window)
+        .restore(&har_storage, &har_recipe)
+        .unwrap();
+    table.row(vec![
+        "HAR+OPT".into(),
+        "new (latest)".into(),
+        f1(opt.throughput_mbps()),
+    ]);
+    let plain_recipe = plain.storage.get_recipe(&stream.file, last).unwrap();
+    let (_, alacc) = AlaccRestore::new(big / 4, big, SlimConfig::default().law_window)
+        .restore(&plain.storage, &plain_recipe)
+        .unwrap();
+    table.row(vec![
+        "ALACC".into(),
+        "new (latest)".into(),
+        f1(alacc.throughput_mbps()),
+    ]);
+    table.print();
+    println!();
+}

@@ -1,0 +1,98 @@
+//! Fig 9 — space cost under G-node management.
+//!
+//! Paper shapes (25 versions of S-DB):
+//! * (a) L-node dedup alone shrinks 2.44 TB to 516.6 GB (≈4.8×); global
+//!   reverse dedup (G-dedupe) trims a further ~2.4 %; with a 10-version
+//!   retention window the space curve flattens after version 10;
+//! * (b) the space occupied by version 0's containers *decreases* over time
+//!   (no collection): SCC and reverse dedup keep moving shared data forward
+//!   into newer containers.
+
+use slim_bench::{f1, pct, scale, Table};
+use slim_oss::rocks::RocksConfig;
+use slim_types::VersionId;
+use slim_workload::{Workload, WorkloadConfig};
+use slimstore::SlimStoreBuilder;
+
+fn store() -> slimstore::SlimStore {
+    SlimStoreBuilder::in_memory()
+        .with_rocks_config(RocksConfig::default())
+        .build()
+        .unwrap()
+}
+
+fn main() {
+    let mut cfg = WorkloadConfig::sdb(scale());
+    cfg.files = cfg.files.min(4);
+    cfg.versions = 20;
+    let workload = Workload::new(cfg.clone());
+
+    // Three deployments: L-dedupe only; L+G; L+G with a 10-version window.
+    let l_only = store();
+    let lg = store();
+    let lg_retain = store();
+
+    println!("\n== Fig 9(a): cumulative space (MiB) ==\n");
+    let mut table = Table::new(&[
+        "version",
+        "no dedup",
+        "L-dedupe",
+        "L+G-dedupe",
+        "L+G, keep last 10",
+    ]);
+    let mut logical_total = 0u64;
+    let mut v0_series: Vec<u64> = Vec::new();
+    for v in 0..cfg.versions {
+        let files: Vec<_> = workload
+            .version_files(v)
+            .map(|f| (f.file, f.data))
+            .collect();
+        logical_total += files.iter().map(|(_, d)| d.len() as u64).sum::<u64>();
+        for (st, gnode, retain) in [
+            (&l_only, false, false),
+            (&lg, true, false),
+            (&lg_retain, true, true),
+        ] {
+            let report = st.backup_version(files.clone()).unwrap();
+            if gnode {
+                st.run_gnode_cycle(report.version).unwrap();
+                st.gnode().vacuum().unwrap();
+            }
+            if retain {
+                st.retain_last(10).unwrap();
+            }
+        }
+        v0_series.push(lg.gnode().version_occupied_bytes(VersionId(0)).unwrap());
+        table.row(vec![
+            format!("v{v}"),
+            f1(logical_total as f64 / (1024.0 * 1024.0)),
+            f1(l_only.space_report().container_bytes as f64 / (1024.0 * 1024.0)),
+            f1(lg.space_report().container_bytes as f64 / (1024.0 * 1024.0)),
+            f1(lg_retain.space_report().container_bytes as f64 / (1024.0 * 1024.0)),
+        ]);
+    }
+    table.print();
+    let l_bytes = l_only.space_report().container_bytes as f64;
+    let lg_bytes = lg.space_report().container_bytes as f64;
+    println!(
+        "\nL-dedupe reduction: {:.2}x (paper 4.8x); G-dedupe extra: {} (paper 2.4%)\n",
+        logical_total as f64 / l_bytes,
+        pct((l_bytes - lg_bytes) / l_bytes),
+    );
+
+    // ---- (b): space occupied by version 0 over time ----------------------
+    println!("== Fig 9(b): live bytes in version 0's containers over time (MiB) ==\n");
+    let mut table = Table::new(&["as of version", "v0 occupied (MiB)"]);
+    for (v, bytes) in v0_series.iter().enumerate() {
+        table.row(vec![format!("v{v}"), f1(*bytes as f64 / (1024.0 * 1024.0))]);
+    }
+    table.print();
+    let first = v0_series.first().copied().unwrap_or(0);
+    let last = v0_series.last().copied().unwrap_or(0);
+    println!(
+        "\nv0 occupied space: {} -> {} MiB ({} reduction)\n",
+        f1(first as f64 / (1024.0 * 1024.0)),
+        f1(last as f64 / (1024.0 * 1024.0)),
+        pct(1.0 - last as f64 / first.max(1) as f64),
+    );
+}

@@ -1,0 +1,46 @@
+//! Table I — the characteristics of the datasets.
+//!
+//! Paper values (absolute sizes are TB-scale; ours are scaled by
+//! `SLIM_SCALE` — the *ratios* are the reproduction target):
+//!
+//! | | S-DB | R-Data |
+//! |-|------|--------|
+//! | Total size | 2.44 TB | 1.53 TB |
+//! | versions | 25 | 13 |
+//! | files | 500 | 7440 |
+//! | avg duplication ratio | 0.84 | 0.92 |
+//! | self-reference | 20% | 0.1% |
+
+use slim_bench::{f2, pct, scale, Table};
+use slim_workload::{DatasetStats, Workload, WorkloadConfig};
+
+fn main() {
+    let scale = scale();
+    println!("\n== Table I: dataset characteristics (scale {scale}) ==\n");
+    let mut table = Table::new(&[
+        "dataset",
+        "total size (MiB)",
+        "# versions",
+        "# files",
+        "avg dup ratio",
+        "self-reference",
+        "paper dup / self-ref",
+    ]);
+    for (cfg, paper) in [
+        (WorkloadConfig::sdb(scale), "0.84 / 20%"),
+        (WorkloadConfig::rdata(scale), "0.92 / 0.1%"),
+    ] {
+        let workload = Workload::new(cfg);
+        let stats = DatasetStats::measure(&workload, 6);
+        table.row(vec![
+            stats.name.clone(),
+            format!("{:.1}", stats.total_bytes as f64 / (1024.0 * 1024.0)),
+            stats.versions.to_string(),
+            stats.files.to_string(),
+            f2(stats.avg_dup_ratio),
+            pct(stats.self_reference),
+            paper.to_string(),
+        ]);
+    }
+    table.print();
+}

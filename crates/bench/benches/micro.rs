@@ -1,0 +1,151 @@
+//! Criterion micro-benchmarks of the hot primitives.
+//!
+//! These are the per-byte and per-operation costs the system-level
+//! experiments are built from: CDC scan speed per algorithm (the Fig 2/5
+//! CPU story), SHA-1 fingerprinting, boundary probing (the skip-chunking
+//! fast path), bloom filters, the dedup cache, and Rocks-OSS point reads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::sync::Arc;
+
+use slim_chunking::{ChunkSpec, Chunker, FastCdcChunker, FixedChunker, GearChunker, RabinChunker};
+use slim_index::DedupCache;
+use slim_oss::rocks::{RocksConfig, RocksOss};
+use slim_oss::{ObjectStore, Oss};
+use slim_types::bloom::{BloomFilter, CountingBloomFilter};
+use slim_types::{ChunkRecord, ContainerId, Fingerprint, SegmentRecipe};
+
+fn test_data(len: usize) -> Vec<u8> {
+    use rand::{RngCore, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0xBEEF);
+    let mut buf = vec![0u8; len];
+    rng.fill_bytes(&mut buf);
+    buf
+}
+
+fn bench_chunkers(c: &mut Criterion) {
+    let data = test_data(4 * 1024 * 1024);
+    let spec = ChunkSpec::new(1024, 4096, 16 * 1024);
+    let mut group = c.benchmark_group("cdc_scan");
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    let chunkers: Vec<(&str, Box<dyn Chunker>)> = vec![
+        ("rabin", Box::new(RabinChunker::new(spec))),
+        ("gear", Box::new(GearChunker::new(spec))),
+        ("fastcdc", Box::new(FastCdcChunker::new(spec))),
+        ("fixed", Box::new(FixedChunker::new(4096))),
+    ];
+    for (name, chunker) in &chunkers {
+        group.bench_function(*name, |b| {
+            b.iter(|| {
+                let mut pos = 0;
+                let mut cuts = 0u64;
+                while pos < data.len() {
+                    pos = chunker.next_boundary(&data, pos);
+                    cuts += 1;
+                }
+                cuts
+            })
+        });
+    }
+    group.finish();
+
+    // The skip-chunking probe: O(window) instead of a full scan.
+    let mut group = c.benchmark_group("boundary_probe");
+    for (name, chunker) in &chunkers {
+        group.bench_function(*name, |b| {
+            let end = chunker.next_boundary(&data, 0);
+            b.iter(|| chunker.is_boundary(&data, 0, end))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fingerprint(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha1_fingerprint");
+    for kb in [4usize, 64] {
+        let data = test_data(kb * 1024);
+        group.throughput(Throughput::Bytes(data.len() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(format!("{kb}KB")), &data, |b, d| {
+            b.iter(|| slim_chunking::fingerprint(d))
+        });
+    }
+    group.finish();
+}
+
+fn bench_blooms(c: &mut Criterion) {
+    let mut bloom = BloomFilter::with_rate(100_000, 0.01);
+    let mut cbf = CountingBloomFilter::new(100_000);
+    for i in 0..100_000u64 {
+        bloom.insert(i);
+        cbf.insert(i);
+    }
+    c.bench_function("bloom_may_contain", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            bloom.may_contain(i)
+        })
+    });
+    c.bench_function("cbf_may_contain", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            cbf.may_contain(i)
+        })
+    });
+}
+
+fn bench_dedup_cache(c: &mut Criterion) {
+    let mut cache = DedupCache::new(64);
+    let mut fps = Vec::new();
+    for seg in 0..64u32 {
+        let records: Vec<ChunkRecord> = (0..128u32)
+            .map(|i| {
+                let mut bytes = [0u8; 20];
+                bytes[..4].copy_from_slice(&seg.to_le_bytes());
+                bytes[4..8].copy_from_slice(&i.to_le_bytes());
+                let fp = Fingerprint::from_bytes(bytes);
+                fps.push(fp);
+                ChunkRecord::new(fp, ContainerId(seg as u64), 4096, 1)
+            })
+            .collect();
+        cache.insert_segment(SegmentRecipe::new(records), seg);
+    }
+    c.bench_function("dedup_cache_lookup", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % fps.len();
+            cache.lookup(&fps[i])
+        })
+    });
+}
+
+fn bench_rocks(c: &mut Criterion) {
+    let oss: Arc<dyn ObjectStore> = Arc::new(Oss::in_memory());
+    let db = RocksOss::create(oss, "bench/", RocksConfig::default());
+    for i in 0..50_000u64 {
+        db.put(&i.to_be_bytes(), &[0u8; 16]).unwrap();
+    }
+    db.flush().unwrap();
+    c.bench_function("rocks_get_hit", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 1) % 50_000;
+            db.get(&i.to_be_bytes()).unwrap()
+        })
+    });
+    c.bench_function("rocks_get_miss", |b| {
+        let mut i = 100_000u64;
+        b.iter(|| {
+            i += 1;
+            db.get(&i.to_be_bytes()).unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_chunkers, bench_fingerprint, bench_blooms, bench_dedup_cache, bench_rocks
+}
+criterion_main!(benches);

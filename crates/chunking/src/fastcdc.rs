@@ -1,0 +1,174 @@
+//! FastCDC content-defined chunking.
+//!
+//! FastCDC (Xia et al., ATC'16) combines three accelerations over plain
+//! gear-based CDC:
+//!
+//! 1. **min-size skipping** — the scan starts at `start + min`, never
+//!    hashing the bytes that cannot legally contain a cut;
+//! 2. **normalized chunking** — a *harder* mask (more bits) before the
+//!    target size and an *easier* mask after it, concentrating the chunk
+//!    size distribution around the target;
+//! 3. the cheap Gear hash.
+//!
+//! The probe semantics ([`Chunker::is_boundary`]) mirror the scan exactly:
+//! which mask applies depends on the would-be chunk length.
+
+use crate::gear::{gear_table, GEAR_WINDOW};
+use crate::{ChunkSpec, Chunker};
+
+/// Normalization level: the small mask has `log2(avg)+NC` bits, the large
+/// mask `log2(avg)-NC` bits (FastCDC's recommended level is 2).
+const NORMALIZATION: u32 = 2;
+
+/// FastCDC chunker.
+pub struct FastCdcChunker {
+    spec: ChunkSpec,
+    table: [u64; 256],
+    mask_small: u64, // harder: applied before the normal point
+    mask_large: u64, // easier: applied after the normal point
+}
+
+impl FastCdcChunker {
+    /// Chunker with the given size bounds.
+    pub fn new(spec: ChunkSpec) -> Self {
+        let bits = spec.avg.trailing_zeros();
+        let hard_bits = (bits + NORMALIZATION).min(48);
+        let easy_bits = bits.saturating_sub(NORMALIZATION).max(1);
+        // High-bit masks, like Gear: entropy concentrates in the high half.
+        let mask_small = ((1u64 << hard_bits) - 1) << (60 - hard_bits);
+        let mask_large = ((1u64 << easy_bits) - 1) << (60 - easy_bits);
+        FastCdcChunker { spec, table: gear_table(), mask_small, mask_large }
+    }
+
+    #[inline]
+    fn mask_for(&self, len: usize) -> u64 {
+        if len < self.spec.avg {
+            self.mask_small
+        } else {
+            self.mask_large
+        }
+    }
+
+    fn window_hash(&self, data: &[u8], start: usize, end: usize) -> u64 {
+        let from = start.max(end.saturating_sub(GEAR_WINDOW));
+        let mut h: u64 = 0;
+        for &b in &data[from..end] {
+            h = (h << 1).wrapping_add(self.table[b as usize]);
+        }
+        h
+    }
+}
+
+impl Chunker for FastCdcChunker {
+    fn spec(&self) -> ChunkSpec {
+        self.spec
+    }
+
+    fn next_boundary(&self, data: &[u8], start: usize) -> usize {
+        let remaining = data.len() - start;
+        if remaining <= self.spec.min {
+            return data.len();
+        }
+        let scan_end = (start + self.spec.max).min(data.len());
+        let mut h: u64 = 0;
+        let warm_from = start.max((start + self.spec.min).saturating_sub(GEAR_WINDOW));
+        for &b in &data[warm_from..start + self.spec.min] {
+            h = (h << 1).wrapping_add(self.table[b as usize]);
+        }
+        for pos in start + self.spec.min..scan_end {
+            h = (h << 1).wrapping_add(self.table[data[pos] as usize]);
+            let len = pos + 1 - start;
+            if (h & self.mask_for(len)) == 0 {
+                return pos + 1;
+            }
+        }
+        scan_end
+    }
+
+    fn is_boundary(&self, data: &[u8], start: usize, end: usize) -> bool {
+        debug_assert!(end > start && end <= data.len());
+        let len = end - start;
+        if len > self.spec.max {
+            return false;
+        }
+        if len == self.spec.max || end == data.len() {
+            return true;
+        }
+        if len < self.spec.min {
+            return false;
+        }
+        (self.window_hash(data, start, end) & self.mask_for(len)) == 0
+    }
+
+    fn name(&self) -> &'static str {
+        "fastcdc"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::{check_chunk_invariants, random_data};
+
+    fn chunker() -> FastCdcChunker {
+        FastCdcChunker::new(ChunkSpec::new(64, 256, 1024))
+    }
+
+    #[test]
+    fn covers_buffer_and_respects_spec() {
+        let c = chunker();
+        for seed in 0..4 {
+            check_chunk_invariants(&c, &random_data(64 * 1024, seed));
+        }
+    }
+
+    #[test]
+    fn normalized_chunking_tightens_distribution() {
+        // FastCDC's size distribution should cluster near the target more
+        // than plain gear: compare standard deviations.
+        let data = random_data(1024 * 1024, 21);
+        let sizes = |c: &dyn Chunker| {
+            let mut v = Vec::new();
+            let mut pos = 0;
+            while pos < data.len() {
+                let end = c.next_boundary(&data, pos);
+                v.push((end - pos) as f64);
+                pos = end;
+            }
+            v
+        };
+        let fast = sizes(&chunker());
+        let gear = sizes(&crate::gear::GearChunker::new(ChunkSpec::new(64, 256, 1024)));
+        let sd = |v: &[f64]| {
+            let mean = v.iter().sum::<f64>() / v.len() as f64;
+            (v.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / v.len() as f64).sqrt()
+        };
+        assert!(
+            sd(&fast) < sd(&gear),
+            "fastcdc sd {} !< gear sd {}",
+            sd(&fast),
+            sd(&gear)
+        );
+    }
+
+    #[test]
+    fn probe_agrees_with_scan() {
+        let c = chunker();
+        let data = random_data(200_000, 2);
+        let mut pos = 0;
+        while pos < data.len() {
+            let end = c.next_boundary(&data, pos);
+            assert!(c.is_boundary(&data, pos, end));
+            pos = end;
+        }
+    }
+
+    #[test]
+    fn boundary_probe_rejects_oversize_and_undersize() {
+        let c = chunker();
+        let data = random_data(8192, 1);
+        assert!(!c.is_boundary(&data, 0, 2048), "over max must be false");
+        assert!(!c.is_boundary(&data, 0, 8), "below min must be false");
+        assert!(c.is_boundary(&data, 0, 1024), "max-size cut is forced");
+    }
+}

@@ -1,0 +1,61 @@
+//! Fixed-size chunking.
+//!
+//! The simplest chunking strategy, kept as a baseline: it suffers from the
+//! boundary-shift problem (§II) — a single inserted byte misaligns every
+//! subsequent chunk — which the workload-generator tests demonstrate.
+
+use crate::{ChunkSpec, Chunker};
+
+/// Fixed-size chunker: every chunk is exactly `size` bytes (except the tail).
+pub struct FixedChunker {
+    size: usize,
+}
+
+impl FixedChunker {
+    /// Chunker cutting every `size` bytes.
+    pub fn new(size: usize) -> Self {
+        assert!(size > 0, "chunk size must be positive");
+        FixedChunker { size }
+    }
+}
+
+impl Chunker for FixedChunker {
+    fn spec(&self) -> ChunkSpec {
+        ChunkSpec { min: self.size, avg: self.size.next_power_of_two(), max: self.size }
+    }
+
+    fn next_boundary(&self, data: &[u8], start: usize) -> usize {
+        (start + self.size).min(data.len())
+    }
+
+    fn is_boundary(&self, data: &[u8], start: usize, end: usize) -> bool {
+        end - start == self.size || end == data.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cuts_exact_multiples() {
+        let c = FixedChunker::new(100);
+        let data = vec![0u8; 350];
+        assert_eq!(c.next_boundary(&data, 0), 100);
+        assert_eq!(c.next_boundary(&data, 100), 200);
+        assert_eq!(c.next_boundary(&data, 300), 350);
+        assert!(c.is_boundary(&data, 0, 100));
+        assert!(c.is_boundary(&data, 300, 350));
+        assert!(!c.is_boundary(&data, 0, 99));
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn zero_size_rejected() {
+        FixedChunker::new(0);
+    }
+}

@@ -1,0 +1,130 @@
+//! Representative-fingerprint sampling.
+//!
+//! The paper samples representative fingerprints with the straightforward
+//! `fp mod R == 0` rule (§IV-A Step 1) for two purposes: detecting similar
+//! files via Broder's theorem, and building the per-segment recipe index.
+//! For large files only the header chunks are sampled (Extreme-Binning
+//! style), so a lookup never requires holding the whole file in memory.
+
+use slim_types::Fingerprint;
+
+use crate::stream::ChunkRef;
+
+/// Fingerprints of `chunks` passing the `fp mod rate == 0` sample predicate.
+pub fn sample_fingerprints(chunks: &[ChunkRef], rate: u64) -> Vec<Fingerprint> {
+    chunks
+        .iter()
+        .filter(|c| c.fp.is_sample(rate))
+        .map(|c| c.fp)
+        .collect()
+}
+
+/// Representative fingerprints of a file for the similar-file index: sample
+/// the first `header_chunks` chunks at `rate`, keeping at most `max_samples`.
+///
+/// Falls back to the first `max_samples` raw fingerprints when sampling
+/// selects nothing (tiny files), so every non-empty file has at least one
+/// representative.
+pub fn file_representatives(
+    chunks: &[ChunkRef],
+    rate: u64,
+    header_chunks: usize,
+    max_samples: usize,
+) -> Vec<Fingerprint> {
+    let header = &chunks[..chunks.len().min(header_chunks)];
+    let mut samples: Vec<Fingerprint> = header
+        .iter()
+        .filter(|c| c.fp.is_sample(rate))
+        .map(|c| c.fp)
+        .take(max_samples)
+        .collect();
+    if samples.is_empty() {
+        samples = header.iter().map(|c| c.fp).take(max_samples).collect();
+    }
+    samples
+}
+
+/// Jaccard-style resemblance of two representative sets (|∩| / |∪|), the
+/// quantity Broder's theorem relates to full-set similarity.
+pub fn resemblance(a: &[Fingerprint], b: &[Fingerprint]) -> f64 {
+    use std::collections::HashSet;
+    let sa: HashSet<_> = a.iter().collect();
+    let sb: HashSet<_> = b.iter().collect();
+    let inter = sa.intersection(&sb).count();
+    let union = sa.union(&sb).count();
+    if union == 0 {
+        return 0.0;
+    }
+    inter as f64 / union as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::random_data;
+    use crate::{chunk_all, ChunkSpec, FastCdcChunker};
+
+    fn chunks_of(seed: u64, len: usize) -> (Vec<u8>, Vec<ChunkRef>) {
+        let c = FastCdcChunker::new(ChunkSpec::new(64, 256, 1024));
+        let data = random_data(len, seed);
+        let chunks = chunk_all(&c, &data);
+        (data, chunks)
+    }
+
+    #[test]
+    fn sampling_selects_subset_consistently() {
+        let (_, chunks) = chunks_of(1, 100_000);
+        let s4 = sample_fingerprints(&chunks, 4);
+        let s16 = sample_fingerprints(&chunks, 16);
+        assert!(!s4.is_empty());
+        assert!(s4.len() >= s16.len(), "higher rate samples fewer");
+        for fp in &s16 {
+            assert!(fp.is_sample(16));
+        }
+    }
+
+    #[test]
+    fn representatives_never_empty_for_nonempty_file() {
+        let (_, chunks) = chunks_of(2, 2_000);
+        // Absurdly high rate: mod-R sampling selects nothing, fallback kicks in.
+        let reps = file_representatives(&chunks, u64::MAX, 64, 8);
+        assert!(!reps.is_empty());
+        assert!(reps.len() <= 8);
+    }
+
+    #[test]
+    fn representatives_respect_header_limit() {
+        let (_, chunks) = chunks_of(3, 200_000);
+        let reps = file_representatives(&chunks, 1, 10, 1000);
+        assert!(reps.len() <= 10, "sampled beyond header: {}", reps.len());
+    }
+
+    #[test]
+    fn resemblance_of_identical_and_disjoint_sets() {
+        let (_, chunks) = chunks_of(4, 50_000);
+        let reps = file_representatives(&chunks, 4, 64, 32);
+        assert_eq!(resemblance(&reps, &reps), 1.0);
+        let (_, other) = chunks_of(99, 50_000);
+        let other_reps = file_representatives(&other, 4, 64, 32);
+        assert!(resemblance(&reps, &other_reps) < 0.1);
+        assert_eq!(resemblance(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn similar_files_have_high_resemblance() {
+        // Same content with a small mutation: representative sets overlap.
+        let c = FastCdcChunker::new(ChunkSpec::new(64, 256, 1024));
+        let data = random_data(100_000, 5);
+        let mut mutated = data.clone();
+        mutated[50_000..50_100].fill(0xAB);
+        let a = chunk_all(&c, &data);
+        let b = chunk_all(&c, &mutated);
+        let ra = file_representatives(&a, 4, usize::MAX, 1000);
+        let rb = file_representatives(&b, 4, usize::MAX, 1000);
+        assert!(
+            resemblance(&ra, &rb) > 0.7,
+            "similar files should resemble: {}",
+            resemblance(&ra, &rb)
+        );
+    }
+}

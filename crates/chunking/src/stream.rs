@@ -1,0 +1,105 @@
+//! Chunk streams: driving a [`Chunker`] over a buffer.
+
+use slim_types::Fingerprint;
+
+use crate::fp::fingerprint;
+use crate::Chunker;
+
+/// One chunk of an input buffer: its span and fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkRef {
+    /// Start offset within the input.
+    pub start: usize,
+    /// End offset (exclusive).
+    pub end: usize,
+    /// SHA-1 of `input[start..end]`.
+    pub fp: Fingerprint,
+}
+
+impl ChunkRef {
+    /// Chunk length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the chunk is empty (never true for chunker output).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// The chunk's payload within `data`.
+    pub fn slice<'d>(&self, data: &'d [u8]) -> &'d [u8] {
+        &data[self.start..self.end]
+    }
+}
+
+/// Chunk and fingerprint an entire buffer.
+///
+/// ```
+/// use slim_chunking::{chunk_all, ChunkSpec, FastCdcChunker};
+/// let chunker = FastCdcChunker::new(ChunkSpec::new(64, 256, 1024));
+/// let data = vec![7u8; 10_000];
+/// let chunks = chunk_all(&chunker, &data);
+/// assert_eq!(chunks.last().unwrap().end, data.len());
+/// assert!(chunks.iter().all(|c| c.len() <= 1024));
+/// ```
+///
+/// This is the *plain* CDC pipeline (no history awareness); the L-node's
+/// dedup loop drives the chunker incrementally instead so it can interleave
+/// skip chunking and superchunk probes.
+pub fn chunk_all(chunker: &dyn Chunker, data: &[u8]) -> Vec<ChunkRef> {
+    let mut out = Vec::with_capacity(data.len() / chunker.spec().avg + 1);
+    let mut pos = 0;
+    while pos < data.len() {
+        let end = chunker.next_boundary(data, pos);
+        out.push(ChunkRef { start: pos, end, fp: fingerprint(&data[pos..end]) });
+        pos = end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_util::random_data;
+    use crate::{ChunkSpec, FastCdcChunker};
+
+    #[test]
+    fn chunks_tile_the_buffer() {
+        let c = FastCdcChunker::new(ChunkSpec::new(64, 256, 1024));
+        let data = random_data(50_000, 1);
+        let chunks = chunk_all(&c, &data);
+        assert!(!chunks.is_empty());
+        assert_eq!(chunks[0].start, 0);
+        assert_eq!(chunks.last().unwrap().end, data.len());
+        for pair in chunks.windows(2) {
+            assert_eq!(pair[0].end, pair[1].start, "gap or overlap");
+        }
+    }
+
+    #[test]
+    fn fingerprints_match_content() {
+        let c = FastCdcChunker::new(ChunkSpec::new(64, 256, 1024));
+        let data = random_data(10_000, 2);
+        for ch in chunk_all(&c, &data) {
+            assert_eq!(ch.fp, crate::fingerprint(ch.slice(&data)));
+            assert!(!ch.is_empty());
+            assert_eq!(ch.len(), ch.end - ch.start);
+        }
+    }
+
+    #[test]
+    fn identical_content_identical_fingerprints() {
+        let c = FastCdcChunker::new(ChunkSpec::new(64, 256, 1024));
+        let data = random_data(30_000, 3);
+        let a = chunk_all(&c, &data);
+        let b = chunk_all(&c, &data);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_input_yields_no_chunks() {
+        let c = FastCdcChunker::new(ChunkSpec::new(64, 256, 1024));
+        assert!(chunk_all(&c, &[]).is_empty());
+    }
+}

@@ -1,0 +1,482 @@
+//! The `slim` command-line tool: multi-version deduplicating backups of
+//! a directory tree into a repository directory (a [`slim_oss::LocalDiskOss`]
+//! bucket).
+//!
+//! ```text
+//! slim init     <repo>
+//! slim backup   <repo> <source-dir> [--jobs N]
+//! slim restore  <repo> <version> <target-dir> [--jobs N]
+//! slim versions <repo>
+//! slim files    <repo> <version>
+//! slim gc       <repo> --keep N
+//! slim space    <repo>
+//! slim check    <repo>
+//! slim diff     <repo> <versionA> <versionB>
+//! slim cat      <repo> <version> <file>        (file bytes to stdout)
+//! ```
+//!
+//! Every backup captures the full tree as a new version; deduplication makes
+//! the incremental cost proportional to the change, and the G-node cycle
+//! (run automatically after each backup) performs exact dedup and compacts
+//! sparse containers for the new version.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use slim_oss::LocalDiskOss;
+use slim_types::{FileId, Result, SlimError, VersionId};
+use slimstore::{SlimStore, SlimStoreBuilder};
+
+/// Marker object proving a directory is a SLIMSTORE repository.
+const REPO_MARKER: &str = "slimstore-repo-v1";
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    Init { repo: PathBuf },
+    Backup { repo: PathBuf, source: PathBuf, jobs: usize },
+    Restore { repo: PathBuf, version: u64, target: PathBuf, jobs: usize },
+    Versions { repo: PathBuf },
+    Files { repo: PathBuf, version: u64 },
+    Gc { repo: PathBuf, keep: usize },
+    Space { repo: PathBuf },
+    Check { repo: PathBuf },
+    Diff { repo: PathBuf, from: u64, to: u64 },
+    Cat { repo: PathBuf, version: u64, file: String },
+}
+
+/// Parse argv (without the program name).
+pub fn parse(args: &[String]) -> std::result::Result<Command, String> {
+    let mut it = args.iter();
+    let cmd = it.next().ok_or_else(usage)?;
+    let mut positional: Vec<&String> = Vec::new();
+    let mut jobs = 4usize;
+    let mut keep: Option<usize> = None;
+    let rest: Vec<&String> = it.collect();
+    let mut i = 0;
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--jobs" => {
+                i += 1;
+                jobs = rest
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .ok_or("--jobs needs a number")?;
+            }
+            "--keep" => {
+                i += 1;
+                keep = Some(
+                    rest.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--keep needs a number")?,
+                );
+            }
+            other if other.starts_with("--") => {
+                return Err(format!("unknown flag {other}"));
+            }
+            _ => positional.push(rest[i]),
+        }
+        i += 1;
+    }
+    let pos = |i: usize| -> std::result::Result<&String, String> {
+        positional.get(i).copied().ok_or_else(usage)
+    };
+    let version = |i: usize| -> std::result::Result<u64, String> {
+        let raw = pos(i)?;
+        raw.trim_start_matches('v')
+            .parse()
+            .map_err(|_| format!("bad version {raw:?}"))
+    };
+    Ok(match cmd.as_str() {
+        "init" => Command::Init { repo: pos(0)?.into() },
+        "backup" => Command::Backup {
+            repo: pos(0)?.into(),
+            source: pos(1)?.into(),
+            jobs,
+        },
+        "restore" => Command::Restore {
+            repo: pos(0)?.into(),
+            version: version(1)?,
+            target: pos(2)?.into(),
+            jobs,
+        },
+        "versions" => Command::Versions { repo: pos(0)?.into() },
+        "files" => Command::Files { repo: pos(0)?.into(), version: version(1)? },
+        "gc" => Command::Gc {
+            repo: pos(0)?.into(),
+            keep: keep.ok_or("gc requires --keep N")?,
+        },
+        "space" => Command::Space { repo: pos(0)?.into() },
+        "check" => Command::Check { repo: pos(0)?.into() },
+        "diff" => Command::Diff { repo: pos(0)?.into(), from: version(1)?, to: version(2)? },
+        "cat" => Command::Cat {
+            repo: pos(0)?.into(),
+            version: version(1)?,
+            file: pos(2)?.clone(),
+        },
+        other => return Err(format!("unknown command {other:?}\n{}", usage())),
+    })
+}
+
+fn usage() -> String {
+    "usage: slim <init|backup|restore|versions|files|gc|space|check|diff|cat> ... (see --help)".to_string()
+}
+
+fn open_repo(repo: &Path, must_exist: bool) -> Result<SlimStore> {
+    let oss = LocalDiskOss::open(repo)?;
+    use slim_oss::ObjectStore;
+    if must_exist && !oss.exists(REPO_MARKER) {
+        return Err(SlimError::InvalidConfig(format!(
+            "{} is not a slimstore repository (run `slim init` first)",
+            repo.display()
+        )));
+    }
+    SlimStoreBuilder::in_memory()
+        .with_object_store(Arc::new(oss))
+        .build()
+}
+
+/// Collect the relative paths + contents of every regular file under `dir`.
+fn read_tree(dir: &Path) -> Result<Vec<(FileId, Vec<u8>)>> {
+    fn walk(root: &Path, dir: &Path, out: &mut Vec<(FileId, Vec<u8>)>) -> Result<()> {
+        let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<std::io::Result<_>>()?;
+        entries.sort_by_key(|e| e.file_name());
+        for entry in entries {
+            let path = entry.path();
+            if path.is_dir() {
+                walk(root, &path, out)?;
+            } else if path.is_file() {
+                let rel = path
+                    .strip_prefix(root)
+                    .expect("walked under root")
+                    .components()
+                    .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                    .collect::<Vec<_>>()
+                    .join("/");
+                out.push((FileId::new(rel), fs::read(&path)?));
+            }
+        }
+        Ok(())
+    }
+    let mut out = Vec::new();
+    walk(dir, dir, &mut out)?;
+    Ok(out)
+}
+
+/// Reject file ids that would escape the restore target.
+fn safe_relative(id: &FileId) -> Result<PathBuf> {
+    let mut path = PathBuf::new();
+    for segment in id.as_str().split('/') {
+        if segment.is_empty() || segment == "." || segment == ".." {
+            return Err(SlimError::InvalidConfig(format!(
+                "refusing to restore unsafe path {id}"
+            )));
+        }
+        path.push(segment);
+    }
+    Ok(path)
+}
+
+/// Execute a parsed command; returns the human-readable report.
+pub fn run(cmd: Command) -> Result<String> {
+    match cmd {
+        Command::Init { repo } => {
+            let oss = LocalDiskOss::open(&repo)?;
+            use slim_oss::ObjectStore;
+            if oss.exists(REPO_MARKER) {
+                return Err(SlimError::InvalidConfig(format!(
+                    "{} is already a repository",
+                    repo.display()
+                )));
+            }
+            oss.put(REPO_MARKER, bytes::Bytes::from_static(b"1"))?;
+            Ok(format!("initialized empty slimstore repository at {}", repo.display()))
+        }
+        Command::Backup { repo, source, jobs } => {
+            let store = open_repo(&repo, true)?;
+            let files = read_tree(&source)?;
+            if files.is_empty() {
+                return Err(SlimError::InvalidConfig(format!(
+                    "{} contains no files",
+                    source.display()
+                )));
+            }
+            let count = files.len();
+            let report = store.backup_version_with_jobs(files, jobs)?;
+            store.run_gnode_cycle(report.version)?;
+            Ok(format!(
+                "{}: {} files, {:.1} MiB logical, {:.1} MiB new, dedup {:.1}%",
+                report.version,
+                count,
+                report.stats.logical_bytes as f64 / (1024.0 * 1024.0),
+                report.stats.stored_bytes as f64 / (1024.0 * 1024.0),
+                report.stats.dedup_ratio() * 100.0,
+            ))
+        }
+        Command::Restore { repo, version, target, jobs } => {
+            let store = open_repo(&repo, true)?;
+            let restored = store.restore_version(VersionId(version), jobs)?;
+            fs::create_dir_all(&target)?;
+            let mut bytes = 0u64;
+            let count = restored.len();
+            for (file, data, _) in restored {
+                let rel = safe_relative(&file)?;
+                let path = target.join(rel);
+                if let Some(parent) = path.parent() {
+                    fs::create_dir_all(parent)?;
+                }
+                bytes += data.len() as u64;
+                fs::write(path, data)?;
+            }
+            Ok(format!(
+                "restored v{version}: {count} files, {:.1} MiB -> {}",
+                bytes as f64 / (1024.0 * 1024.0),
+                target.display(),
+            ))
+        }
+        Command::Versions { repo } => {
+            let store = open_repo(&repo, true)?;
+            let versions = store.versions();
+            if versions.is_empty() {
+                return Ok("no versions".to_string());
+            }
+            let mut lines = Vec::new();
+            for v in versions {
+                let files = store.files_of(v)?.len();
+                lines.push(format!("{v}\t{files} files"));
+            }
+            Ok(lines.join("\n"))
+        }
+        Command::Files { repo, version } => {
+            let store = open_repo(&repo, true)?;
+            let files = store.files_of(VersionId(version))?;
+            Ok(files
+                .iter()
+                .map(|f| f.as_str().to_string())
+                .collect::<Vec<_>>()
+                .join("\n"))
+        }
+        Command::Gc { repo, keep } => {
+            let store = open_repo(&repo, true)?;
+            let before = store.versions().len();
+            let reclaimed = store.retain_last(keep)?;
+            let vacuumed = store.gnode().vacuum()?;
+            Ok(format!(
+                "kept {} of {} versions; reclaimed {:.1} MiB (+{:.1} MiB vacuumed)",
+                store.versions().len(),
+                before,
+                reclaimed as f64 / (1024.0 * 1024.0),
+                vacuumed.bytes_reclaimed as f64 / (1024.0 * 1024.0),
+            ))
+        }
+        Command::Diff { repo, from, to } => {
+            let store = open_repo(&repo, true)?;
+            let (va, vb) = (VersionId(from), VersionId(to));
+            let files_a: std::collections::BTreeSet<FileId> =
+                store.files_of(va)?.into_iter().collect();
+            let files_b: std::collections::BTreeSet<FileId> =
+                store.files_of(vb)?.into_iter().collect();
+            let mut lines = Vec::new();
+            for f in files_b.difference(&files_a) {
+                lines.push(format!("A  {f}"));
+            }
+            for f in files_a.difference(&files_b) {
+                lines.push(format!("D  {f}"));
+            }
+            for f in files_a.intersection(&files_b) {
+                let ra = store.storage().get_recipe(f, va)?;
+                let rb = store.storage().get_recipe(f, vb)?;
+                let set_a: std::collections::HashSet<_> =
+                    ra.records().map(|r| (r.fp, r.size)).collect();
+                let total_b = rb.record_count().max(1);
+                let shared = rb
+                    .records()
+                    .filter(|r| set_a.contains(&(r.fp, r.size)))
+                    .count();
+                if shared == total_b && ra.record_count() == rb.record_count() {
+                    continue; // unchanged
+                }
+                lines.push(format!(
+                    "M  {f}  ({:.1}% of v{to} content is new)",
+                    100.0 * (total_b - shared) as f64 / total_b as f64
+                ));
+            }
+            if lines.is_empty() {
+                lines.push(format!("no differences between v{from} and v{to}"));
+            }
+            Ok(lines.join("\n"))
+        }
+        Command::Cat { repo, version, file } => {
+            let store = open_repo(&repo, true)?;
+            let mut stdout = std::io::stdout().lock();
+            store.restore_file_to(&FileId::new(file), VersionId(version), &mut stdout)?;
+            use std::io::Write;
+            stdout.flush()?;
+            Ok(String::new())
+        }
+        Command::Check { repo } => {
+            let store = open_repo(&repo, true)?;
+            let records = store.scrub()?;
+            Ok(format!(
+                "ok: {} versions, {records} chunk records, all resolvable",
+                store.versions().len(),
+            ))
+        }
+        Command::Space { repo } => {
+            let store = open_repo(&repo, true)?;
+            let s = store.space_report();
+            Ok(format!(
+                "containers: {:.1} MiB\nrecipes:    {:.1} MiB\nglobal idx: {:.1} MiB\nother:      {:.1} MiB\ntotal:      {:.1} MiB",
+                s.container_bytes as f64 / (1024.0 * 1024.0),
+                s.recipe_bytes as f64 / (1024.0 * 1024.0),
+                s.global_index_bytes as f64 / (1024.0 * 1024.0),
+                s.other_bytes as f64 / (1024.0 * 1024.0),
+                s.total() as f64 / (1024.0 * 1024.0),
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &[&str]) -> Vec<String> {
+        v.iter().map(|x| x.to_string()).collect()
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("slim-cli-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn parse_commands() {
+        assert_eq!(
+            parse(&s(&["init", "/tmp/r"])).unwrap(),
+            Command::Init { repo: "/tmp/r".into() }
+        );
+        assert_eq!(
+            parse(&s(&["backup", "/r", "/src", "--jobs", "8"])).unwrap(),
+            Command::Backup { repo: "/r".into(), source: "/src".into(), jobs: 8 }
+        );
+        assert_eq!(
+            parse(&s(&["restore", "/r", "v3", "/out"])).unwrap(),
+            Command::Restore { repo: "/r".into(), version: 3, target: "/out".into(), jobs: 4 }
+        );
+        assert_eq!(
+            parse(&s(&["gc", "/r", "--keep", "5"])).unwrap(),
+            Command::Gc { repo: "/r".into(), keep: 5 }
+        );
+        assert!(parse(&s(&["gc", "/r"])).is_err());
+        assert!(parse(&s(&["bogus"])).is_err());
+        assert!(parse(&s(&["restore", "/r", "notanumber", "/out"])).is_err());
+        assert!(parse(&s(&[])).is_err());
+        assert!(parse(&s(&["backup", "/r", "/src", "--wat"])).is_err());
+    }
+
+    #[test]
+    fn full_cli_lifecycle() {
+        let repo = temp_dir("repo");
+        let src = temp_dir("src");
+        let out = temp_dir("out");
+        fs::create_dir_all(src.join("sub")).unwrap();
+        fs::write(src.join("a.txt"), b"hello world".repeat(500)).unwrap();
+        fs::write(src.join("sub/b.bin"), vec![7u8; 9000]).unwrap();
+
+        run(Command::Init { repo: repo.clone() }).unwrap();
+        // Double init rejected.
+        assert!(run(Command::Init { repo: repo.clone() }).is_err());
+
+        let msg = run(Command::Backup {
+            repo: repo.clone(),
+            source: src.clone(),
+            jobs: 2,
+        })
+        .unwrap();
+        assert!(msg.contains("2 files"), "{msg}");
+
+        // Mutate and take a second version.
+        fs::write(src.join("a.txt"), b"hello world".repeat(501)).unwrap();
+        run(Command::Backup { repo: repo.clone(), source: src.clone(), jobs: 2 }).unwrap();
+
+        let versions = run(Command::Versions { repo: repo.clone() }).unwrap();
+        assert!(versions.contains("v0") && versions.contains("v1"), "{versions}");
+        let files = run(Command::Files { repo: repo.clone(), version: 1 }).unwrap();
+        assert!(files.contains("a.txt") && files.contains("sub/b.bin"), "{files}");
+
+        run(Command::Restore {
+            repo: repo.clone(),
+            version: 1,
+            target: out.clone(),
+            jobs: 2,
+        })
+        .unwrap();
+        assert_eq!(fs::read(out.join("a.txt")).unwrap(), b"hello world".repeat(501));
+        assert_eq!(fs::read(out.join("sub/b.bin")).unwrap(), vec![7u8; 9000]);
+
+        let space = run(Command::Space { repo: repo.clone() }).unwrap();
+        assert!(space.contains("total"), "{space}");
+        let check = run(Command::Check { repo: repo.clone() }).unwrap();
+        assert!(check.starts_with("ok:"), "{check}");
+        let diff = run(Command::Diff { repo: repo.clone(), from: 0, to: 1 }).unwrap();
+        assert!(diff.contains("M  a.txt"), "{diff}");
+        assert!(!diff.contains("b.bin"), "unchanged file listed: {diff}");
+        let gc = run(Command::Gc { repo: repo.clone(), keep: 1 }).unwrap();
+        assert!(gc.contains("kept 1 of 2"), "{gc}");
+        // v0 gone, v1 still restorable.
+        assert!(run(Command::Files { repo: repo.clone(), version: 0 }).is_err());
+        run(Command::Restore { repo: repo.clone(), version: 1, target: out.clone(), jobs: 1 })
+            .unwrap();
+        run(Command::Check { repo: repo.clone() }).unwrap();
+
+        for d in [repo, src, out] {
+            let _ = fs::remove_dir_all(d);
+        }
+    }
+
+    #[test]
+    fn diff_reports_added_and_removed() {
+        let repo = temp_dir("diff");
+        let src = temp_dir("diff-src");
+        run(Command::Init { repo: repo.clone() }).unwrap();
+        fs::write(src.join("keep.txt"), b"same").unwrap();
+        fs::write(src.join("old.txt"), b"going away").unwrap();
+        run(Command::Backup { repo: repo.clone(), source: src.clone(), jobs: 1 }).unwrap();
+        fs::remove_file(src.join("old.txt")).unwrap();
+        fs::write(src.join("new.txt"), b"brand new").unwrap();
+        run(Command::Backup { repo: repo.clone(), source: src.clone(), jobs: 1 }).unwrap();
+        let diff = run(Command::Diff { repo: repo.clone(), from: 0, to: 1 }).unwrap();
+        assert!(diff.contains("A  new.txt"), "{diff}");
+        assert!(diff.contains("D  old.txt"), "{diff}");
+        assert!(!diff.contains("keep.txt"), "{diff}");
+        for d in [repo, src] {
+            let _ = fs::remove_dir_all(d);
+        }
+    }
+
+    #[test]
+    fn backup_requires_initialized_repo() {
+        let repo = temp_dir("noinit");
+        let src = temp_dir("noinit-src");
+        fs::write(src.join("f"), b"x").unwrap();
+        assert!(run(Command::Backup { repo: repo.clone(), source: src.clone(), jobs: 1 }).is_err());
+        for d in [repo, src] {
+            let _ = fs::remove_dir_all(d);
+        }
+    }
+
+    #[test]
+    fn empty_source_rejected() {
+        let repo = temp_dir("empty");
+        let src = temp_dir("empty-src");
+        run(Command::Init { repo: repo.clone() }).unwrap();
+        assert!(run(Command::Backup { repo: repo.clone(), source: src.clone(), jobs: 1 }).is_err());
+        for d in [repo, src] {
+            let _ = fs::remove_dir_all(d);
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Entry point of the `slimstore` CLI (see [`slimstore_cli`] for the
+//! command reference).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match slimstore_cli::parse(&args) {
+        Ok(cmd) => cmd,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    match slimstore_cli::run(cmd) {
+        // `cat` streams its payload itself and returns an empty report; a
+        // trailing newline would corrupt piped binary output.
+        Ok(report) if report.is_empty() => {}
+        Ok(report) => println!("{report}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! Version collection (§VI-B).
+//!
+//! The Mark phase is folded into deduplication time: after version N+1 is
+//! backed up, the containers referenced by version N but not by N+1 are
+//! recorded in N's manifest as `garbage_on_delete` (they are invisible to
+//! every subsequent version, which dedups against N+1). Sparse containers
+//! compacted while backing up N are recorded the same way by
+//! [`crate::scc`]. Deleting a version is then a pure Sweep: drop the
+//! associated garbage containers, the version's recipes and its manifest.
+//!
+//! Deletion is FIFO (oldest version first) — the retention-window model of
+//! the paper ("only preserve the last 10 versions") — which is what makes
+//! the marking sound: when version N is swept, every version ≤ N is already
+//! gone, and no version > N references N's garbage.
+
+use std::collections::HashSet;
+
+use slim_index::{GlobalIndex, SimilarFileIndex};
+use slim_lnode::StorageLayer;
+use slim_types::{ContainerId, Result, SlimError, VersionId};
+
+/// Outcome of sweeping one version.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CollectStats {
+    /// Garbage containers deleted.
+    pub containers_deleted: u64,
+    /// Bytes reclaimed (container data + metadata).
+    pub bytes_reclaimed: u64,
+    /// Recipe objects deleted.
+    pub recipes_deleted: u64,
+}
+
+/// Mark phase: record in version `n`'s manifest the containers it references
+/// that version `n_plus_1` no longer does. Call after `n_plus_1` finishes.
+pub fn mark_unreferenced(
+    storage: &StorageLayer,
+    n: VersionId,
+    n_plus_1: VersionId,
+) -> Result<u64> {
+    let refs_of = |v: VersionId| -> Result<HashSet<ContainerId>> {
+        let manifest = storage.get_manifest(v)?;
+        let mut refs = HashSet::new();
+        for file in &manifest.files {
+            let recipe = storage.get_recipe(&file.file, v)?;
+            refs.extend(recipe.records().map(|r| r.container_id));
+        }
+        Ok(refs)
+    };
+    let old_refs = refs_of(n)?;
+    let new_refs = refs_of(n_plus_1)?;
+    let mut manifest = storage.get_manifest(n)?;
+    let already: HashSet<ContainerId> = manifest.garbage_on_delete.iter().copied().collect();
+    let mut marked = 0u64;
+    for &container in &old_refs {
+        if !new_refs.contains(&container) && !already.contains(&container) {
+            manifest.garbage_on_delete.push(container);
+            marked += 1;
+        }
+    }
+    if marked > 0 {
+        storage.put_manifest(&manifest)?;
+    }
+    Ok(marked)
+}
+
+/// Append compacted sparse containers to a version's garbage list (called by
+/// the G-node after SCC).
+pub fn mark_sparse_garbage(
+    storage: &StorageLayer,
+    version: VersionId,
+    sparse: &[ContainerId],
+) -> Result<()> {
+    if sparse.is_empty() {
+        return Ok(());
+    }
+    let mut manifest = storage.get_manifest(version)?;
+    let already: HashSet<ContainerId> = manifest.garbage_on_delete.iter().copied().collect();
+    for &c in sparse {
+        if !already.contains(&c) {
+            manifest.garbage_on_delete.push(c);
+        }
+    }
+    storage.put_manifest(&manifest)
+}
+
+/// Sweep phase: delete version `v` — its garbage containers, recipes,
+/// manifest, and (for files whose last version this was) similar-index
+/// registrations. Enforces FIFO deletion: `v` must be the oldest stored
+/// version.
+pub fn collect_version(
+    storage: &StorageLayer,
+    global: &GlobalIndex,
+    similar: &SimilarFileIndex,
+    v: VersionId,
+) -> Result<CollectStats> {
+    let versions = storage.list_versions();
+    match versions.first() {
+        Some(&oldest) if oldest == v => {}
+        Some(&oldest) => {
+            return Err(SlimError::InvalidConfig(format!(
+                "version collection is FIFO: cannot delete {v} while {oldest} exists"
+            )));
+        }
+        None => return Err(SlimError::VersionNotFound(v.0)),
+    }
+    let manifest = storage.get_manifest(v)?;
+    let mut stats = CollectStats::default();
+
+    for &container in &manifest.garbage_on_delete {
+        if !storage.container_exists(container) {
+            continue; // already reclaimed (e.g. emptied by reverse dedup)
+        }
+        let meta = storage.get_container_meta(container)?;
+        // Unindex fingerprints whose authoritative copy dies with this
+        // container.
+        for entry in &meta.entries {
+            if global.get(&entry.fp)? == Some(container) {
+                global.remove(&entry.fp)?;
+            }
+        }
+        stats.bytes_reclaimed += meta.data_len as u64 + meta.encode().len() as u64;
+        storage.delete_container(container)?;
+        stats.containers_deleted += 1;
+    }
+
+    for file in &manifest.files {
+        storage.delete_recipe(&file.file, v)?;
+        stats.recipes_deleted += 1;
+        // If no newer version of this file exists, forget it entirely.
+        if similar.latest_version(&file.file) == Some(v) {
+            similar.remove(&file.file);
+        }
+    }
+    storage.delete_manifest(v)?;
+    global.flush()?;
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slim_chunking::{ChunkSpec, FastCdcChunker};
+    use slim_lnode::backup::BackupPipeline;
+    use slim_lnode::restore::{RestoreEngine, RestoreOptions};
+    use slim_oss::rocks::RocksConfig;
+    use slim_oss::Oss;
+    use slim_types::{FileId, SlimConfig, VersionManifest};
+    use std::sync::Arc;
+
+    struct Env {
+        storage: StorageLayer,
+        similar: SimilarFileIndex,
+        global: GlobalIndex,
+        config: SlimConfig,
+    }
+
+    fn setup() -> Env {
+        let oss = Oss::in_memory();
+        let storage = StorageLayer::open(Arc::new(oss.clone()));
+        let global =
+            GlobalIndex::open_with(Arc::new(oss), RocksConfig::small_for_tests(), 4096).unwrap();
+        Env {
+            storage,
+            similar: SimilarFileIndex::new(),
+            global,
+            config: SlimConfig::small_for_tests(),
+        }
+    }
+
+    fn data(seed: u64, len: usize) -> Vec<u8> {
+        use rand::{RngCore, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut buf = vec![0u8; len];
+        rng.fill_bytes(&mut buf);
+        buf
+    }
+
+    impl Env {
+        fn backup_version(&self, version: u64, files: &[(&FileId, &[u8])]) {
+            let chunker = FastCdcChunker::new(ChunkSpec::from_config(&self.config));
+            let pipeline =
+                BackupPipeline::new(&self.storage, &self.similar, &chunker, &self.config);
+            let mut manifest = VersionManifest::new(VersionId(version));
+            for (file, bytes) in files {
+                let out = pipeline.backup_file(file, VersionId(version), bytes).unwrap();
+                manifest.files.push(out.info);
+                manifest.new_containers.extend(out.new_containers);
+            }
+            self.storage.put_manifest(&manifest).unwrap();
+        }
+
+        fn restore(&self, file: &FileId, version: u64) -> Vec<u8> {
+            RestoreEngine::new(&self.storage, Some(&self.global))
+                .restore_file(file, VersionId(version), &RestoreOptions::from_config(&self.config))
+                .unwrap()
+                .0
+        }
+    }
+
+    #[test]
+    fn mark_identifies_dropped_containers() {
+        let env = setup();
+        let file = FileId::new("f");
+        let v0 = data(1, 40_000);
+        env.backup_version(0, &[(&file, &v0)]);
+        // v1 rewrites the file completely: v0's containers become invisible.
+        let v1 = data(2, 40_000);
+        env.backup_version(1, &[(&file, &v1)]);
+        let marked = mark_unreferenced(&env.storage, VersionId(0), VersionId(1)).unwrap();
+        assert!(marked > 0, "fully-rewritten file must orphan containers");
+        let manifest = env.storage.get_manifest(VersionId(0)).unwrap();
+        assert_eq!(manifest.garbage_on_delete.len() as u64, marked);
+        // Marking again adds nothing (idempotent).
+        let again = mark_unreferenced(&env.storage, VersionId(0), VersionId(1)).unwrap();
+        assert_eq!(again, 0);
+    }
+
+    #[test]
+    fn mark_keeps_shared_containers() {
+        let env = setup();
+        let file = FileId::new("f");
+        let v0 = data(3, 40_000);
+        env.backup_version(0, &[(&file, &v0)]);
+        env.backup_version(1, &[(&file, &v0)]); // identical: everything shared
+        let marked = mark_unreferenced(&env.storage, VersionId(0), VersionId(1)).unwrap();
+        assert_eq!(marked, 0, "shared containers must not be marked");
+    }
+
+    #[test]
+    fn sweep_reclaims_space_and_preserves_survivors() {
+        let env = setup();
+        let file = FileId::new("f");
+        let v0 = data(4, 40_000);
+        let v1 = data(5, 40_000);
+        env.backup_version(0, &[(&file, &v0)]);
+        env.backup_version(1, &[(&file, &v1)]);
+        mark_unreferenced(&env.storage, VersionId(0), VersionId(1)).unwrap();
+        let before = env.storage.container_store_bytes();
+        let stats =
+            collect_version(&env.storage, &env.global, &env.similar, VersionId(0)).unwrap();
+        assert!(stats.containers_deleted > 0);
+        assert!(stats.recipes_deleted >= 1);
+        let after = env.storage.container_store_bytes();
+        assert!(after < before, "sweep must reclaim bytes: {before} -> {after}");
+        // v1 still restores; v0 is gone.
+        assert_eq!(env.restore(&file, 1), v1);
+        assert!(env.storage.get_recipe(&file, VersionId(0)).is_err());
+        assert!(matches!(
+            env.storage.get_manifest(VersionId(0)),
+            Err(SlimError::VersionNotFound(0))
+        ));
+    }
+
+    #[test]
+    fn fifo_order_enforced() {
+        let env = setup();
+        let file = FileId::new("f");
+        env.backup_version(0, &[(&file, &data(6, 10_000))]);
+        env.backup_version(1, &[(&file, &data(7, 10_000))]);
+        let err = collect_version(&env.storage, &env.global, &env.similar, VersionId(1))
+            .unwrap_err();
+        assert!(matches!(err, SlimError::InvalidConfig(_)));
+        assert!(matches!(
+            collect_version(&env.storage, &env.global, &env.similar, VersionId(9)),
+            Err(SlimError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn last_version_of_file_clears_similar_index() {
+        let env = setup();
+        let file = FileId::new("only");
+        env.backup_version(0, &[(&file, &data(8, 20_000))]);
+        assert_eq!(env.similar.latest_version(&file), Some(VersionId(0)));
+        collect_version(&env.storage, &env.global, &env.similar, VersionId(0)).unwrap();
+        assert_eq!(env.similar.latest_version(&file), None);
+    }
+
+    #[test]
+    fn collect_missing_version_errors() {
+        let env = setup();
+        assert!(matches!(
+            collect_version(&env.storage, &env.global, &env.similar, VersionId(0)),
+            Err(SlimError::VersionNotFound(0))
+        ));
+    }
+}

@@ -1,0 +1,29 @@
+//! The SLIMSTORE G-node: offline space management (§V-B, §VI).
+//!
+//! The G-node runs in the backend, independent of the online dedup/restore
+//! path, and owns three responsibilities:
+//!
+//! * **global reverse deduplication** ([`reverse_dedup`]) — the exact dedup
+//!   pass: every chunk of the containers a backup created is checked against
+//!   the global fingerprint index; duplicates are removed from the *older*
+//!   container, preserving new-version locality and shrinking old-version
+//!   storage (§VI-A);
+//! * **sparse container compaction** ([`scc`]) — containers of which the
+//!   newest version uses only a small fraction are compacted: the useful
+//!   chunks move into fresh containers and the current version's recipes are
+//!   rewritten, so the benefit applies to the *current* version (§V-B,
+//!   unlike HAR's next-version rewriting);
+//! * **version collection** ([`collect`]) — the Mark phase runs at dedup
+//!   time (garbage containers are associated with the version whose deletion
+//!   frees them), so deleting a version is a pure Sweep (§VI-B).
+//!
+//! [`GNode`] packages the three into the offline cycle the system facade
+//! schedules after each backup version.
+
+pub mod collect;
+pub mod meta_cache;
+pub mod node;
+pub mod reverse_dedup;
+pub mod scc;
+
+pub use node::{GNode, GNodeCycleStats};

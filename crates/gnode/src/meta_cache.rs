@@ -1,0 +1,232 @@
+//! Write-back cache of container metadata.
+//!
+//! Reverse deduplication touches the metadata of many old containers; the
+//! paper notes that "caching the meta of the old container can also reduce
+//! the access number of Rocks-OSS" (§VI-A). This cache keeps recently used
+//! [`ContainerMeta`] objects in memory, tracks which are dirty (deletion
+//! marks added) and flushes them back to OSS in one pass at the end of a
+//! G-node cycle.
+
+use std::collections::{HashMap, VecDeque};
+
+use slim_lnode::StorageLayer;
+use slim_types::{ContainerId, ContainerMeta, Result};
+
+/// LRU write-back cache of container metadata.
+pub struct MetaCache {
+    storage: StorageLayer,
+    capacity: usize,
+    entries: HashMap<ContainerId, ContainerMeta>,
+    dirty: HashMap<ContainerId, bool>,
+    lru: VecDeque<ContainerId>,
+    /// Metadata fetches that hit the cache.
+    pub hits: u64,
+    /// Metadata fetches that went to OSS.
+    pub misses: u64,
+}
+
+impl MetaCache {
+    /// Cache holding at most `capacity` metadata objects.
+    pub fn new(storage: StorageLayer, capacity: usize) -> Self {
+        MetaCache {
+            storage,
+            capacity: capacity.max(1),
+            entries: HashMap::new(),
+            dirty: HashMap::new(),
+            lru: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Fetch metadata (cached).
+    pub fn get(&mut self, id: ContainerId) -> Result<&ContainerMeta> {
+        self.ensure_loaded(id)?;
+        Ok(self.entries.get(&id).expect("just loaded"))
+    }
+
+    /// Mutate metadata in place; marks it dirty.
+    pub fn update<R>(
+        &mut self,
+        id: ContainerId,
+        f: impl FnOnce(&mut ContainerMeta) -> R,
+    ) -> Result<R> {
+        self.ensure_loaded(id)?;
+        let meta = self.entries.get_mut(&id).expect("just loaded");
+        let out = f(meta);
+        self.dirty.insert(id, true);
+        Ok(out)
+    }
+
+    /// Replace the metadata wholesale (container rewrite).
+    pub fn put(&mut self, meta: ContainerMeta) {
+        let id = meta.id;
+        if !self.entries.contains_key(&id) {
+            self.touch(id);
+        }
+        self.entries.insert(id, meta);
+        self.dirty.insert(id, true);
+        self.evict_if_needed();
+    }
+
+    /// Drop a container from the cache without flushing (it was deleted).
+    pub fn forget(&mut self, id: ContainerId) {
+        self.entries.remove(&id);
+        self.dirty.remove(&id);
+        self.lru.retain(|&x| x != id);
+    }
+
+    /// Write all dirty metadata back to OSS.
+    pub fn flush(&mut self) -> Result<()> {
+        for (id, dirty) in self.dirty.iter_mut() {
+            if *dirty {
+                if let Some(meta) = self.entries.get(id) {
+                    self.storage.put_container_meta(meta)?;
+                }
+                *dirty = false;
+            }
+        }
+        self.dirty.retain(|_, d| *d);
+        Ok(())
+    }
+
+    /// Number of cached metadata objects.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn ensure_loaded(&mut self, id: ContainerId) -> Result<()> {
+        if self.entries.contains_key(&id) {
+            self.hits += 1;
+            self.touch(id);
+            return Ok(());
+        }
+        self.misses += 1;
+        let meta = self.storage.get_container_meta(id)?;
+        self.entries.insert(id, meta);
+        self.touch(id);
+        self.evict_if_needed();
+        Ok(())
+    }
+
+    fn touch(&mut self, id: ContainerId) {
+        self.lru.retain(|&x| x != id);
+        self.lru.push_back(id);
+    }
+
+    fn evict_if_needed(&mut self) {
+        while self.entries.len() > self.capacity {
+            let Some(victim) = self.lru.front().copied() else {
+                return;
+            };
+            // Never evict dirty entries silently: flush the victim first.
+            if self.dirty.get(&victim).copied().unwrap_or(false) {
+                if let Some(meta) = self.entries.get(&victim) {
+                    // Flush errors during eviction would lose updates;
+                    // surface them by keeping the entry if the put fails.
+                    if self.storage.put_container_meta(meta).is_err() {
+                        return;
+                    }
+                }
+                self.dirty.remove(&victim);
+            }
+            self.lru.pop_front();
+            self.entries.remove(&victim);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slim_oss::Oss;
+    use slim_types::{ContainerBuilder, Fingerprint};
+    use std::sync::Arc;
+
+    fn fp(b: u8) -> Fingerprint {
+        Fingerprint::from_slice(&[b; 20]).unwrap()
+    }
+
+    fn store(storage: &StorageLayer, b: u8) -> ContainerId {
+        let id = storage.allocate_container_id();
+        let mut builder = ContainerBuilder::new(id, 1024);
+        builder.push(fp(b), &[b; 32]);
+        builder.push(fp(b + 100), &[b; 16]);
+        let (data, meta) = builder.seal();
+        storage.put_container(data, &meta).unwrap();
+        id
+    }
+
+    #[test]
+    fn get_caches_and_counts() {
+        let storage = StorageLayer::open(Arc::new(Oss::in_memory()));
+        let id = store(&storage, 1);
+        let mut cache = MetaCache::new(storage, 4);
+        cache.get(id).unwrap();
+        cache.get(id).unwrap();
+        assert_eq!(cache.misses, 1);
+        assert_eq!(cache.hits, 1);
+    }
+
+    #[test]
+    fn update_marks_dirty_and_flush_persists() {
+        let storage = StorageLayer::open(Arc::new(Oss::in_memory()));
+        let id = store(&storage, 2);
+        let mut cache = MetaCache::new(storage.clone(), 4);
+        cache
+            .update(id, |m| assert!(m.mark_deleted(&fp(2))))
+            .unwrap();
+        // Not yet flushed: OSS copy still shows the chunk live.
+        let on_oss = storage.get_container_meta(id).unwrap();
+        assert!(on_oss.find_live(&fp(2)).is_some());
+        cache.flush().unwrap();
+        let on_oss = storage.get_container_meta(id).unwrap();
+        assert!(on_oss.find_live(&fp(2)).is_none());
+    }
+
+    #[test]
+    fn eviction_flushes_dirty_victims() {
+        let storage = StorageLayer::open(Arc::new(Oss::in_memory()));
+        let ids: Vec<_> = (0..5u8).map(|b| store(&storage, b)).collect();
+        let mut cache = MetaCache::new(storage.clone(), 2);
+        cache.update(ids[0], |m| m.mark_deleted(&fp(0))).unwrap();
+        for &id in &ids[1..] {
+            cache.get(id).unwrap();
+        }
+        assert!(cache.len() <= 2);
+        // ids[0] was evicted while dirty: its update must be on OSS.
+        let on_oss = storage.get_container_meta(ids[0]).unwrap();
+        assert!(on_oss.find_live(&fp(0)).is_none());
+    }
+
+    #[test]
+    fn forget_discards_without_flush() {
+        let storage = StorageLayer::open(Arc::new(Oss::in_memory()));
+        let id = store(&storage, 9);
+        let mut cache = MetaCache::new(storage.clone(), 4);
+        cache.update(id, |m| m.mark_deleted(&fp(9))).unwrap();
+        cache.forget(id);
+        cache.flush().unwrap();
+        let on_oss = storage.get_container_meta(id).unwrap();
+        assert!(on_oss.find_live(&fp(9)).is_some(), "forget must not flush");
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn put_replaces_wholesale() {
+        let storage = StorageLayer::open(Arc::new(Oss::in_memory()));
+        let id = store(&storage, 3);
+        let mut cache = MetaCache::new(storage.clone(), 4);
+        let mut meta = storage.get_container_meta(id).unwrap();
+        meta.entries.clear();
+        meta.data_len = 0;
+        cache.put(meta);
+        cache.flush().unwrap();
+        assert_eq!(storage.get_container_meta(id).unwrap().total_chunks(), 0);
+    }
+}

@@ -1,0 +1,318 @@
+//! Global reverse deduplication (§VI-A).
+//!
+//! Exact dedup, executed offline: every chunk in the containers a backup job
+//! created is filtered against the global fingerprint index. A chunk already
+//! stored in an **older** container is a duplicate the fast online path
+//! missed; reverse dedup deletes the *old* copy — so the data layout of the
+//! new version is preserved and the storage of old versions shrinks —
+//! and repoints the global index at the new container.
+//!
+//! Cost controls from the paper:
+//! * a resident bloom filter passes unique chunks without touching Rocks-OSS
+//!   (built into [`slim_index::GlobalIndex`]);
+//! * old-container metadata is cached ([`crate::meta_cache::MetaCache`]);
+//! * deletion is deferred — chunks are only *marked* deleted; a container is
+//!   physically rewritten once its deleted ratio exceeds the threshold
+//!   (default 20 %), and deleted outright when nothing live remains.
+
+use std::collections::HashMap;
+
+use slim_index::GlobalIndex;
+use slim_lnode::StorageLayer;
+use slim_types::{ContainerBuilder, ContainerId, Fingerprint, Result, SlimConfig};
+
+use crate::meta_cache::MetaCache;
+
+/// Outcome of one reverse-deduplication pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReverseDedupStats {
+    /// Chunks examined across the new containers.
+    pub chunks_scanned: u64,
+    /// Chunks the bloom filter passed as certainly-unique (no index lookup).
+    pub bloom_skips: u64,
+    /// Duplicate copies deleted from old containers.
+    pub duplicates_removed: u64,
+    /// Stale payload bytes those deletions made reclaimable.
+    pub bytes_marked: u64,
+    /// Containers physically rewritten (deleted ratio over threshold).
+    pub containers_rewritten: u64,
+    /// Containers deleted because nothing live remained.
+    pub containers_deleted: u64,
+    /// Bytes physically reclaimed by rewrites and deletions.
+    pub bytes_reclaimed: u64,
+}
+
+/// Fingerprints whose authoritative copy moved, and where it lives now.
+/// The G-node feeds this into the current version's recipe rewrite so the
+/// *new* version never pays a relocation lookup (§VI-A keeps old versions on
+/// the global-index path, but the latest version's recipes are improved in
+/// place, like SCC's).
+pub type RelocationMap = HashMap<Fingerprint, ContainerId>;
+
+/// Run reverse deduplication over `new_containers` (the containers created
+/// by the latest backup), in ascending id order.
+pub fn reverse_dedup(
+    storage: &StorageLayer,
+    global: &GlobalIndex,
+    meta_cache: &mut MetaCache,
+    config: &SlimConfig,
+    new_containers: &[ContainerId],
+) -> Result<(ReverseDedupStats, RelocationMap)> {
+    let mut stats = ReverseDedupStats::default();
+    let mut ordered: Vec<ContainerId> = new_containers.to_vec();
+    ordered.sort();
+    let mut touched_old: Vec<ContainerId> = Vec::new();
+    let mut relocations: RelocationMap = HashMap::new();
+
+    for &container in &ordered {
+        let entries: Vec<_> = meta_cache
+            .get(container)?
+            .entries
+            .iter()
+            .filter(|e| !e.deleted)
+            .copied()
+            .collect();
+        for entry in entries {
+            stats.chunks_scanned += 1;
+            // Bloom pre-filter: certainly-unique chunks skip the LSM lookup.
+            if !global.may_contain(&entry.fp) {
+                stats.bloom_skips += 1;
+                global.insert(&entry.fp, container)?;
+                continue;
+            }
+            match global.get(&entry.fp)? {
+                None => {
+                    global.insert(&entry.fp, container)?;
+                }
+                Some(current) if current == container => {}
+                Some(old) if old < container => {
+                    // Exact duplicate missed online: delete the old copy,
+                    // keep the new-version layout intact.
+                    let removed = meta_cache.update(old, |m| {
+                        m.mark_deleted(&entry.fp).then(|| {
+                            m.find(&entry.fp).map(|e| e.len as u64).unwrap_or(0)
+                        })
+                    })?;
+                    if let Some(bytes) = removed {
+                        stats.duplicates_removed += 1;
+                        stats.bytes_marked += bytes;
+                        touched_old.push(old);
+                        relocations.insert(entry.fp, container);
+                    }
+                    global.relocate(&entry.fp, container)?;
+                }
+                Some(newer) => {
+                    // Another (concurrent) job already stored this chunk in
+                    // an even newer container: delete our copy instead.
+                    let removed = meta_cache.update(container, |m| {
+                        m.mark_deleted(&entry.fp).then(|| entry.len as u64)
+                    })?;
+                    if let Some(bytes) = removed {
+                        stats.duplicates_removed += 1;
+                        stats.bytes_marked += bytes;
+                        touched_old.push(container);
+                        relocations.insert(entry.fp, newer);
+                    }
+                }
+            }
+        }
+    }
+
+    // Deferred physical deletion: rewrite or drop heavily-deleted containers.
+    touched_old.sort();
+    touched_old.dedup();
+    for id in touched_old {
+        maybe_rewrite(storage, meta_cache, config, id, &mut stats)?;
+    }
+    meta_cache.flush()?;
+    global.flush()?;
+    Ok((stats, relocations))
+}
+
+/// Rewrite `id` without its deleted chunks once the deleted ratio exceeds
+/// the configured threshold; delete it entirely when nothing live remains.
+/// The container keeps its id, so recipes referencing live chunks stay valid.
+pub(crate) fn maybe_rewrite(
+    storage: &StorageLayer,
+    meta_cache: &mut MetaCache,
+    config: &SlimConfig,
+    id: ContainerId,
+    stats: &mut ReverseDedupStats,
+) -> Result<()> {
+    let meta = meta_cache.get(id)?.clone();
+    if meta.live_chunks() == 0 {
+        stats.containers_deleted += 1;
+        stats.bytes_reclaimed += meta.data_len as u64;
+        meta_cache.forget(id);
+        storage.delete_container(id)?;
+        return Ok(());
+    }
+    if meta.deleted_ratio() <= config.container_rewrite_threshold {
+        return Ok(());
+    }
+    let data = storage.get_container_data(id)?;
+    let mut builder = ContainerBuilder::new(id, data.len());
+    for entry in meta.entries.iter().filter(|e| !e.deleted) {
+        builder.push(
+            entry.fp,
+            &data[entry.offset as usize..(entry.offset + entry.len) as usize],
+        );
+    }
+    let (new_data, new_meta) = builder.seal();
+    stats.containers_rewritten += 1;
+    stats.bytes_reclaimed += meta.data_len as u64 - new_meta.data_len as u64;
+    storage.put_container(new_data, &new_meta)?;
+    meta_cache.put(new_meta);
+    Ok(())
+}
+
+/// Convenience used by tests and space accounting: live bytes across a set
+/// of containers.
+pub fn live_bytes(meta_cache: &mut MetaCache, containers: &[ContainerId]) -> Result<u64> {
+    let mut total = 0;
+    for &id in containers {
+        total += meta_cache.get(id)?.live_bytes();
+    }
+    Ok(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slim_oss::rocks::RocksConfig;
+    use slim_oss::Oss;
+    use slim_types::Fingerprint;
+    use std::sync::Arc;
+
+    fn fp(b: u8) -> Fingerprint {
+        Fingerprint::from_slice(&[b; 20]).unwrap()
+    }
+
+    struct Env {
+        storage: StorageLayer,
+        global: GlobalIndex,
+        config: SlimConfig,
+    }
+
+    fn setup() -> Env {
+        let oss = Oss::in_memory();
+        let storage = StorageLayer::open(Arc::new(oss.clone()));
+        let global = GlobalIndex::open_with(
+            Arc::new(oss),
+            RocksConfig::small_for_tests(),
+            1024,
+        )
+        .unwrap();
+        Env { storage, global, config: SlimConfig::small_for_tests() }
+    }
+
+    fn make_container(storage: &StorageLayer, chunks: &[(u8, usize)]) -> ContainerId {
+        let id = storage.allocate_container_id();
+        let mut b = ContainerBuilder::new(id, 1 << 20);
+        for &(tag, len) in chunks {
+            b.push(fp(tag), &vec![tag; len]);
+        }
+        let (data, meta) = b.seal();
+        storage.put_container(data, &meta).unwrap();
+        id
+    }
+
+    #[test]
+    fn unique_chunks_enter_global_index() {
+        let env = setup();
+        let c = make_container(&env.storage, &[(1, 100), (2, 100)]);
+        let mut cache = MetaCache::new(env.storage.clone(), 8);
+        let (stats, _) =
+            reverse_dedup(&env.storage, &env.global, &mut cache, &env.config, &[c]).unwrap();
+        assert_eq!(stats.chunks_scanned, 2);
+        assert_eq!(stats.duplicates_removed, 0);
+        assert_eq!(env.global.get(&fp(1)).unwrap(), Some(c));
+        assert_eq!(env.global.get(&fp(2)).unwrap(), Some(c));
+    }
+
+    #[test]
+    fn duplicate_removed_from_old_container() {
+        let env = setup();
+        let old = make_container(&env.storage, &[(1, 100), (2, 100), (3, 100)]);
+        let mut cache = MetaCache::new(env.storage.clone(), 8);
+        let _ = reverse_dedup(&env.storage, &env.global, &mut cache, &env.config, &[old]).unwrap();
+        // A new container re-stores chunk 2 (missed duplicate).
+        let new = make_container(&env.storage, &[(2, 100), (4, 100)]);
+        let (stats, _) =
+            reverse_dedup(&env.storage, &env.global, &mut cache, &env.config, &[new]).unwrap();
+        assert_eq!(stats.duplicates_removed, 1);
+        assert_eq!(stats.bytes_marked, 100);
+        // Old copy marked deleted; index points at the new container.
+        let old_meta = env.storage.get_container_meta(old).unwrap();
+        assert!(old_meta.find_live(&fp(2)).is_none());
+        assert!(old_meta.find_live(&fp(1)).is_some());
+        assert_eq!(env.global.get(&fp(2)).unwrap(), Some(new));
+        // New container untouched.
+        let new_meta = env.storage.get_container_meta(new).unwrap();
+        assert!(new_meta.find_live(&fp(2)).is_some());
+    }
+
+    #[test]
+    fn heavy_deletion_triggers_rewrite() {
+        let env = setup();
+        let old = make_container(&env.storage, &[(1, 100), (2, 100), (3, 100)]);
+        let mut cache = MetaCache::new(env.storage.clone(), 8);
+        let _ = reverse_dedup(&env.storage, &env.global, &mut cache, &env.config, &[old]).unwrap();
+        // Re-store two of the three chunks: 2/3 deleted > 20% threshold.
+        let new = make_container(&env.storage, &[(1, 100), (2, 100)]);
+        let (stats, _) =
+            reverse_dedup(&env.storage, &env.global, &mut cache, &env.config, &[new]).unwrap();
+        assert_eq!(stats.duplicates_removed, 2);
+        assert_eq!(stats.containers_rewritten, 1);
+        assert!(stats.bytes_reclaimed >= 200);
+        // Rewritten container holds only chunk 3, same id.
+        let meta = env.storage.get_container_meta(old).unwrap();
+        assert_eq!(meta.total_chunks(), 1);
+        assert!(meta.find_live(&fp(3)).is_some());
+        // Its data object shrank and offsets remain valid.
+        let data = env.storage.get_container_data(old).unwrap();
+        assert_eq!(data.len(), 100);
+    }
+
+    #[test]
+    fn fully_duplicated_container_is_deleted() {
+        let env = setup();
+        let old = make_container(&env.storage, &[(1, 50), (2, 50)]);
+        let mut cache = MetaCache::new(env.storage.clone(), 8);
+        let _ = reverse_dedup(&env.storage, &env.global, &mut cache, &env.config, &[old]).unwrap();
+        let new = make_container(&env.storage, &[(1, 50), (2, 50)]);
+        let (stats, _) =
+            reverse_dedup(&env.storage, &env.global, &mut cache, &env.config, &[new]).unwrap();
+        assert_eq!(stats.containers_deleted, 1);
+        assert!(!env.storage.container_exists(old));
+        assert_eq!(env.global.get(&fp(1)).unwrap(), Some(new));
+    }
+
+    #[test]
+    fn idempotent_on_repeat() {
+        let env = setup();
+        let c = make_container(&env.storage, &[(7, 64)]);
+        let mut cache = MetaCache::new(env.storage.clone(), 8);
+        let (s1, _) =
+            reverse_dedup(&env.storage, &env.global, &mut cache, &env.config, &[c]).unwrap();
+        let (s2, _) =
+            reverse_dedup(&env.storage, &env.global, &mut cache, &env.config, &[c]).unwrap();
+        assert_eq!(s1.duplicates_removed, 0);
+        assert_eq!(s2.duplicates_removed, 0, "self-match must not delete");
+        assert_eq!(env.global.get(&fp(7)).unwrap(), Some(c));
+    }
+
+    #[test]
+    fn duplicate_within_new_batch_keeps_newest() {
+        let env = setup();
+        let a = make_container(&env.storage, &[(5, 40)]);
+        let b = make_container(&env.storage, &[(5, 40), (6, 40)]);
+        let mut cache = MetaCache::new(env.storage.clone(), 8);
+        let (stats, _) =
+            reverse_dedup(&env.storage, &env.global, &mut cache, &env.config, &[a, b]).unwrap();
+        assert_eq!(stats.duplicates_removed, 1);
+        assert_eq!(env.global.get(&fp(5)).unwrap(), Some(b));
+        // Container a lost its only chunk and was deleted.
+        assert!(!env.storage.container_exists(a));
+    }
+}

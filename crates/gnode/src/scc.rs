@@ -1,0 +1,367 @@
+//! Sparse container compaction (§V-B).
+//!
+//! After a backup version completes, containers whose utilization *for that
+//! version* fell below the threshold (default 30 %) are compacted: the few
+//! chunks the version still uses move into fresh, densely packed containers,
+//! and the version's recipes are rewritten to point at them. Restores of the
+//! current version then stop paying the read amplification of sparse
+//! containers — the benefit applies immediately, not at the next backup like
+//! HAR's rewriting.
+//!
+//! The moved chunks are marked deleted in their sparse source containers
+//! (reclaiming old-version storage over time, Fig 9(b)), and the compacted
+//! sparse containers are associated as garbage with the current version for
+//! the Sweep phase of version collection (§VI-B).
+
+use std::collections::{HashMap, HashSet};
+
+use slim_index::GlobalIndex;
+use slim_lnode::StorageLayer;
+use slim_types::{
+    ContainerBuilder, ContainerId, FileId, Fingerprint, Recipe, RecipeIndex, Result, SlimConfig,
+    VersionId,
+};
+
+use crate::meta_cache::MetaCache;
+use crate::reverse_dedup::{maybe_rewrite, RelocationMap, ReverseDedupStats};
+
+/// Outcome of one SCC pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SccStats {
+    /// Containers identified as sparse for this version.
+    pub sparse_containers: u64,
+    /// Chunks moved into compaction containers.
+    pub chunks_moved: u64,
+    /// Bytes moved.
+    pub bytes_moved: u64,
+    /// Fresh containers created by compaction.
+    pub containers_created: u64,
+    /// Files whose recipes were rewritten.
+    pub recipes_rewritten: u64,
+}
+
+/// Run sparse container compaction for `version`.
+///
+/// `files` are the files backed up in this version; `new_containers` the
+/// containers the backup itself created (never considered sparse — they *are*
+/// the current locality). Returns the stats and the list of compacted sparse
+/// containers to associate with this version as garbage-on-delete.
+#[allow(clippy::too_many_arguments)]
+pub fn compact_sparse_containers(
+    storage: &StorageLayer,
+    global: &GlobalIndex,
+    meta_cache: &mut MetaCache,
+    config: &SlimConfig,
+    version: VersionId,
+    files: &[FileId],
+    new_containers: &[ContainerId],
+    reverse_relocations: RelocationMap,
+    rd_stats: &mut ReverseDedupStats,
+) -> Result<(SccStats, Vec<ContainerId>)> {
+    let mut stats = SccStats::default();
+    let new_set: HashSet<ContainerId> = new_containers.iter().copied().collect();
+
+    // Pass 1: utilization of every old container referenced by this version.
+    let mut refs: HashMap<ContainerId, HashSet<Fingerprint>> = HashMap::new();
+    let mut recipes: Vec<(FileId, Recipe)> = Vec::with_capacity(files.len());
+    for file in files {
+        let recipe = storage.get_recipe(file, version)?;
+        for rec in recipe.records() {
+            if !new_set.contains(&rec.container_id) {
+                refs.entry(rec.container_id).or_default().insert(rec.fp);
+            }
+        }
+        recipes.push((file.clone(), recipe));
+    }
+
+    // Records already relocated by reverse dedup also need their recipe
+    // entries repointed (the current version must never pay a relocation
+    // lookup); seed the rewrite map with them.
+    let mut sparse: HashSet<ContainerId> = HashSet::new();
+    for (&container, used) in &refs {
+        if !storage.container_exists(container) {
+            continue; // already collected
+        }
+        let meta = meta_cache.get(container)?;
+        let total = meta.total_chunks();
+        if total == 0 {
+            continue;
+        }
+        let utilization = used.len() as f64 / total as f64;
+        if utilization < config.sparse_utilization_threshold {
+            sparse.insert(container);
+        }
+    }
+    stats.sparse_containers = sparse.len() as u64;
+
+    // Pass 2: move the useful chunks of sparse containers into fresh
+    // containers, remembering each chunk's new home.
+    let mut relocated: HashMap<Fingerprint, ContainerId> = reverse_relocations;
+    let mut builder: Option<ContainerBuilder> = None;
+    let seal = |storage: &StorageLayer,
+                    builder: &mut Option<ContainerBuilder>,
+                    stats: &mut SccStats|
+     -> Result<()> {
+        if let Some(b) = builder.take() {
+            if !b.is_empty() {
+                let (data, meta) = b.seal();
+                storage.put_container(data, &meta)?;
+                stats.containers_created += 1;
+            }
+        }
+        Ok(())
+    };
+    let mut sparse_sorted: Vec<ContainerId> = sparse.iter().copied().collect();
+    sparse_sorted.sort();
+    for &container in &sparse_sorted {
+        let data = storage.get_container_data(container)?;
+        let used = &refs[&container];
+        let entries: Vec<_> = meta_cache
+            .get(container)?
+            .entries
+            .iter()
+            .filter(|e| !e.deleted && used.contains(&e.fp))
+            .copied()
+            .collect();
+        for entry in entries {
+            if relocated.contains_key(&entry.fp) {
+                continue;
+            }
+            let payload = &data[entry.offset as usize..(entry.offset + entry.len) as usize];
+            if builder
+                .as_ref()
+                .is_some_and(|b| b.would_overflow(payload.len()))
+            {
+                seal(storage, &mut builder, &mut stats)?;
+            }
+            let b = match &mut builder {
+                Some(b) => b,
+                None => {
+                    let id = storage.allocate_container_id();
+                    builder.insert(ContainerBuilder::new(id, config.container_capacity))
+                }
+            };
+            b.push(entry.fp, payload);
+            relocated.insert(entry.fp, b.id());
+            stats.chunks_moved += 1;
+            stats.bytes_moved += entry.len as u64;
+            // Delete the sparse copy; the global index follows the move.
+            meta_cache.update(container, |m| m.mark_deleted(&entry.fp))?;
+            global.relocate(&entry.fp, b.id())?;
+        }
+    }
+    seal(storage, &mut builder, &mut stats)?;
+
+    // Pass 3: rewrite the current version's recipes to the new layout.
+    for (file, mut recipe) in recipes {
+        let mut changed = false;
+        for seg in &mut recipe.segments {
+            for rec in &mut seg.records {
+                if let Some(&new_home) = relocated.get(&rec.fp) {
+                    if rec.container_id != new_home {
+                        rec.container_id = new_home;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            continue;
+        }
+        let (buf, spans) = recipe.encode();
+        let index = RecipeIndex::build(&recipe, &spans, config.sample_rate);
+        storage
+            .oss()
+            .put(&slim_types::layout::recipe(&file, version), buf)?;
+        storage
+            .oss()
+            .put(&slim_types::layout::recipe_index(&file, version), index.encode())?;
+        stats.recipes_rewritten += 1;
+    }
+
+    // Physically shrink the sparse containers we touched.
+    for &container in &sparse_sorted {
+        maybe_rewrite(storage, meta_cache, config, container, rd_stats)?;
+    }
+    meta_cache.flush()?;
+    global.flush()?;
+    Ok((stats, sparse_sorted))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slim_chunking::{ChunkSpec, FastCdcChunker};
+    use slim_index::SimilarFileIndex;
+    use slim_lnode::backup::BackupPipeline;
+    use slim_lnode::restore::{RestoreEngine, RestoreOptions};
+    use slim_oss::rocks::RocksConfig;
+    use slim_oss::Oss;
+    use std::sync::Arc;
+
+    struct Env {
+        storage: StorageLayer,
+        similar: SimilarFileIndex,
+        global: GlobalIndex,
+        config: SlimConfig,
+    }
+
+    fn setup() -> Env {
+        let oss = Oss::in_memory();
+        let storage = StorageLayer::open(Arc::new(oss.clone()));
+        let global = GlobalIndex::open_with(
+            Arc::new(oss),
+            RocksConfig::small_for_tests(),
+            4096,
+        )
+        .unwrap();
+        Env {
+            storage,
+            similar: SimilarFileIndex::new(),
+            global,
+            config: SlimConfig::small_for_tests(),
+        }
+    }
+
+    fn data(seed: u64, len: usize) -> Vec<u8> {
+        use rand::{RngCore, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut buf = vec![0u8; len];
+        rng.fill_bytes(&mut buf);
+        buf
+    }
+
+    impl Env {
+        fn backup(&self, file: &FileId, version: u64, bytes: &[u8]) -> Vec<ContainerId> {
+            let chunker = FastCdcChunker::new(ChunkSpec::from_config(&self.config));
+            BackupPipeline::new(&self.storage, &self.similar, &chunker, &self.config)
+                .backup_file(file, VersionId(version), bytes)
+                .unwrap()
+                .new_containers
+        }
+
+        fn restore(&self, file: &FileId, version: u64) -> Vec<u8> {
+            RestoreEngine::new(&self.storage, Some(&self.global))
+                .restore_file(file, VersionId(version), &RestoreOptions::from_config(&self.config))
+                .unwrap()
+                .0
+        }
+
+        fn scc(
+            &self,
+            version: u64,
+            files: &[FileId],
+            new_containers: &[ContainerId],
+        ) -> (SccStats, Vec<ContainerId>) {
+            let mut cache = MetaCache::new(self.storage.clone(), 64);
+            let mut rd = ReverseDedupStats::default();
+            compact_sparse_containers(
+                &self.storage,
+                &self.global,
+                &mut cache,
+                &self.config,
+                VersionId(version),
+                files,
+                new_containers,
+                RelocationMap::new(),
+                &mut rd,
+            )
+            .unwrap()
+        }
+    }
+
+    /// Build a history where a later version uses only a sliver of the
+    /// containers created by version 0 — those become sparse.
+    fn build_sparse_history(env: &Env, file: &FileId) -> (Vec<Vec<u8>>, Vec<Vec<ContainerId>>) {
+        let mut inputs = Vec::new();
+        let mut containers = Vec::new();
+        let mut cur = data(1, 64_000);
+        for v in 0..6u64 {
+            let ids = env.backup(file, v, &cur);
+            inputs.push(cur.clone());
+            containers.push(ids);
+            // Replace most of the file each version, keeping a small slice.
+            let keep = cur[..8_000].to_vec();
+            cur = data(100 + v, 56_000);
+            cur.splice(0..0, keep);
+            cur.truncate(64_000);
+        }
+        (inputs, containers)
+    }
+
+    #[test]
+    fn scc_moves_chunks_and_keeps_restores_correct() {
+        let env = setup();
+        let file = FileId::new("f");
+        let (inputs, containers) = build_sparse_history(&env, &file);
+        let last = inputs.len() - 1;
+        let (stats, garbage) = env.scc(last as u64, &[file.clone()], &containers[last]);
+        assert!(stats.sparse_containers > 0, "history must create sparse containers");
+        assert!(stats.chunks_moved > 0);
+        assert!(stats.recipes_rewritten >= 1);
+        assert_eq!(garbage.len() as u64, stats.sparse_containers);
+        // The compacted version restores byte-identically...
+        assert_eq!(env.restore(&file, last as u64), inputs[last]);
+        // ...and so do all older versions (moved chunks resolve through the
+        // global index).
+        for (v, expected) in inputs.iter().enumerate() {
+            assert_eq!(&env.restore(&file, v as u64), expected, "version {v}");
+        }
+    }
+
+    #[test]
+    fn scc_reduces_containers_read_for_current_version() {
+        let env = setup();
+        let file = FileId::new("f");
+        let (inputs, containers) = build_sparse_history(&env, &file);
+        let last = inputs.len() - 1;
+        let opts = RestoreOptions::from_config(&env.config).without_prefetch();
+        let engine_reads = |env: &Env| {
+            RestoreEngine::new(&env.storage, Some(&env.global))
+                .restore_file(&file, VersionId(last as u64), &opts)
+                .unwrap()
+                .1
+                .containers_read
+        };
+        let before = engine_reads(&env);
+        env.scc(last as u64, &[file.clone()], &containers[last]);
+        let after = engine_reads(&env);
+        assert!(
+            after < before,
+            "SCC should reduce container reads: before={before} after={after}"
+        );
+    }
+
+    #[test]
+    fn scc_noop_when_nothing_sparse() {
+        let env = setup();
+        let file = FileId::new("f");
+        let input = data(42, 30_000);
+        let ids = env.backup(&file, 0, &input);
+        let (stats, garbage) = env.scc(0, &[file.clone()], &ids);
+        assert_eq!(stats.sparse_containers, 0);
+        assert!(garbage.is_empty());
+        assert_eq!(env.restore(&file, 0), input);
+    }
+
+    #[test]
+    fn moved_chunks_update_global_index() {
+        let env = setup();
+        let file = FileId::new("f");
+        let (inputs, containers) = build_sparse_history(&env, &file);
+        let last = inputs.len() - 1;
+        env.scc(last as u64, &[file.clone()], &containers[last]);
+        // Every record of the rewritten recipe resolves through its stated
+        // container (no dangling pointers).
+        let recipe = env.storage.get_recipe(&file, VersionId(last as u64)).unwrap();
+        for rec in recipe.records() {
+            let meta = env.storage.get_container_meta(rec.container_id).unwrap();
+            assert!(
+                meta.find_live(&rec.fp).is_some(),
+                "record {} points at {} which lacks a live copy",
+                rec.fp.short_hex(),
+                rec.container_id
+            );
+        }
+    }
+}

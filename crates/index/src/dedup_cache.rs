@@ -1,0 +1,335 @@
+//! The L-node dedup cache (§IV-A Step 2).
+//!
+//! Holds the segment recipes prefetched from the detected historical /
+//! similar file. Once one sampled chunk matches, logical locality means the
+//! chunks around it are very likely duplicates too — so the cache answers:
+//!
+//! * `lookup(fp)` — is this chunk a known duplicate? Returns the matched
+//!   record *and its successor* in the segment, which is what history-aware
+//!   skip chunking needs ("look up the size of the next chunk in the dedup
+//!   cache", §IV-B);
+//! * `lookup_super_first(fp)` — is this chunk the first member of a
+//!   superchunk of the previous version? Triggers Algorithm 1 (§IV-C).
+//!
+//! Capacity is bounded in segments; eviction is FIFO (a backup stream sweeps
+//! forward, so the oldest prefetched segment is the least useful). Map
+//! entries carry the generation of their segment slot and are validated on
+//! hit, making eviction O(segment) without a reverse index.
+
+use std::collections::{HashMap, VecDeque};
+
+use slim_types::{ChunkRecord, Fingerprint, SegmentRecipe};
+
+/// A dedup-cache hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheHit {
+    /// The record whose fingerprint matched.
+    pub record: ChunkRecord,
+    /// The record immediately after it in the same segment recipe, if any —
+    /// the skip-chunking prediction for the next cut. `None` means the
+    /// matched record closes its segment: the caller should chain to the
+    /// *next* segment recipe of the source file (sequential logical
+    /// locality).
+    pub next: Option<ChunkRecord>,
+    /// Ordinal of the source segment within the detected file's recipe.
+    pub segment: u32,
+}
+
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct Slot {
+    seg: u32,
+    idx: u32,
+    generation: u64,
+}
+
+/// A cached segment: its recipe plus the ordinal it occupies in the source
+/// file's recipe (for sequential chaining).
+struct CachedSegment {
+    generation: u64,
+    source_idx: u32,
+    recipe: SegmentRecipe,
+}
+
+/// Bounded cache of prefetched segment recipes.
+pub struct DedupCache {
+    segments: Vec<Option<CachedSegment>>,
+    fifo: VecDeque<u32>,                         // slots in insertion order
+    free: Vec<u32>,
+    by_fp: HashMap<Fingerprint, Slot>,
+    super_by_first: HashMap<Fingerprint, Slot>,
+    next_generation: u64,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl DedupCache {
+    /// Cache holding at most `capacity` segment recipes.
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        DedupCache {
+            segments: Vec::new(),
+            fifo: VecDeque::new(),
+            free: Vec::new(),
+            by_fp: HashMap::new(),
+            super_by_first: HashMap::new(),
+            next_generation: 0,
+            capacity,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of cached segments.
+    pub fn len(&self) -> usize {
+        self.fifo.len()
+    }
+
+    /// Whether the cache holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.fifo.is_empty()
+    }
+
+    /// (hits, misses) since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+
+    /// Insert a prefetched segment recipe, evicting the oldest if full.
+    /// `source_idx` is the segment's ordinal in the source file's recipe.
+    pub fn insert_segment(&mut self, segment: SegmentRecipe, source_idx: u32) {
+        while self.fifo.len() >= self.capacity {
+            self.evict_oldest();
+        }
+        let generation = self.next_generation;
+        self.next_generation += 1;
+        let cached = CachedSegment { generation, source_idx, recipe: segment };
+        let slot_id = match self.free.pop() {
+            Some(id) => {
+                self.segments[id as usize] = Some(cached);
+                id
+            }
+            None => {
+                self.segments.push(Some(cached));
+                (self.segments.len() - 1) as u32
+            }
+        };
+        let seg = &self.segments[slot_id as usize].as_ref().expect("just set").recipe;
+        // Newest posting wins: if an older cached segment also holds the
+        // fingerprint, its eviction must not orphan a fingerprint that the
+        // newer segment still serves (eviction only removes postings whose
+        // generation matches the evicted segment).
+        let mut postings: Vec<(Fingerprint, Slot, bool)> = Vec::with_capacity(seg.records.len());
+        for (idx, rec) in seg.records.iter().enumerate() {
+            let slot = Slot { seg: slot_id, idx: idx as u32, generation };
+            postings.push((rec.fp, slot, false));
+            if let Some(sc) = &rec.super_chunk {
+                postings.push((sc.first_chunk, slot, true));
+            }
+        }
+        for (fp, slot, is_super) in postings {
+            if is_super {
+                self.super_by_first.insert(fp, slot);
+            } else {
+                self.by_fp.insert(fp, slot);
+            }
+        }
+        self.fifo.push_back(slot_id);
+    }
+
+    fn evict_oldest(&mut self) {
+        let Some(slot_id) = self.fifo.pop_front() else {
+            return;
+        };
+        if let Some(cached) = self.segments[slot_id as usize].take() {
+            let generation = cached.generation;
+            for rec in &cached.recipe.records {
+                if let Some(s) = self.by_fp.get(&rec.fp) {
+                    if s.generation == generation {
+                        self.by_fp.remove(&rec.fp);
+                    }
+                }
+                if let Some(sc) = &rec.super_chunk {
+                    if let Some(s) = self.super_by_first.get(&sc.first_chunk) {
+                        if s.generation == generation {
+                            self.super_by_first.remove(&sc.first_chunk);
+                        }
+                    }
+                }
+            }
+        }
+        self.free.push(slot_id);
+    }
+
+    fn resolve(&self, slot: &Slot) -> Option<(&CachedSegment, usize)> {
+        let cached = self.segments.get(slot.seg as usize)?.as_ref()?;
+        if cached.generation != slot.generation {
+            return None;
+        }
+        Some((cached, slot.idx as usize))
+    }
+
+    /// Is `fp` a known duplicate? Counts hit/miss statistics.
+    pub fn lookup(&mut self, fp: &Fingerprint) -> Option<CacheHit> {
+        let slot = self.by_fp.get(fp).copied();
+        let hit = slot.and_then(|s| {
+            let (cached, idx) = self.resolve(&s)?;
+            Some(CacheHit {
+                record: cached.recipe.records[idx],
+                next: cached.recipe.records.get(idx + 1).copied(),
+                segment: cached.source_idx,
+            })
+        });
+        if hit.is_some() {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        hit
+    }
+
+    /// Peek without touching statistics (used by probes that are not
+    /// dedup decisions).
+    pub fn peek(&self, fp: &Fingerprint) -> Option<CacheHit> {
+        let slot = self.by_fp.get(fp)?;
+        let (cached, idx) = self.resolve(slot)?;
+        Some(CacheHit {
+            record: cached.recipe.records[idx],
+            next: cached.recipe.records.get(idx + 1).copied(),
+            segment: cached.source_idx,
+        })
+    }
+
+    /// The superchunk record whose first member chunk is `fp`, if cached.
+    pub fn lookup_super_first(&self, fp: &Fingerprint) -> Option<ChunkRecord> {
+        let slot = self.super_by_first.get(fp)?;
+        let (cached, idx) = self.resolve(slot)?;
+        let rec = cached.recipe.records[idx];
+        debug_assert!(rec.is_super());
+        Some(rec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slim_types::{ContainerId, SuperChunkInfo};
+
+    fn fp(b: u8) -> Fingerprint {
+        Fingerprint::from_slice(&[b; 20]).unwrap()
+    }
+
+    fn rec(b: u8, size: u32) -> ChunkRecord {
+        ChunkRecord::new(fp(b), ContainerId(b as u64), size, 0)
+    }
+
+    fn seg(ids: &[u8]) -> SegmentRecipe {
+        SegmentRecipe::new(ids.iter().map(|&b| rec(b, 100 * b as u32)).collect())
+    }
+
+    #[test]
+    fn lookup_returns_record_and_successor() {
+        let mut cache = DedupCache::new(4);
+        cache.insert_segment(seg(&[1, 2, 3]), 0);
+        let hit = cache.lookup(&fp(2)).unwrap();
+        assert_eq!(hit.record.fp, fp(2));
+        assert_eq!(hit.next.unwrap().fp, fp(3));
+        // Last record has no successor.
+        let tail = cache.lookup(&fp(3)).unwrap();
+        assert_eq!(tail.next, None);
+        assert!(cache.lookup(&fp(9)).is_none());
+        assert_eq!(cache.stats(), (2, 1));
+    }
+
+    #[test]
+    fn fifo_eviction_drops_oldest_postings() {
+        let mut cache = DedupCache::new(2);
+        cache.insert_segment(seg(&[1]), 0);
+        cache.insert_segment(seg(&[2]), 0);
+        cache.insert_segment(seg(&[3]), 0); // evicts segment [1]
+        assert_eq!(cache.len(), 2);
+        assert!(cache.lookup(&fp(1)).is_none());
+        assert!(cache.lookup(&fp(2)).is_some());
+        assert!(cache.lookup(&fp(3)).is_some());
+    }
+
+    #[test]
+    fn duplicate_fp_across_segments_keeps_newest() {
+        let mut cache = DedupCache::new(4);
+        let mut s1 = seg(&[5]);
+        s1.records[0].container_id = ContainerId(100);
+        let mut s2 = seg(&[5]);
+        s2.records[0].container_id = ContainerId(200);
+        cache.insert_segment(s1, 0);
+        cache.insert_segment(s2, 1);
+        assert_eq!(cache.peek(&fp(5)).unwrap().record.container_id, ContainerId(200));
+    }
+
+    #[test]
+    fn evicting_older_segment_keeps_shared_posting_alive() {
+        // fp(7) lives in segments A and B; after A is evicted, B must still
+        // serve lookups (the lost-posting bug the last-wins rule fixes).
+        let mut cache = DedupCache::new(2);
+        cache.insert_segment(seg(&[7, 1]), 0); // A
+        cache.insert_segment(seg(&[7, 2]), 1); // B re-posts fp(7)
+        cache.insert_segment(seg(&[3]), 2); // evicts A
+        assert!(cache.lookup(&fp(7)).is_some(), "posting lost with segment A");
+    }
+
+    #[test]
+    fn eviction_does_not_clobber_newer_posting() {
+        // fp(7) appears in segments A and B; evicting A must not remove the
+        // (re-inserted) posting that belongs to B.
+        let mut cache = DedupCache::new(2);
+        cache.insert_segment(seg(&[7]), 0); // A
+        cache.insert_segment(seg(&[8]), 0);
+        cache.insert_segment(seg(&[7]), 0); // B — evicts A, re-posts fp(7)
+        assert!(cache.lookup(&fp(7)).is_some());
+        cache.insert_segment(seg(&[9]), 0); // evicts [8]
+        assert!(cache.lookup(&fp(7)).is_some(), "B's posting must survive");
+    }
+
+    #[test]
+    fn superchunk_lookup_via_first_member() {
+        let mut cache = DedupCache::new(4);
+        let sc = ChunkRecord {
+            fp: fp(50),
+            container_id: ContainerId(9),
+            size: 4096,
+            duplicate_times: 6,
+            super_chunk: Some(SuperChunkInfo {
+                first_chunk: fp(51),
+                first_chunk_size: 512,
+                member_count: 8,
+            }),
+        };
+        cache.insert_segment(SegmentRecipe::new(vec![rec(1, 100), sc]), 3);
+        let got = cache.lookup_super_first(&fp(51)).unwrap();
+        assert_eq!(got.fp, fp(50));
+        assert_eq!(got.super_chunk.unwrap().member_count, 8);
+        assert!(cache.lookup_super_first(&fp(50)).is_none());
+    }
+
+    #[test]
+    fn capacity_of_zero_clamped_to_one() {
+        let mut cache = DedupCache::new(0);
+        cache.insert_segment(seg(&[1]), 0);
+        assert_eq!(cache.len(), 1);
+        cache.insert_segment(seg(&[2]), 0);
+        assert_eq!(cache.len(), 1);
+        assert!(cache.lookup(&fp(2)).is_some());
+    }
+
+    #[test]
+    fn slot_reuse_after_eviction() {
+        let mut cache = DedupCache::new(2);
+        for b in 1..=20u8 {
+            cache.insert_segment(seg(&[b]), 0);
+        }
+        // Internal vector must not grow unboundedly: at most capacity+1 slots.
+        assert!(cache.segments.len() <= 3);
+        assert!(cache.lookup(&fp(20)).is_some());
+        assert!(cache.lookup(&fp(19)).is_some());
+        assert!(cache.lookup(&fp(18)).is_none());
+    }
+}

@@ -1,0 +1,968 @@
+//! The online deduplication pipeline (§IV).
+//!
+//! One [`BackupPipeline::backup_file`] call runs the full three-step workflow
+//! for one input file:
+//!
+//! 1. **Detect** a historical version (by path) or a similar file (by
+//!    representative-fingerprint vote) and fetch its recipe index.
+//! 2. **Dedup** the stream: every sampled chunk probes the recipe index and
+//!    prefetches the matching segment recipe into the dedup cache; logical
+//!    locality then confirms whole runs of duplicates. Two history-aware
+//!    fast paths cut the CPU cost:
+//!    * *skip chunking* — after a duplicate, jump `|next chunk|` bytes,
+//!      check the cut condition in O(window), and verify by fingerprint;
+//!      on mismatch fall back to the byte-by-byte CDC scan;
+//!    * *SuperChunking* (Algorithm 1) — a chunk matching the first member of
+//!      a previous-version superchunk triggers a whole-superchunk
+//!      fingerprint comparison.
+//! 3. **Segment & persist**: unique chunks pack into containers that seal to
+//!    OSS at capacity; records group into segment recipes; sampled
+//!    fingerprints become the recipe index for the *next* version.
+//!
+//! History-aware chunk merging (§IV-C) runs as a per-segment post-pass: runs
+//! of records whose `duplicateTimes` reached the threshold merge into a new
+//! superchunk whose payload is written to the current container (the old
+//! member copies are reclaimed later by the G-node's reverse deduplication).
+
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+use slim_chunking::{chunk_all, fingerprint, sample::file_representatives, Chunker};
+use slim_index::{DedupCache, SimilarFileIndex};
+use slim_index::similar::Detection;
+use slim_types::recipe::SegmentSpan;
+use slim_types::{
+    ChunkRecord, ContainerBuilder, ContainerId, FileBackupInfo, FileId, Fingerprint, Recipe,
+    RecipeIndex, Result, SegmentRecipe, SlimConfig, SuperChunkInfo, VersionId,
+};
+
+use crate::stats::BackupStats;
+use crate::storage::StorageLayer;
+
+/// How many segments the dedup cache holds.
+const DEDUP_CACHE_SEGMENTS: usize = 64;
+/// How many consecutive segment recipes one prefetch pulls: adjacent segment
+/// blocks are contiguous in the recipe object, so one OSS range read covers
+/// several (the backup stream sweeps forward, so the following segments are
+/// the likely next matches).
+const PREFETCH_BATCH: u32 = 4;
+/// How many leading chunks are eligible as file representatives (header
+/// sampling for large files, §IV-A Step 1).
+const HEADER_CHUNKS: usize = 512;
+
+/// Result of backing up one file.
+#[derive(Debug, Clone)]
+pub struct BackupOutcome {
+    /// Manifest entry for the file.
+    pub info: FileBackupInfo,
+    /// Job statistics (phase timings, dedup counters).
+    pub stats: BackupStats,
+    /// Containers this job created (input to reverse deduplication).
+    pub new_containers: Vec<ContainerId>,
+    /// Duplicate-chunk references per container — the raw counts the G-node
+    /// combines with container metadata to find sparse containers (§V-B).
+    pub container_refs: HashMap<ContainerId, u64>,
+}
+
+/// The online dedup pipeline of an L-node.
+pub struct BackupPipeline<'a> {
+    storage: &'a StorageLayer,
+    similar: &'a SimilarFileIndex,
+    chunker: &'a dyn Chunker,
+    config: &'a SlimConfig,
+}
+
+impl<'a> BackupPipeline<'a> {
+    /// Assemble a pipeline over the shared storage layer and indexes.
+    pub fn new(
+        storage: &'a StorageLayer,
+        similar: &'a SimilarFileIndex,
+        chunker: &'a dyn Chunker,
+        config: &'a SlimConfig,
+    ) -> Self {
+        BackupPipeline { storage, similar, chunker, config }
+    }
+
+    /// Deduplicate and persist one file as `version`.
+    pub fn backup_file(
+        &self,
+        file: &FileId,
+        version: VersionId,
+        data: &[u8],
+    ) -> Result<BackupOutcome> {
+        let wall_start = Instant::now();
+        let mut stats = BackupStats { logical_bytes: data.len() as u64, ..Default::default() };
+
+        // ---- STEP 1: detect a historical version or similar file ----
+        let detected = self.detect(file, data, &mut stats)?;
+        let recipe_index = match &detected {
+            Some((f, v)) => {
+                let t = Instant::now();
+                let idx = self.storage.get_recipe_index(f, *v)?;
+                stats.network_time += t.elapsed();
+                Some(idx)
+            }
+            None => None,
+        };
+
+        // ---- STEP 2 + 3: dedup the stream, segment and persist ----
+        let segment_spans: HashMap<u32, SegmentSpan> = recipe_index
+            .as_ref()
+            .map(|idx| {
+                idx.entries
+                    .iter()
+                    .map(|e| (e.segment_idx, e.span))
+                    .collect()
+            })
+            .unwrap_or_default();
+        // Hash view of the recipe index: every cut chunk probes it in O(1),
+        // so a sampled fingerprint anywhere in the stream finds its segment.
+        let mut index_lookup: HashMap<Fingerprint, Vec<u32>> = HashMap::new();
+        if let Some(idx) = &recipe_index {
+            for e in &idx.entries {
+                let segs = index_lookup.entry(e.sample_fp).or_default();
+                if !segs.contains(&e.segment_idx) {
+                    segs.push(e.segment_idx);
+                }
+            }
+        }
+        let mut job = Job {
+            pipeline: self,
+            data,
+            detected,
+            index_lookup,
+            segment_spans,
+            first_records: HashMap::new(),
+            cache: DedupCache::new(DEDUP_CACHE_SEGMENTS),
+            fetched_segments: HashSet::new(),
+            local_index: HashMap::new(),
+            builder: None,
+            new_containers: Vec::new(),
+            segments: Vec::new(),
+            cur_records: Vec::new(),
+            cur_spans: Vec::new(),
+            prediction: None,
+            stats,
+        };
+        job.run()?;
+        let Job { mut stats, segments, new_containers, .. } = job;
+
+        // Persist the recipe and its index.
+        let recipe = Recipe { segments };
+        let t = Instant::now();
+        let (recipe_buf, spans) = recipe.encode();
+        let index = RecipeIndex::build(&recipe, &spans, self.config.sample_rate);
+        stats.index_time += t.elapsed();
+        let recipe_key = slim_types::layout::recipe(file, version);
+        let index_key = slim_types::layout::recipe_index(file, version);
+        let t = Instant::now();
+        self.storage.oss().put(&recipe_key, recipe_buf)?;
+        self.storage.oss().put(&index_key, index.encode())?;
+        stats.network_time += t.elapsed();
+
+        // Register the file's representatives for future similarity search.
+        let reps = self.representatives(&recipe);
+        self.similar.register(file.clone(), version, reps);
+
+        // Reference counts per container, from the final recipe (SCC input).
+        let mut container_refs: HashMap<ContainerId, u64> = HashMap::new();
+        for rec in recipe.records() {
+            *container_refs.entry(rec.container_id).or_default() += 1;
+        }
+
+        let duplicate_count = stats.duplicates;
+        let chunk_count = stats.chunks;
+        stats.wall_time = wall_start.elapsed();
+        Ok(BackupOutcome {
+            info: FileBackupInfo {
+                file: file.clone(),
+                recipe_key,
+                recipe_index_key: index_key,
+                logical_bytes: data.len() as u64,
+                stored_bytes: stats.stored_bytes,
+                chunk_count,
+                duplicate_count,
+            },
+            stats,
+            new_containers,
+            container_refs,
+        })
+    }
+
+    /// STEP 1: path match first, then similarity by sampled header chunks.
+    fn detect(
+        &self,
+        file: &FileId,
+        data: &[u8],
+        stats: &mut BackupStats,
+    ) -> Result<Option<(FileId, VersionId)>> {
+        let t = Instant::now();
+        if let Some(version) = self.similar.latest_version(file) {
+            stats.index_time += t.elapsed();
+            return Ok(Some((file.clone(), version)));
+        }
+        stats.index_time += t.elapsed();
+        // No historical version: chunk + sample the header and vote.
+        let header_len = data
+            .len()
+            .min(HEADER_CHUNKS * self.config.avg_chunk_size);
+        let t = Instant::now();
+        let header_chunks = chunk_all(self.chunker, &data[..header_len]);
+        stats.chunking_time += t.elapsed();
+        let t = Instant::now();
+        let samples = file_representatives(
+            &header_chunks,
+            self.config.sample_rate,
+            HEADER_CHUNKS,
+            self.config.similar_index_samples,
+        );
+        let detection = self.similar.detect(file, &samples);
+        stats.index_time += t.elapsed();
+        Ok(match detection {
+            Detection::HistoricalVersion(f, v) => Some((f, v)),
+            Detection::SimilarFile(f, v, _) => Some((f, v)),
+            Detection::None => None,
+        })
+    }
+
+    /// Representative fingerprints of the just-written recipe (header
+    /// sampling). Superchunk records are represented by their first member
+    /// chunk — the fingerprint an incoming file's CDC scan can reproduce.
+    fn representatives(&self, recipe: &Recipe) -> Vec<Fingerprint> {
+        let key = |rec: &ChunkRecord| match &rec.super_chunk {
+            Some(sc) => sc.first_chunk,
+            None => rec.fp,
+        };
+        let mut reps = Vec::new();
+        let mut seen = 0usize;
+        'outer: for seg in &recipe.segments {
+            for rec in &seg.records {
+                if seen >= HEADER_CHUNKS || reps.len() >= self.config.similar_index_samples {
+                    break 'outer;
+                }
+                if key(rec).is_sample(self.config.sample_rate) {
+                    reps.push(key(rec));
+                }
+                seen += 1;
+            }
+        }
+        if reps.is_empty() {
+            reps = recipe
+                .records()
+                .take(self.config.similar_index_samples)
+                .map(key)
+                .collect();
+        }
+        reps
+    }
+}
+
+/// Mutable state of one running backup job.
+struct Job<'p, 'a> {
+    pipeline: &'p BackupPipeline<'a>,
+    data: &'p [u8],
+    detected: Option<(FileId, VersionId)>,
+    /// Hash view of the source recipe index: sample fp -> segment ordinals.
+    index_lookup: HashMap<Fingerprint, Vec<u32>>,
+    /// Segment ordinal -> byte span in the source recipe (from its index).
+    segment_spans: HashMap<u32, SegmentSpan>,
+    /// First record of each prefetched segment (for sequential chaining).
+    first_records: HashMap<u32, ChunkRecord>,
+    cache: DedupCache,
+    fetched_segments: HashSet<u32>,
+    /// Chunks already emitted by *this* job (intra-stream / self-reference
+    /// dedup).
+    local_index: HashMap<Fingerprint, ChunkRecord>,
+    builder: Option<ContainerBuilder>,
+    new_containers: Vec<ContainerId>,
+    segments: Vec<SegmentRecipe>,
+    cur_records: Vec<ChunkRecord>,
+    /// Byte span in `data` of each record in `cur_records` (for merging).
+    cur_spans: Vec<(usize, usize)>,
+    /// Skip-chunking prediction: the record expected to match at the cursor.
+    prediction: Option<ChunkRecord>,
+    stats: BackupStats,
+}
+
+impl Job<'_, '_> {
+    fn config(&self) -> &SlimConfig {
+        self.pipeline.config
+    }
+
+    fn run(&mut self) -> Result<()> {
+        let mut pos = 0usize;
+        while pos < self.data.len() {
+            pos = self.step(pos)?;
+            if self.cur_records.len() >= self.config().segment_chunks {
+                self.close_segment()?;
+            }
+        }
+        self.close_segment()?;
+        self.seal_container()?;
+        Ok(())
+    }
+
+    /// Process one chunk (or superchunk) starting at `pos`; returns the new
+    /// cursor.
+    fn step(&mut self, pos: usize) -> Result<usize> {
+        // -- History-aware skip chunking (§IV-B) --
+        if self.config().skip_chunking {
+            if let Some(predicted) = self.prediction.take() {
+                if let Some(end) = self.try_skip(pos, &predicted) {
+                    let mut rec = predicted;
+                    rec.duplicate_times += 1;
+                    self.stats.skip_hits += 1;
+                    // Sampled chunks still probe the recipe index even on
+                    // the fast path, so the set of prefetched segments — and
+                    // therefore the dedup ratio — is identical to plain CDC
+                    // (Fig 5(b)).
+                    let probe = match &rec.super_chunk {
+                        Some(sc) => sc.first_chunk,
+                        None => rec.fp,
+                    };
+                    self.maybe_prefetch(&probe)?;
+                    self.emit_duplicate(rec, pos, end)?;
+                    return Ok(end);
+                }
+                self.stats.skip_misses += 1;
+            }
+        }
+
+        // -- Plain CDC cut --
+        let t = Instant::now();
+        let end = self.pipeline.chunker.next_boundary(self.data, pos);
+        self.stats.chunking_time += t.elapsed();
+        let t = Instant::now();
+        let fp = fingerprint(&self.data[pos..end]);
+        self.stats.fingerprint_time += t.elapsed();
+
+        // -- Probe the recipe index and prefetch matching segments --
+        self.maybe_prefetch(&fp)?;
+
+        // -- SuperChunking probe (Algorithm 1): fp may be the first member
+        //    of a previous-version superchunk --
+        if self.config().chunk_merging {
+            if let Some(sc) = self.probe_superchunk(pos, &fp) {
+                let sc_end = pos + sc.size as usize;
+                let mut rec = sc;
+                rec.duplicate_times += 1;
+                self.stats.super_hits += 1;
+                self.emit_duplicate(rec, pos, sc_end)?;
+                return Ok(sc_end);
+            }
+        }
+
+        // -- Intra-stream duplicate (self-reference) --
+        // Checked before the history cache: if this job already stored the
+        // chunk, referencing the *new* copy keeps the current version's
+        // locality and never conflicts with reverse deduplication (which
+        // keeps the newest copy, §VI-A).
+        if let Some(rec) = self.local_index.get(&fp).copied() {
+            self.emit_duplicate(rec, pos, end)?;
+            return Ok(end);
+        }
+
+        // -- Dedup cache lookup (logical locality) --
+        let t = Instant::now();
+        let hit = self.cache.lookup(&fp);
+        self.stats.index_time += t.elapsed();
+        if let Some(hit) = hit {
+            debug_assert_eq!(hit.record.size as usize, end - pos, "same fp, same size");
+            let mut rec = hit.record;
+            rec.duplicate_times += 1;
+            self.prediction = hit.next;
+            self.emit_duplicate(rec, pos, end)?;
+            return Ok(end);
+        }
+
+        // -- Unique chunk: store it --
+        self.emit_unique(fp, pos, end)?;
+        Ok(end)
+    }
+
+    /// Attempt a skip-chunking jump: land on the predicted cut, check the
+    /// cut condition in O(window), verify by fingerprint. Returns the chunk
+    /// end on success.
+    fn try_skip(&mut self, pos: usize, predicted: &ChunkRecord) -> Option<usize> {
+        let end = pos + predicted.size as usize;
+        if end > self.data.len() {
+            return None;
+        }
+        if predicted.is_super() {
+            // Superchunk ends are not single-chunk cut points; the
+            // fingerprint comparison alone decides (content equality implies
+            // the member boundaries align).
+            let t = Instant::now();
+            let fp = fingerprint(&self.data[pos..end]);
+            self.stats.fingerprint_time += t.elapsed();
+            if fp == predicted.fp {
+                return Some(end);
+            }
+            return None;
+        }
+        let t = Instant::now();
+        let cut_ok = self.pipeline.chunker.is_boundary(self.data, pos, end);
+        self.stats.chunking_time += t.elapsed();
+        if !cut_ok {
+            return None;
+        }
+        let t = Instant::now();
+        let fp = fingerprint(&self.data[pos..end]);
+        self.stats.fingerprint_time += t.elapsed();
+        if fp == predicted.fp {
+            Some(end)
+        } else {
+            None
+        }
+    }
+
+    /// Algorithm 1: if `fp` matches the first member chunk of a cached
+    /// superchunk, compare the whole-superchunk fingerprint.
+    fn probe_superchunk(&mut self, pos: usize, fp: &Fingerprint) -> Option<ChunkRecord> {
+        let t = Instant::now();
+        let candidate = self.cache.lookup_super_first(fp);
+        self.stats.index_time += t.elapsed();
+        let sc = candidate?;
+        let sc_end = pos + sc.size as usize;
+        if sc_end > self.data.len() {
+            return None;
+        }
+        let t = Instant::now();
+        let sc_fp = fingerprint(&self.data[pos..sc_end]);
+        self.stats.fingerprint_time += t.elapsed();
+        if sc_fp == sc.fp {
+            Some(sc)
+        } else {
+            self.stats.super_misses += 1;
+            None
+        }
+    }
+
+    /// Prefetch the segment recipe(s) whose sample matches `fp` (§IV-A
+    /// Step 2). Called for every cut chunk; the O(1) hash probe is free for
+    /// non-samples (sampling bounds what the index *contains*).
+    fn maybe_prefetch(&mut self, fp: &Fingerprint) -> Result<()> {
+        let Some(segs) = self.index_lookup.get(fp) else {
+            return Ok(());
+        };
+        let hits: Vec<u32> = segs
+            .iter()
+            .filter(|s| !self.fetched_segments.contains(s))
+            .copied()
+            .collect();
+        for seg_idx in hits {
+            self.fetch_segment(seg_idx)?;
+        }
+        Ok(())
+    }
+
+    /// Fetch segment `idx` of the detected file into the dedup cache (if it
+    /// exists and is not already cached); returns its first record. Batches:
+    /// up to [`PREFETCH_BATCH`] contiguous following segments ride along in
+    /// the same OSS range read.
+    fn fetch_segment(&mut self, idx: u32) -> Result<Option<ChunkRecord>> {
+        if self.fetched_segments.contains(&idx) {
+            return Ok(self.first_records.get(&idx).copied());
+        }
+        let Some((src_file, src_version)) = self.detected.clone() else {
+            return Ok(None);
+        };
+        let Some(first_span) = self.segment_spans.get(&idx).copied() else {
+            return Ok(None);
+        };
+        // Extend the read over contiguous, unfetched following segments.
+        let mut batch = vec![(idx, first_span)];
+        let mut end = first_span.offset + first_span.len;
+        for next in idx + 1..idx + PREFETCH_BATCH {
+            if self.fetched_segments.contains(&next) {
+                break;
+            }
+            let Some(span) = self.segment_spans.get(&next).copied() else {
+                break;
+            };
+            if span.offset != end {
+                break; // not contiguous (should not happen, but be safe)
+            }
+            end = span.offset + span.len;
+            batch.push((next, span));
+        }
+        let t = Instant::now();
+        let buf = self.pipeline.storage.oss().get_range(
+            &slim_types::layout::recipe(&src_file, src_version),
+            first_span.offset,
+            end - first_span.offset,
+        )?;
+        self.stats.network_time += t.elapsed();
+        let mut first_of_idx = None;
+        for (seg_idx, span) in batch {
+            let lo = (span.offset - first_span.offset) as usize;
+            let hi = lo + span.len as usize;
+            let seg = SegmentRecipe::decode_block(&buf[lo..hi])?;
+            let first = seg.records.first().copied();
+            let t = Instant::now();
+            self.cache.insert_segment(seg, seg_idx);
+            self.stats.index_time += t.elapsed();
+            self.fetched_segments.insert(seg_idx);
+            if let Some(f) = first {
+                self.first_records.insert(seg_idx, f);
+            }
+            if seg_idx == idx {
+                first_of_idx = first;
+            }
+            self.stats.segments_prefetched += 1;
+        }
+        Ok(first_of_idx)
+    }
+
+    fn emit_duplicate(&mut self, rec: ChunkRecord, start: usize, end: usize) -> Result<()> {
+        debug_assert_eq!(rec.size as usize, end - start);
+        // Keep the prediction chain alive: the successor of the matched
+        // record is the next expected chunk. At a segment end, chain to the
+        // *next* segment recipe of the source file — incremental backup
+        // streams sweep forward, so its records are the likely duplicates
+        // (sequential logical locality).
+        if self.prediction.is_none() {
+            if let Some(hit) = self.cache.peek(&rec.fp) {
+                self.prediction = match hit.next {
+                    Some(next) => Some(next),
+                    None => self.fetch_segment(hit.segment + 1)?,
+                };
+            }
+        }
+        self.stats.chunks += 1;
+        self.stats.duplicates += 1;
+        self.cur_records.push(rec);
+        self.cur_spans.push((start, end));
+        Ok(())
+    }
+
+    fn emit_unique(&mut self, fp: Fingerprint, start: usize, end: usize) -> Result<()> {
+        let payload = &self.data[start..end];
+        let container_id = self.push_to_container(fp, payload)?;
+        let rec = ChunkRecord::new(fp, container_id, payload.len() as u32, 0);
+        self.local_index.insert(fp, rec);
+        self.prediction = None;
+        self.stats.chunks += 1;
+        self.stats.stored_bytes += payload.len() as u64;
+        self.cur_records.push(rec);
+        self.cur_spans.push((start, end));
+        Ok(())
+    }
+
+    fn push_to_container(&mut self, fp: Fingerprint, payload: &[u8]) -> Result<ContainerId> {
+        if self
+            .builder
+            .as_ref()
+            .is_some_and(|b| b.would_overflow(payload.len()))
+        {
+            self.seal_container()?;
+        }
+        let builder = match &mut self.builder {
+            Some(b) => b,
+            None => {
+                let id = self.pipeline.storage.allocate_container_id();
+                self.new_containers.push(id);
+                self.builder
+                    .insert(ContainerBuilder::new(id, self.config().container_capacity))
+            }
+        };
+        builder.push(fp, payload);
+        Ok(builder.id())
+    }
+
+    fn seal_container(&mut self) -> Result<()> {
+        if let Some(builder) = self.builder.take() {
+            if builder.is_empty() {
+                return Ok(());
+            }
+            let (data, meta) = builder.seal();
+            let t = Instant::now();
+            self.pipeline.storage.put_container(data, &meta)?;
+            self.stats.network_time += t.elapsed();
+        }
+        Ok(())
+    }
+
+    /// Close the current segment: apply history-aware chunk merging, then
+    /// append the segment recipe.
+    fn close_segment(&mut self) -> Result<()> {
+        if self.cur_records.is_empty() {
+            return Ok(());
+        }
+        let records = std::mem::take(&mut self.cur_records);
+        let spans = std::mem::take(&mut self.cur_spans);
+        let merged = if self.config().chunk_merging {
+            self.merge_runs(records, &spans)?
+        } else {
+            records
+        };
+        self.segments.push(SegmentRecipe::new(merged));
+        Ok(())
+    }
+
+    /// History-aware chunk merging (§IV-C): consecutive plain records whose
+    /// `duplicateTimes` reached the threshold merge into a superchunk whose
+    /// payload is written to the current container.
+    fn merge_runs(
+        &mut self,
+        records: Vec<ChunkRecord>,
+        spans: &[(usize, usize)],
+    ) -> Result<Vec<ChunkRecord>> {
+        let threshold = self.config().merge_threshold;
+        let min_members = self.config().superchunk_min_members;
+        let max_members = self.config().superchunk_max_members;
+        // A superchunk payload must fit in one container.
+        let max_bytes = self.config().container_capacity;
+        let mut out = Vec::with_capacity(records.len());
+        let mut i = 0usize;
+        while i < records.len() {
+            let eligible = |r: &ChunkRecord| !r.is_super() && r.duplicate_times >= threshold;
+            if !eligible(&records[i]) {
+                out.push(records[i]);
+                i += 1;
+                continue;
+            }
+            // Extend the run while records stay eligible and within caps.
+            let mut j = i + 1;
+            let mut bytes = records[i].size as usize;
+            while j < records.len()
+                && j - i < max_members
+                && eligible(&records[j])
+                && bytes + records[j].size as usize <= max_bytes
+            {
+                bytes += records[j].size as usize;
+                j += 1;
+            }
+            if j - i < min_members {
+                out.push(records[i]);
+                i += 1;
+                continue;
+            }
+            let (start, _) = spans[i];
+            let (_, end) = spans[j - 1];
+            debug_assert_eq!(end - start, bytes);
+            let payload = &self.data[start..end];
+            let t = Instant::now();
+            let sc_fp = fingerprint(payload);
+            self.stats.fingerprint_time += t.elapsed();
+            // An identical run may merge more than once in the same stream
+            // (self-reference): the payload is stored only once.
+            if let Some(existing) = self.local_index.get(&sc_fp).copied() {
+                self.stats.chunks_merged += (j - i) as u64;
+                out.push(existing);
+                i = j;
+                continue;
+            }
+            let container_id = self.push_to_container(sc_fp, payload)?;
+            let rec = ChunkRecord {
+                fp: sc_fp,
+                container_id,
+                size: bytes as u32,
+                duplicate_times: records[i..j].iter().map(|r| r.duplicate_times).min().unwrap_or(0),
+                super_chunk: Some(SuperChunkInfo {
+                    first_chunk: records[i].fp,
+                    first_chunk_size: records[i].size,
+                    member_count: (j - i) as u32,
+                }),
+            };
+            // The superchunk payload is stored anew: the online dedup ratio
+            // pays for the future speed-up (Fig 6(b)).
+            self.stats.stored_bytes += bytes as u64;
+            self.stats.superchunks_created += 1;
+            self.stats.chunks_merged += (j - i) as u64;
+            self.local_index.insert(sc_fp, rec);
+            out.push(rec);
+            i = j;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slim_chunking::{ChunkSpec, FastCdcChunker};
+    use slim_oss::Oss;
+    use std::sync::Arc;
+
+    fn setup() -> (Oss, StorageLayer, SimilarFileIndex, SlimConfig) {
+        let oss = Oss::in_memory();
+        let storage = StorageLayer::open(Arc::new(oss.clone()));
+        (oss, storage, SimilarFileIndex::new(), SlimConfig::small_for_tests())
+    }
+
+    fn data(seed: u64, len: usize) -> Vec<u8> {
+        use rand::{RngCore, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut buf = vec![0u8; len];
+        rng.fill_bytes(&mut buf);
+        buf
+    }
+
+    fn backup(
+        storage: &StorageLayer,
+        similar: &SimilarFileIndex,
+        cfg: &SlimConfig,
+        file: &FileId,
+        version: u64,
+        bytes: &[u8],
+    ) -> BackupOutcome {
+        let chunker = FastCdcChunker::new(ChunkSpec::from_config(cfg));
+        let pipeline = BackupPipeline::new(storage, similar, &chunker, cfg);
+        pipeline
+            .backup_file(file, VersionId(version), bytes)
+            .unwrap()
+    }
+
+    /// Reassemble a file from its recipe by reading containers directly
+    /// (restore correctness is tested end-to-end in the restore module; this
+    /// is the minimal oracle for backup tests).
+    fn reassemble(storage: &StorageLayer, file: &FileId, version: u64) -> Vec<u8> {
+        let recipe = storage.get_recipe(file, VersionId(version)).unwrap();
+        let mut out = Vec::new();
+        for rec in recipe.records() {
+            let meta = storage.get_container_meta(rec.container_id).unwrap();
+            let entry = meta.find(&rec.fp).expect("chunk in container");
+            let data = storage.get_container_data(rec.container_id).unwrap();
+            out.extend_from_slice(
+                &data[entry.offset as usize..(entry.offset + entry.len) as usize],
+            );
+        }
+        out
+    }
+
+    #[test]
+    fn first_backup_stores_everything_and_restores() {
+        let (_oss, storage, similar, cfg) = setup();
+        let file = FileId::new("f");
+        let input = data(1, 40_000);
+        let out = backup(&storage, &similar, &cfg, &file, 0, &input);
+        assert_eq!(out.info.logical_bytes, 40_000);
+        assert_eq!(out.stats.duplicates, 0, "nothing to dedup on v0");
+        assert!(out.info.stored_bytes >= 39_000, "v0 is stored nearly whole");
+        assert!(!out.new_containers.is_empty());
+        assert_eq!(reassemble(&storage, &file, 0), input);
+    }
+
+    #[test]
+    fn second_version_dedups_against_first() {
+        let (_oss, storage, similar, cfg) = setup();
+        let file = FileId::new("f");
+        let v0 = data(2, 60_000);
+        backup(&storage, &similar, &cfg, &file, 0, &v0);
+        // v1 = v0 with a small mutation in the middle.
+        let mut v1 = v0.clone();
+        v1[30_000..30_500].copy_from_slice(&data(99, 500));
+        let out = backup(&storage, &similar, &cfg, &file, 1, &v1);
+        assert!(
+            out.stats.dedup_ratio() > 0.8,
+            "dedup ratio too low: {}",
+            out.stats.dedup_ratio()
+        );
+        assert!(out.stats.duplicates > 0);
+        assert!(out.stats.segments_prefetched > 0, "similar segments fetched");
+        assert_eq!(reassemble(&storage, &file, 1), v1);
+        // v0 must still restore.
+        assert_eq!(reassemble(&storage, &file, 0), v0);
+    }
+
+    #[test]
+    fn skip_chunking_fires_on_duplicate_runs() {
+        let (_oss, storage, similar, cfg) = setup();
+        let file = FileId::new("f");
+        let v0 = data(3, 80_000);
+        backup(&storage, &similar, &cfg, &file, 0, &v0);
+        let out = backup(&storage, &similar, &cfg, &file, 1, &v0);
+        assert!(
+            out.stats.skip_hits > 10,
+            "identical content should skip-chunk: {:?}",
+            out.stats
+        );
+        assert!(out.stats.dedup_ratio() > 0.95);
+    }
+
+    #[test]
+    fn skip_chunking_off_still_correct() {
+        let (_oss, storage, similar, mut cfg) = setup();
+        cfg.skip_chunking = false;
+        let file = FileId::new("f");
+        let v0 = data(4, 50_000);
+        backup(&storage, &similar, &cfg, &file, 0, &v0);
+        let out = backup(&storage, &similar, &cfg, &file, 1, &v0);
+        assert_eq!(out.stats.skip_hits, 0);
+        assert!(out.stats.dedup_ratio() > 0.95);
+        assert_eq!(reassemble(&storage, &file, 1), v0);
+    }
+
+    #[test]
+    fn chunk_stream_identical_with_and_without_skip() {
+        // Fig 5(b): skip chunking must not change the dedup ratio. Stronger:
+        // the recipes must describe the same chunk boundaries.
+        let (_, storage_a, similar_a, mut cfg_a) = setup();
+        cfg_a.skip_chunking = true;
+        cfg_a.chunk_merging = false;
+        let (_, storage_b, similar_b, mut cfg_b) = setup();
+        cfg_b.skip_chunking = false;
+        cfg_b.chunk_merging = false;
+
+        let file = FileId::new("f");
+        let v0 = data(5, 60_000);
+        let mut v1 = v0.clone();
+        v1[10_000..10_200].copy_from_slice(&data(50, 200));
+        v1[40_000..40_050].copy_from_slice(&data(51, 50));
+
+        for (storage, similar, cfg) in
+            [(&storage_a, &similar_a, &cfg_a), (&storage_b, &similar_b, &cfg_b)]
+        {
+            backup(storage, similar, cfg, &file, 0, &v0);
+            backup(storage, similar, cfg, &file, 1, &v1);
+        }
+        let ra: Vec<(Fingerprint, u32)> = storage_a
+            .get_recipe(&file, VersionId(1))
+            .unwrap()
+            .records()
+            .map(|r| (r.fp, r.size))
+            .collect();
+        let rb: Vec<(Fingerprint, u32)> = storage_b
+            .get_recipe(&file, VersionId(1))
+            .unwrap()
+            .records()
+            .map(|r| (r.fp, r.size))
+            .collect();
+        assert_eq!(ra, rb, "skip chunking changed the chunk stream");
+    }
+
+    #[test]
+    fn chunk_merging_creates_and_matches_superchunks() {
+        let (_oss, storage, similar, mut cfg) = setup();
+        cfg.merge_threshold = 2;
+        let file = FileId::new("f");
+        let input = data(6, 60_000);
+        let mut super_seen = 0;
+        for v in 0..6u64 {
+            let out = backup(&storage, &similar, &cfg, &file, v, &input);
+            super_seen += out.stats.super_hits;
+            assert_eq!(reassemble(&storage, &file, v), input, "version {v}");
+            if v >= 3 {
+                let recipe = storage.get_recipe(&file, VersionId(v)).unwrap();
+                let supers = recipe.records().filter(|r| r.is_super()).count();
+                assert!(supers > 0, "superchunks expected by v{v}");
+            }
+        }
+        assert!(super_seen > 0, "Algorithm 1 never matched a superchunk");
+    }
+
+    #[test]
+    fn merging_reduces_record_count() {
+        let (_oss, storage, similar, mut cfg) = setup();
+        cfg.merge_threshold = 2;
+        let file = FileId::new("f");
+        let input = data(7, 80_000);
+        let mut counts = Vec::new();
+        for v in 0..5u64 {
+            backup(&storage, &similar, &cfg, &file, v, &input);
+            counts.push(
+                storage
+                    .get_recipe(&file, VersionId(v))
+                    .unwrap()
+                    .record_count(),
+            );
+        }
+        assert!(
+            counts.last().unwrap() * 3 < counts[0],
+            "merging should shrink the recipe: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn renamed_file_detected_by_similarity() {
+        let (_oss, storage, similar, cfg) = setup();
+        let input = data(8, 60_000);
+        backup(&storage, &similar, &cfg, &FileId::new("old-name"), 0, &input);
+        let out = backup(&storage, &similar, &cfg, &FileId::new("new-name"), 1, &input);
+        assert!(
+            out.stats.dedup_ratio() > 0.9,
+            "similar-file detection failed: {}",
+            out.stats.dedup_ratio()
+        );
+    }
+
+    #[test]
+    fn unrelated_file_stores_fresh() {
+        let (_oss, storage, similar, cfg) = setup();
+        backup(&storage, &similar, &cfg, &FileId::new("a"), 0, &data(9, 40_000));
+        let out = backup(&storage, &similar, &cfg, &FileId::new("b"), 0, &data(10, 40_000));
+        assert!(out.stats.dedup_ratio() < 0.05);
+    }
+
+    #[test]
+    fn self_reference_deduped_within_stream() {
+        let (_oss, storage, similar, mut cfg) = setup();
+        cfg.chunk_merging = false;
+        let file = FileId::new("f");
+        let block = data(11, 20_000);
+        let mut input = block.clone();
+        input.extend_from_slice(&block); // the same content twice
+        let out = backup(&storage, &similar, &cfg, &file, 0, &input);
+        assert!(
+            out.stats.dedup_ratio() > 0.4,
+            "second half should dedup against the first: {}",
+            out.stats.dedup_ratio()
+        );
+        assert_eq!(reassemble(&storage, &file, 0), input);
+    }
+
+    #[test]
+    fn empty_file_backup() {
+        let (_oss, storage, similar, cfg) = setup();
+        let file = FileId::new("empty");
+        let out = backup(&storage, &similar, &cfg, &file, 0, &[]);
+        assert_eq!(out.info.logical_bytes, 0);
+        assert_eq!(out.stats.chunks, 0);
+        assert_eq!(reassemble(&storage, &file, 0), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn phase_times_are_recorded() {
+        let (_oss, storage, similar, cfg) = setup();
+        let out = backup(&storage, &similar, &cfg, &FileId::new("t"), 0, &data(12, 100_000));
+        assert!(out.stats.chunking_time > std::time::Duration::ZERO);
+        assert!(out.stats.fingerprint_time > std::time::Duration::ZERO);
+        assert!(out.stats.wall_time >= out.stats.chunking_time);
+    }
+
+    #[test]
+    fn tiny_file_with_appended_tail_still_dedups() {
+        // Regression: with only a handful of chunks, random sampling can
+        // select just the tail chunk — which an append then changes, leaving
+        // no index hit at all. The always-indexed segment-first record must
+        // anchor the chain.
+        let (_oss, storage, similar, mut cfg) = setup();
+        // Few, large chunks relative to the file.
+        cfg.sample_rate = 1 << 20; // sampling selects (almost) nothing
+        let file = FileId::new("f");
+        let v0 = data(21, 6_000);
+        let mut v1 = v0.clone();
+        v1.extend_from_slice(&data(22, 300)); // append changes only the tail
+        backup(&storage, &similar, &cfg, &file, 0, &v0);
+        let out = backup(&storage, &similar, &cfg, &file, 1, &v1);
+        assert!(
+            out.stats.dedup_ratio() > 0.7,
+            "appended tiny file must dedup its unchanged head: {}",
+            out.stats.dedup_ratio()
+        );
+        assert_eq!(reassemble(&storage, &file, 1), v1);
+    }
+
+    #[test]
+    fn container_refs_cover_recipe() {
+        let (_oss, storage, similar, cfg) = setup();
+        let file = FileId::new("f");
+        let input = data(13, 30_000);
+        backup(&storage, &similar, &cfg, &file, 0, &input);
+        let out = backup(&storage, &similar, &cfg, &file, 1, &input);
+        let recipe = storage.get_recipe(&file, VersionId(1)).unwrap();
+        let total_refs: u64 = out.container_refs.values().sum();
+        assert_eq!(total_refs, recipe.record_count() as u64);
+    }
+}

@@ -1,0 +1,296 @@
+//! The full-vision restore cache (§V-A).
+//!
+//! A chunk-granularity cache whose replacement policy sees the *entire*
+//! future of the restore, not just a look-ahead window:
+//!
+//! * a **counting bloom filter** built from the whole recipe records how many
+//!   future references each chunk has; restoring one occurrence decrements
+//!   it;
+//! * chunks are classified **S_I** (inside the LAW — needed soon), **S_L**
+//!   (outside the LAW but still referenced in the future) or **S_U**
+//!   (useless); only useful chunks are ever admitted, and a chunk whose
+//!   future-reference count reaches zero is dropped immediately;
+//! * the cache is **two-tier**: when `Cache_m` (memory) fills with useful
+//!   chunks, S_L chunks spill to `Cache_d` (L-node local disk) instead of
+//!   being evicted — re-promoting from disk is cheap compared with another
+//!   OSS container read.
+//!
+//! With sufficient disk capacity every container is read from OSS **at most
+//! once** per restore job, which is the invariant the Fig 8 experiments (and
+//! our tests) check.
+
+use std::collections::HashMap;
+
+use bytes::Bytes;
+use slim_types::bloom::CountingBloomFilter;
+use slim_types::{Fingerprint, Recipe};
+
+/// Which tier a cached chunk currently occupies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Tier {
+    Mem,
+    Disk,
+}
+
+/// The full-vision two-tier restore cache.
+pub struct FullVisionCache {
+    entries: HashMap<Fingerprint, (Tier, Bytes)>,
+    mem_bytes: usize,
+    disk_bytes: usize,
+    mem_cap: usize,
+    disk_cap: usize,
+    cbf: CountingBloomFilter,
+    /// Chunks dropped because even the disk tier was full (each may cost a
+    /// repeated container read later).
+    pub overflow_drops: u64,
+    /// Promotions from the disk tier back to memory.
+    pub disk_promotions: u64,
+}
+
+impl FullVisionCache {
+    /// Build the cache for one restore job: the CBF is seeded with every
+    /// record of the recipe (full vision).
+    pub fn new(mem_cap: usize, disk_cap: usize, recipe: &Recipe) -> Self {
+        let mut cbf = CountingBloomFilter::new(recipe.record_count().max(16));
+        for rec in recipe.records() {
+            cbf.insert(rec.fp.prefix64());
+        }
+        FullVisionCache {
+            entries: HashMap::new(),
+            mem_bytes: 0,
+            disk_bytes: 0,
+            mem_cap: mem_cap.max(1),
+            disk_cap,
+            cbf,
+            overflow_drops: 0,
+            disk_promotions: 0,
+        }
+    }
+
+    /// Whether `fp` still has future references (may rarely over-approximate,
+    /// never under-approximates).
+    pub fn still_needed(&self, fp: &Fingerprint) -> bool {
+        self.cbf.may_contain(fp.prefix64())
+    }
+
+    /// Fetch a chunk, promoting it from disk if needed.
+    pub fn get(&mut self, fp: &Fingerprint) -> Option<Bytes> {
+        let (tier, data) = self.entries.get_mut(fp)?;
+        if *tier == Tier::Disk {
+            *tier = Tier::Mem;
+            let len = data.len();
+            self.disk_promotions += 1;
+            let out = data.clone();
+            self.disk_bytes -= len;
+            self.mem_bytes += len;
+            return Some(out);
+        }
+        Some(data.clone())
+    }
+
+    /// Record that one occurrence of `fp` was restored: decrement its future
+    /// count and drop the cached copy once it becomes useless (S_U).
+    pub fn consume(&mut self, fp: &Fingerprint) {
+        self.cbf.remove(fp.prefix64());
+        if !self.cbf.may_contain(fp.prefix64()) {
+            if let Some((tier, data)) = self.entries.remove(fp) {
+                match tier {
+                    Tier::Mem => self.mem_bytes -= data.len(),
+                    Tier::Disk => self.disk_bytes -= data.len(),
+                }
+            }
+        }
+    }
+
+    /// Offer a chunk read from a container. Admitted only if useful (S_I or
+    /// S_L); useless (S_U) chunks never occupy cache space.
+    pub fn admit(&mut self, fp: Fingerprint, data: Bytes) {
+        if !self.still_needed(&fp) {
+            return; // S_U: restored already (or never referenced)
+        }
+        if self.entries.contains_key(&fp) {
+            return;
+        }
+        self.mem_bytes += data.len();
+        self.entries.insert(fp, (Tier::Mem, data));
+    }
+
+    /// Enforce tier capacities. `in_law` tells whether a chunk is inside the
+    /// current look-ahead window (S_I); S_L chunks spill to disk first.
+    pub fn enforce(&mut self, in_law: impl Fn(&Fingerprint) -> bool) {
+        if self.mem_bytes <= self.mem_cap {
+            return;
+        }
+        // Pass 1: demote S_L chunks (not needed soon) to the disk tier.
+        let mut to_demote: Vec<Fingerprint> = Vec::new();
+        let mut excess = self.mem_bytes.saturating_sub(self.mem_cap);
+        for (fp, (tier, data)) in &self.entries {
+            if excess == 0 {
+                break;
+            }
+            if *tier == Tier::Mem && !in_law(fp) {
+                to_demote.push(*fp);
+                excess = excess.saturating_sub(data.len());
+            }
+        }
+        for fp in to_demote {
+            self.demote(&fp);
+        }
+        // Pass 2: if memory is still over cap (everything left is S_I),
+        // demote S_I chunks too — better on disk than re-read from OSS.
+        if self.mem_bytes > self.mem_cap {
+            let mut to_demote: Vec<Fingerprint> = Vec::new();
+            let mut excess = self.mem_bytes - self.mem_cap;
+            for (fp, (tier, data)) in &self.entries {
+                if excess == 0 {
+                    break;
+                }
+                if *tier == Tier::Mem {
+                    to_demote.push(*fp);
+                    excess = excess.saturating_sub(data.len());
+                }
+            }
+            for fp in to_demote {
+                self.demote(&fp);
+            }
+        }
+    }
+
+    fn demote(&mut self, fp: &Fingerprint) {
+        let Some((tier, data)) = self.entries.get_mut(fp) else {
+            return;
+        };
+        if *tier != Tier::Mem {
+            return;
+        }
+        let len = data.len();
+        if self.disk_bytes + len > self.disk_cap {
+            // Disk full too: drop entirely (may cause a repeated read).
+            self.entries.remove(fp);
+            self.mem_bytes -= len;
+            self.overflow_drops += 1;
+            return;
+        }
+        *tier = Tier::Disk;
+        self.mem_bytes -= len;
+        self.disk_bytes += len;
+    }
+
+    /// Bytes resident in the memory tier.
+    pub fn mem_bytes(&self) -> usize {
+        self.mem_bytes
+    }
+
+    /// Bytes resident in the disk tier.
+    pub fn disk_bytes(&self) -> usize {
+        self.disk_bytes
+    }
+
+    /// Number of cached chunks across both tiers.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slim_types::{ChunkRecord, ContainerId, SegmentRecipe};
+
+    fn fp(b: u8) -> Fingerprint {
+        Fingerprint::from_slice(&[b; 20]).unwrap()
+    }
+
+    fn recipe_of(fps: &[u8]) -> Recipe {
+        Recipe {
+            segments: vec![SegmentRecipe::new(
+                fps.iter()
+                    .map(|&b| ChunkRecord::new(fp(b), ContainerId(0), 100, 0))
+                    .collect(),
+            )],
+        }
+    }
+
+    #[test]
+    fn admit_get_consume_lifecycle() {
+        let recipe = recipe_of(&[1, 2, 1]);
+        let mut cache = FullVisionCache::new(10_000, 10_000, &recipe);
+        cache.admit(fp(1), Bytes::from(vec![0u8; 100]));
+        assert_eq!(cache.len(), 1);
+        assert!(cache.get(&fp(1)).is_some());
+        // First consume: fp(1) appears twice, must stay cached.
+        cache.consume(&fp(1));
+        assert!(cache.get(&fp(1)).is_some(), "still referenced once more");
+        // Second consume: now useless, dropped.
+        cache.consume(&fp(1));
+        assert!(cache.get(&fp(1)).is_none());
+        assert_eq!(cache.mem_bytes(), 0);
+    }
+
+    #[test]
+    fn useless_chunks_not_admitted() {
+        let recipe = recipe_of(&[1]);
+        let mut cache = FullVisionCache::new(10_000, 10_000, &recipe);
+        // fp(9) is not in the recipe at all: S_U on arrival.
+        cache.admit(fp(9), Bytes::from(vec![0u8; 100]));
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn spill_to_disk_prefers_out_of_law_chunks() {
+        let recipe = recipe_of(&[1, 2, 3, 4]);
+        let mut cache = FullVisionCache::new(250, 10_000, &recipe);
+        for b in [1u8, 2, 3] {
+            cache.admit(fp(b), Bytes::from(vec![b; 100]));
+        }
+        assert!(cache.mem_bytes() > 250);
+        // LAW contains only fp(1): 2 and 3 are S_L and must spill.
+        cache.enforce(|f| *f == fp(1));
+        assert!(cache.mem_bytes() <= 250, "mem over cap after enforce");
+        assert!(cache.disk_bytes() > 0, "S_L chunks should be on disk");
+        // All three chunks still retrievable (disk promotes back).
+        for b in [1u8, 2, 3] {
+            assert!(cache.get(&fp(b)).is_some(), "chunk {b} lost");
+        }
+        assert!(cache.disk_promotions > 0);
+    }
+
+    #[test]
+    fn disk_overflow_drops_and_counts() {
+        let recipe = recipe_of(&[1, 2, 3]);
+        let mut cache = FullVisionCache::new(100, 50, &recipe);
+        cache.admit(fp(1), Bytes::from(vec![1; 100]));
+        cache.admit(fp(2), Bytes::from(vec![2; 100]));
+        cache.enforce(|_| false); // nothing in LAW: both try to spill
+        assert!(cache.overflow_drops > 0, "tiny disk must overflow");
+    }
+
+    #[test]
+    fn all_law_chunks_still_respect_mem_cap() {
+        let recipe = recipe_of(&[1, 2, 3]);
+        let mut cache = FullVisionCache::new(150, 10_000, &recipe);
+        for b in [1u8, 2, 3] {
+            cache.admit(fp(b), Bytes::from(vec![b; 100]));
+        }
+        cache.enforce(|_| true); // everything S_I
+        assert!(cache.mem_bytes() <= 150, "pass 2 must demote S_I as well");
+        for b in [1u8, 2, 3] {
+            assert!(cache.get(&fp(b)).is_some());
+        }
+    }
+
+    #[test]
+    fn duplicate_admit_is_noop() {
+        let recipe = recipe_of(&[1, 1]);
+        let mut cache = FullVisionCache::new(10_000, 10_000, &recipe);
+        cache.admit(fp(1), Bytes::from(vec![0u8; 100]));
+        cache.admit(fp(1), Bytes::from(vec![0u8; 100]));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.mem_bytes(), 100);
+    }
+}

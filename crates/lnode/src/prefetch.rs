@@ -1,0 +1,305 @@
+//! LAW-based container prefetching (§V-A).
+//!
+//! Background threads read the containers that the look-ahead window says
+//! will be needed soon, so the restore loop finds chunks already in memory
+//! instead of blocking on OSS. The paper's Table II shows restore throughput
+//! saturating once prefetch speed exceeds restore speed (6 threads on their
+//! testbed); the same scaling emerges here from the simulated OSS's
+//! multi-channel bandwidth model.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::{Condvar, Mutex};
+use slim_types::{ContainerId, ContainerMeta, Result, SlimError};
+
+use crate::storage::StorageLayer;
+
+/// A fetched container: payload + metadata.
+pub type FetchedContainer = (Bytes, ContainerMeta);
+
+enum Slot {
+    InFlight,
+    Ready(FetchedContainer),
+    /// The container's objects are gone (collected/rewritten) — callers may
+    /// fall back to the global index.
+    Missing,
+    Failed(String),
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<ContainerId>>,
+    queue_cv: Condvar,
+    results: Mutex<HashMap<ContainerId, Slot>>,
+    results_cv: Condvar,
+    /// Containers already delivered once: re-scheduling them is a no-op, so
+    /// the read-once invariant of the full-vision cache holds even when a
+    /// container id re-enters the look-ahead window (self-reference).
+    done: Mutex<HashSet<ContainerId>>,
+    stop: AtomicBool,
+    reads: AtomicU64,
+    bytes: AtomicU64,
+}
+
+/// Multi-threaded LAW prefetcher. `threads == 0` degrades to a pass-through
+/// where [`Prefetcher::take`] always reads synchronously.
+pub struct Prefetcher {
+    shared: Arc<Shared>,
+    storage: StorageLayer,
+    workers: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl Prefetcher {
+    /// Start `threads` prefetch workers over `storage`.
+    pub fn new(storage: StorageLayer, threads: usize) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            results: Mutex::new(HashMap::new()),
+            results_cv: Condvar::new(),
+            done: Mutex::new(HashSet::new()),
+            stop: AtomicBool::new(false),
+            reads: AtomicU64::new(0),
+            bytes: AtomicU64::new(0),
+        });
+        let workers = (0..threads)
+            .map(|_| {
+                let shared = shared.clone();
+                let storage = storage.clone();
+                std::thread::spawn(move || worker_loop(&shared, &storage))
+            })
+            .collect();
+        Prefetcher { shared, storage, workers }
+    }
+
+    /// Whether background workers exist.
+    pub fn is_active(&self) -> bool {
+        !self.workers.is_empty()
+    }
+
+    /// Schedule a container for background fetch. No-op when inactive or
+    /// already scheduled/ready.
+    pub fn schedule(&self, id: ContainerId) {
+        if !self.is_active() {
+            return;
+        }
+        if self.shared.done.lock().contains(&id) {
+            return;
+        }
+        {
+            let mut results = self.shared.results.lock();
+            if results.contains_key(&id) {
+                return;
+            }
+            results.insert(id, Slot::InFlight);
+        }
+        self.shared.queue.lock().push_back(id);
+        self.shared.queue_cv.notify_one();
+    }
+
+    /// Obtain a container: from the prefetch buffer if ready (waiting for an
+    /// in-flight fetch), otherwise with a synchronous read. Returns the
+    /// container and whether it was served by the prefetcher.
+    pub fn take(&self, id: ContainerId) -> Result<(FetchedContainer, bool)> {
+        if self.is_active() {
+            let mut results = self.shared.results.lock();
+            loop {
+                match results.get(&id) {
+                    Some(Slot::Ready(_)) => {
+                        let Some(Slot::Ready(fetched)) = results.remove(&id) else {
+                            unreachable!("checked ready above");
+                        };
+                        drop(results);
+                        self.shared.done.lock().insert(id);
+                        return Ok((fetched, true));
+                    }
+                    Some(Slot::Missing) => {
+                        results.remove(&id);
+                        return Err(SlimError::ContainerMissing(id.0));
+                    }
+                    Some(Slot::Failed(_)) => {
+                        let Some(Slot::Failed(msg)) = results.remove(&id) else {
+                            unreachable!("checked failed above");
+                        };
+                        return Err(SlimError::corrupt("prefetch", msg));
+                    }
+                    Some(Slot::InFlight) => {
+                        self.shared.results_cv.wait(&mut results);
+                    }
+                    None => break, // never scheduled: fall through to sync read
+                }
+            }
+        }
+        let fetched = read_container(&self.storage, id, &self.shared)?;
+        if self.is_active() {
+            self.shared.done.lock().insert(id);
+        }
+        Ok((fetched, false))
+    }
+
+    /// Containers actually read from OSS (sync + async paths).
+    pub fn containers_read(&self) -> u64 {
+        self.shared.reads.load(Ordering::Relaxed)
+    }
+
+    /// Bytes read from OSS (data + metadata).
+    pub fn bytes_read(&self) -> u64 {
+        self.shared.bytes.load(Ordering::Relaxed)
+    }
+
+    /// Stop workers and wait for them. Idempotent; also runs on Drop.
+    ///
+    /// Counters are only stable after this returns — a worker may still be
+    /// mid-read for a container that was scheduled but never taken.
+    pub fn quiesce(&mut self) {
+        {
+            // Hold the queue lock while flipping the stop flag so a worker
+            // cannot observe stop == false and then miss the wake-up (the
+            // classic lost-wakeup race: the notify would land between its
+            // check and its wait registration).
+            let _queue = self.shared.queue.lock();
+            self.shared.stop.store(true, Ordering::SeqCst);
+            self.shared.queue_cv.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+
+    /// Stop workers and wait for them.
+    pub fn shutdown(mut self) {
+        self.quiesce();
+    }
+}
+
+impl Drop for Prefetcher {
+    fn drop(&mut self) {
+        self.quiesce();
+    }
+}
+
+fn worker_loop(shared: &Shared, storage: &StorageLayer) {
+    loop {
+        let id = {
+            let mut queue = shared.queue.lock();
+            loop {
+                if shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(id) = queue.pop_front() {
+                    break id;
+                }
+                shared.queue_cv.wait(&mut queue);
+            }
+        };
+        let outcome = read_container(storage, id, shared);
+        let mut results = shared.results.lock();
+        match outcome {
+            Ok(fetched) => {
+                results.insert(id, Slot::Ready(fetched));
+            }
+            Err(SlimError::ContainerMissing(_)) => {
+                results.insert(id, Slot::Missing);
+            }
+            Err(e) => {
+                results.insert(id, Slot::Failed(e.to_string()));
+            }
+        }
+        shared.results_cv.notify_all();
+    }
+}
+
+fn read_container(storage: &StorageLayer, id: ContainerId, shared: &Shared) -> Result<FetchedContainer> {
+    let meta = storage.get_container_meta(id)?;
+    let data = storage.get_container_data(id)?;
+    shared.reads.fetch_add(1, Ordering::Relaxed);
+    shared
+        .bytes
+        .fetch_add(data.len() as u64 + meta.encode().len() as u64, Ordering::Relaxed);
+    Ok((data, meta))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slim_oss::Oss;
+    use slim_types::{ContainerBuilder, Fingerprint};
+
+    fn fp(b: u8) -> Fingerprint {
+        Fingerprint::from_slice(&[b; 20]).unwrap()
+    }
+
+    fn store_container(storage: &StorageLayer, b: u8) -> ContainerId {
+        let id = storage.allocate_container_id();
+        let mut builder = ContainerBuilder::new(id, 1024);
+        builder.push(fp(b), &[b; 64]);
+        let (data, meta) = builder.seal();
+        storage.put_container(data, &meta).unwrap();
+        id
+    }
+
+    #[test]
+    fn take_without_threads_reads_synchronously() {
+        let storage = StorageLayer::open(Arc::new(Oss::in_memory()));
+        let id = store_container(&storage, 1);
+        let pf = Prefetcher::new(storage, 0);
+        assert!(!pf.is_active());
+        let ((data, meta), from_prefetch) = pf.take(id).unwrap();
+        assert!(!from_prefetch);
+        assert_eq!(meta.id, id);
+        assert_eq!(data.len(), 64);
+        assert_eq!(pf.containers_read(), 1);
+        assert!(pf.bytes_read() > 64);
+    }
+
+    #[test]
+    fn scheduled_container_served_from_buffer() {
+        let storage = StorageLayer::open(Arc::new(Oss::in_memory()));
+        let id = store_container(&storage, 2);
+        let pf = Prefetcher::new(storage, 2);
+        pf.schedule(id);
+        let ((_, meta), from_prefetch) = pf.take(id).unwrap();
+        assert!(from_prefetch, "must come from the prefetch buffer");
+        assert_eq!(meta.id, id);
+        pf.shutdown();
+    }
+
+    #[test]
+    fn many_containers_all_arrive() {
+        let storage = StorageLayer::open(Arc::new(Oss::in_memory()));
+        let ids: Vec<_> = (0..30u8).map(|b| store_container(&storage, b)).collect();
+        let pf = Prefetcher::new(storage, 4);
+        for &id in &ids {
+            pf.schedule(id);
+        }
+        for &id in &ids {
+            let ((_, meta), _) = pf.take(id).unwrap();
+            assert_eq!(meta.id, id);
+        }
+        assert_eq!(pf.containers_read(), 30);
+    }
+
+    #[test]
+    fn failed_fetch_surfaces_error() {
+        let storage = StorageLayer::open(Arc::new(Oss::in_memory()));
+        let pf = Prefetcher::new(storage, 1);
+        let ghost = ContainerId(999);
+        pf.schedule(ghost);
+        assert!(pf.take(ghost).is_err());
+    }
+
+    #[test]
+    fn double_schedule_reads_once() {
+        let storage = StorageLayer::open(Arc::new(Oss::in_memory()));
+        let id = store_container(&storage, 3);
+        let pf = Prefetcher::new(storage, 2);
+        pf.schedule(id);
+        pf.schedule(id);
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert_eq!(pf.containers_read(), 1, "duplicate schedule must dedup");
+        let (_fetched, hit) = pf.take(id).unwrap();
+        assert!(hit);
+    }
+}

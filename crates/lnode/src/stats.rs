@@ -1,0 +1,204 @@
+//! Job statistics.
+//!
+//! Backup jobs time each pipeline phase separately — chunking,
+//! fingerprinting, index querying, others — because that breakdown *is*
+//! Fig 2 and Fig 5(d) of the paper. Restore jobs count containers read and
+//! bytes pulled from OSS, which is the read-amplification series of Fig 8.
+
+use std::time::Duration;
+
+/// Statistics of one backup (deduplication) job.
+#[derive(Debug, Clone, Default)]
+pub struct BackupStats {
+    /// Logical bytes processed.
+    pub logical_bytes: u64,
+    /// Bytes of new (unique) chunk payload written to containers.
+    pub stored_bytes: u64,
+    /// Total chunk records emitted.
+    pub chunks: u64,
+    /// Records confirmed duplicate.
+    pub duplicates: u64,
+    /// Duplicates confirmed by the skip-chunking fast path.
+    pub skip_hits: u64,
+    /// Skip attempts that failed verification (fell back to CDC).
+    pub skip_misses: u64,
+    /// Superchunks matched whole via Algorithm 1.
+    pub super_hits: u64,
+    /// Superchunk probes that failed (fingerprint mismatch).
+    pub super_misses: u64,
+    /// New superchunks created by history-aware chunk merging.
+    pub superchunks_created: u64,
+    /// Chunks absorbed into created superchunks.
+    pub chunks_merged: u64,
+    /// Segment recipes prefetched into the dedup cache.
+    pub segments_prefetched: u64,
+
+    /// Wall time of the whole job.
+    pub wall_time: Duration,
+    /// CPU time spent scanning for cut points (CDC).
+    pub chunking_time: Duration,
+    /// CPU time spent computing SHA-1 fingerprints.
+    pub fingerprint_time: Duration,
+    /// Time spent querying indexes and the dedup cache (including segment
+    /// recipe prefetch decode).
+    pub index_time: Duration,
+    /// Time this job spent inside its own OSS calls (recipe-index fetch,
+    /// segment-recipe prefetches, container/recipe uploads) — measured
+    /// per call, so concurrent jobs do not pollute each other's numbers.
+    pub network_time: Duration,
+}
+
+impl BackupStats {
+    /// Deduplication ratio of this job (§VII-B definition).
+    pub fn dedup_ratio(&self) -> f64 {
+        if self.logical_bytes == 0 {
+            return 0.0;
+        }
+        // Saturating: aggressive merge settings can legitimately store more
+        // than the logical size in one version; the ratio floors at 0.
+        self.logical_bytes.saturating_sub(self.stored_bytes) as f64 / self.logical_bytes as f64
+    }
+
+    /// Throughput in MB/s over the wall time.
+    pub fn throughput_mbps(&self) -> f64 {
+        let secs = self.wall_time.as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.logical_bytes as f64 / (1024.0 * 1024.0) / secs
+    }
+
+    /// CPU time not attributed to a named phase.
+    pub fn other_time(&self) -> Duration {
+        self.wall_time
+            .saturating_sub(self.chunking_time)
+            .saturating_sub(self.fingerprint_time)
+            .saturating_sub(self.index_time)
+            .saturating_sub(self.network_time)
+    }
+
+    /// Merge another job's stats into this one (multi-file versions).
+    pub fn merge(&mut self, other: &BackupStats) {
+        self.logical_bytes += other.logical_bytes;
+        self.stored_bytes += other.stored_bytes;
+        self.chunks += other.chunks;
+        self.duplicates += other.duplicates;
+        self.skip_hits += other.skip_hits;
+        self.skip_misses += other.skip_misses;
+        self.super_hits += other.super_hits;
+        self.super_misses += other.super_misses;
+        self.superchunks_created += other.superchunks_created;
+        self.chunks_merged += other.chunks_merged;
+        self.segments_prefetched += other.segments_prefetched;
+        self.wall_time += other.wall_time;
+        self.chunking_time += other.chunking_time;
+        self.fingerprint_time += other.fingerprint_time;
+        self.index_time += other.index_time;
+        self.network_time += other.network_time;
+    }
+}
+
+/// Statistics of one restore job.
+#[derive(Debug, Clone, Default)]
+pub struct RestoreStats {
+    /// Bytes of restored output.
+    pub restored_bytes: u64,
+    /// Container data objects read from OSS.
+    pub containers_read: u64,
+    /// Bytes read from OSS (data + metadata).
+    pub oss_bytes_read: u64,
+    /// Chunk lookups served from the restore cache.
+    pub cache_hits: u64,
+    /// Chunk lookups that required a container read.
+    pub cache_misses: u64,
+    /// Chunks relocated by reverse dedup that needed a global-index lookup.
+    pub relocation_lookups: u64,
+    /// Chunks served from the prefetch buffer without blocking.
+    pub prefetch_hits: u64,
+    /// Wall time of the whole job.
+    pub wall_time: Duration,
+}
+
+impl RestoreStats {
+    /// Restore throughput in MB/s.
+    pub fn throughput_mbps(&self) -> f64 {
+        let secs = self.wall_time.as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.restored_bytes as f64 / (1024.0 * 1024.0) / secs
+    }
+
+    /// Containers read per 100 MB restored — the Fig 8 read-amplification
+    /// metric.
+    pub fn containers_per_100mb(&self) -> f64 {
+        if self.restored_bytes == 0 {
+            return 0.0;
+        }
+        self.containers_read as f64 * (100.0 * 1024.0 * 1024.0) / self.restored_bytes as f64
+    }
+
+    /// Merge another job's stats into this one.
+    pub fn merge(&mut self, other: &RestoreStats) {
+        self.restored_bytes += other.restored_bytes;
+        self.containers_read += other.containers_read;
+        self.oss_bytes_read += other.oss_bytes_read;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.relocation_lookups += other.relocation_lookups;
+        self.prefetch_hits += other.prefetch_hits;
+        self.wall_time += other.wall_time;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_ratio_and_throughput() {
+        let stats = BackupStats {
+            logical_bytes: 1000,
+            stored_bytes: 160,
+            wall_time: Duration::from_secs(2),
+            ..Default::default()
+        };
+        assert!((stats.dedup_ratio() - 0.84).abs() < 1e-9);
+        assert!(stats.throughput_mbps() > 0.0);
+        assert_eq!(BackupStats::default().dedup_ratio(), 0.0);
+        assert_eq!(BackupStats::default().throughput_mbps(), 0.0);
+    }
+
+    #[test]
+    fn other_time_never_negative() {
+        let stats = BackupStats {
+            wall_time: Duration::from_secs(1),
+            chunking_time: Duration::from_secs(2),
+            ..Default::default()
+        };
+        assert_eq!(stats.other_time(), Duration::ZERO);
+    }
+
+    #[test]
+    fn containers_per_100mb() {
+        let stats = RestoreStats {
+            restored_bytes: 200 * 1024 * 1024,
+            containers_read: 50,
+            ..Default::default()
+        };
+        assert!((stats.containers_per_100mb() - 25.0).abs() < 1e-9);
+        assert_eq!(RestoreStats::default().containers_per_100mb(), 0.0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = BackupStats { chunks: 5, duplicates: 2, ..Default::default() };
+        let b = BackupStats { chunks: 7, duplicates: 3, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.chunks, 12);
+        assert_eq!(a.duplicates, 5);
+        let mut ra = RestoreStats { containers_read: 1, ..Default::default() };
+        ra.merge(&RestoreStats { containers_read: 2, ..Default::default() });
+        assert_eq!(ra.containers_read, 3);
+    }
+}

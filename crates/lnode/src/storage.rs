@@ -1,0 +1,326 @@
+//! The storage layer: SLIMSTORE's view of the object store (§III-B).
+//!
+//! Wraps an [`ObjectStore`] with the container store, recipe store and
+//! version-manifest conventions. All state lives on OSS; the only in-process
+//! state is the monotonic container-id allocator, which is recovered from
+//! the key space on open (ids are zero-padded, so the lexicographically last
+//! container key carries the max id).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use slim_oss::ObjectStore;
+use slim_types::{
+    layout, ContainerId, ContainerMeta, FileId, Recipe, RecipeIndex, Result, SegmentRecipe,
+    SlimError, VersionId, VersionManifest,
+};
+
+/// Shared handle to the storage layer. Cheap to clone.
+#[derive(Clone)]
+pub struct StorageLayer {
+    oss: Arc<dyn ObjectStore>,
+    next_container: Arc<AtomicU64>,
+}
+
+impl StorageLayer {
+    /// Open the storage layer on `oss`, recovering the container-id
+    /// allocator from the existing key space.
+    pub fn open(oss: Arc<dyn ObjectStore>) -> Self {
+        let max_id = oss
+            .list(layout::CONTAINER_PREFIX)
+            .last()
+            .and_then(|k| {
+                k.strip_prefix(layout::CONTAINER_PREFIX)?
+                    .split('/')
+                    .next()?
+                    .parse::<u64>()
+                    .ok()
+            })
+            .map(|id| id + 1)
+            .unwrap_or(0);
+        StorageLayer {
+            oss,
+            next_container: Arc::new(AtomicU64::new(max_id)),
+        }
+    }
+
+    /// The underlying object store.
+    pub fn oss(&self) -> &Arc<dyn ObjectStore> {
+        &self.oss
+    }
+
+    /// Allocate the next container id (globally monotonic).
+    pub fn allocate_container_id(&self) -> ContainerId {
+        ContainerId(self.next_container.fetch_add(1, Ordering::SeqCst))
+    }
+
+    /// Persist a sealed container (data + metadata).
+    pub fn put_container(&self, data: Bytes, meta: &ContainerMeta) -> Result<()> {
+        self.oss.put(&layout::container_data(meta.id), data)?;
+        self.put_container_meta(meta)
+    }
+
+    /// Persist only a container's metadata (deletion marks etc.).
+    pub fn put_container_meta(&self, meta: &ContainerMeta) -> Result<()> {
+        self.oss.put(&layout::container_meta(meta.id), meta.encode())
+    }
+
+    /// Read a container's data object.
+    pub fn get_container_data(&self, id: ContainerId) -> Result<Bytes> {
+        self.oss.get(&layout::container_data(id)).map_err(|e| match e {
+            SlimError::ObjectNotFound(_) => SlimError::ContainerMissing(id.0),
+            other => other,
+        })
+    }
+
+    /// Read a byte range of a container's data object.
+    pub fn get_container_range(&self, id: ContainerId, start: u64, len: u64) -> Result<Bytes> {
+        self.oss.get_range(&layout::container_data(id), start, len)
+    }
+
+    /// Read a container's metadata.
+    pub fn get_container_meta(&self, id: ContainerId) -> Result<ContainerMeta> {
+        let buf = self.oss.get(&layout::container_meta(id)).map_err(|e| match e {
+            SlimError::ObjectNotFound(_) => SlimError::ContainerMissing(id.0),
+            other => other,
+        })?;
+        ContainerMeta::decode(&buf)
+    }
+
+    /// Whether a container still exists.
+    pub fn container_exists(&self, id: ContainerId) -> bool {
+        self.oss.exists(&layout::container_meta(id))
+    }
+
+    /// Delete both objects of a container (GC sweep).
+    pub fn delete_container(&self, id: ContainerId) -> Result<()> {
+        self.oss.delete(&layout::container_data(id))?;
+        self.oss.delete(&layout::container_meta(id))
+    }
+
+    /// All container ids currently stored, ascending.
+    pub fn list_containers(&self) -> Vec<ContainerId> {
+        self.oss
+            .list(layout::CONTAINER_PREFIX)
+            .iter()
+            .filter(|k| k.ends_with("/meta"))
+            .filter_map(|k| {
+                k.strip_prefix(layout::CONTAINER_PREFIX)?
+                    .split('/')
+                    .next()?
+                    .parse::<u64>()
+                    .ok()
+            })
+            .map(ContainerId)
+            .collect()
+    }
+
+    /// Persist a recipe and its recipe index; returns their keys.
+    pub fn put_recipe(
+        &self,
+        file: &FileId,
+        version: VersionId,
+        recipe: &Recipe,
+        index: &RecipeIndex,
+    ) -> Result<(String, String)> {
+        let (buf, _spans) = recipe.encode();
+        let rkey = layout::recipe(file, version);
+        let ikey = layout::recipe_index(file, version);
+        self.oss.put(&rkey, buf)?;
+        self.oss.put(&ikey, index.encode())?;
+        Ok((rkey, ikey))
+    }
+
+    /// Read the full recipe of `file` at `version`.
+    pub fn get_recipe(&self, file: &FileId, version: VersionId) -> Result<Recipe> {
+        let buf = self.oss.get(&layout::recipe(file, version))?;
+        Recipe::decode(&buf)
+    }
+
+    /// Read the recipe index of `file` at `version`.
+    pub fn get_recipe_index(&self, file: &FileId, version: VersionId) -> Result<RecipeIndex> {
+        let buf = self.oss.get(&layout::recipe_index(file, version))?;
+        RecipeIndex::decode(&buf)
+    }
+
+    /// Fetch one segment recipe with a range read (§IV-A Step 2: prefetching
+    /// a similar segment costs one small OSS request, not a recipe download).
+    pub fn get_segment_recipe(
+        &self,
+        file: &FileId,
+        version: VersionId,
+        span: slim_types::recipe::SegmentSpan,
+    ) -> Result<SegmentRecipe> {
+        let buf = self
+            .oss
+            .get_range(&layout::recipe(file, version), span.offset, span.len)?;
+        SegmentRecipe::decode_block(&buf)
+    }
+
+    /// Delete the recipe objects of `file` at `version`.
+    pub fn delete_recipe(&self, file: &FileId, version: VersionId) -> Result<()> {
+        self.oss.delete(&layout::recipe(file, version))?;
+        self.oss.delete(&layout::recipe_index(file, version))
+    }
+
+    /// Persist a version manifest.
+    pub fn put_manifest(&self, manifest: &VersionManifest) -> Result<()> {
+        self.oss
+            .put(&layout::version_manifest(manifest.id()), manifest.encode())
+    }
+
+    /// Read a version manifest.
+    pub fn get_manifest(&self, version: VersionId) -> Result<VersionManifest> {
+        let buf = self
+            .oss
+            .get(&layout::version_manifest(version))
+            .map_err(|e| match e {
+                SlimError::ObjectNotFound(_) => SlimError::VersionNotFound(version.0),
+                other => other,
+            })?;
+        VersionManifest::decode(&buf)
+    }
+
+    /// Delete a version manifest.
+    pub fn delete_manifest(&self, version: VersionId) -> Result<()> {
+        self.oss.delete(&layout::version_manifest(version))
+    }
+
+    /// All stored versions, ascending.
+    pub fn list_versions(&self) -> Vec<VersionId> {
+        self.oss
+            .list(layout::VERSION_PREFIX)
+            .iter()
+            .filter_map(|k| k.strip_prefix(layout::VERSION_PREFIX)?.parse::<u64>().ok())
+            .map(VersionId)
+            .collect()
+    }
+
+    /// Total bytes stored in the container store (the paper's "occupied
+    /// space").
+    pub fn container_store_bytes(&self) -> u64 {
+        // Only available on the simulated OSS; a real deployment would track
+        // this in billing metadata.
+        self.oss_stored_bytes(layout::CONTAINER_PREFIX)
+    }
+
+    fn oss_stored_bytes(&self, prefix: &str) -> u64 {
+        self.oss
+            .list(prefix)
+            .iter()
+            .filter_map(|k| self.oss.len(k))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slim_oss::Oss;
+    use slim_types::{ChunkRecord, ContainerBuilder, Fingerprint};
+
+    fn fp(b: u8) -> Fingerprint {
+        Fingerprint::from_slice(&[b; 20]).unwrap()
+    }
+
+    fn layer() -> (Oss, StorageLayer) {
+        let oss = Oss::in_memory();
+        let layer = StorageLayer::open(Arc::new(oss.clone()));
+        (oss, layer)
+    }
+
+    #[test]
+    fn container_roundtrip() {
+        let (_oss, s) = layer();
+        let id = s.allocate_container_id();
+        let mut b = ContainerBuilder::new(id, 1024);
+        b.push(fp(1), &[1u8; 100]);
+        b.push(fp(2), &[2u8; 50]);
+        let (data, meta) = b.seal();
+        s.put_container(data.clone(), &meta).unwrap();
+        assert_eq!(s.get_container_data(id).unwrap(), data);
+        assert_eq!(s.get_container_meta(id).unwrap(), meta);
+        assert!(s.container_exists(id));
+        assert_eq!(s.list_containers(), vec![id]);
+        assert_eq!(s.get_container_range(id, 100, 50).unwrap(), &[2u8; 50][..]);
+        s.delete_container(id).unwrap();
+        assert!(!s.container_exists(id));
+        assert!(matches!(
+            s.get_container_data(id),
+            Err(SlimError::ContainerMissing(_))
+        ));
+    }
+
+    #[test]
+    fn id_allocator_recovers_after_reopen() {
+        let (oss, s) = layer();
+        let a = s.allocate_container_id();
+        let mut b = ContainerBuilder::new(a, 64);
+        b.push(fp(1), &[0u8; 10]);
+        let (data, meta) = b.seal();
+        s.put_container(data, &meta).unwrap();
+        let s2 = StorageLayer::open(Arc::new(oss));
+        let next = s2.allocate_container_id();
+        assert!(next > a, "allocator must not reuse {a}");
+    }
+
+    #[test]
+    fn recipe_roundtrip_and_segment_range_read() {
+        let (_oss, s) = layer();
+        let file = FileId::new("f");
+        let v = VersionId(1);
+        let recipe = Recipe {
+            segments: vec![
+                SegmentRecipe::new(vec![ChunkRecord::new(fp(1), ContainerId(0), 10, 0)]),
+                SegmentRecipe::new(vec![ChunkRecord::new(fp(2), ContainerId(0), 20, 1)]),
+            ],
+        };
+        let (_, spans) = recipe.encode();
+        let mut index = RecipeIndex::new();
+        index.push(slim_types::RecipeIndexEntry {
+            sample_fp: fp(2),
+            segment_idx: 1,
+            span: spans[1],
+        });
+        s.put_recipe(&file, v, &recipe, &index).unwrap();
+        assert_eq!(s.get_recipe(&file, v).unwrap(), recipe);
+        let idx = s.get_recipe_index(&file, v).unwrap();
+        assert_eq!(idx, index);
+        let seg = s.get_segment_recipe(&file, v, spans[1]).unwrap();
+        assert_eq!(seg, recipe.segments[1]);
+        s.delete_recipe(&file, v).unwrap();
+        assert!(s.get_recipe(&file, v).is_err());
+    }
+
+    #[test]
+    fn manifest_roundtrip_and_listing() {
+        let (_oss, s) = layer();
+        let mut m = VersionManifest::new(VersionId(0));
+        m.new_containers.push(ContainerId(1));
+        s.put_manifest(&m).unwrap();
+        let m2 = VersionManifest::new(VersionId(1));
+        s.put_manifest(&m2).unwrap();
+        assert_eq!(s.list_versions(), vec![VersionId(0), VersionId(1)]);
+        assert_eq!(s.get_manifest(VersionId(0)).unwrap(), m);
+        assert!(matches!(
+            s.get_manifest(VersionId(9)),
+            Err(SlimError::VersionNotFound(9))
+        ));
+        s.delete_manifest(VersionId(0)).unwrap();
+        assert_eq!(s.list_versions(), vec![VersionId(1)]);
+    }
+
+    #[test]
+    fn container_store_bytes_counts_data_and_meta() {
+        let (_oss, s) = layer();
+        assert_eq!(s.container_store_bytes(), 0);
+        let id = s.allocate_container_id();
+        let mut b = ContainerBuilder::new(id, 1024);
+        b.push(fp(3), &[0u8; 200]);
+        let (data, meta) = b.seal();
+        let expect = data.len() as u64 + meta.encode().len() as u64;
+        s.put_container(data, &meta).unwrap();
+        assert_eq!(s.container_store_bytes(), expect);
+    }
+}

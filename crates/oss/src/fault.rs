@@ -1,0 +1,110 @@
+//! Fault injection for the simulated OSS.
+//!
+//! Integration tests use this to verify that backup/restore jobs surface
+//! storage errors instead of corrupting state: fail every operation on keys
+//! with a given prefix, fail the next N operations, or fail one specific
+//! (prefix, nth) combination.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+/// What operations to fail.
+#[derive(Debug, Clone)]
+pub enum FaultPlan {
+    /// Fail every operation whose key starts with this prefix.
+    KeyPrefix(String),
+    /// Fail the next `n` operations (any key), then recover.
+    NextOps(u64),
+    /// Fail the `nth` (1-based) future operation whose key starts with the
+    /// prefix, then recover.
+    NthOnPrefix { prefix: String, nth: u64 },
+}
+
+/// Armed fault state attached to an [`crate::Oss`].
+#[derive(Debug, Default)]
+pub struct FaultState {
+    plan: Mutex<Option<FaultPlan>>,
+    seen: AtomicU64,
+}
+
+impl FaultState {
+    /// Arm a plan (replacing any existing one).
+    pub fn arm(&self, plan: FaultPlan) {
+        self.seen.store(0, Ordering::SeqCst);
+        *self.plan.lock() = Some(plan);
+    }
+
+    /// Disarm.
+    pub fn clear(&self) {
+        *self.plan.lock() = None;
+    }
+
+    /// Decide whether the operation on `key` should fail; updates internal
+    /// counters and auto-disarms one-shot plans.
+    pub fn should_fail(&self, key: &str) -> bool {
+        let mut guard = self.plan.lock();
+        let Some(plan) = guard.as_ref() else {
+            return false;
+        };
+        match plan {
+            FaultPlan::KeyPrefix(prefix) => key.starts_with(prefix.as_str()),
+            FaultPlan::NextOps(n) => {
+                let n = *n;
+                let seen = self.seen.fetch_add(1, Ordering::SeqCst) + 1;
+                if seen >= n {
+                    *guard = None;
+                }
+                true
+            }
+            FaultPlan::NthOnPrefix { prefix, nth } => {
+                if !key.starts_with(prefix.as_str()) {
+                    return false;
+                }
+                let nth = *nth;
+                let seen = self.seen.fetch_add(1, Ordering::SeqCst) + 1;
+                if seen == nth {
+                    *guard = None;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prefix_plan_matches_only_prefix() {
+        let st = FaultState::default();
+        st.arm(FaultPlan::KeyPrefix("containers/".into()));
+        assert!(st.should_fail("containers/12"));
+        assert!(!st.should_fail("recipes/a"));
+        assert!(st.should_fail("containers/99"), "prefix plan is persistent");
+        st.clear();
+        assert!(!st.should_fail("containers/12"));
+    }
+
+    #[test]
+    fn next_ops_plan_auto_disarms() {
+        let st = FaultState::default();
+        st.arm(FaultPlan::NextOps(2));
+        assert!(st.should_fail("a"));
+        assert!(st.should_fail("b"));
+        assert!(!st.should_fail("c"));
+    }
+
+    #[test]
+    fn nth_on_prefix_fires_once() {
+        let st = FaultState::default();
+        st.arm(FaultPlan::NthOnPrefix { prefix: "x/".into(), nth: 2 });
+        assert!(!st.should_fail("x/1"));
+        assert!(!st.should_fail("y/anything"));
+        assert!(st.should_fail("x/2"));
+        assert!(!st.should_fail("x/3"));
+    }
+}

@@ -1,0 +1,34 @@
+//! Simulated Object Storage Service (OSS) and Rocks-OSS.
+//!
+//! SLIMSTORE's storage layer lives on cloud object storage (Alibaba OSS /
+//! Amazon S3 in the paper). This crate provides a faithful in-process stand-in
+//! with the properties the paper's evaluation depends on:
+//!
+//! * **high per-request latency** — every operation pays a configurable
+//!   round-trip latency;
+//! * **low single-channel, scalable multi-channel bandwidth** — transfer time
+//!   is `bytes / channel_bandwidth`, and up to `channels` transfers proceed in
+//!   parallel (Table II's prefetch-thread scaling comes from exactly this);
+//! * **pay-per-byte accounting** — [`OssMetrics`] counts every request and
+//!   byte, which is what the read-amplification figures (containers read per
+//!   100 MB) are computed from;
+//! * **fault injection** — tests can make specific keys or the Nth operation
+//!   fail.
+//!
+//! [`rocks`] implements *Rocks-OSS* (§III-B): an LSM key-value store whose
+//! SSTables are OSS objects, used by the global fingerprint index.
+
+pub mod disk;
+pub mod fault;
+pub mod metrics;
+pub mod namespace;
+pub mod network;
+pub mod rocks;
+pub mod store;
+
+pub use disk::LocalDiskOss;
+pub use fault::FaultPlan;
+pub use metrics::{MetricsSnapshot, OssMetrics};
+pub use namespace::NamespacedStore;
+pub use network::NetworkModel;
+pub use store::{ObjectStore, Oss};

@@ -1,0 +1,129 @@
+//! OSS traffic accounting.
+//!
+//! Every experiment in the paper that measures "read container number per
+//! 100 MB", OSS bandwidth consumption, or network time is computed from
+//! counters like these. They are atomics so all L-node/G-node threads share
+//! one instance without locking.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Live counters on an [`crate::Oss`] instance.
+#[derive(Debug, Default)]
+pub struct OssMetrics {
+    /// Number of GET (full or range) requests.
+    pub get_requests: AtomicU64,
+    /// Number of PUT requests.
+    pub put_requests: AtomicU64,
+    /// Number of DELETE requests.
+    pub delete_requests: AtomicU64,
+    /// Payload bytes downloaded.
+    pub bytes_read: AtomicU64,
+    /// Payload bytes uploaded.
+    pub bytes_written: AtomicU64,
+    /// Wall-clock nanoseconds threads spent inside OSS calls (latency +
+    /// transfer + channel queueing). This is the "network time" series of
+    /// Fig 2.
+    pub net_time_nanos: AtomicU64,
+}
+
+impl OssMetrics {
+    pub(crate) fn record_get(&self, bytes: u64, elapsed: Duration) {
+        self.get_requests.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
+        self.net_time_nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_put(&self, bytes: u64, elapsed: Duration) {
+        self.put_requests.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
+        self.net_time_nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_delete(&self, elapsed: Duration) {
+        self.delete_requests.fetch_add(1, Ordering::Relaxed);
+        self.net_time_nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Capture current values.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            get_requests: self.get_requests.load(Ordering::Relaxed),
+            put_requests: self.put_requests.load(Ordering::Relaxed),
+            delete_requests: self.delete_requests.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            net_time: Duration::from_nanos(self.net_time_nanos.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Point-in-time copy of [`OssMetrics`]; supports differencing so harnesses
+/// can measure one phase of an experiment.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MetricsSnapshot {
+    pub get_requests: u64,
+    pub put_requests: u64,
+    pub delete_requests: u64,
+    pub bytes_read: u64,
+    pub bytes_written: u64,
+    pub net_time: Duration,
+}
+
+impl MetricsSnapshot {
+    /// Traffic between `earlier` and `self`.
+    pub fn since(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            get_requests: self.get_requests - earlier.get_requests,
+            put_requests: self.put_requests - earlier.put_requests,
+            delete_requests: self.delete_requests - earlier.delete_requests,
+            bytes_read: self.bytes_read - earlier.bytes_read,
+            bytes_written: self.bytes_written - earlier.bytes_written,
+            net_time: self.net_time.saturating_sub(earlier.net_time),
+        }
+    }
+
+    /// Total request count.
+    pub fn total_requests(&self) -> u64 {
+        self.get_requests + self.put_requests + self.delete_requests
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_snapshot() {
+        let m = OssMetrics::default();
+        m.record_get(100, Duration::from_millis(2));
+        m.record_put(50, Duration::from_millis(1));
+        m.record_delete(Duration::from_millis(1));
+        let s = m.snapshot();
+        assert_eq!(s.get_requests, 1);
+        assert_eq!(s.put_requests, 1);
+        assert_eq!(s.delete_requests, 1);
+        assert_eq!(s.bytes_read, 100);
+        assert_eq!(s.bytes_written, 50);
+        assert_eq!(s.net_time, Duration::from_millis(4));
+        assert_eq!(s.total_requests(), 3);
+    }
+
+    #[test]
+    fn snapshot_difference() {
+        let m = OssMetrics::default();
+        m.record_get(100, Duration::from_millis(1));
+        let a = m.snapshot();
+        m.record_get(200, Duration::from_millis(1));
+        m.record_put(10, Duration::ZERO);
+        let b = m.snapshot();
+        let d = b.since(&a);
+        assert_eq!(d.get_requests, 1);
+        assert_eq!(d.bytes_read, 200);
+        assert_eq!(d.put_requests, 1);
+        assert_eq!(d.bytes_written, 10);
+    }
+}

@@ -1,0 +1,160 @@
+//! Key-namespace wrapper: scope any object store to a prefix.
+//!
+//! The paper's service model is multi-tenant — "the global index maintains
+//! the information of all chunks of *a user*" (§III-B). [`NamespacedStore`]
+//! gives each tenant an isolated keyspace over one shared bucket: every key
+//! is transparently prefixed with `tenants/<name>/`, so two deployments
+//! built over different namespaces share nothing — containers, recipes,
+//! global index and manifests are all disjoint.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+use slim_types::{Result, SlimError};
+
+use crate::store::ObjectStore;
+
+/// An [`ObjectStore`] view confined to a key prefix.
+pub struct NamespacedStore {
+    inner: Arc<dyn ObjectStore>,
+    prefix: String,
+}
+
+impl NamespacedStore {
+    /// Scope `inner` to tenant `name` (letters, digits, `-`, `_`, `.`).
+    pub fn new(inner: Arc<dyn ObjectStore>, name: &str) -> Result<Self> {
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'))
+        {
+            return Err(SlimError::InvalidConfig(format!(
+                "invalid tenant name {name:?} (use [A-Za-z0-9._-]+)"
+            )));
+        }
+        Ok(NamespacedStore {
+            inner,
+            prefix: format!("tenants/{name}/"),
+        })
+    }
+
+    fn full(&self, key: &str) -> String {
+        format!("{}{}", self.prefix, key)
+    }
+}
+
+impl ObjectStore for NamespacedStore {
+    fn put(&self, key: &str, value: Bytes) -> Result<()> {
+        self.inner.put(&self.full(key), value)
+    }
+
+    fn get(&self, key: &str) -> Result<Bytes> {
+        // Strip the prefix from not-found errors so callers see their own
+        // key names.
+        self.inner.get(&self.full(key)).map_err(|e| match e {
+            SlimError::ObjectNotFound(_) => SlimError::ObjectNotFound(key.to_string()),
+            other => other,
+        })
+    }
+
+    fn get_range(&self, key: &str, start: u64, len: u64) -> Result<Bytes> {
+        self.inner
+            .get_range(&self.full(key), start, len)
+            .map_err(|e| match e {
+                SlimError::ObjectNotFound(_) => SlimError::ObjectNotFound(key.to_string()),
+                other => other,
+            })
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        self.inner.delete(&self.full(key))
+    }
+
+    fn exists(&self, key: &str) -> bool {
+        self.inner.exists(&self.full(key))
+    }
+
+    fn len(&self, key: &str) -> Option<u64> {
+        self.inner.len(&self.full(key))
+    }
+
+    fn list(&self, prefix: &str) -> Vec<String> {
+        self.inner
+            .list(&self.full(prefix))
+            .into_iter()
+            .filter_map(|k| k.strip_prefix(&self.prefix).map(str::to_string))
+            .collect()
+    }
+
+    fn metrics_snapshot(&self) -> Option<crate::metrics::MetricsSnapshot> {
+        self.inner.metrics_snapshot()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::Oss;
+
+    #[test]
+    fn tenants_are_isolated() {
+        let bucket: Arc<dyn ObjectStore> = Arc::new(Oss::in_memory());
+        let alice = NamespacedStore::new(bucket.clone(), "alice").unwrap();
+        let bob = NamespacedStore::new(bucket.clone(), "bob").unwrap();
+        alice.put("k", Bytes::from_static(b"A")).unwrap();
+        bob.put("k", Bytes::from_static(b"B")).unwrap();
+        assert_eq!(alice.get("k").unwrap(), Bytes::from_static(b"A"));
+        assert_eq!(bob.get("k").unwrap(), Bytes::from_static(b"B"));
+        assert_eq!(alice.list(""), vec!["k".to_string()]);
+        // Raw bucket sees both, under the tenant prefix.
+        assert_eq!(bucket.list("tenants/").len(), 2);
+        alice.delete("k").unwrap();
+        assert!(!alice.exists("k"));
+        assert!(bob.exists("k"));
+    }
+
+    #[test]
+    fn error_keys_are_tenant_relative() {
+        let bucket: Arc<dyn ObjectStore> = Arc::new(Oss::in_memory());
+        let t = NamespacedStore::new(bucket, "t1").unwrap();
+        match t.get("missing/key") {
+            Err(SlimError::ObjectNotFound(k)) => assert_eq!(k, "missing/key"),
+            other => panic!("unexpected: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn invalid_names_rejected() {
+        let bucket: Arc<dyn ObjectStore> = Arc::new(Oss::in_memory());
+        for bad in ["", "a/b", "a b", "../x"] {
+            assert!(NamespacedStore::new(bucket.clone(), bad).is_err(), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn range_reads_pass_through() {
+        let bucket: Arc<dyn ObjectStore> = Arc::new(Oss::in_memory());
+        let t = NamespacedStore::new(bucket, "t").unwrap();
+        t.put("obj", Bytes::from_static(b"0123456789")).unwrap();
+        assert_eq!(t.get_range("obj", 2, 3).unwrap(), Bytes::from_static(b"234"));
+        assert_eq!(t.len("obj"), Some(10));
+    }
+
+    #[test]
+    fn two_slimstore_deployments_share_a_bucket() {
+        use slim_types::{FileId, SlimConfig};
+        // Whole-system isolation: same bucket, two tenants, independent
+        // version histories.
+        let bucket: Arc<dyn ObjectStore> = Arc::new(Oss::in_memory());
+        let mk = |name: &str| -> Arc<dyn ObjectStore> {
+            Arc::new(NamespacedStore::new(bucket.clone(), name).unwrap())
+        };
+        let sa = mk("acme");
+        let sb = mk("globex");
+        sa.put(&slim_types::layout::version_manifest(slim_types::VersionId(0)),
+               slim_types::VersionManifest::new(slim_types::VersionId(0)).encode()).unwrap();
+        assert!(sa.exists("versions/00000000"));
+        assert!(!sb.exists("versions/00000000"));
+        let _ = (FileId::new("x"), SlimConfig::default()); // types in scope
+    }
+}

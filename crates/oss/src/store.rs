@@ -1,0 +1,354 @@
+//! The object store.
+//!
+//! [`Oss`] is an in-process object store with the interface and cost profile
+//! of a cloud OSS: flat keyspace, whole-object PUT, full and range GET,
+//! DELETE, prefix LIST. All payloads are [`Bytes`], so GETs are zero-copy
+//! clones of the stored buffer (the *network model* is where the cost lives,
+//! not memcpy).
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+use slim_types::{Result, SlimError};
+
+use crate::fault::{FaultPlan, FaultState};
+use crate::metrics::OssMetrics;
+use crate::network::{ChannelPool, NetworkModel};
+
+/// Object-store interface used by every SLIMSTORE component.
+///
+/// Trait rather than concrete type so tests can interpose wrappers and so a
+/// real S3/OSS client could be dropped in behind the same API.
+pub trait ObjectStore: Send + Sync {
+    /// Store an object, replacing any existing value.
+    fn put(&self, key: &str, value: Bytes) -> Result<()>;
+
+    /// Fetch a whole object.
+    fn get(&self, key: &str) -> Result<Bytes>;
+
+    /// Fetch `[start, start+len)` of an object.
+    fn get_range(&self, key: &str, start: u64, len: u64) -> Result<Bytes>;
+
+    /// Delete an object (idempotent; deleting a missing key is not an error,
+    /// matching S3/OSS semantics).
+    fn delete(&self, key: &str) -> Result<()>;
+
+    /// Whether an object exists. Free of network cost in this simulation
+    /// (real systems use HEAD; SLIMSTORE only calls this on metadata paths).
+    fn exists(&self, key: &str) -> bool;
+
+    /// Object length in bytes, if it exists.
+    fn len(&self, key: &str) -> Option<u64>;
+
+    /// All keys with the given prefix, in lexicographic order.
+    fn list(&self, prefix: &str) -> Vec<String>;
+
+    /// Traffic counters, if this store keeps them (the simulated OSS does;
+    /// a plain wrapper may not). Jobs use snapshot deltas to attribute
+    /// network time.
+    fn metrics_snapshot(&self) -> Option<crate::metrics::MetricsSnapshot> {
+        None
+    }
+}
+
+struct Inner {
+    objects: RwLock<BTreeMap<String, Bytes>>,
+    network: NetworkModel,
+    channels: ChannelPool,
+    metrics: OssMetrics,
+    faults: FaultState,
+}
+
+/// The simulated OSS. Cheap to clone (shared handle).
+///
+/// ```
+/// use slim_oss::{ObjectStore, Oss};
+/// let oss = Oss::in_memory();
+/// oss.put("bucket/key", bytes::Bytes::from_static(b"payload")).unwrap();
+/// assert_eq!(oss.get_range("bucket/key", 0, 3).unwrap().as_ref(), b"pay");
+/// assert_eq!(oss.metrics().snapshot().get_requests, 1);
+/// ```
+#[derive(Clone)]
+pub struct Oss {
+    inner: Arc<Inner>,
+}
+
+impl Oss {
+    /// An OSS with the given network model.
+    pub fn new(network: NetworkModel) -> Self {
+        let channels = ChannelPool::new(network.channels);
+        Oss {
+            inner: Arc::new(Inner {
+                objects: RwLock::new(BTreeMap::new()),
+                network,
+                channels,
+                metrics: OssMetrics::default(),
+                faults: FaultState::default(),
+            }),
+        }
+    }
+
+    /// A free (no latency) OSS for unit tests.
+    pub fn in_memory() -> Self {
+        Oss::new(NetworkModel::instant())
+    }
+
+    /// Traffic counters.
+    pub fn metrics(&self) -> &OssMetrics {
+        &self.inner.metrics
+    }
+
+    /// The network model in force.
+    pub fn network(&self) -> &NetworkModel {
+        &self.inner.network
+    }
+
+    /// Arm fault injection.
+    pub fn inject_fault(&self, plan: FaultPlan) {
+        self.inner.faults.arm(plan);
+    }
+
+    /// Disarm fault injection.
+    pub fn clear_faults(&self) {
+        self.inner.faults.clear();
+    }
+
+    /// Total bytes currently stored (sum of object sizes). This is the
+    /// "occupied space" series of Fig 9 / Fig 10(c).
+    pub fn stored_bytes(&self) -> u64 {
+        self.inner
+            .objects
+            .read()
+            .values()
+            .map(|v| v.len() as u64)
+            .sum()
+    }
+
+    /// Total bytes stored under a key prefix.
+    pub fn stored_bytes_prefix(&self, prefix: &str) -> u64 {
+        self.inner
+            .objects
+            .read()
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| v.len() as u64)
+            .sum()
+    }
+
+    /// Number of objects stored.
+    pub fn object_count(&self) -> usize {
+        self.inner.objects.read().len()
+    }
+
+    fn check_fault(&self, op: &str, key: &str) -> Result<()> {
+        if self.inner.faults.should_fail(key) {
+            return Err(SlimError::InjectedFault(format!("{op} {key}")));
+        }
+        Ok(())
+    }
+
+    /// Charge latency + transfer time for `bytes`, bounded by channel
+    /// availability; returns elapsed wall time.
+    fn charge(&self, bytes: u64) -> std::time::Duration {
+        let start = Instant::now();
+        if self.inner.network.is_instant() {
+            return start.elapsed();
+        }
+        let _channel = self.inner.channels.acquire();
+        let cost = self.inner.network.request_latency + self.inner.network.transfer_time(bytes);
+        std::thread::sleep(cost);
+        start.elapsed()
+    }
+}
+
+impl ObjectStore for Oss {
+    fn put(&self, key: &str, value: Bytes) -> Result<()> {
+        self.check_fault("put", key)?;
+        let elapsed = self.charge(value.len() as u64);
+        self.inner.metrics.record_put(value.len() as u64, elapsed);
+        self.inner.objects.write().insert(key.to_string(), value);
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Result<Bytes> {
+        self.check_fault("get", key)?;
+        let value = self
+            .inner
+            .objects
+            .read()
+            .get(key)
+            .cloned()
+            .ok_or_else(|| SlimError::ObjectNotFound(key.to_string()))?;
+        let elapsed = self.charge(value.len() as u64);
+        self.inner.metrics.record_get(value.len() as u64, elapsed);
+        Ok(value)
+    }
+
+    fn get_range(&self, key: &str, start: u64, len: u64) -> Result<Bytes> {
+        self.check_fault("get", key)?;
+        let value = self
+            .inner
+            .objects
+            .read()
+            .get(key)
+            .cloned()
+            .ok_or_else(|| SlimError::ObjectNotFound(key.to_string()))?;
+        let end = start + len;
+        if end > value.len() as u64 {
+            return Err(SlimError::RangeOutOfBounds {
+                key: key.to_string(),
+                start,
+                end,
+                len: value.len() as u64,
+            });
+        }
+        let slice = value.slice(start as usize..end as usize);
+        let elapsed = self.charge(slice.len() as u64);
+        self.inner.metrics.record_get(slice.len() as u64, elapsed);
+        Ok(slice)
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        self.check_fault("delete", key)?;
+        let elapsed = self.charge(0);
+        self.inner.metrics.record_delete(elapsed);
+        self.inner.objects.write().remove(key);
+        Ok(())
+    }
+
+    fn exists(&self, key: &str) -> bool {
+        self.inner.objects.read().contains_key(key)
+    }
+
+    fn len(&self, key: &str) -> Option<u64> {
+        self.inner.objects.read().get(key).map(|v| v.len() as u64)
+    }
+
+    fn list(&self, prefix: &str) -> Vec<String> {
+        self.inner
+            .objects
+            .read()
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+
+    fn metrics_snapshot(&self) -> Option<crate::metrics::MetricsSnapshot> {
+        Some(self.inner.metrics.snapshot())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let oss = Oss::in_memory();
+        oss.put("a/b", Bytes::from_static(b"hello")).unwrap();
+        assert_eq!(oss.get("a/b").unwrap(), Bytes::from_static(b"hello"));
+        assert!(oss.exists("a/b"));
+        assert_eq!(oss.len("a/b"), Some(5));
+        assert_eq!(oss.object_count(), 1);
+        assert_eq!(oss.stored_bytes(), 5);
+    }
+
+    #[test]
+    fn get_missing_is_error() {
+        let oss = Oss::in_memory();
+        assert!(matches!(
+            oss.get("nope"),
+            Err(SlimError::ObjectNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn range_reads() {
+        let oss = Oss::in_memory();
+        oss.put("obj", Bytes::from_static(b"0123456789")).unwrap();
+        assert_eq!(oss.get_range("obj", 2, 3).unwrap(), Bytes::from_static(b"234"));
+        assert_eq!(oss.get_range("obj", 0, 10).unwrap().len(), 10);
+        assert!(matches!(
+            oss.get_range("obj", 5, 6),
+            Err(SlimError::RangeOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn delete_is_idempotent() {
+        let oss = Oss::in_memory();
+        oss.put("k", Bytes::from_static(b"v")).unwrap();
+        oss.delete("k").unwrap();
+        assert!(!oss.exists("k"));
+        oss.delete("k").unwrap();
+    }
+
+    #[test]
+    fn list_respects_prefix_and_order() {
+        let oss = Oss::in_memory();
+        for k in ["b/2", "a/1", "b/1", "c"] {
+            oss.put(k, Bytes::new()).unwrap();
+        }
+        assert_eq!(oss.list("b/"), vec!["b/1".to_string(), "b/2".to_string()]);
+        assert_eq!(oss.list(""), vec!["a/1", "b/1", "b/2", "c"]);
+        assert!(oss.list("zz").is_empty());
+    }
+
+    #[test]
+    fn metrics_count_traffic() {
+        let oss = Oss::in_memory();
+        oss.put("k", Bytes::from(vec![0u8; 100])).unwrap();
+        oss.get("k").unwrap();
+        oss.get_range("k", 0, 10).unwrap();
+        let s = oss.metrics().snapshot();
+        assert_eq!(s.put_requests, 1);
+        assert_eq!(s.get_requests, 2);
+        assert_eq!(s.bytes_written, 100);
+        assert_eq!(s.bytes_read, 110);
+    }
+
+    #[test]
+    fn fault_injection_fails_operations() {
+        let oss = Oss::in_memory();
+        oss.put("containers/1", Bytes::from_static(b"x")).unwrap();
+        oss.inject_fault(FaultPlan::KeyPrefix("containers/".into()));
+        assert!(matches!(
+            oss.get("containers/1"),
+            Err(SlimError::InjectedFault(_))
+        ));
+        // Other keys unaffected.
+        oss.put("recipes/1", Bytes::from_static(b"y")).unwrap();
+        oss.clear_faults();
+        oss.get("containers/1").unwrap();
+    }
+
+    #[test]
+    fn stored_bytes_prefix_accounts_correctly() {
+        let oss = Oss::in_memory();
+        oss.put("containers/1", Bytes::from(vec![0u8; 30])).unwrap();
+        oss.put("containers/2", Bytes::from(vec![0u8; 20])).unwrap();
+        oss.put("recipes/1", Bytes::from(vec![0u8; 7])).unwrap();
+        assert_eq!(oss.stored_bytes_prefix("containers/"), 50);
+        assert_eq!(oss.stored_bytes_prefix("recipes/"), 7);
+        assert_eq!(oss.stored_bytes(), 57);
+    }
+
+    #[test]
+    fn network_latency_is_charged() {
+        let model = NetworkModel {
+            request_latency: std::time::Duration::from_millis(5),
+            channel_bandwidth: u64::MAX,
+            channels: 4,
+        };
+        let oss = Oss::new(model);
+        let t0 = Instant::now();
+        oss.put("k", Bytes::from_static(b"x")).unwrap();
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(5));
+        let s = oss.metrics().snapshot();
+        assert!(s.net_time >= std::time::Duration::from_millis(5));
+    }
+}

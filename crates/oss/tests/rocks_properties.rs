@@ -1,0 +1,109 @@
+//! Property and concurrency tests of Rocks-OSS: random workloads must match
+//! a BTreeMap model across flush/compaction/reopen, and concurrent readers
+//! must never observe corruption while writers flush and compact.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use slim_oss::rocks::{RocksConfig, RocksOss};
+use slim_oss::{ObjectStore, Oss};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(u16, u32),
+    Delete(u16),
+    Flush,
+    Compact,
+    Reopen,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (any::<u16>(), any::<u32>()).prop_map(|(k, v)| Op::Put(k % 128, v)),
+        2 => any::<u16>().prop_map(|k| Op::Delete(k % 128)),
+        1 => Just(Op::Flush),
+        1 => Just(Op::Compact),
+        1 => Just(Op::Reopen),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn matches_btreemap_model(ops in proptest::collection::vec(op_strategy(), 1..120)) {
+        let oss: Arc<dyn ObjectStore> = Arc::new(Oss::in_memory());
+        let mut db = RocksOss::create(oss.clone(), "p/", RocksConfig::small_for_tests());
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for op in &ops {
+            match op {
+                Op::Put(k, v) => {
+                    let key = k.to_be_bytes().to_vec();
+                    let val = v.to_be_bytes().to_vec();
+                    db.put(&key, &val).unwrap();
+                    model.insert(key, val);
+                }
+                Op::Delete(k) => {
+                    let key = k.to_be_bytes().to_vec();
+                    db.delete(&key).unwrap();
+                    model.remove(&key);
+                }
+                Op::Flush => db.flush().unwrap(),
+                Op::Compact => db.compact().unwrap(),
+                Op::Reopen => {
+                    db.flush().unwrap();
+                    db = RocksOss::open(oss.clone(), "p/", RocksConfig::small_for_tests()).unwrap();
+                }
+            }
+        }
+        // Full agreement with the model, including absent keys.
+        for k in 0u16..128 {
+            let key = k.to_be_bytes().to_vec();
+            prop_assert_eq!(db.get(&key).unwrap(), model.get(&key).cloned(), "key {}", k);
+        }
+        let scanned = db.scan_prefix(&[]).unwrap();
+        prop_assert_eq!(scanned.len(), model.len());
+    }
+}
+
+#[test]
+fn concurrent_readers_with_flush_and_compaction() {
+    let oss: Arc<dyn ObjectStore> = Arc::new(Oss::in_memory());
+    let db = Arc::new(RocksOss::create(oss, "c/", RocksConfig::small_for_tests()));
+    // Seed a stable key set readers will hammer.
+    for k in 0u32..200 {
+        db.put(&k.to_be_bytes(), &k.to_le_bytes()).unwrap();
+    }
+    db.flush().unwrap();
+
+    std::thread::scope(|s| {
+        // Writers: keep inserting fresh keys, forcing flushes + compactions.
+        for w in 0..2 {
+            let db = db.clone();
+            s.spawn(move || {
+                for i in 0..400u32 {
+                    let k = 1_000_000 + w * 10_000 + i;
+                    db.put(&k.to_be_bytes(), &k.to_le_bytes()).unwrap();
+                }
+                db.compact().unwrap();
+            });
+        }
+        // Readers: the seeded keys must always resolve to their values.
+        for _ in 0..3 {
+            let db = db.clone();
+            s.spawn(move || {
+                for round in 0..50u32 {
+                    for k in 0u32..200 {
+                        let got = db.get(&k.to_be_bytes()).unwrap();
+                        assert_eq!(
+                            got,
+                            Some(k.to_le_bytes().to_vec()),
+                            "key {k} corrupted in round {round}"
+                        );
+                    }
+                }
+            });
+        }
+    });
+}

@@ -1,0 +1,70 @@
+//! Space accounting — the "occupied space" metrics of Fig 9 / Fig 10(c).
+
+use slim_oss::ObjectStore;
+use slim_types::layout;
+
+/// Byte-level breakdown of what the deployment stores on OSS.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpaceReport {
+    /// Container payload + metadata bytes.
+    pub container_bytes: u64,
+    /// Recipe + recipe-index bytes.
+    pub recipe_bytes: u64,
+    /// Global-index (Rocks-OSS) bytes.
+    pub global_index_bytes: u64,
+    /// Version manifests, similar-index snapshot, everything else.
+    pub other_bytes: u64,
+}
+
+impl SpaceReport {
+    /// Measure the current state of the object store.
+    pub fn measure(oss: &dyn ObjectStore) -> SpaceReport {
+        let sum = |prefix: &str| -> u64 {
+            oss.list(prefix)
+                .iter()
+                .filter_map(|k| oss.len(k))
+                .sum()
+        };
+        let container_bytes = sum(layout::CONTAINER_PREFIX);
+        let recipe_bytes = sum(layout::RECIPE_PREFIX) + sum("recipe-index/");
+        let global_index_bytes = sum(layout::GLOBAL_INDEX_PREFIX);
+        let total: u64 = sum("");
+        SpaceReport {
+            container_bytes,
+            recipe_bytes,
+            global_index_bytes,
+            other_bytes: total - container_bytes - recipe_bytes - global_index_bytes,
+        }
+    }
+
+    /// Total bytes stored.
+    pub fn total(&self) -> u64 {
+        self.container_bytes + self.recipe_bytes + self.global_index_bytes + self.other_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use slim_oss::Oss;
+
+    #[test]
+    fn measure_partitions_by_prefix() {
+        let oss = Oss::in_memory();
+        oss.put("containers/000000000001/data", Bytes::from(vec![0; 100]))
+            .unwrap();
+        oss.put("recipes/f/00000000", Bytes::from(vec![0; 30])).unwrap();
+        oss.put("recipe-index/f/00000000", Bytes::from(vec![0; 10]))
+            .unwrap();
+        oss.put("global-index/MANIFEST", Bytes::from(vec![0; 20]))
+            .unwrap();
+        oss.put("versions/00000000", Bytes::from(vec![0; 5])).unwrap();
+        let report = SpaceReport::measure(&oss);
+        assert_eq!(report.container_bytes, 100);
+        assert_eq!(report.recipe_bytes, 40);
+        assert_eq!(report.global_index_bytes, 20);
+        assert_eq!(report.other_bytes, 5);
+        assert_eq!(report.total(), 165);
+    }
+}

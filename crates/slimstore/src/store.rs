@@ -1,0 +1,529 @@
+//! The user-facing SLIMSTORE system.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use slim_gnode::{GNode, GNodeCycleStats};
+use slim_index::{GlobalIndex, SimilarFileIndex};
+use slim_lnode::node::ChunkerKind;
+use slim_lnode::restore::RestoreOptions;
+use slim_lnode::{BackupStats, RestoreStats, StorageLayer};
+use slim_oss::rocks::RocksConfig;
+use slim_oss::{NetworkModel, ObjectStore, Oss};
+use slim_types::{FileId, Result, SlimConfig, SlimError, VersionId, VersionManifest};
+
+use crate::compute::{ComputeLayer, JobScheduler};
+use crate::space::SpaceReport;
+
+/// Builder for a [`SlimStore`] deployment.
+pub struct SlimStoreBuilder {
+    oss: Option<Arc<dyn ObjectStore>>,
+    network: NetworkModel,
+    config: SlimConfig,
+    l_nodes: usize,
+    chunker: ChunkerKind,
+    rocks: RocksConfig,
+}
+
+impl SlimStoreBuilder {
+    /// Start from an in-memory, zero-latency OSS (tests, examples).
+    pub fn in_memory() -> Self {
+        SlimStoreBuilder {
+            oss: None,
+            network: NetworkModel::instant(),
+            config: SlimConfig::default(),
+            l_nodes: 1,
+            chunker: ChunkerKind::FastCdc,
+            rocks: RocksConfig::default(),
+        }
+    }
+
+    /// Use an OSS-like network model (latency + bounded channel bandwidth).
+    pub fn with_network(mut self, network: NetworkModel) -> Self {
+        self.network = network;
+        self
+    }
+
+    /// Attach an existing object store (reopening a deployment).
+    pub fn with_object_store(mut self, oss: Arc<dyn ObjectStore>) -> Self {
+        self.oss = Some(oss);
+        self
+    }
+
+    /// Scope the deployment to a tenant namespace within the attached (or
+    /// default) object store: two deployments with different tenant names
+    /// share the bucket but nothing else — the paper's per-user service
+    /// model (§III-B).
+    pub fn with_tenant(mut self, name: &str) -> Result<Self> {
+        let base: Arc<dyn ObjectStore> = match self.oss.take() {
+            Some(oss) => oss,
+            None => Arc::new(Oss::new(self.network.clone())),
+        };
+        self.oss = Some(Arc::new(slim_oss::NamespacedStore::new(base, name)?));
+        Ok(self)
+    }
+
+    /// System configuration.
+    pub fn with_config(mut self, config: SlimConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Initial L-node count.
+    pub fn with_l_nodes(mut self, n: usize) -> Self {
+        self.l_nodes = n;
+        self
+    }
+
+    /// CDC algorithm for the L-nodes.
+    pub fn with_chunker(mut self, kind: ChunkerKind) -> Self {
+        self.chunker = kind;
+        self
+    }
+
+    /// Rocks-OSS tuning for the global index.
+    pub fn with_rocks_config(mut self, rocks: RocksConfig) -> Self {
+        self.rocks = rocks;
+        self
+    }
+
+    /// Assemble the deployment.
+    pub fn build(self) -> Result<SlimStore> {
+        self.config.validate()?;
+        let oss: Arc<dyn ObjectStore> = match self.oss {
+            Some(oss) => oss,
+            None => Arc::new(Oss::new(self.network)),
+        };
+        let storage = StorageLayer::open(oss.clone());
+        let similar = SimilarFileIndex::load(oss.as_ref())?;
+        let global = GlobalIndex::open_with(oss.clone(), self.rocks, 1 << 20)?;
+        let compute = ComputeLayer::new(
+            storage.clone(),
+            similar.clone(),
+            self.config.clone(),
+            self.chunker,
+            self.l_nodes,
+        )?;
+        let gnode = GNode::new(
+            storage.clone(),
+            global,
+            similar.clone(),
+            self.config.clone(),
+        )?;
+        let next_version = storage
+            .list_versions()
+            .last()
+            .map(|v| v.0 + 1)
+            .unwrap_or(0);
+        Ok(SlimStore {
+            oss,
+            storage,
+            similar,
+            config: self.config,
+            compute: RwLock::new(compute),
+            gnode,
+            next_version: AtomicU64::new(next_version),
+        })
+    }
+}
+
+/// Report of one whole-version backup.
+#[derive(Debug, Clone)]
+pub struct VersionBackupReport {
+    /// The version that was created.
+    pub version: VersionId,
+    /// Aggregated statistics across all file jobs.
+    pub stats: BackupStats,
+    /// Number of files captured.
+    pub files: usize,
+}
+
+/// A SLIMSTORE deployment: storage layer + computing layer.
+pub struct SlimStore {
+    oss: Arc<dyn ObjectStore>,
+    storage: StorageLayer,
+    similar: SimilarFileIndex,
+    config: SlimConfig,
+    compute: RwLock<ComputeLayer>,
+    gnode: GNode,
+    next_version: AtomicU64,
+}
+
+impl SlimStore {
+    /// Builder entry point.
+    pub fn builder() -> SlimStoreBuilder {
+        SlimStoreBuilder::in_memory()
+    }
+
+    /// The underlying object store.
+    pub fn oss(&self) -> &Arc<dyn ObjectStore> {
+        &self.oss
+    }
+
+    /// The storage layer handle.
+    pub fn storage(&self) -> &StorageLayer {
+        &self.storage
+    }
+
+    /// The system configuration.
+    pub fn config(&self) -> &SlimConfig {
+        &self.config
+    }
+
+    /// The offline space manager.
+    pub fn gnode(&self) -> &GNode {
+        &self.gnode
+    }
+
+    /// Elastically scale the L-node pool.
+    pub fn scale_l_nodes(&self, n: usize) -> Result<()> {
+        self.compute.write().scale_to(n)
+    }
+
+    /// Current L-node count.
+    pub fn l_node_count(&self) -> usize {
+        self.compute.read().node_count()
+    }
+
+    /// Back up one new version of the given files (single job).
+    pub fn backup_version(&self, files: Vec<(FileId, Vec<u8>)>) -> Result<VersionBackupReport> {
+        self.backup_version_with_jobs(files, 1)
+    }
+
+    /// Back up one new version with `jobs` concurrent file jobs spread over
+    /// the L-node pool.
+    ///
+    /// On error the version id is consumed and any files that completed
+    /// before the failure remain persisted (recipes + containers) without a
+    /// manifest; they are harmless — unreachable from `versions()` — but
+    /// occupy space until a future backup re-uses their chunks or the
+    /// deployment is rebuilt. Retrying the backup allocates a fresh version.
+    pub fn backup_version_with_jobs(
+        &self,
+        files: Vec<(FileId, Vec<u8>)>,
+        jobs: usize,
+    ) -> Result<VersionBackupReport> {
+        let version = VersionId(self.next_version.fetch_add(1, Ordering::SeqCst));
+        let scheduler = JobScheduler::new(jobs);
+        let file_count = files.len();
+        let outcomes = {
+            let compute = self.compute.read();
+            scheduler.backup(&compute, version, files)?
+        };
+        let mut manifest = VersionManifest::new(version);
+        let mut stats = BackupStats::default();
+        for outcome in outcomes {
+            stats.merge(&outcome.stats);
+            manifest.files.push(outcome.info);
+            manifest.new_containers.extend(outcome.new_containers);
+        }
+        self.storage.put_manifest(&manifest)?;
+        self.similar.save(self.oss.as_ref())?;
+        Ok(VersionBackupReport { version, stats, files: file_count })
+    }
+
+    /// Restore one file at one version.
+    pub fn restore_file(&self, file: &FileId, version: VersionId) -> Result<(Vec<u8>, RestoreStats)> {
+        self.restore_file_with(file, version, &RestoreOptions::from_config(&self.config))
+    }
+
+    /// Stream one file at one version into a writer (constant output
+    /// memory; the restore cache is the only buffer).
+    pub fn restore_file_to(
+        &self,
+        file: &FileId,
+        version: VersionId,
+        sink: &mut dyn std::io::Write,
+    ) -> Result<RestoreStats> {
+        let compute = self.compute.read();
+        let node = compute.node_for(0);
+        slim_lnode::restore::RestoreEngine::new(node.storage(), Some(self.gnode.global_index()))
+            .restore_file_to(file, version, &RestoreOptions::from_config(&self.config), sink)
+    }
+
+    /// Restore one file with explicit options.
+    pub fn restore_file_with(
+        &self,
+        file: &FileId,
+        version: VersionId,
+        options: &RestoreOptions,
+    ) -> Result<(Vec<u8>, RestoreStats)> {
+        let compute = self.compute.read();
+        compute
+            .node_for(0)
+            .restore_file_with(file, version, Some(self.gnode.global_index()), options)
+    }
+
+    /// Restore every file of a version, `jobs` at a time.
+    pub fn restore_version(
+        &self,
+        version: VersionId,
+        jobs: usize,
+    ) -> Result<Vec<(FileId, Vec<u8>, RestoreStats)>> {
+        let manifest = self.storage.get_manifest(version)?;
+        let files: Vec<FileId> = manifest.files.iter().map(|f| f.file.clone()).collect();
+        let scheduler = JobScheduler::new(jobs);
+        let compute = self.compute.read();
+        scheduler.restore(
+            &compute,
+            version,
+            files,
+            Some(self.gnode.global_index()),
+            &RestoreOptions::from_config(&self.config),
+        )
+    }
+
+    /// Run the G-node's offline cycle for a version (reverse dedup, SCC,
+    /// garbage marking).
+    pub fn run_gnode_cycle(&self, version: VersionId) -> Result<GNodeCycleStats> {
+        self.gnode.run_cycle(version)
+    }
+
+    /// Delete versions until only the newest `keep` remain (FIFO sweep).
+    pub fn retain_last(&self, keep: usize) -> Result<u64> {
+        let versions = self.storage.list_versions();
+        if versions.len() <= keep {
+            return Ok(0);
+        }
+        let mut reclaimed = 0;
+        for &v in &versions[..versions.len() - keep] {
+            let stats = self.gnode.collect_version(v)?;
+            reclaimed += stats.bytes_reclaimed;
+        }
+        self.similar.save(self.oss.as_ref())?;
+        Ok(reclaimed)
+    }
+
+    /// All stored versions, ascending.
+    pub fn versions(&self) -> Vec<VersionId> {
+        self.storage.list_versions()
+    }
+
+    /// Files captured in a version.
+    pub fn files_of(&self, version: VersionId) -> Result<Vec<FileId>> {
+        Ok(self
+            .storage
+            .get_manifest(version)?
+            .files
+            .iter()
+            .map(|f| f.file.clone())
+            .collect())
+    }
+
+    /// Current space breakdown on OSS.
+    pub fn space_report(&self) -> SpaceReport {
+        SpaceReport::measure(self.oss.as_ref())
+    }
+
+    /// Integrity scrub: check that every record of every retained version
+    /// is resolvable — live in its stated container, or reachable through
+    /// the global index. Returns the number of records checked.
+    ///
+    /// This is a metadata-level pass (no payload hashing): it reads
+    /// container metadata, not data objects, so it is cheap enough to run
+    /// routinely. Unresolvable records surface as
+    /// [`SlimError::ChunkUnresolvable`].
+    pub fn scrub(&self) -> Result<u64> {
+        let mut checked = 0u64;
+        // Containers repeat across records; fetch each metadata object once.
+        let mut metas: std::collections::HashMap<
+            slim_types::ContainerId,
+            Option<slim_types::ContainerMeta>,
+        > = std::collections::HashMap::new();
+        for version in self.versions() {
+            for file in self.files_of(version)? {
+                let recipe = self.storage.get_recipe(&file, version)?;
+                for rec in recipe.records() {
+                    checked += 1;
+                    let mut live_in = |c: slim_types::ContainerId| -> bool {
+                        metas
+                            .entry(c)
+                            .or_insert_with(|| self.storage.get_container_meta(c).ok())
+                            .as_ref()
+                            .is_some_and(|m| m.find_live(&rec.fp).is_some())
+                    };
+                    if live_in(rec.container_id) {
+                        continue;
+                    }
+                    let relocated = self
+                        .gnode
+                        .global_index()
+                        .get(&rec.fp)?
+                        .is_some_and(&mut live_in);
+                    if !relocated {
+                        return Err(SlimError::ChunkUnresolvable {
+                            fp: rec.fp.to_hex(),
+                            detail: format!(
+                                "record of {file} at {version} resolves nowhere (stated {})",
+                                rec.container_id
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(checked)
+    }
+
+    /// Verify a version restores to the given expected contents (testing /
+    /// scrubbing helper).
+    pub fn verify_version(&self, version: VersionId, expected: &[(FileId, Vec<u8>)]) -> Result<()> {
+        for (file, bytes) in expected {
+            let (restored, _) = self.restore_file(file, version)?;
+            if &restored != bytes {
+                return Err(SlimError::corrupt(
+                    "verify",
+                    format!("file {file} at {version} does not match"),
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data(seed: u64, len: usize) -> Vec<u8> {
+        use rand::{RngCore, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut buf = vec![0u8; len];
+        rng.fill_bytes(&mut buf);
+        buf
+    }
+
+    fn store() -> SlimStore {
+        SlimStoreBuilder::in_memory()
+            .with_config(SlimConfig::small_for_tests())
+            .with_rocks_config(RocksConfig::small_for_tests())
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn end_to_end_multi_version_lifecycle() {
+        let store = store();
+        let a = FileId::new("db/a");
+        let b = FileId::new("db/b");
+        let mut da = data(1, 30_000);
+        let db = data(2, 20_000);
+        let mut history = Vec::new();
+        for v in 0..4 {
+            let report = store
+                .backup_version_with_jobs(
+                    vec![(a.clone(), da.clone()), (b.clone(), db.clone())],
+                    2,
+                )
+                .unwrap();
+            assert_eq!(report.version, VersionId(v));
+            assert_eq!(report.files, 2);
+            store.run_gnode_cycle(report.version).unwrap();
+            history.push((da.clone(), db.clone()));
+            da[5_000..5_500].copy_from_slice(&data(100 + v, 500));
+        }
+        for (v, (ea, eb)) in history.iter().enumerate() {
+            store
+                .verify_version(
+                    VersionId(v as u64),
+                    &[(a.clone(), ea.clone()), (b.clone(), eb.clone())],
+                )
+                .unwrap();
+        }
+        assert_eq!(store.versions().len(), 4);
+        assert_eq!(store.files_of(VersionId(0)).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn later_versions_dedup() {
+        let store = store();
+        let f = FileId::new("f");
+        let input = data(3, 40_000);
+        let r0 = store.backup_version(vec![(f.clone(), input.clone())]).unwrap();
+        assert!(r0.stats.dedup_ratio() < 0.1);
+        let r1 = store.backup_version(vec![(f.clone(), input.clone())]).unwrap();
+        assert!(r1.stats.dedup_ratio() > 0.9, "ratio {}", r1.stats.dedup_ratio());
+    }
+
+    #[test]
+    fn retention_window() {
+        let store = store();
+        let f = FileId::new("f");
+        for v in 0..5u64 {
+            store
+                .backup_version(vec![(f.clone(), data(10 + v, 20_000))])
+                .unwrap();
+            store.run_gnode_cycle(VersionId(v)).unwrap();
+        }
+        store.retain_last(2).unwrap();
+        assert_eq!(store.versions(), vec![VersionId(3), VersionId(4)]);
+        let (bytes, _) = store.restore_file(&f, VersionId(4)).unwrap();
+        assert_eq!(bytes, data(14, 20_000));
+        assert!(store.restore_file(&f, VersionId(0)).is_err());
+    }
+
+    #[test]
+    fn reopen_from_same_object_store() {
+        let oss: Arc<dyn ObjectStore> = Arc::new(Oss::in_memory());
+        let f = FileId::new("f");
+        let input = data(5, 25_000);
+        {
+            let store = SlimStoreBuilder::in_memory()
+                .with_object_store(oss.clone())
+                .with_config(SlimConfig::small_for_tests())
+                .with_rocks_config(RocksConfig::small_for_tests())
+                .build()
+                .unwrap();
+            store.backup_version(vec![(f.clone(), input.clone())]).unwrap();
+            store.run_gnode_cycle(VersionId(0)).unwrap();
+        }
+        // A fresh deployment over the same bucket sees everything.
+        let store = SlimStoreBuilder::in_memory()
+            .with_object_store(oss)
+            .with_config(SlimConfig::small_for_tests())
+            .with_rocks_config(RocksConfig::small_for_tests())
+            .build()
+            .unwrap();
+        let (bytes, _) = store.restore_file(&f, VersionId(0)).unwrap();
+        assert_eq!(bytes, input);
+        // And continues version numbering.
+        let report = store.backup_version(vec![(f.clone(), input)]).unwrap();
+        assert_eq!(report.version, VersionId(1));
+        assert!(report.stats.dedup_ratio() > 0.9, "similar index reloaded");
+    }
+
+    #[test]
+    fn scaling_is_dynamic() {
+        let store = store();
+        assert_eq!(store.l_node_count(), 1);
+        store.scale_l_nodes(6).unwrap();
+        assert_eq!(store.l_node_count(), 6);
+    }
+
+    #[test]
+    fn space_report_totals() {
+        let store = store();
+        let f = FileId::new("f");
+        store
+            .backup_version(vec![(f.clone(), data(6, 30_000))])
+            .unwrap();
+        let report = store.space_report();
+        assert!(report.container_bytes > 25_000);
+        assert!(report.recipe_bytes > 0);
+        assert!(report.total() >= report.container_bytes + report.recipe_bytes);
+    }
+
+    #[test]
+    fn verify_detects_mismatch() {
+        let store = store();
+        let f = FileId::new("f");
+        store
+            .backup_version(vec![(f.clone(), data(7, 10_000))])
+            .unwrap();
+        let err = store
+            .verify_version(VersionId(0), &[(f, data(8, 10_000))])
+            .unwrap_err();
+        assert!(matches!(err, SlimError::Corrupt { .. }));
+    }
+}

@@ -1,0 +1,252 @@
+//! System configuration.
+//!
+//! Every tunable the paper names, with the paper's default values. The
+//! experiment harnesses sweep these; the library validates them once at
+//! construction so the hot paths can assume sane values.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{Result, SlimError};
+
+/// Configuration for a SLIMSTORE deployment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SlimConfig {
+    /// Minimum CDC chunk size in bytes (cut points below this are ignored).
+    pub min_chunk_size: usize,
+    /// Target (average/expected) CDC chunk size in bytes. The paper's default
+    /// online configuration is 4 KB (§IV-C, §VII-B).
+    pub avg_chunk_size: usize,
+    /// Maximum CDC chunk size in bytes (forced cut).
+    pub max_chunk_size: usize,
+
+    /// Number of consecutive chunks that form a segment (§III-B). Segments
+    /// are the unit of recipe prefetching and of sampling.
+    pub segment_chunks: usize,
+
+    /// Sampling rate `R`: a fingerprint is representative iff
+    /// `fp mod R == 0` (§IV-A Step 1).
+    pub sample_rate: u64,
+
+    /// Number of representative fingerprints kept per file in the similar
+    /// file index (header sampling for large files, §IV-A).
+    pub similar_index_samples: usize,
+
+    /// Container capacity in bytes; when a container reaches this it is
+    /// sealed and persisted to OSS (§IV-A Step 3).
+    pub container_capacity: usize,
+
+    /// `duplicateTimes` threshold at which consecutive duplicate chunks are
+    /// merged into a superchunk (§IV-C; the paper's experiments use 5).
+    pub merge_threshold: u32,
+    /// Minimum run length (in chunks) worth merging into a superchunk:
+    /// short runs cost a payload re-store without meaningfully shrinking the
+    /// recipe, so only runs of at least this many chunks merge.
+    pub superchunk_min_members: usize,
+    /// Maximum number of member chunks merged into one superchunk.
+    pub superchunk_max_members: usize,
+    /// Whether history-aware chunk merging is enabled.
+    pub chunk_merging: bool,
+    /// Whether history-aware skip chunking is enabled (§IV-B).
+    pub skip_chunking: bool,
+
+    /// Container utilization below which a container is recorded as *sparse*
+    /// for the current backup (§V-B; paper example 30 %).
+    pub sparse_utilization_threshold: f64,
+    /// Fraction of deleted chunks above which a container is physically
+    /// rewritten by the G-node (§VI-A; paper example 20 %).
+    pub container_rewrite_threshold: f64,
+
+    /// Look-ahead window length, in chunk records, used by LAW prefetching
+    /// and the restore caches (§V-A).
+    pub law_window: usize,
+    /// Capacity of the in-memory restore cache tier (`Cache_m`) in bytes.
+    pub restore_cache_mem: usize,
+    /// Capacity of the on-disk restore cache tier (`Cache_d`) in bytes.
+    pub restore_cache_disk: usize,
+    /// Number of background prefetch threads for LAW-based prefetching
+    /// (Table II; 6 saturates in the paper).
+    pub prefetch_threads: usize,
+}
+
+impl Default for SlimConfig {
+    fn default() -> Self {
+        SlimConfig {
+            min_chunk_size: 1024,
+            avg_chunk_size: 4 * 1024,
+            max_chunk_size: 16 * 1024,
+            segment_chunks: 128,
+            sample_rate: 32,
+            similar_index_samples: 16,
+            container_capacity: 4 * 1024 * 1024,
+            merge_threshold: 5,
+            superchunk_min_members: 8,
+            superchunk_max_members: 32,
+            chunk_merging: true,
+            skip_chunking: true,
+            sparse_utilization_threshold: 0.30,
+            container_rewrite_threshold: 0.20,
+            law_window: 2048,
+            restore_cache_mem: 64 * 1024 * 1024,
+            restore_cache_disk: 256 * 1024 * 1024,
+            prefetch_threads: 6,
+        }
+    }
+}
+
+impl SlimConfig {
+    /// A configuration scaled down for unit tests: small chunks, small
+    /// containers, small segments, so a few megabytes of input exercise all
+    /// code paths (sealed containers, multi-segment recipes, sparse
+    /// containers, superchunks).
+    pub fn small_for_tests() -> Self {
+        SlimConfig {
+            min_chunk_size: 64,
+            avg_chunk_size: 256,
+            max_chunk_size: 1024,
+            segment_chunks: 16,
+            sample_rate: 4,
+            similar_index_samples: 8,
+            container_capacity: 8 * 1024,
+            merge_threshold: 3,
+            superchunk_min_members: 2,
+            superchunk_max_members: 8,
+            chunk_merging: true,
+            skip_chunking: true,
+            sparse_utilization_threshold: 0.30,
+            container_rewrite_threshold: 0.20,
+            law_window: 64,
+            restore_cache_mem: 64 * 1024,
+            restore_cache_disk: 256 * 1024,
+            prefetch_threads: 2,
+        }
+    }
+
+    /// Validate invariants the hot paths rely on.
+    pub fn validate(&self) -> Result<()> {
+        if self.min_chunk_size == 0 {
+            return Err(SlimError::InvalidConfig("min_chunk_size must be > 0".into()));
+        }
+        if !(self.min_chunk_size <= self.avg_chunk_size
+            && self.avg_chunk_size <= self.max_chunk_size)
+        {
+            return Err(SlimError::InvalidConfig(format!(
+                "chunk sizes must satisfy min <= avg <= max, got {} <= {} <= {}",
+                self.min_chunk_size, self.avg_chunk_size, self.max_chunk_size
+            )));
+        }
+        if !self.avg_chunk_size.is_power_of_two() {
+            return Err(SlimError::InvalidConfig(format!(
+                "avg_chunk_size must be a power of two for CDC masks, got {}",
+                self.avg_chunk_size
+            )));
+        }
+        if self.segment_chunks == 0 {
+            return Err(SlimError::InvalidConfig("segment_chunks must be > 0".into()));
+        }
+        if self.container_capacity < self.max_chunk_size {
+            return Err(SlimError::InvalidConfig(format!(
+                "container_capacity ({}) must hold at least one max-size chunk ({})",
+                self.container_capacity, self.max_chunk_size
+            )));
+        }
+        if self.superchunk_max_members < 2 {
+            return Err(SlimError::InvalidConfig(
+                "superchunk_max_members must be >= 2".into(),
+            ));
+        }
+        if !(2..=self.superchunk_max_members).contains(&self.superchunk_min_members) {
+            return Err(SlimError::InvalidConfig(format!(
+                "superchunk_min_members must be within [2, max], got {}",
+                self.superchunk_min_members
+            )));
+        }
+        for (name, v) in [
+            ("sparse_utilization_threshold", self.sparse_utilization_threshold),
+            ("container_rewrite_threshold", self.container_rewrite_threshold),
+        ] {
+            if !(0.0..=1.0).contains(&v) {
+                return Err(SlimError::InvalidConfig(format!(
+                    "{name} must be within [0, 1], got {v}"
+                )));
+            }
+        }
+        if self.law_window == 0 {
+            return Err(SlimError::InvalidConfig("law_window must be > 0".into()));
+        }
+        if self.restore_cache_mem == 0 {
+            return Err(SlimError::InvalidConfig("restore_cache_mem must be > 0".into()));
+        }
+        Ok(())
+    }
+
+    /// Builder-style override of the chunk-size triple, keeping the
+    /// conventional min = avg/4, max = avg*4 spread used in CDC literature.
+    pub fn with_avg_chunk_size(mut self, avg: usize) -> Self {
+        self.avg_chunk_size = avg;
+        self.min_chunk_size = (avg / 4).max(1);
+        self.max_chunk_size = avg * 4;
+        self
+    }
+
+    /// Builder-style toggle for skip chunking.
+    pub fn with_skip_chunking(mut self, on: bool) -> Self {
+        self.skip_chunking = on;
+        self
+    }
+
+    /// Builder-style toggle for chunk merging.
+    pub fn with_chunk_merging(mut self, on: bool) -> Self {
+        self.chunk_merging = on;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        SlimConfig::default().validate().unwrap();
+        SlimConfig::small_for_tests().validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_inverted_chunk_sizes() {
+        let mut cfg = SlimConfig::default();
+        cfg.min_chunk_size = cfg.max_chunk_size + 1;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_non_power_of_two_avg() {
+        let mut cfg = SlimConfig::default();
+        cfg.avg_chunk_size = 5000;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_tiny_container() {
+        let mut cfg = SlimConfig::default();
+        cfg.container_capacity = cfg.max_chunk_size - 1;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_thresholds() {
+        let mut cfg = SlimConfig::default();
+        cfg.sparse_utilization_threshold = 1.5;
+        assert!(cfg.validate().is_err());
+        let mut cfg = SlimConfig::default();
+        cfg.container_rewrite_threshold = -0.1;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn with_avg_chunk_size_keeps_spread() {
+        let cfg = SlimConfig::default().with_avg_chunk_size(32 * 1024);
+        assert_eq!(cfg.min_chunk_size, 8 * 1024);
+        assert_eq!(cfg.max_chunk_size, 128 * 1024);
+        cfg.validate().unwrap();
+    }
+}

@@ -1,0 +1,331 @@
+//! Containers — the physical storage unit on OSS.
+//!
+//! Non-duplicate chunks are aggregated into fixed-capacity containers
+//! (§III-B). A container's *data object* is the raw concatenation of chunk
+//! payloads; its *metadata* records each chunk's fingerprint, offset, length
+//! and deletion state, plus the stale-chunk proportion used by sparse
+//! container compaction (§V-B) and reverse deduplication (§VI-A). Metadata is
+//! stored as a separate OSS object so the G-node can mark chunks deleted
+//! without touching payload bytes.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::codec::{Reader, Writer};
+use crate::error::Result;
+use crate::fingerprint::Fingerprint;
+
+/// Globally unique, monotonically increasing container identifier.
+///
+/// Monotonicity matters: reverse deduplication keeps the copy in the
+/// *newer* container (larger id) and deletes the copy in the older one.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ContainerId(pub u64);
+
+impl fmt::Display for ContainerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "C{}", self.0)
+    }
+}
+
+/// Metadata for one chunk stored in a container.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ContainerEntry {
+    /// Fingerprint of the stored payload.
+    pub fp: Fingerprint,
+    /// Byte offset of the payload within the container data object.
+    pub offset: u32,
+    /// Payload length in bytes.
+    pub len: u32,
+    /// Set by reverse deduplication / SCC when this copy is superseded; the
+    /// payload bytes remain until the container is rewritten.
+    pub deleted: bool,
+}
+
+const META_MAGIC: &[u8; 4] = b"SLCM";
+const META_VERSION: u8 = 1;
+
+/// Metadata of one container.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ContainerMeta {
+    /// The container this metadata describes.
+    pub id: ContainerId,
+    /// Entries in physical (offset) order.
+    pub entries: Vec<ContainerEntry>,
+    /// Total payload bytes when the container was sealed (including bytes of
+    /// chunks that were later marked deleted).
+    pub data_len: u32,
+}
+
+impl ContainerMeta {
+    /// Metadata for a freshly sealed container.
+    pub fn new(id: ContainerId, entries: Vec<ContainerEntry>, data_len: u32) -> Self {
+        ContainerMeta { id, entries, data_len }
+    }
+
+    /// Number of chunks, including deleted ones.
+    pub fn total_chunks(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Number of live (not deleted) chunks.
+    pub fn live_chunks(&self) -> usize {
+        self.entries.iter().filter(|e| !e.deleted).count()
+    }
+
+    /// Number of chunks marked deleted.
+    pub fn deleted_chunks(&self) -> usize {
+        self.entries.len() - self.live_chunks()
+    }
+
+    /// Bytes of live payload.
+    pub fn live_bytes(&self) -> u64 {
+        self.entries
+            .iter()
+            .filter(|e| !e.deleted)
+            .map(|e| e.len as u64)
+            .sum()
+    }
+
+    /// Bytes of deleted payload still physically present.
+    pub fn stale_bytes(&self) -> u64 {
+        self.entries
+            .iter()
+            .filter(|e| e.deleted)
+            .map(|e| e.len as u64)
+            .sum()
+    }
+
+    /// Fraction of chunks marked deleted (the §VI-A rewrite trigger).
+    pub fn deleted_ratio(&self) -> f64 {
+        if self.entries.is_empty() {
+            return 0.0;
+        }
+        self.deleted_chunks() as f64 / self.entries.len() as f64
+    }
+
+    /// Find the live entry for `fp`, if present.
+    pub fn find_live(&self, fp: &Fingerprint) -> Option<&ContainerEntry> {
+        self.entries.iter().find(|e| !e.deleted && e.fp == *fp)
+    }
+
+    /// Find any entry for `fp` (live or deleted).
+    pub fn find(&self, fp: &Fingerprint) -> Option<&ContainerEntry> {
+        self.entries.iter().find(|e| e.fp == *fp)
+    }
+
+    /// Mark the entry for `fp` deleted. Returns whether an entry flipped
+    /// from live to deleted.
+    pub fn mark_deleted(&mut self, fp: &Fingerprint) -> bool {
+        for e in &mut self.entries {
+            if e.fp == *fp && !e.deleted {
+                e.deleted = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Map fingerprint → (offset, len) for all live entries.
+    pub fn live_map(&self) -> HashMap<Fingerprint, (u32, u32)> {
+        self.entries
+            .iter()
+            .filter(|e| !e.deleted)
+            .map(|e| (e.fp, (e.offset, e.len)))
+            .collect()
+    }
+
+    /// Serialize to the OSS wire format.
+    pub fn encode(&self) -> bytes::Bytes {
+        let mut w = Writer::with_header(META_MAGIC, META_VERSION);
+        w.u64(self.id.0);
+        w.u32(self.data_len);
+        w.u32(self.entries.len() as u32);
+        for e in &self.entries {
+            w.fingerprint(&e.fp);
+            w.u32(e.offset);
+            w.u32(e.len);
+            w.u8(u8::from(e.deleted));
+        }
+        w.freeze()
+    }
+
+    /// Deserialize from the OSS wire format.
+    pub fn decode(buf: &[u8]) -> Result<Self> {
+        let mut r = Reader::new(buf, "container meta");
+        r.expect_header(META_MAGIC, META_VERSION)?;
+        let id = ContainerId(r.u64()?);
+        let data_len = r.u32()?;
+        let n = r.u32()? as usize;
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            entries.push(ContainerEntry {
+                fp: r.fingerprint()?,
+                offset: r.u32()?,
+                len: r.u32()?,
+                deleted: r.u8()? != 0,
+            });
+        }
+        r.finish()?;
+        Ok(ContainerMeta { id, entries, data_len })
+    }
+}
+
+/// An in-memory container being filled by a backup job (§IV-A Step 3).
+///
+/// When [`ContainerBuilder::is_full`] reports true the caller seals it,
+/// persists the data object and metadata to OSS, and starts a new one.
+pub struct ContainerBuilder {
+    id: ContainerId,
+    capacity: usize,
+    data: Vec<u8>,
+    entries: Vec<ContainerEntry>,
+}
+
+impl ContainerBuilder {
+    /// Start a new container with the given identity and byte capacity.
+    pub fn new(id: ContainerId, capacity: usize) -> Self {
+        ContainerBuilder {
+            id,
+            capacity,
+            data: Vec::with_capacity(capacity),
+            entries: Vec::new(),
+        }
+    }
+
+    /// The id this container will be sealed under.
+    pub fn id(&self) -> ContainerId {
+        self.id
+    }
+
+    /// Bytes currently buffered.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether no chunk has been added yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether adding `next_len` more bytes would exceed capacity.
+    pub fn would_overflow(&self, next_len: usize) -> bool {
+        !self.data.is_empty() && self.data.len() + next_len > self.capacity
+    }
+
+    /// Whether the container has reached capacity.
+    pub fn is_full(&self) -> bool {
+        self.data.len() >= self.capacity
+    }
+
+    /// Append one chunk payload; returns its entry.
+    pub fn push(&mut self, fp: Fingerprint, payload: &[u8]) -> ContainerEntry {
+        let entry = ContainerEntry {
+            fp,
+            offset: self.data.len() as u32,
+            len: payload.len() as u32,
+            deleted: false,
+        };
+        self.data.extend_from_slice(payload);
+        self.entries.push(entry);
+        entry
+    }
+
+    /// Seal: produce the data object and its metadata.
+    pub fn seal(self) -> (bytes::Bytes, ContainerMeta) {
+        let data_len = self.data.len() as u32;
+        (
+            bytes::Bytes::from(self.data),
+            ContainerMeta::new(self.id, self.entries, data_len),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(b: u8) -> Fingerprint {
+        Fingerprint::from_slice(&[b; 20]).unwrap()
+    }
+
+    #[test]
+    fn builder_tracks_offsets() {
+        let mut b = ContainerBuilder::new(ContainerId(1), 1024);
+        let e1 = b.push(fp(1), &[0u8; 100]);
+        let e2 = b.push(fp(2), &[0u8; 50]);
+        assert_eq!(e1.offset, 0);
+        assert_eq!(e1.len, 100);
+        assert_eq!(e2.offset, 100);
+        assert_eq!(e2.len, 50);
+        let (data, meta) = b.seal();
+        assert_eq!(data.len(), 150);
+        assert_eq!(meta.data_len, 150);
+        assert_eq!(meta.total_chunks(), 2);
+    }
+
+    #[test]
+    fn overflow_check() {
+        let mut b = ContainerBuilder::new(ContainerId(1), 128);
+        assert!(!b.would_overflow(4096), "empty container accepts any chunk");
+        b.push(fp(1), &[0u8; 100]);
+        assert!(b.would_overflow(29));
+        assert!(!b.would_overflow(28));
+        assert!(!b.is_full());
+        b.push(fp(2), &[0u8; 28]);
+        assert!(b.is_full());
+    }
+
+    #[test]
+    fn meta_roundtrip() {
+        let meta = ContainerMeta::new(
+            ContainerId(9),
+            vec![
+                ContainerEntry { fp: fp(1), offset: 0, len: 10, deleted: false },
+                ContainerEntry { fp: fp(2), offset: 10, len: 20, deleted: true },
+            ],
+            30,
+        );
+        let buf = meta.encode();
+        let back = ContainerMeta::decode(&buf).unwrap();
+        assert_eq!(back, meta);
+    }
+
+    #[test]
+    fn meta_decode_rejects_corruption() {
+        let meta = ContainerMeta::new(ContainerId(1), vec![], 0);
+        let mut buf = meta.encode().to_vec();
+        buf[0] ^= 0xff;
+        assert!(ContainerMeta::decode(&buf).is_err());
+        let buf = meta.encode();
+        assert!(ContainerMeta::decode(&buf[..buf.len() - 1]).is_err());
+    }
+
+    #[test]
+    fn utilization_accounting() {
+        let mut meta = ContainerMeta::new(
+            ContainerId(3),
+            vec![
+                ContainerEntry { fp: fp(1), offset: 0, len: 10, deleted: false },
+                ContainerEntry { fp: fp(2), offset: 10, len: 30, deleted: false },
+                ContainerEntry { fp: fp(3), offset: 40, len: 60, deleted: false },
+            ],
+            100,
+        );
+        assert_eq!(meta.live_bytes(), 100);
+        assert_eq!(meta.deleted_ratio(), 0.0);
+        assert!(meta.mark_deleted(&fp(2)));
+        assert!(!meta.mark_deleted(&fp(2)), "second mark is a no-op");
+        assert!(!meta.mark_deleted(&fp(9)), "unknown fp is a no-op");
+        assert_eq!(meta.live_bytes(), 70);
+        assert_eq!(meta.stale_bytes(), 30);
+        assert!((meta.deleted_ratio() - 1.0 / 3.0).abs() < 1e-9);
+        assert!(meta.find_live(&fp(2)).is_none());
+        assert!(meta.find(&fp(2)).is_some());
+        assert_eq!(meta.live_map().len(), 2);
+    }
+}

@@ -1,0 +1,65 @@
+//! Error type shared across the SLIMSTORE crates.
+
+use thiserror::Error;
+
+/// Errors produced by SLIMSTORE components.
+#[derive(Debug, Error)]
+pub enum SlimError {
+    /// An object requested from the object store does not exist.
+    #[error("object not found: {0}")]
+    ObjectNotFound(String),
+
+    /// A byte-range read fell outside the object bounds.
+    #[error("range {start}..{end} out of bounds for object {key} of {len} bytes")]
+    RangeOutOfBounds {
+        key: String,
+        start: u64,
+        end: u64,
+        len: u64,
+    },
+
+    /// A serialized structure failed to decode.
+    #[error("corrupt {what}: {detail}")]
+    Corrupt { what: &'static str, detail: String },
+
+    /// A chunk referenced by a recipe could not be located in any container.
+    #[error("chunk {fp} unresolvable: {detail}")]
+    ChunkUnresolvable { fp: String, detail: String },
+
+    /// A container referenced by a recipe is missing from the container store.
+    #[error("container {0} missing")]
+    ContainerMissing(u64),
+
+    /// The requested backup version does not exist (or was collected).
+    #[error("version {0} not found")]
+    VersionNotFound(u64),
+
+    /// The requested file does not exist in the given version.
+    #[error("file {file} not found in version {version}")]
+    FileNotFound { file: String, version: u64 },
+
+    /// Fault injected by a test or the simulated network.
+    #[error("injected fault: {0}")]
+    InjectedFault(String),
+
+    /// Configuration rejected at construction time.
+    #[error("invalid configuration: {0}")]
+    InvalidConfig(String),
+
+    /// An I/O error from the local-disk tier of the restore cache.
+    #[error("io error: {0}")]
+    Io(#[from] std::io::Error),
+}
+
+/// Convenience alias used across all SLIMSTORE crates.
+pub type Result<T> = std::result::Result<T, SlimError>;
+
+impl SlimError {
+    /// Helper for constructing [`SlimError::Corrupt`].
+    pub fn corrupt(what: &'static str, detail: impl Into<String>) -> Self {
+        SlimError::Corrupt {
+            what,
+            detail: detail.into(),
+        }
+    }
+}

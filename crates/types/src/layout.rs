@@ -1,0 +1,80 @@
+//! OSS key layout of the SLIMSTORE storage layer.
+//!
+//! All components agree on this single naming scheme, so the storage layer
+//! (§III-B) is fully described by the object store contents: container data
+//! and metadata, per-file-version recipes and recipe indexes, per-version
+//! manifests, the similar-file index snapshot, and the Rocks-OSS prefix of
+//! the global index.
+
+use crate::container::ContainerId;
+use crate::version::{FileId, VersionId};
+
+/// Key of a container's data object.
+pub fn container_data(id: ContainerId) -> String {
+    format!("containers/{:012}/data", id.0)
+}
+
+/// Key of a container's metadata object.
+pub fn container_meta(id: ContainerId) -> String {
+    format!("containers/{:012}/meta", id.0)
+}
+
+/// Prefix listing both objects of a container.
+pub fn container_prefix(id: ContainerId) -> String {
+    format!("containers/{:012}/", id.0)
+}
+
+/// Key of the recipe of `file` at `version`.
+pub fn recipe(file: &FileId, version: VersionId) -> String {
+    format!("recipes/{}/{:08}", file.as_str(), version.0)
+}
+
+/// Key of the recipe index of `file` at `version`.
+pub fn recipe_index(file: &FileId, version: VersionId) -> String {
+    format!("recipe-index/{}/{:08}", file.as_str(), version.0)
+}
+
+/// Key of the manifest of `version`.
+pub fn version_manifest(version: VersionId) -> String {
+    format!("versions/{:08}", version.0)
+}
+
+/// Prefix of all version manifests.
+pub const VERSION_PREFIX: &str = "versions/";
+
+/// Key of the similar-file index snapshot.
+pub const SIMILAR_INDEX: &str = "similar-index/current";
+
+/// Rocks-OSS prefix of the global fingerprint index.
+pub const GLOBAL_INDEX_PREFIX: &str = "global-index/";
+
+/// Prefix of all container objects (for space accounting).
+pub const CONTAINER_PREFIX: &str = "containers/";
+
+/// Prefix of all recipe objects.
+pub const RECIPE_PREFIX: &str = "recipes/";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_stable_and_sortable() {
+        assert_eq!(container_data(ContainerId(7)), "containers/000000000007/data");
+        assert_eq!(container_meta(ContainerId(7)), "containers/000000000007/meta");
+        assert!(container_data(ContainerId(9)) < container_data(ContainerId(10)));
+        let f = FileId::new("db/t1.ibd");
+        assert_eq!(recipe(&f, VersionId(3)), "recipes/db/t1.ibd/00000003");
+        assert_eq!(recipe_index(&f, VersionId(3)), "recipe-index/db/t1.ibd/00000003");
+        assert_eq!(version_manifest(VersionId(12)), "versions/00000012");
+        assert!(version_manifest(VersionId(2)) < version_manifest(VersionId(10)));
+    }
+
+    #[test]
+    fn container_keys_share_prefix() {
+        let id = ContainerId(42);
+        assert!(container_data(id).starts_with(&container_prefix(id)));
+        assert!(container_meta(id).starts_with(&container_prefix(id)));
+        assert!(container_prefix(id).starts_with(CONTAINER_PREFIX));
+    }
+}

@@ -1,0 +1,136 @@
+//! Property tests of every persisted format: arbitrary structures must
+//! round-trip bit-exactly, and recipe segment spans must always support
+//! independent range decoding.
+
+use proptest::prelude::*;
+use slim_types::{
+    ChunkRecord, ContainerEntry, ContainerId, ContainerMeta, FileBackupInfo, FileId,
+    Fingerprint, Recipe, RecipeIndex, RecipeIndexEntry, SegmentRecipe, SuperChunkInfo,
+    VersionManifest,
+};
+
+fn fp_strategy() -> impl Strategy<Value = Fingerprint> {
+    proptest::array::uniform20(any::<u8>()).prop_map(Fingerprint::from_bytes)
+}
+
+fn record_strategy() -> impl Strategy<Value = ChunkRecord> {
+    (
+        fp_strategy(),
+        any::<u64>(),
+        1..u32::MAX,
+        any::<u32>(),
+        proptest::option::of((fp_strategy(), 1..u32::MAX, 2..64u32)),
+    )
+        .prop_map(|(fp, cid, size, dup, sc)| ChunkRecord {
+            fp,
+            container_id: ContainerId(cid),
+            size,
+            duplicate_times: dup,
+            super_chunk: sc.map(|(first_chunk, first_chunk_size, member_count)| SuperChunkInfo {
+                first_chunk,
+                first_chunk_size,
+                member_count,
+            }),
+        })
+}
+
+fn recipe_strategy() -> impl Strategy<Value = Recipe> {
+    proptest::collection::vec(
+        proptest::collection::vec(record_strategy(), 0..20).prop_map(SegmentRecipe::new),
+        0..8,
+    )
+    .prop_map(|segments| Recipe { segments })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn recipe_roundtrip(recipe in recipe_strategy()) {
+        let (buf, spans) = recipe.encode();
+        prop_assert_eq!(spans.len(), recipe.segments.len());
+        let back = Recipe::decode(&buf).unwrap();
+        prop_assert_eq!(&back, &recipe);
+        // Every span decodes independently to its segment.
+        for (i, span) in spans.iter().enumerate() {
+            let block = &buf[span.offset as usize..(span.offset + span.len) as usize];
+            let seg = SegmentRecipe::decode_block(block).unwrap();
+            prop_assert_eq!(&seg, &recipe.segments[i]);
+        }
+    }
+
+    #[test]
+    fn recipe_decode_never_panics_on_garbage(bytes in proptest::collection::vec(any::<u8>(), 0..300)) {
+        let _ = Recipe::decode(&bytes);
+        let _ = RecipeIndex::decode(&bytes);
+        let _ = ContainerMeta::decode(&bytes);
+        let _ = VersionManifest::decode(&bytes);
+    }
+
+    #[test]
+    fn recipe_index_roundtrip(
+        entries in proptest::collection::vec(
+            (fp_strategy(), any::<u32>(), any::<u32>(), any::<u32>()),
+            0..40,
+        )
+    ) {
+        let mut index = RecipeIndex::new();
+        for (sample_fp, segment_idx, off, len) in entries {
+            index.push(RecipeIndexEntry {
+                sample_fp,
+                segment_idx,
+                span: slim_types::recipe::SegmentSpan { offset: off as u64, len: len as u64 },
+            });
+        }
+        let back = RecipeIndex::decode(&index.encode()).unwrap();
+        prop_assert_eq!(back, index);
+    }
+
+    #[test]
+    fn container_meta_roundtrip(
+        id in any::<u64>(),
+        entries in proptest::collection::vec(
+            (fp_strategy(), any::<u32>(), 1..u32::MAX, any::<bool>()),
+            0..32,
+        )
+    ) {
+        let entries: Vec<ContainerEntry> = entries
+            .into_iter()
+            .map(|(fp, offset, len, deleted)| ContainerEntry { fp, offset, len, deleted })
+            .collect();
+        let data_len = entries.iter().map(|e| e.len).fold(0u32, u32::wrapping_add);
+        let meta = ContainerMeta::new(ContainerId(id), entries, data_len);
+        let back = ContainerMeta::decode(&meta.encode()).unwrap();
+        prop_assert_eq!(&back, &meta);
+        // Accounting identities.
+        prop_assert_eq!(back.live_chunks() + back.deleted_chunks(), back.total_chunks());
+        prop_assert!(back.deleted_ratio() >= 0.0 && back.deleted_ratio() <= 1.0);
+    }
+
+    #[test]
+    fn manifest_roundtrip(
+        version in any::<u64>(),
+        files in proptest::collection::vec(("[a-z/]{1,24}", any::<u64>(), any::<u64>()), 0..8),
+        containers in proptest::collection::vec(any::<u64>(), 0..16),
+    ) {
+        let manifest = VersionManifest {
+            version,
+            files: files
+                .into_iter()
+                .map(|(name, logical, stored)| FileBackupInfo {
+                    file: FileId::new(name),
+                    recipe_key: "k".into(),
+                    recipe_index_key: "i".into(),
+                    logical_bytes: logical,
+                    stored_bytes: stored,
+                    chunk_count: 0,
+                    duplicate_count: 0,
+                })
+                .collect(),
+            new_containers: containers.iter().copied().map(ContainerId).collect(),
+            garbage_on_delete: containers.into_iter().map(ContainerId).collect(),
+        };
+        let back = VersionManifest::decode(&manifest.encode()).unwrap();
+        prop_assert_eq!(back, manifest);
+    }
+}

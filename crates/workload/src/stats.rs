@@ -1,0 +1,81 @@
+//! Dataset statistics — the Table I reproduction.
+
+use crate::generator::Workload;
+
+/// The characteristics row of one dataset (Table I of the paper).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStats {
+    /// Dataset name.
+    pub name: String,
+    /// Total bytes across all versions.
+    pub total_bytes: u64,
+    /// Number of versions.
+    pub versions: usize,
+    /// Number of files.
+    pub files: usize,
+    /// Average between-version duplication ratio.
+    pub avg_dup_ratio: f64,
+    /// Average within-version self-reference fraction.
+    pub self_reference: f64,
+}
+
+impl DatasetStats {
+    /// Measure a workload. `sample_files` bounds how many files are measured
+    /// for the ratio statistics (content generation is the expensive part);
+    /// sizes are exact.
+    pub fn measure(workload: &Workload, sample_files: usize) -> DatasetStats {
+        let cfg = workload.config();
+        let mut total_bytes: u64 = 0;
+        for v in 0..cfg.versions {
+            for f in 0..cfg.files {
+                total_bytes += workload.file_bytes(f, v).len() as u64;
+            }
+        }
+        let step = (cfg.files / sample_files.max(1)).max(1);
+        let sampled: Vec<usize> = (0..cfg.files).step_by(step).collect();
+        let mut dup_sum = 0.0;
+        let mut dup_n = 0usize;
+        for &f in &sampled {
+            for v in 1..cfg.versions {
+                dup_sum += workload.measured_dup_ratio(f, v);
+                dup_n += 1;
+            }
+        }
+        let mut self_sum = 0.0;
+        for &f in &sampled {
+            self_sum += workload.measured_self_reference(f, 0);
+        }
+        DatasetStats {
+            name: cfg.name.clone(),
+            total_bytes,
+            versions: cfg.versions,
+            files: cfg.files,
+            avg_dup_ratio: if dup_n == 0 { 0.0 } else { dup_sum / dup_n as f64 },
+            self_reference: self_sum / sampled.len() as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::WorkloadConfig;
+
+    #[test]
+    fn tiny_dataset_statistics_match_config() {
+        let cfg = WorkloadConfig::tiny_for_tests();
+        let w = Workload::new(cfg.clone());
+        let stats = DatasetStats::measure(&w, 3);
+        assert_eq!(stats.versions, cfg.versions);
+        assert_eq!(stats.files, cfg.files);
+        assert!(stats.total_bytes > 0);
+        let target_mid = (cfg.dup_ratio_min + cfg.dup_ratio_max) / 2.0;
+        assert!(
+            (stats.avg_dup_ratio - target_mid).abs() < 0.2,
+            "avg dup ratio {} far from configured mid {}",
+            stats.avg_dup_ratio,
+            target_mid
+        );
+        assert!(stats.self_reference > 0.0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Multi-tenant service: many users share one OSS bucket, each with a fully
+//! isolated SLIMSTORE deployment — the paper's cloud-backup service model,
+//! where the similar-file index and global fingerprint index are per user.
+//!
+//! ```sh
+//! cargo run --release --example multi_tenant
+//! ```
+
+use std::sync::Arc;
+
+use slim_oss::{ObjectStore, Oss};
+use slim_types::{FileId, VersionId};
+use slimstore::SlimStoreBuilder;
+
+fn main() -> slim_types::Result<()> {
+    // One shared bucket for the whole service.
+    let bucket: Arc<dyn ObjectStore> = Arc::new(Oss::in_memory());
+
+    let tenants = ["acme", "globex", "initech"];
+    for (i, tenant) in tenants.iter().enumerate() {
+        let store = SlimStoreBuilder::in_memory()
+            .with_object_store(bucket.clone())
+            .with_tenant(tenant)?
+            .build()?;
+        // Every tenant uses the same file path and version numbers —
+        // namespaces keep them apart.
+        let file = FileId::new("db/main.sqlite");
+        let v0 = format!("{tenant} confidential row set {i}")
+            .into_bytes()
+            .repeat(3000);
+        let mut v1 = v0.clone();
+        v1.extend_from_slice(format!("{tenant} appended transactions").as_bytes());
+
+        let r0 = store.backup_version(vec![(file.clone(), v0)])?;
+        let r1 = store.backup_version(vec![(file.clone(), v1.clone())])?;
+        store.run_gnode_cycle(r1.version)?;
+        let (restored, _) = store.restore_file(&file, r1.version)?;
+        assert_eq!(restored, v1);
+        println!(
+            "tenant {tenant:<8} v{}..v{}: dedup {:>5.1}%, integrity {}",
+            r0.version.0,
+            r1.version.0,
+            r1.stats.dedup_ratio() * 100.0,
+            if store.scrub().is_ok() { "ok" } else { "FAILED" },
+        );
+    }
+
+    // Cross-tenant isolation check: reopening one tenant sees only its own
+    // data, and its restore differs from every other tenant's.
+    let mut payloads = Vec::new();
+    for tenant in tenants {
+        let store = SlimStoreBuilder::in_memory()
+            .with_object_store(bucket.clone())
+            .with_tenant(tenant)?
+            .build()?;
+        let (bytes, _) =
+            store.restore_file(&FileId::new("db/main.sqlite"), VersionId(1))?;
+        payloads.push(bytes);
+    }
+    assert!(payloads.windows(2).all(|w| w[0] != w[1]));
+    println!(
+        "\n{} tenants share one bucket ({} objects) with zero cross-tenant visibility",
+        tenants.len(),
+        bucket.list("tenants/").len(),
+    );
+    Ok(())
+}

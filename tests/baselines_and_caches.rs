@@ -1,0 +1,193 @@
+//! Cross-system integration tests: every baseline round-trips the shared
+//! workload, and every restore strategy reconstructs identical bytes while
+//! respecting its expected I/O ordering (FV never reads more containers than
+//! the window-limited baselines given the same budget).
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use slim_oss::Oss;
+use slim_types::{FileId, SlimConfig, VersionId};
+use slimstore_repro::baselines::{
+    AlaccRestore, HarSystem, LruContainerRestore, OptContainerRestore, ResticSim,
+    RestoreCacheSim, SiloSystem, SparseIndexingSystem,
+};
+use slimstore_repro::chunking::{ChunkSpec, FastCdcChunker};
+use slimstore_repro::index::SimilarFileIndex;
+use slimstore_repro::lnode::backup::BackupPipeline;
+use slimstore_repro::lnode::restore::{RestoreEngine, RestoreOptions};
+use slimstore_repro::lnode::StorageLayer;
+use slimstore_repro::workload::{Workload, WorkloadConfig};
+
+fn workload_versions() -> (FileId, Vec<Vec<u8>>) {
+    let workload = Workload::new(WorkloadConfig::tiny_for_tests());
+    let versions = (0..workload.config().versions)
+        .map(|v| workload.file_bytes(0, v))
+        .collect();
+    (workload.file_id(0), versions)
+}
+
+#[test]
+fn all_dedup_systems_roundtrip_the_same_workload() {
+    let (file, versions) = workload_versions();
+    let cfg = SlimConfig::small_for_tests();
+    let opts = RestoreOptions::from_config(&cfg);
+
+    // SLIMSTORE L-node pipeline.
+    {
+        let storage = StorageLayer::open(Arc::new(Oss::in_memory()));
+        let similar = SimilarFileIndex::new();
+        let chunker = FastCdcChunker::new(ChunkSpec::from_config(&cfg));
+        let pipeline = BackupPipeline::new(&storage, &similar, &chunker, &cfg);
+        for (v, data) in versions.iter().enumerate() {
+            pipeline.backup_file(&file, VersionId(v as u64), data).unwrap();
+        }
+        let engine = RestoreEngine::new(&storage, None);
+        for (v, expected) in versions.iter().enumerate() {
+            let (out, _) = engine
+                .restore_file(&file, VersionId(v as u64), &opts)
+                .unwrap();
+            assert_eq!(&out, expected, "slimstore v{v}");
+        }
+    }
+
+    // SiLO.
+    {
+        let storage = StorageLayer::open(Arc::new(Oss::in_memory()));
+        let mut silo = SiloSystem::new(
+            storage.clone(),
+            cfg.clone(),
+            Box::new(FastCdcChunker::new(ChunkSpec::from_config(&cfg))),
+        );
+        for (v, data) in versions.iter().enumerate() {
+            silo.backup_file(&file, VersionId(v as u64), data).unwrap();
+        }
+        let engine = RestoreEngine::new(&storage, None);
+        for (v, expected) in versions.iter().enumerate() {
+            let (out, _) = engine
+                .restore_file(&file, VersionId(v as u64), &opts)
+                .unwrap();
+            assert_eq!(&out, expected, "silo v{v}");
+        }
+    }
+
+    // Sparse Indexing.
+    {
+        let storage = StorageLayer::open(Arc::new(Oss::in_memory()));
+        let mut sparse = SparseIndexingSystem::new(
+            storage.clone(),
+            cfg.clone(),
+            Box::new(FastCdcChunker::new(ChunkSpec::from_config(&cfg))),
+        );
+        for (v, data) in versions.iter().enumerate() {
+            sparse.backup_file(&file, VersionId(v as u64), data).unwrap();
+        }
+        let engine = RestoreEngine::new(&storage, None);
+        for (v, expected) in versions.iter().enumerate() {
+            let (out, _) = engine
+                .restore_file(&file, VersionId(v as u64), &opts)
+                .unwrap();
+            assert_eq!(&out, expected, "sparse-indexing v{v}");
+        }
+    }
+
+    // HAR.
+    {
+        let storage = StorageLayer::open(Arc::new(Oss::in_memory()));
+        let mut har = HarSystem::new(
+            storage.clone(),
+            cfg.clone(),
+            Box::new(FastCdcChunker::new(ChunkSpec::from_config(&cfg))),
+        );
+        for (v, data) in versions.iter().enumerate() {
+            har.backup_file(&file, VersionId(v as u64), data).unwrap();
+        }
+        let engine = RestoreEngine::new(&storage, None);
+        for (v, expected) in versions.iter().enumerate() {
+            let (out, _) = engine
+                .restore_file(&file, VersionId(v as u64), &opts)
+                .unwrap();
+            assert_eq!(&out, expected, "har v{v}");
+        }
+    }
+
+    // restic.
+    {
+        let restic = ResticSim::new(Arc::new(Oss::in_memory()), Duration::ZERO, 1024);
+        for (v, data) in versions.iter().enumerate() {
+            restic.backup_file(&file, VersionId(v as u64), data).unwrap();
+        }
+        for (v, expected) in versions.iter().enumerate() {
+            let (out, _) = restic.restore_file(&file, VersionId(v as u64)).unwrap();
+            assert_eq!(&out, expected, "restic v{v}");
+        }
+    }
+}
+
+#[test]
+fn restore_strategies_agree_and_fv_reads_fewest() {
+    let (file, versions) = workload_versions();
+    let cfg = SlimConfig::small_for_tests();
+    let storage = StorageLayer::open(Arc::new(Oss::in_memory()));
+    let similar = SimilarFileIndex::new();
+    let chunker = FastCdcChunker::new(ChunkSpec::from_config(&cfg));
+    let pipeline = BackupPipeline::new(&storage, &similar, &chunker, &cfg);
+    for (v, data) in versions.iter().enumerate() {
+        pipeline.backup_file(&file, VersionId(v as u64), data).unwrap();
+    }
+    let last = VersionId(versions.len() as u64 - 1);
+    let expected = versions.last().unwrap();
+    let recipe = storage.get_recipe(&file, last).unwrap();
+
+    let budget = 8 * 1024; // deliberately tight
+    let engine = RestoreEngine::new(&storage, None);
+    let fv_opts = RestoreOptions {
+        cache_mem: budget,
+        cache_disk: budget * 8,
+        law_window: 32,
+        prefetch_threads: 0,
+    };
+    let (fv_out, fv_stats) = engine.restore_file(&file, last, &fv_opts).unwrap();
+    assert_eq!(&fv_out, expected);
+
+    let mut others: Vec<(&str, Box<dyn RestoreCacheSim>)> = vec![
+        ("lru", Box::new(LruContainerRestore::new(budget))),
+        ("opt", Box::new(OptContainerRestore::new(budget, 32))),
+        ("alacc", Box::new(AlaccRestore::new(budget / 4, budget, 32))),
+    ];
+    for (name, sim) in &mut others {
+        let (out, stats) = sim.restore(&storage, &recipe).unwrap();
+        assert_eq!(&out, expected, "{name} bytes differ");
+        assert!(
+            fv_stats.containers_read <= stats.containers_read,
+            "{name} read fewer containers ({}) than FV ({})",
+            stats.containers_read,
+            fv_stats.containers_read
+        );
+    }
+}
+
+#[test]
+fn restic_lock_serializes_but_stays_correct_under_concurrency() {
+    let restic = Arc::new(ResticSim::new(
+        Arc::new(Oss::in_memory()),
+        Duration::ZERO,
+        1024,
+    ));
+    let workload = Workload::new(WorkloadConfig::tiny_for_tests());
+    let files: Vec<_> = workload.version_files(0).collect();
+    std::thread::scope(|s| {
+        for f in &files {
+            let restic = restic.clone();
+            s.spawn(move || {
+                restic
+                    .backup_file(&f.file, VersionId(0), &f.data)
+                    .unwrap();
+            });
+        }
+    });
+    for f in &files {
+        let (out, _) = restic.restore_file(&f.file, VersionId(0)).unwrap();
+        assert_eq!(out, f.data);
+    }
+}

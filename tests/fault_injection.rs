@@ -1,0 +1,153 @@
+//! Fault-injection tests: OSS failures must surface as errors — never as
+//! silent corruption — and previously persisted versions must stay
+//! restorable after a failed job.
+
+use std::sync::Arc;
+
+use slim_oss::{FaultPlan, ObjectStore, Oss};
+use slim_types::{FileId, SlimConfig, SlimError, VersionId};
+use slimstore_repro::chunking::{ChunkSpec, FastCdcChunker};
+use slimstore_repro::index::SimilarFileIndex;
+use slimstore_repro::lnode::backup::BackupPipeline;
+use slimstore_repro::lnode::restore::{RestoreEngine, RestoreOptions};
+use slimstore_repro::lnode::StorageLayer;
+
+fn data(seed: u64, len: usize) -> Vec<u8> {
+    use rand::{RngCore, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut buf = vec![0u8; len];
+    rng.fill_bytes(&mut buf);
+    buf
+}
+
+struct Env {
+    oss: Oss,
+    storage: StorageLayer,
+    similar: SimilarFileIndex,
+    cfg: SlimConfig,
+}
+
+fn setup() -> Env {
+    let oss = Oss::in_memory();
+    Env {
+        storage: StorageLayer::open(Arc::new(oss.clone())),
+        oss,
+        similar: SimilarFileIndex::new(),
+        cfg: SlimConfig::small_for_tests(),
+    }
+}
+
+impl Env {
+    fn backup(&self, file: &FileId, v: u64, bytes: &[u8]) -> slim_types::Result<()> {
+        let chunker = FastCdcChunker::new(ChunkSpec::from_config(&self.cfg));
+        BackupPipeline::new(&self.storage, &self.similar, &chunker, &self.cfg)
+            .backup_file(file, VersionId(v), bytes)
+            .map(|_| ())
+    }
+
+    fn restore(&self, file: &FileId, v: u64) -> slim_types::Result<Vec<u8>> {
+        RestoreEngine::new(&self.storage, None)
+            .restore_file(file, VersionId(v), &RestoreOptions::from_config(&self.cfg))
+            .map(|(bytes, _)| bytes)
+    }
+}
+
+#[test]
+fn container_write_failure_fails_backup() {
+    let env = setup();
+    let file = FileId::new("f");
+    env.oss.inject_fault(FaultPlan::KeyPrefix("containers/".into()));
+    let err = env.backup(&file, 0, &data(1, 20_000)).unwrap_err();
+    assert!(matches!(err, SlimError::InjectedFault(_)), "{err}");
+    env.oss.clear_faults();
+    // Retry succeeds and restores.
+    env.backup(&file, 0, &data(1, 20_000)).unwrap();
+    assert_eq!(env.restore(&file, 0).unwrap(), data(1, 20_000));
+}
+
+#[test]
+fn recipe_write_failure_fails_backup_but_preserves_old_versions() {
+    let env = setup();
+    let file = FileId::new("f");
+    let v0 = data(2, 20_000);
+    env.backup(&file, 0, &v0).unwrap();
+    env.oss.inject_fault(FaultPlan::KeyPrefix("recipes/".into()));
+    assert!(env.backup(&file, 1, &data(3, 20_000)).is_err());
+    env.oss.clear_faults();
+    // v0 untouched.
+    assert_eq!(env.restore(&file, 0).unwrap(), v0);
+}
+
+#[test]
+fn transient_failure_mid_backup_is_not_silent() {
+    let env = setup();
+    let file = FileId::new("f");
+    let input = data(4, 60_000);
+    // Fail the 3rd container operation only.
+    env.oss.inject_fault(FaultPlan::NthOnPrefix {
+        prefix: "containers/".into(),
+        nth: 3,
+    });
+    let result = env.backup(&file, 0, &input);
+    assert!(result.is_err(), "partial persistence must be reported");
+    env.oss.clear_faults();
+    env.backup(&file, 0, &input).unwrap();
+    assert_eq!(env.restore(&file, 0).unwrap(), input);
+}
+
+#[test]
+fn restore_surfaces_read_failures() {
+    let env = setup();
+    let file = FileId::new("f");
+    let input = data(5, 30_000);
+    env.backup(&file, 0, &input).unwrap();
+    env.oss.inject_fault(FaultPlan::KeyPrefix("containers/".into()));
+    assert!(env.restore(&file, 0).is_err());
+    env.oss.clear_faults();
+    assert_eq!(env.restore(&file, 0).unwrap(), input);
+}
+
+#[test]
+fn restore_with_prefetch_surfaces_worker_failures() {
+    let env = setup();
+    let file = FileId::new("f");
+    let input = data(6, 40_000);
+    env.backup(&file, 0, &input).unwrap();
+    // Fail one specific read: the error must propagate through the prefetch
+    // workers to the restore caller.
+    env.oss.inject_fault(FaultPlan::NthOnPrefix {
+        prefix: "containers/".into(),
+        nth: 2,
+    });
+    let chunker_opts = RestoreOptions {
+        cache_mem: 64 * 1024,
+        cache_disk: 256 * 1024,
+        law_window: 64,
+        prefetch_threads: 3,
+    };
+    let result = RestoreEngine::new(&env.storage, None).restore_file(&file, VersionId(0), &chunker_opts);
+    assert!(result.is_err());
+    env.oss.clear_faults();
+    let (out, _) =
+        RestoreEngine::new(&env.storage, None).restore_file(&file, VersionId(0), &chunker_opts).unwrap();
+    assert_eq!(out, input);
+}
+
+#[test]
+fn corrupt_container_meta_detected() {
+    let env = setup();
+    let file = FileId::new("f");
+    let input = data(7, 20_000);
+    env.backup(&file, 0, &input).unwrap();
+    // Flip bytes in the first container's metadata.
+    let keys = env.oss.list("containers/");
+    let meta_key = keys.iter().find(|k| k.ends_with("/meta")).unwrap();
+    let mut buf = env.oss.get(meta_key).unwrap().to_vec();
+    buf[0] ^= 0xFF;
+    env.oss.put(meta_key, buf.into()).unwrap();
+    let err = env.restore(&file, 0).unwrap_err();
+    assert!(
+        matches!(err, SlimError::Corrupt { .. }),
+        "corruption must be detected, got {err}"
+    );
+}
