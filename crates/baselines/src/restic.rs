@@ -67,11 +67,11 @@ impl ObjectStore for OssFs {
         self.inner.delete(key)
     }
 
-    fn exists(&self, key: &str) -> bool {
+    fn exists(&self, key: &str) -> Result<bool> {
         self.inner.exists(key)
     }
 
-    fn len(&self, key: &str) -> Option<u64> {
+    fn len(&self, key: &str) -> Result<Option<u64>> {
         self.inner.len(key)
     }
 
@@ -278,7 +278,7 @@ impl ResticSim {
         self.fs
             .list("restic/")
             .iter()
-            .filter_map(|k| self.fs.len(k))
+            .filter_map(|k| self.fs.len(k).unwrap_or(None))
             .sum()
     }
 }

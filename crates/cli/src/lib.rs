@@ -126,7 +126,7 @@ fn usage() -> String {
 fn open_repo(repo: &Path, must_exist: bool) -> Result<SlimStore> {
     let oss = LocalDiskOss::open(repo)?;
     use slim_oss::ObjectStore;
-    if must_exist && !oss.exists(REPO_MARKER) {
+    if must_exist && !oss.exists(REPO_MARKER)? {
         return Err(SlimError::InvalidConfig(format!(
             "{} is not a slimstore repository (run `slim init` first)",
             repo.display()
@@ -184,7 +184,7 @@ pub fn run(cmd: Command) -> Result<String> {
         Command::Init { repo } => {
             let oss = LocalDiskOss::open(&repo)?;
             use slim_oss::ObjectStore;
-            if oss.exists(REPO_MARKER) {
+            if oss.exists(REPO_MARKER)? {
                 return Err(SlimError::InvalidConfig(format!(
                     "{} is already a repository",
                     repo.display()

@@ -17,7 +17,7 @@ use std::collections::HashSet;
 
 use slim_index::{GlobalIndex, SimilarFileIndex};
 use slim_lnode::StorageLayer;
-use slim_types::{ContainerId, Result, SlimError, VersionId};
+use slim_types::{layout, ContainerId, Result, SlimError, VersionId};
 
 /// Outcome of sweeping one version.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -107,7 +107,7 @@ pub fn collect_version(
     let mut stats = CollectStats::default();
 
     for &container in &manifest.garbage_on_delete {
-        if !storage.container_exists(container) {
+        if !storage.container_exists(container)? {
             continue; // already reclaimed (e.g. emptied by reverse dedup)
         }
         let meta = storage.get_container_meta(container)?;
@@ -133,6 +133,99 @@ pub fn collect_version(
     }
     storage.delete_manifest(v)?;
     global.flush()?;
+    Ok(stats)
+}
+
+/// Outcome of one orphan-scrub pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OrphanScrubStats {
+    /// Container/recipe keys examined.
+    pub keys_scanned: u64,
+    /// Container objects (data or meta) deleted as unreachable.
+    pub container_objects_reclaimed: u64,
+    /// Recipe and recipe-index objects deleted as unreachable.
+    pub recipe_objects_reclaimed: u64,
+    /// Total bytes reclaimed.
+    pub bytes_reclaimed: u64,
+}
+
+impl OrphanScrubStats {
+    /// Total objects deleted by the pass.
+    pub fn objects_reclaimed(&self) -> u64 {
+        self.container_objects_reclaimed + self.recipe_objects_reclaimed
+    }
+}
+
+/// Reclaim every container/recipe key not reachable from a committed version
+/// manifest — the cleanup half of the backup commit protocol.
+///
+/// A backup job writes containers and recipes first and commits by PUTting
+/// the version manifest last; a job that dies before the commit point leaves
+/// orphan keys behind. This pass computes the reachable set and deletes the
+/// rest:
+///
+/// * **containers** are reachable if any committed manifest lists them
+///   (`new_containers` or `garbage_on_delete`), any committed recipe
+///   references them, or — when `global` is given — the global fingerprint
+///   index still points a chunk at them (SCC output containers are created
+///   by the G-node mid-cycle and reachable through rewritten recipes and the
+///   index before any manifest lists them).
+/// * **recipes / recipe-indexes** are reachable if their version has a
+///   committed manifest.
+///
+/// Invariants: must run with no backup in flight (the G-node is offline by
+/// design, §III-A) and, when a global index exists, it must be passed in.
+/// The pass is idempotent — a second run reclaims nothing.
+pub fn scrub_orphans(
+    storage: &StorageLayer,
+    global: Option<&GlobalIndex>,
+) -> Result<OrphanScrubStats> {
+    let mut live_versions: HashSet<VersionId> = HashSet::new();
+    let mut reachable: HashSet<ContainerId> = HashSet::new();
+    for v in storage.list_versions() {
+        live_versions.insert(v);
+        let manifest = storage.get_manifest(v)?;
+        reachable.extend(manifest.new_containers.iter().copied());
+        reachable.extend(manifest.garbage_on_delete.iter().copied());
+        for file in &manifest.files {
+            let recipe = storage.get_recipe(&file.file, v)?;
+            reachable.extend(recipe.records().map(|r| r.container_id));
+        }
+    }
+    if let Some(global) = global {
+        reachable.extend(global.referenced_containers()?);
+    }
+
+    let oss = storage.oss();
+    let mut stats = OrphanScrubStats::default();
+    // List raw container keys rather than metas: a job killed between the
+    // data PUT and the meta PUT leaves a data object with no meta.
+    for key in oss.list(layout::CONTAINER_PREFIX) {
+        stats.keys_scanned += 1;
+        let Some(id) = layout::parse_container_key(&key) else {
+            continue; // unknown layout: never delete what we can't attribute
+        };
+        if reachable.contains(&id) {
+            continue;
+        }
+        stats.bytes_reclaimed += oss.len(&key)?.unwrap_or(0);
+        oss.delete(&key)?;
+        stats.container_objects_reclaimed += 1;
+    }
+    for prefix in [layout::RECIPE_PREFIX, layout::RECIPE_INDEX_PREFIX] {
+        for key in oss.list(prefix) {
+            stats.keys_scanned += 1;
+            let Some(v) = layout::parse_recipe_version(&key) else {
+                continue;
+            };
+            if live_versions.contains(&v) {
+                continue;
+            }
+            stats.bytes_reclaimed += oss.len(&key)?.unwrap_or(0);
+            oss.delete(&key)?;
+            stats.recipe_objects_reclaimed += 1;
+        }
+    }
     Ok(stats)
 }
 
@@ -283,5 +376,50 @@ mod tests {
             collect_version(&env.storage, &env.global, &env.similar, VersionId(0)),
             Err(SlimError::VersionNotFound(0))
         ));
+    }
+
+    #[test]
+    fn scrub_preserves_committed_state() {
+        let env = setup();
+        let file = FileId::new("f");
+        let v0 = data(20, 40_000);
+        env.backup_version(0, &[(&file, &v0)]);
+        let stats = scrub_orphans(&env.storage, Some(&env.global)).unwrap();
+        assert_eq!(stats.objects_reclaimed(), 0, "{stats:?}");
+        assert_eq!(stats.bytes_reclaimed, 0);
+        assert!(stats.keys_scanned > 0);
+        assert_eq!(env.restore(&file, 0), v0);
+    }
+
+    #[test]
+    fn scrub_reclaims_uncommitted_keys() {
+        use bytes::Bytes;
+        let env = setup();
+        let file = FileId::new("f");
+        let v0 = data(21, 40_000);
+        env.backup_version(0, &[(&file, &v0)]);
+        let oss = env.storage.oss();
+        // Simulate a job killed mid-backup of version 1: a dangling container
+        // data object (no meta — died between the two PUTs), a full dangling
+        // container, and recipe/recipe-index objects with no manifest.
+        oss.put("containers/000000000090/data", Bytes::from(vec![1u8; 64]))
+            .unwrap();
+        oss.put("containers/000000000091/data", Bytes::from(vec![2u8; 64]))
+            .unwrap();
+        oss.put("containers/000000000091/meta", Bytes::from(vec![3u8; 16]))
+            .unwrap();
+        oss.put("recipes/f/00000001", Bytes::from(vec![4u8; 32])).unwrap();
+        oss.put("recipe-index/f/00000001", Bytes::from(vec![5u8; 8]))
+            .unwrap();
+        let stats = scrub_orphans(&env.storage, Some(&env.global)).unwrap();
+        assert_eq!(stats.container_objects_reclaimed, 3);
+        assert_eq!(stats.recipe_objects_reclaimed, 2);
+        assert_eq!(stats.bytes_reclaimed, 64 + 64 + 16 + 32 + 8);
+        assert!(!oss.exists("containers/000000000090/data").unwrap());
+        assert!(!oss.exists("recipes/f/00000001").unwrap());
+        // Committed state untouched; a second pass converges to zero.
+        assert_eq!(env.restore(&file, 0), v0);
+        let again = scrub_orphans(&env.storage, Some(&env.global)).unwrap();
+        assert_eq!(again.objects_reclaimed(), 0);
     }
 }

@@ -15,9 +15,12 @@
 //!   unlike HAR's next-version rewriting);
 //! * **version collection** ([`collect`]) — the Mark phase runs at dedup
 //!   time (garbage containers are associated with the version whose deletion
-//!   frees them), so deleting a version is a pure Sweep (§VI-B).
+//!   frees them), so deleting a version is a pure Sweep (§VI-B);
+//! * **orphan scrubbing** ([`collect::scrub_orphans`]) — backup jobs commit
+//!   by PUTting the version manifest last, so a job killed mid-backup leaves
+//!   unreachable container/recipe keys; the scrub reclaims them.
 //!
-//! [`GNode`] packages the three into the offline cycle the system facade
+//! [`GNode`] packages these into the offline cycle the system facade
 //! schedules after each backup version.
 
 pub mod collect;
@@ -26,4 +29,5 @@ pub mod node;
 pub mod reverse_dedup;
 pub mod scc;
 
+pub use collect::{scrub_orphans, CollectStats, OrphanScrubStats};
 pub use node::{GNode, GNodeCycleStats};

@@ -15,7 +15,10 @@ use slim_index::{GlobalIndex, SimilarFileIndex};
 use slim_lnode::StorageLayer;
 use slim_types::{ContainerId, Result, SlimConfig, VersionId};
 
-use crate::collect::{collect_version, mark_sparse_garbage, mark_unreferenced, CollectStats};
+use crate::collect::{
+    collect_version, mark_sparse_garbage, mark_unreferenced, scrub_orphans, CollectStats,
+    OrphanScrubStats,
+};
 use crate::meta_cache::MetaCache;
 use crate::reverse_dedup::{reverse_dedup, ReverseDedupStats};
 use crate::scc::{compact_sparse_containers, SccStats};
@@ -110,6 +113,14 @@ impl GNode {
         collect_version(&self.storage, &self.global, &self.similar, version)
     }
 
+    /// Reclaim container/recipe keys left behind by backup jobs that died
+    /// before their commit point (the version-manifest PUT). Safe to run in
+    /// any G-node maintenance window — committed versions are untouched and
+    /// the pass is idempotent. See [`crate::collect::scrub_orphans`].
+    pub fn scrub_orphans(&self) -> Result<OrphanScrubStats> {
+        scrub_orphans(&self.storage, Some(&self.global))
+    }
+
     /// Physically reclaim every byte marked deleted: rewrite any container
     /// holding stale chunks and drop empty ones. Reverse deduplication
     /// defers physical deletion to batch it (§VI-A); vacuum is the batch —
@@ -142,7 +153,7 @@ impl GNode {
         let manifest = self.storage.get_manifest(version)?;
         let mut total = 0u64;
         for &container in &manifest.new_containers {
-            if self.storage.container_exists(container) {
+            if self.storage.container_exists(container)? {
                 total += self.storage.get_container_meta(container)?.live_bytes();
             }
         }
@@ -333,6 +344,30 @@ mod tests {
             assert_eq!(env.restore(&f, v), contents[v as usize], "survivor {v}");
         }
         assert!(env.storage.get_recipe(&f, VersionId(0)).is_err());
+    }
+
+    #[test]
+    fn scrub_after_cycles_reclaims_nothing_and_preserves_restores() {
+        // Reverse dedup and SCC create and rewrite containers the manifests
+        // never listed; the scrub's reachable set (manifests + recipes +
+        // global index) must cover all of them.
+        let env = setup();
+        let f = FileId::new("f");
+        let mut contents = Vec::new();
+        let mut cur = data(9, 40_000);
+        for v in 0..3u64 {
+            env.backup_version(v, &[(&f, &cur)]);
+            env.gnode.run_cycle(VersionId(v)).unwrap();
+            contents.push(cur.clone());
+            let patch = data(90 + v, 3_000);
+            let at = 5_000 + v as usize * 9_000;
+            cur[at..at + 3_000].copy_from_slice(&patch);
+        }
+        let stats = env.gnode.scrub_orphans().unwrap();
+        assert_eq!(stats.objects_reclaimed(), 0, "{stats:?}");
+        for (v, expect) in contents.iter().enumerate() {
+            assert_eq!(&env.restore(&f, v as u64), expect, "version {v}");
+        }
     }
 
     #[test]

@@ -284,7 +284,7 @@ mod tests {
         let (stats, _) =
             reverse_dedup(&env.storage, &env.global, &mut cache, &env.config, &[new]).unwrap();
         assert_eq!(stats.containers_deleted, 1);
-        assert!(!env.storage.container_exists(old));
+        assert!(!env.storage.container_exists(old).unwrap());
         assert_eq!(env.global.get(&fp(1)).unwrap(), Some(new));
     }
 
@@ -313,6 +313,6 @@ mod tests {
         assert_eq!(stats.duplicates_removed, 1);
         assert_eq!(env.global.get(&fp(5)).unwrap(), Some(b));
         // Container a lost its only chunk and was deleted.
-        assert!(!env.storage.container_exists(a));
+        assert!(!env.storage.container_exists(a).unwrap());
     }
 }

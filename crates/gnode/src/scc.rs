@@ -79,7 +79,7 @@ pub fn compact_sparse_containers(
     // lookup); seed the rewrite map with them.
     let mut sparse: HashSet<ContainerId> = HashSet::new();
     for (&container, used) in &refs {
-        if !storage.container_exists(container) {
+        if !storage.container_exists(container)? {
             continue; // already collected
         }
         let meta = meta_cache.get(container)?;

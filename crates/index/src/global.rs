@@ -104,6 +104,22 @@ impl GlobalIndex {
         Ok(())
     }
 
+    /// Every container currently holding an authoritative chunk copy (full
+    /// scan; offline use only). The G-node's orphan scrub unions this with
+    /// manifest/recipe reachability before reclaiming container keys.
+    pub fn referenced_containers(&self) -> Result<std::collections::HashSet<ContainerId>> {
+        let rows = self.db.scan_prefix(&[])?;
+        let mut out = std::collections::HashSet::with_capacity(rows.len());
+        for (_, value) in &rows {
+            let arr: [u8; 8] = value
+                .as_slice()
+                .try_into()
+                .map_err(|_| slim_types::SlimError::corrupt("global index value", "bad length"))?;
+            out.insert(ContainerId(u64::from_le_bytes(arr)));
+        }
+        Ok(out)
+    }
+
     /// Number of indexed fingerprints (full scan; offline use only).
     pub fn len(&self) -> Result<usize> {
         Ok(self.db.scan_prefix(&[])?.len())
@@ -175,6 +191,21 @@ mod tests {
         }
         assert_eq!(idx.len().unwrap(), 50);
         assert!(!idx.is_empty().unwrap());
+    }
+
+    #[test]
+    fn referenced_containers_scans_values() {
+        let oss = Oss::in_memory();
+        let idx = open_index(&oss);
+        assert!(idx.referenced_containers().unwrap().is_empty());
+        idx.insert(&fp(1), ContainerId(5)).unwrap();
+        idx.insert(&fp(2), ContainerId(5)).unwrap();
+        idx.insert(&fp(3), ContainerId(9)).unwrap();
+        let refs = idx.referenced_containers().unwrap();
+        assert_eq!(refs.len(), 2);
+        assert!(refs.contains(&ContainerId(5)) && refs.contains(&ContainerId(9)));
+        idx.remove(&fp(3)).unwrap();
+        assert!(!idx.referenced_containers().unwrap().contains(&ContainerId(9)));
     }
 
     #[test]

@@ -171,7 +171,7 @@ impl SimilarFileIndex {
 
     /// Load the snapshot from OSS; missing snapshot yields an empty index.
     pub fn load(oss: &dyn ObjectStore) -> Result<Self> {
-        if !oss.exists(layout::SIMILAR_INDEX) {
+        if !oss.exists(layout::SIMILAR_INDEX)? {
             return Ok(SimilarFileIndex::new());
         }
         let buf = oss.get(layout::SIMILAR_INDEX)?;

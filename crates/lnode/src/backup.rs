@@ -33,7 +33,7 @@ use slim_index::similar::Detection;
 use slim_types::recipe::SegmentSpan;
 use slim_types::{
     ChunkRecord, ContainerBuilder, ContainerId, FileBackupInfo, FileId, Fingerprint, Recipe,
-    RecipeIndex, Result, SegmentRecipe, SlimConfig, SuperChunkInfo, VersionId,
+    RecipeIndex, Result, SegmentRecipe, SlimConfig, SlimError, SuperChunkInfo, VersionId,
 };
 
 use crate::stats::BackupStats;
@@ -98,9 +98,17 @@ impl<'a> BackupPipeline<'a> {
         let recipe_index = match &detected {
             Some((f, v)) => {
                 let t = Instant::now();
-                let idx = self.storage.get_recipe_index(f, *v)?;
+                let idx = match self.storage.get_recipe_index(f, *v) {
+                    Ok(idx) => Some(idx),
+                    // The detected history may have been reclaimed out from
+                    // under the in-memory similar index (orphan scrub after a
+                    // failed job, retention pruning). Degrade to a fresh
+                    // backup rather than failing the job.
+                    Err(slim_types::SlimError::ObjectNotFound(_)) => None,
+                    Err(e) => return Err(e),
+                };
                 stats.network_time += t.elapsed();
-                Some(idx)
+                idx
             }
             None => None,
         };
@@ -487,11 +495,23 @@ impl Job<'_, '_> {
             batch.push((next, span));
         }
         let t = Instant::now();
-        let buf = self.pipeline.storage.oss().get_range(
+        let buf = match self.pipeline.storage.oss().get_range(
             &slim_types::layout::recipe(&src_file, src_version),
             first_span.offset,
             end - first_span.offset,
-        )?;
+        ) {
+            Ok(buf) => buf,
+            // The source recipe was reclaimed (orphan scrub / retention) after
+            // its index was fetched. Mark the batch fetched so we do not retry
+            // the read per chunk, and store the stream fresh.
+            Err(SlimError::ObjectNotFound(_)) => {
+                for (seg_idx, _) in batch {
+                    self.fetched_segments.insert(seg_idx);
+                }
+                return Ok(None);
+            }
+            Err(e) => return Err(e),
+        };
         self.stats.network_time += t.elapsed();
         let mut first_of_idx = None;
         for (seg_idx, span) in batch {

@@ -89,7 +89,7 @@ impl StorageLayer {
     }
 
     /// Whether a container still exists.
-    pub fn container_exists(&self, id: ContainerId) -> bool {
+    pub fn container_exists(&self, id: ContainerId) -> Result<bool> {
         self.oss.exists(&layout::container_meta(id))
     }
 
@@ -209,7 +209,7 @@ impl StorageLayer {
         self.oss
             .list(prefix)
             .iter()
-            .filter_map(|k| self.oss.len(k))
+            .filter_map(|k| self.oss.len(k).unwrap_or(None))
             .sum()
     }
 }
@@ -241,11 +241,11 @@ mod tests {
         s.put_container(data.clone(), &meta).unwrap();
         assert_eq!(s.get_container_data(id).unwrap(), data);
         assert_eq!(s.get_container_meta(id).unwrap(), meta);
-        assert!(s.container_exists(id));
+        assert!(s.container_exists(id).unwrap());
         assert_eq!(s.list_containers(), vec![id]);
         assert_eq!(s.get_container_range(id, 100, 50).unwrap(), &[2u8; 50][..]);
         s.delete_container(id).unwrap();
-        assert!(!s.container_exists(id));
+        assert!(!s.container_exists(id).unwrap());
         assert!(matches!(
             s.get_container_data(id),
             Err(SlimError::ContainerMissing(_))

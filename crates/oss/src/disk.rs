@@ -149,13 +149,16 @@ impl ObjectStore for LocalDiskOss {
         }
     }
 
-    fn exists(&self, key: &str) -> bool {
-        self.path_of(key).map(|p| p.exists()).unwrap_or(false)
+    fn exists(&self, key: &str) -> Result<bool> {
+        // An invalid key cannot name an object, so it simply doesn't exist.
+        Ok(self.path_of(key).map(|p| p.exists()).unwrap_or(false))
     }
 
-    fn len(&self, key: &str) -> Option<u64> {
-        let path = self.path_of(key).ok()?;
-        fs::metadata(path).ok().map(|m| m.len())
+    fn len(&self, key: &str) -> Result<Option<u64>> {
+        let Ok(path) = self.path_of(key) else {
+            return Ok(None);
+        };
+        Ok(fs::metadata(path).ok().map(|m| m.len()))
     }
 
     fn list(&self, prefix: &str) -> Vec<String> {
@@ -188,8 +191,8 @@ mod tests {
         store.put("a/d", Bytes::from_static(b"x")).unwrap();
         store.put("z", Bytes::from_static(b"y")).unwrap();
         assert_eq!(store.get("a/b/c").unwrap(), Bytes::from_static(b"hello"));
-        assert_eq!(store.len("a/b/c"), Some(5));
-        assert!(store.exists("a/d"));
+        assert_eq!(store.len("a/b/c").unwrap(), Some(5));
+        assert!(store.exists("a/d").unwrap());
         assert_eq!(store.list("a/"), vec!["a/b/c".to_string(), "a/d".to_string()]);
         assert_eq!(store.list("").len(), 3);
         let _ = fs::remove_dir_all(dir);
@@ -219,7 +222,7 @@ mod tests {
         assert_eq!(store.get("k").unwrap(), Bytes::from_static(b"v2"));
         store.delete("k").unwrap();
         store.delete("k").unwrap();
-        assert!(!store.exists("k"));
+        assert!(!store.exists("k").unwrap());
         let _ = fs::remove_dir_all(dir);
     }
 

@@ -1,11 +1,24 @@
 //! Fault injection for the simulated OSS.
 //!
 //! Integration tests use this to verify that backup/restore jobs surface
-//! storage errors instead of corrupting state: fail every operation on keys
-//! with a given prefix, fail the next N operations, or fail one specific
-//! (prefix, nth) combination.
+//! storage errors instead of corrupting state. Plans come in two families:
+//!
+//! - **Permanent / one-shot** plans ([`FaultPlan::KeyPrefix`],
+//!   [`FaultPlan::NextOps`], [`FaultPlan::NthOnPrefix`]) model hard failures
+//!   and targeted kill-points; they produce [`FaultErrorKind::Permanent`].
+//! - **Transient** plans ([`FaultPlan::TransientProb`],
+//!   [`FaultPlan::Throttle`], [`FaultPlan::Latency`]) model the 5xx/429/slow
+//!   behaviour of real object stores. They are driven by per-plan operation
+//!   counters and a seeded splitmix64 stream, so an armed schedule is fully
+//!   reproducible: the same seed and the same operation sequence yield the
+//!   same faults on every run.
+//!
+//! Multiple plans can be armed at once via [`FaultState::arm_also`] (e.g.
+//! latency on every op plus probabilistic transient failures); the first
+//! failing plan in arming order decides the error kind, and latency from all
+//! matching [`FaultPlan::Latency`] plans accumulates.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 use parking_lot::Mutex;
 
@@ -19,92 +32,274 @@ pub enum FaultPlan {
     /// Fail the `nth` (1-based) future operation whose key starts with the
     /// prefix, then recover.
     NthOnPrefix { prefix: String, nth: u64 },
+    /// Fail each operation whose key starts with `prefix` with probability
+    /// `prob`, deterministically derived from `seed` and the per-plan
+    /// operation ordinal. A failed operation succeeds when retried iff the
+    /// next ordinal draws above `prob` — the transient-5xx model.
+    TransientProb { prefix: String, prob: f64, seed: u64 },
+    /// Fail every `every_nth` (1-based) operation with a throttling error,
+    /// persistently — the rate-limit model.
+    Throttle { every_nth: u64 },
+    /// Inject `delay` on every operation whose key starts with `prefix`;
+    /// the operation itself succeeds — the slow-request model.
+    Latency { prefix: String, delay: Duration },
+}
+
+/// Error class an armed plan assigns to a failed operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultErrorKind {
+    /// Hard failure; not retryable (`SlimError::InjectedFault`).
+    Permanent,
+    /// Retryable transient failure (`SlimError::Transient`).
+    Transient,
+    /// Retryable rate-limit failure (`SlimError::Throttled`).
+    Throttled,
+}
+
+/// Outcome of consulting the fault state for one operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultDecision {
+    /// Injected latency to apply before completing (or failing) the op.
+    pub delay: Duration,
+    /// Failure to inject, if any.
+    pub error: Option<FaultErrorKind>,
+}
+
+impl FaultDecision {
+    const ALLOW: FaultDecision = FaultDecision {
+        delay: Duration::ZERO,
+        error: None,
+    };
+}
+
+/// One armed plan plus its private operation counter.
+#[derive(Debug)]
+struct Armed {
+    plan: FaultPlan,
+    seen: u64,
 }
 
 /// Armed fault state attached to an [`crate::Oss`].
 #[derive(Debug, Default)]
 pub struct FaultState {
-    plan: Mutex<Option<FaultPlan>>,
-    seen: AtomicU64,
+    plans: Mutex<Vec<Armed>>,
 }
 
 impl FaultState {
-    /// Arm a plan (replacing any existing one).
+    /// Arm a plan, replacing all existing ones.
     pub fn arm(&self, plan: FaultPlan) {
-        self.seen.store(0, Ordering::SeqCst);
-        *self.plan.lock() = Some(plan);
+        *self.plans.lock() = vec![Armed { plan, seen: 0 }];
     }
 
-    /// Disarm.
+    /// Arm an additional plan alongside the already-armed ones.
+    pub fn arm_also(&self, plan: FaultPlan) {
+        self.plans.lock().push(Armed { plan, seen: 0 });
+    }
+
+    /// Disarm everything.
     pub fn clear(&self) {
-        *self.plan.lock() = None;
+        self.plans.lock().clear();
     }
 
-    /// Decide whether the operation on `key` should fail; updates internal
-    /// counters and auto-disarms one-shot plans.
-    pub fn should_fail(&self, key: &str) -> bool {
-        let mut guard = self.plan.lock();
-        let Some(plan) = guard.as_ref() else {
-            return false;
-        };
-        match plan {
-            FaultPlan::KeyPrefix(prefix) => key.starts_with(prefix.as_str()),
-            FaultPlan::NextOps(n) => {
-                let n = *n;
-                let seen = self.seen.fetch_add(1, Ordering::SeqCst) + 1;
-                if seen >= n {
-                    *guard = None;
+    /// Decide the fate of the operation on `key`; updates per-plan counters
+    /// and auto-disarms exhausted one-shot plans.
+    pub fn decide(&self, key: &str) -> FaultDecision {
+        let mut guard = self.plans.lock();
+        if guard.is_empty() {
+            return FaultDecision::ALLOW;
+        }
+        let mut delay = Duration::ZERO;
+        let mut error = None;
+        let mut i = 0;
+        while i < guard.len() {
+            let armed = &mut guard[i];
+            let mut disarm = false;
+            let fired = match &armed.plan {
+                FaultPlan::KeyPrefix(prefix) => key
+                    .starts_with(prefix.as_str())
+                    .then_some(FaultErrorKind::Permanent),
+                FaultPlan::NextOps(n) => {
+                    armed.seen += 1;
+                    disarm = armed.seen >= *n;
+                    Some(FaultErrorKind::Permanent)
                 }
-                true
+                FaultPlan::NthOnPrefix { prefix, nth } => {
+                    if key.starts_with(prefix.as_str()) {
+                        armed.seen += 1;
+                        if armed.seen == *nth {
+                            disarm = true;
+                            Some(FaultErrorKind::Permanent)
+                        } else {
+                            None
+                        }
+                    } else {
+                        None
+                    }
+                }
+                FaultPlan::TransientProb { prefix, prob, seed } => {
+                    if key.starts_with(prefix.as_str()) {
+                        armed.seen += 1;
+                        (unit_f64(splitmix64(seed.wrapping_add(armed.seen))) < *prob)
+                            .then_some(FaultErrorKind::Transient)
+                    } else {
+                        None
+                    }
+                }
+                FaultPlan::Throttle { every_nth } => {
+                    armed.seen += 1;
+                    (*every_nth > 0 && armed.seen % *every_nth == 0)
+                        .then_some(FaultErrorKind::Throttled)
+                }
+                FaultPlan::Latency { prefix, delay: d } => {
+                    if key.starts_with(prefix.as_str()) {
+                        delay += *d;
+                    }
+                    None
+                }
+            };
+            if error.is_none() {
+                error = fired;
             }
-            FaultPlan::NthOnPrefix { prefix, nth } => {
-                if !key.starts_with(prefix.as_str()) {
-                    return false;
-                }
-                let nth = *nth;
-                let seen = self.seen.fetch_add(1, Ordering::SeqCst) + 1;
-                if seen == nth {
-                    *guard = None;
-                    true
-                } else {
-                    false
-                }
+            if disarm {
+                guard.remove(i);
+            } else {
+                i += 1;
             }
         }
+        FaultDecision { delay, error }
     }
+}
+
+/// splitmix64 — tiny, dependency-free, statistically solid PRNG step.
+pub(crate) fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Map a u64 to a uniform f64 in `[0, 1)` using the top 53 bits.
+pub(crate) fn unit_f64(x: u64) -> f64 {
+    (x >> 11) as f64 / (1u64 << 53) as f64
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    fn fails(st: &FaultState, key: &str) -> bool {
+        st.decide(key).error.is_some()
+    }
+
     #[test]
     fn prefix_plan_matches_only_prefix() {
         let st = FaultState::default();
         st.arm(FaultPlan::KeyPrefix("containers/".into()));
-        assert!(st.should_fail("containers/12"));
-        assert!(!st.should_fail("recipes/a"));
-        assert!(st.should_fail("containers/99"), "prefix plan is persistent");
+        assert!(fails(&st, "containers/12"));
+        assert!(!fails(&st, "recipes/a"));
+        assert!(fails(&st, "containers/99"), "prefix plan is persistent");
         st.clear();
-        assert!(!st.should_fail("containers/12"));
+        assert!(!fails(&st, "containers/12"));
     }
 
     #[test]
     fn next_ops_plan_auto_disarms() {
         let st = FaultState::default();
         st.arm(FaultPlan::NextOps(2));
-        assert!(st.should_fail("a"));
-        assert!(st.should_fail("b"));
-        assert!(!st.should_fail("c"));
+        assert!(fails(&st, "a"));
+        assert!(fails(&st, "b"));
+        assert!(!fails(&st, "c"));
     }
 
     #[test]
     fn nth_on_prefix_fires_once() {
         let st = FaultState::default();
         st.arm(FaultPlan::NthOnPrefix { prefix: "x/".into(), nth: 2 });
-        assert!(!st.should_fail("x/1"));
-        assert!(!st.should_fail("y/anything"));
-        assert!(st.should_fail("x/2"));
-        assert!(!st.should_fail("x/3"));
+        assert!(!fails(&st, "x/1"));
+        assert!(!fails(&st, "y/anything"));
+        assert!(fails(&st, "x/2"));
+        assert!(!fails(&st, "x/3"));
+    }
+
+    #[test]
+    fn transient_prob_is_seed_deterministic() {
+        let run = |seed: u64| -> Vec<bool> {
+            let st = FaultState::default();
+            st.arm(FaultPlan::TransientProb { prefix: String::new(), prob: 0.3, seed });
+            (0..64).map(|_| fails(&st, "k")).collect()
+        };
+        let a = run(7);
+        assert_eq!(a, run(7), "same seed replays the same schedule");
+        assert_ne!(a, run(8), "different seeds differ");
+        let hits = a.iter().filter(|f| **f).count();
+        assert!(hits > 5 && hits < 40, "p=0.3 over 64 ops, got {hits}");
+        let st = FaultState::default();
+        st.arm(FaultPlan::TransientProb { prefix: "x/".into(), prob: 1.0, seed: 1 });
+        assert!(!fails(&st, "y/other"), "prefix-filtered");
+        assert_eq!(
+            st.decide("x/k").error,
+            Some(FaultErrorKind::Transient),
+            "transient kind"
+        );
+    }
+
+    #[test]
+    fn throttle_fires_every_nth_persistently() {
+        let st = FaultState::default();
+        st.arm(FaultPlan::Throttle { every_nth: 3 });
+        let pattern: Vec<bool> = (0..9).map(|_| fails(&st, "k")).collect();
+        assert_eq!(
+            pattern,
+            [false, false, true, false, false, true, false, false, true]
+        );
+        assert_eq!(st.decide("k").error, None);
+        assert_eq!(st.decide("k").error, None);
+        assert_eq!(st.decide("k").error, Some(FaultErrorKind::Throttled));
+    }
+
+    #[test]
+    fn latency_plan_delays_without_failing() {
+        let st = FaultState::default();
+        st.arm(FaultPlan::Latency {
+            prefix: "containers/".into(),
+            delay: Duration::from_millis(5),
+        });
+        let d = st.decide("containers/1/data");
+        assert_eq!(d.delay, Duration::from_millis(5));
+        assert_eq!(d.error, None);
+        assert_eq!(st.decide("recipes/a"), FaultDecision::ALLOW);
+    }
+
+    #[test]
+    fn plans_compose_and_first_error_wins() {
+        let st = FaultState::default();
+        st.arm(FaultPlan::Latency {
+            prefix: String::new(),
+            delay: Duration::from_millis(2),
+        });
+        st.arm_also(FaultPlan::NthOnPrefix { prefix: String::new(), nth: 2 });
+        st.arm_also(FaultPlan::Throttle { every_nth: 2 });
+        let first = st.decide("k");
+        assert_eq!(first.delay, Duration::from_millis(2));
+        assert_eq!(first.error, None);
+        let second = st.decide("k");
+        assert_eq!(second.delay, Duration::from_millis(2));
+        assert_eq!(
+            second.error,
+            Some(FaultErrorKind::Permanent),
+            "earlier-armed NthOnPrefix outranks Throttle on the same op"
+        );
+        let third = st.decide("k");
+        assert_eq!(third.error, None, "one-shot plan disarmed, throttle off-cycle");
+        let fourth = st.decide("k");
+        assert_eq!(fourth.error, Some(FaultErrorKind::Throttled));
+    }
+
+    #[test]
+    fn unit_f64_stays_in_range() {
+        for i in 0..1000u64 {
+            let u = unit_f64(splitmix64(i));
+            assert!((0.0..1.0).contains(&u));
+        }
     }
 }

@@ -13,7 +13,11 @@
 //!   byte, which is what the read-amplification figures (containers read per
 //!   100 MB) are computed from;
 //! * **fault injection** — tests can make specific keys or the Nth operation
-//!   fail.
+//!   fail, throttle every Nth request, inject latency, or draw transient
+//!   failures from a seeded probabilistic schedule ([`fault`]);
+//! * **retries** — [`RetryingStore`] wraps any [`ObjectStore`] with
+//!   exponential backoff, deterministic jitter, and attempt/deadline budgets
+//!   ([`retry`]).
 //!
 //! [`rocks`] implements *Rocks-OSS* (§III-B): an LSM key-value store whose
 //! SSTables are OSS objects, used by the global fingerprint index.
@@ -23,12 +27,14 @@ pub mod fault;
 pub mod metrics;
 pub mod namespace;
 pub mod network;
+pub mod retry;
 pub mod rocks;
 pub mod store;
 
 pub use disk::LocalDiskOss;
-pub use fault::FaultPlan;
+pub use fault::{FaultDecision, FaultErrorKind, FaultPlan};
 pub use metrics::{MetricsSnapshot, OssMetrics};
 pub use namespace::NamespacedStore;
 pub use network::NetworkModel;
+pub use retry::{RetryMetrics, RetryPolicy, RetryingStore};
 pub use store::{ObjectStore, Oss};

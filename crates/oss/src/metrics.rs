@@ -25,6 +25,10 @@ pub struct OssMetrics {
     /// transfer + channel queueing). This is the "network time" series of
     /// Fig 2.
     pub net_time_nanos: AtomicU64,
+    /// Faults injected by the armed [`crate::FaultPlan`]s (all kinds).
+    pub injected_faults: AtomicU64,
+    /// Nanoseconds of artificial latency injected by `FaultPlan::Latency`.
+    pub injected_delay_nanos: AtomicU64,
 }
 
 impl OssMetrics {
@@ -48,6 +52,15 @@ impl OssMetrics {
             .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_injected_fault(&self) {
+        self.injected_faults.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_injected_delay(&self, delay: Duration) {
+        self.injected_delay_nanos
+            .fetch_add(delay.as_nanos() as u64, Ordering::Relaxed);
+    }
+
     /// Capture current values.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -57,6 +70,12 @@ impl OssMetrics {
             bytes_read: self.bytes_read.load(Ordering::Relaxed),
             bytes_written: self.bytes_written.load(Ordering::Relaxed),
             net_time: Duration::from_nanos(self.net_time_nanos.load(Ordering::Relaxed)),
+            injected_faults: self.injected_faults.load(Ordering::Relaxed),
+            injected_delay: Duration::from_nanos(
+                self.injected_delay_nanos.load(Ordering::Relaxed),
+            ),
+            retries: 0,
+            giveups: 0,
         }
     }
 }
@@ -71,6 +90,16 @@ pub struct MetricsSnapshot {
     pub bytes_read: u64,
     pub bytes_written: u64,
     pub net_time: Duration,
+    /// Faults injected by armed fault plans (all kinds).
+    pub injected_faults: u64,
+    /// Artificial latency injected by `FaultPlan::Latency`.
+    pub injected_delay: Duration,
+    /// Operations re-issued by a [`crate::RetryingStore`] after a retryable
+    /// failure. Zero when the snapshot comes from a bare store.
+    pub retries: u64,
+    /// Operations a [`crate::RetryingStore`] abandoned after exhausting its
+    /// attempt or deadline budget.
+    pub giveups: u64,
 }
 
 impl MetricsSnapshot {
@@ -83,6 +112,10 @@ impl MetricsSnapshot {
             bytes_read: self.bytes_read - earlier.bytes_read,
             bytes_written: self.bytes_written - earlier.bytes_written,
             net_time: self.net_time.saturating_sub(earlier.net_time),
+            injected_faults: self.injected_faults - earlier.injected_faults,
+            injected_delay: self.injected_delay.saturating_sub(earlier.injected_delay),
+            retries: self.retries - earlier.retries,
+            giveups: self.giveups - earlier.giveups,
         }
     }
 

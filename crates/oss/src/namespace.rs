@@ -70,11 +70,11 @@ impl ObjectStore for NamespacedStore {
         self.inner.delete(&self.full(key))
     }
 
-    fn exists(&self, key: &str) -> bool {
+    fn exists(&self, key: &str) -> Result<bool> {
         self.inner.exists(&self.full(key))
     }
 
-    fn len(&self, key: &str) -> Option<u64> {
+    fn len(&self, key: &str) -> Result<Option<u64>> {
         self.inner.len(&self.full(key))
     }
 
@@ -109,8 +109,8 @@ mod tests {
         // Raw bucket sees both, under the tenant prefix.
         assert_eq!(bucket.list("tenants/").len(), 2);
         alice.delete("k").unwrap();
-        assert!(!alice.exists("k"));
-        assert!(bob.exists("k"));
+        assert!(!alice.exists("k").unwrap());
+        assert!(bob.exists("k").unwrap());
     }
 
     #[test]
@@ -137,7 +137,7 @@ mod tests {
         let t = NamespacedStore::new(bucket, "t").unwrap();
         t.put("obj", Bytes::from_static(b"0123456789")).unwrap();
         assert_eq!(t.get_range("obj", 2, 3).unwrap(), Bytes::from_static(b"234"));
-        assert_eq!(t.len("obj"), Some(10));
+        assert_eq!(t.len("obj").unwrap(), Some(10));
     }
 
     #[test]
@@ -153,8 +153,8 @@ mod tests {
         let sb = mk("globex");
         sa.put(&slim_types::layout::version_manifest(slim_types::VersionId(0)),
                slim_types::VersionManifest::new(slim_types::VersionId(0)).encode()).unwrap();
-        assert!(sa.exists("versions/00000000"));
-        assert!(!sb.exists("versions/00000000"));
+        assert!(sa.exists("versions/00000000").unwrap());
+        assert!(!sb.exists("versions/00000000").unwrap());
         let _ = (FileId::new("x"), SlimConfig::default()); // types in scope
     }
 }

@@ -1,0 +1,374 @@
+//! Retrying object-store wrapper.
+//!
+//! Real object stores fail transiently (5xx, throttling, slow requests);
+//! SLIMSTORE's L-nodes are stateless, so the OSS client is the single place
+//! where those failures must be absorbed. [`RetryingStore`] wraps any
+//! [`ObjectStore`] and re-issues operations that fail with a retryable
+//! [`SlimError`] (see [`SlimError::is_retryable`]) under a [`RetryPolicy`]:
+//! exponential backoff, deterministic jitter (seeded, so chaos tests are
+//! replayable), an attempt budget, and an optional wall-clock deadline.
+//!
+//! Non-retryable errors (missing objects, corruption, injected hard faults)
+//! pass through unchanged on the first attempt. When the budget is exhausted
+//! the wrapper reports [`SlimError::Timeout`] carrying the operation, the
+//! attempt count, and the last underlying error.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use slim_types::{Result, SlimError};
+
+use crate::fault::{splitmix64, unit_f64};
+use crate::metrics::MetricsSnapshot;
+use crate::store::ObjectStore;
+
+/// Backoff/budget parameters of a [`RetryingStore`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Maximum total attempts per operation (first try included). Zero is
+    /// treated as one.
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles each further retry.
+    pub base_delay: Duration,
+    /// Upper bound on a single backoff step.
+    pub max_delay: Duration,
+    /// Optional wall-clock budget per operation, covering all attempts and
+    /// backoff. When the next backoff would cross it, the store gives up.
+    pub deadline: Option<Duration>,
+    /// Seed of the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 6,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_secs(2),
+            deadline: Some(Duration::from_secs(30)),
+            jitter_seed: 0x51e5_7041,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that retries without sleeping — for tests, where the fault
+    /// schedule (not wall time) is the variable under study.
+    pub fn no_delay(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts,
+            base_delay: Duration::ZERO,
+            max_delay: Duration::ZERO,
+            deadline: None,
+            jitter_seed: 0,
+        }
+    }
+
+    /// Backoff before retry number `retry` (1-based): exponential growth
+    /// capped at `max_delay`, scaled by a deterministic jitter factor in
+    /// `[0.5, 1.0)` drawn from `jitter_seed` and the retry ordinal.
+    pub fn backoff(&self, retry: u32) -> Duration {
+        if self.base_delay.is_zero() {
+            return Duration::ZERO;
+        }
+        let exp = retry.saturating_sub(1).min(32);
+        let raw = self
+            .base_delay
+            .saturating_mul(1u32 << exp.min(31))
+            .min(self.max_delay);
+        let jitter = 0.5 + 0.5 * unit_f64(splitmix64(self.jitter_seed.wrapping_add(retry as u64)));
+        raw.mul_f64(jitter)
+    }
+}
+
+/// Retry counters of a [`RetryingStore`], shared across clones.
+#[derive(Debug, Default)]
+pub struct RetryMetrics {
+    /// Attempts issued to the inner store (successes and failures).
+    pub attempts: AtomicU64,
+    /// Re-issued operations (attempts beyond the first per operation).
+    pub retries: AtomicU64,
+    /// Operations abandoned after exhausting the attempt/deadline budget.
+    pub giveups: AtomicU64,
+    /// Nanoseconds spent sleeping in backoff.
+    pub backoff_nanos: AtomicU64,
+}
+
+impl RetryMetrics {
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+
+    pub fn giveups(&self) -> u64 {
+        self.giveups.load(Ordering::Relaxed)
+    }
+
+    pub fn attempts(&self) -> u64 {
+        self.attempts.load(Ordering::Relaxed)
+    }
+
+    pub fn backoff_time(&self) -> Duration {
+        Duration::from_nanos(self.backoff_nanos.load(Ordering::Relaxed))
+    }
+}
+
+/// An [`ObjectStore`] decorator that retries retryable failures.
+///
+/// Composes with every other store in the crate: wrap a bare [`crate::Oss`],
+/// a [`crate::NamespacedStore`], or a [`crate::LocalDiskOss`]; or wrap the
+/// retrying store itself in a namespace. Cheap to clone (shared handle).
+///
+/// ```
+/// use std::sync::Arc;
+/// use slim_oss::{ObjectStore, Oss, RetryPolicy, RetryingStore};
+/// let oss = Oss::in_memory();
+/// let store = RetryingStore::new(Arc::new(oss), RetryPolicy::default());
+/// store.put("k", bytes::Bytes::from_static(b"v")).unwrap();
+/// assert_eq!(store.metrics_snapshot().unwrap().retries, 0);
+/// ```
+#[derive(Clone)]
+pub struct RetryingStore {
+    inner: Arc<dyn ObjectStore>,
+    policy: RetryPolicy,
+    metrics: Arc<RetryMetrics>,
+}
+
+impl RetryingStore {
+    pub fn new(inner: Arc<dyn ObjectStore>, policy: RetryPolicy) -> Self {
+        RetryingStore {
+            inner,
+            policy,
+            metrics: Arc::new(RetryMetrics::default()),
+        }
+    }
+
+    /// The wrapped store.
+    pub fn inner(&self) -> &Arc<dyn ObjectStore> {
+        &self.inner
+    }
+
+    /// Live retry counters.
+    pub fn retry_metrics(&self) -> &RetryMetrics {
+        &self.metrics
+    }
+
+    /// Run `f` under the retry policy. `op` labels the operation in
+    /// [`SlimError::Timeout`] reports.
+    fn run<T>(&self, op: &str, key: &str, f: impl Fn() -> Result<T>) -> Result<T> {
+        let start = Instant::now();
+        let max_attempts = self.policy.max_attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            self.metrics.attempts.fetch_add(1, Ordering::Relaxed);
+            let err = match f() {
+                Ok(value) => return Ok(value),
+                Err(err) if err.is_retryable() => err,
+                Err(err) => return Err(err),
+            };
+            let give_up = |last: &SlimError| SlimError::Timeout {
+                op: format!("{op} {key}"),
+                attempts: attempt,
+                last: last.to_string(),
+            };
+            if attempt >= max_attempts {
+                self.metrics.giveups.fetch_add(1, Ordering::Relaxed);
+                return Err(give_up(&err));
+            }
+            let delay = self.policy.backoff(attempt);
+            if let Some(deadline) = self.policy.deadline {
+                if start.elapsed() + delay >= deadline {
+                    self.metrics.giveups.fetch_add(1, Ordering::Relaxed);
+                    return Err(give_up(&err));
+                }
+            }
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
+                self.metrics
+                    .backoff_nanos
+                    .fetch_add(delay.as_nanos() as u64, Ordering::Relaxed);
+            }
+            self.metrics.retries.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl ObjectStore for RetryingStore {
+    fn put(&self, key: &str, value: Bytes) -> Result<()> {
+        // Bytes clones are refcount bumps, so retrying a PUT is free.
+        self.run("put", key, || self.inner.put(key, value.clone()))
+    }
+
+    fn get(&self, key: &str) -> Result<Bytes> {
+        self.run("get", key, || self.inner.get(key))
+    }
+
+    fn get_range(&self, key: &str, start: u64, len: u64) -> Result<Bytes> {
+        self.run("get_range", key, || self.inner.get_range(key, start, len))
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        self.run("delete", key, || self.inner.delete(key))
+    }
+
+    fn exists(&self, key: &str) -> Result<bool> {
+        self.run("head", key, || self.inner.exists(key))
+    }
+
+    fn len(&self, key: &str) -> Result<Option<u64>> {
+        self.run("head", key, || self.inner.len(key))
+    }
+
+    fn list(&self, prefix: &str) -> Vec<String> {
+        self.inner.list(prefix)
+    }
+
+    /// Inner traffic counters overlaid with this wrapper's retry/giveup
+    /// counts, so one snapshot carries the whole story.
+    fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
+        let mut snapshot = self.inner.metrics_snapshot().unwrap_or_default();
+        snapshot.retries += self.metrics.retries();
+        snapshot.giveups += self.metrics.giveups();
+        Some(snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::FaultPlan;
+    use crate::store::Oss;
+
+    fn retrying(oss: &Oss, max_attempts: u32) -> RetryingStore {
+        RetryingStore::new(Arc::new(oss.clone()), RetryPolicy::no_delay(max_attempts))
+    }
+
+    #[test]
+    fn passes_through_without_faults() {
+        let oss = Oss::in_memory();
+        let store = retrying(&oss, 4);
+        store.put("k", Bytes::from_static(b"v")).unwrap();
+        assert_eq!(store.get("k").unwrap(), Bytes::from_static(b"v"));
+        assert!(store.exists("k").unwrap());
+        assert_eq!(store.len("k").unwrap(), Some(1));
+        assert_eq!(store.list(""), vec!["k".to_string()]);
+        store.delete("k").unwrap();
+        assert_eq!(store.retry_metrics().retries(), 0);
+        assert_eq!(store.retry_metrics().giveups(), 0);
+    }
+
+    #[test]
+    fn retries_transient_failures_to_success() {
+        let oss = Oss::in_memory();
+        oss.put("k", Bytes::from_static(b"v")).unwrap();
+        let store = retrying(&oss, 4);
+        // Throttle every 2nd op: the first store attempt lands on op 2 and
+        // fails; the retry lands on op 3 and succeeds.
+        oss.inject_fault(FaultPlan::Throttle { every_nth: 2 });
+        oss.get("k").unwrap(); // op 1: advance the throttle counter
+        assert_eq!(store.get("k").unwrap(), Bytes::from_static(b"v"));
+        assert_eq!(store.retry_metrics().retries(), 1);
+        assert_eq!(store.retry_metrics().giveups(), 0);
+        let snap = store.metrics_snapshot().unwrap();
+        assert_eq!(snap.retries, 1);
+        assert_eq!(snap.giveups, 0);
+        assert!(snap.injected_faults >= 1);
+    }
+
+    #[test]
+    fn gives_up_after_attempt_budget_with_timeout() {
+        let oss = Oss::in_memory();
+        oss.put("k", Bytes::from_static(b"v")).unwrap();
+        oss.inject_fault(FaultPlan::TransientProb {
+            prefix: String::new(),
+            prob: 1.0,
+            seed: 9,
+        });
+        let store = retrying(&oss, 3);
+        let err = store.get("k").unwrap_err();
+        match &err {
+            SlimError::Timeout { attempts, last, .. } => {
+                assert_eq!(*attempts, 3);
+                assert!(last.contains("transient"), "last cause preserved: {last}");
+            }
+            other => panic!("expected Timeout, got {other:?}"),
+        }
+        assert!(err.is_retryable(), "outer layers may still retry");
+        assert_eq!(store.retry_metrics().giveups(), 1);
+        assert_eq!(store.retry_metrics().retries(), 2);
+    }
+
+    #[test]
+    fn non_retryable_errors_pass_through_immediately() {
+        let oss = Oss::in_memory();
+        let store = retrying(&oss, 5);
+        assert!(matches!(
+            store.get("missing"),
+            Err(SlimError::ObjectNotFound(_))
+        ));
+        oss.inject_fault(FaultPlan::KeyPrefix("containers/".into()));
+        assert!(matches!(
+            store.get("containers/1"),
+            Err(SlimError::InjectedFault(_))
+        ));
+        assert_eq!(store.retry_metrics().retries(), 0);
+        assert_eq!(store.retry_metrics().giveups(), 0);
+    }
+
+    #[test]
+    fn deadline_bounds_total_time() {
+        let oss = Oss::in_memory();
+        oss.put("k", Bytes::from_static(b"v")).unwrap();
+        oss.inject_fault(FaultPlan::TransientProb {
+            prefix: String::new(),
+            prob: 1.0,
+            seed: 1,
+        });
+        let policy = RetryPolicy {
+            max_attempts: 100,
+            base_delay: Duration::from_millis(20),
+            max_delay: Duration::from_millis(20),
+            deadline: Some(Duration::from_millis(30)),
+            jitter_seed: 0,
+        };
+        let store = RetryingStore::new(Arc::new(oss.clone()), policy);
+        let t0 = Instant::now();
+        let err = store.get("k").unwrap_err();
+        assert!(matches!(err, SlimError::Timeout { .. }));
+        assert!(t0.elapsed() < Duration::from_secs(2));
+        assert_eq!(store.retry_metrics().giveups(), 1);
+    }
+
+    #[test]
+    fn backoff_grows_capped_and_jittered_deterministically() {
+        let policy = RetryPolicy {
+            max_attempts: 10,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_millis(100),
+            deadline: None,
+            jitter_seed: 42,
+        };
+        let d1 = policy.backoff(1);
+        let d2 = policy.backoff(2);
+        let d5 = policy.backoff(5);
+        assert!(d1 >= Duration::from_millis(5) && d1 < Duration::from_millis(10));
+        assert!(d2 >= Duration::from_millis(10) && d2 < Duration::from_millis(20));
+        assert!(d5 <= Duration::from_millis(100), "capped at max_delay");
+        assert_eq!(policy.backoff(3), policy.backoff(3), "jitter is deterministic");
+        assert_eq!(RetryPolicy::no_delay(3).backoff(7), Duration::ZERO);
+    }
+
+    #[test]
+    fn put_retry_rewrites_value() {
+        let oss = Oss::in_memory();
+        oss.inject_fault(FaultPlan::Throttle { every_nth: 2 });
+        let store = retrying(&oss, 4);
+        oss.put("warmup", Bytes::new()).unwrap(); // counter: 1
+        store.put("k", Bytes::from_static(b"payload")).unwrap(); // fails at 2, lands at 3
+        oss.clear_faults();
+        assert_eq!(oss.get("k").unwrap(), Bytes::from_static(b"payload"));
+        assert_eq!(store.retry_metrics().retries(), 1);
+    }
+}

@@ -154,7 +154,7 @@ impl RocksOss {
         let prefix = prefix.into();
         let store = RocksOss::create(oss.clone(), prefix.clone(), config);
         let manifest_key = format!("{prefix}MANIFEST");
-        if !oss.exists(&manifest_key) {
+        if !oss.exists(&manifest_key)? {
             return Ok(store);
         }
         let buf = oss.get(&manifest_key)?;
@@ -430,13 +430,16 @@ impl RocksOss {
         let object_key = self.table_key(id);
         let total = self
             .oss
-            .len(&object_key)
+            .len(&object_key)?
             .ok_or_else(|| SlimError::ObjectNotFound(object_key.clone()))?;
         if total < 8 {
             return Err(SlimError::corrupt("sstable", "object too small"));
         }
         let tail = self.oss.get_range(&object_key, total - 8, 8)?;
-        let entries_end = u64::from_le_bytes(tail[..].try_into().expect("8 bytes"));
+        let tail: [u8; 8] = tail[..]
+            .try_into()
+            .map_err(|_| SlimError::corrupt("sstable", "short footer length word"))?;
+        let entries_end = u64::from_le_bytes(tail);
         if entries_end > total - 8 {
             return Err(SlimError::corrupt("sstable", "bad footer offset"));
         }

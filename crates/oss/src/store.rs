@@ -14,7 +14,7 @@ use bytes::Bytes;
 use parking_lot::RwLock;
 use slim_types::{Result, SlimError};
 
-use crate::fault::{FaultPlan, FaultState};
+use crate::fault::{FaultErrorKind, FaultPlan, FaultState};
 use crate::metrics::OssMetrics;
 use crate::network::{ChannelPool, NetworkModel};
 
@@ -37,11 +37,13 @@ pub trait ObjectStore: Send + Sync {
     fn delete(&self, key: &str) -> Result<()>;
 
     /// Whether an object exists. Free of network cost in this simulation
-    /// (real systems use HEAD; SLIMSTORE only calls this on metadata paths).
-    fn exists(&self, key: &str) -> bool;
+    /// (real systems use HEAD; SLIMSTORE only calls this on metadata paths),
+    /// but fallible like any other request — HEAD hits the same endpoint
+    /// that PUT/GET do, so fault plans cover it too.
+    fn exists(&self, key: &str) -> Result<bool>;
 
     /// Object length in bytes, if it exists.
-    fn len(&self, key: &str) -> Option<u64>;
+    fn len(&self, key: &str) -> Result<Option<u64>>;
 
     /// All keys with the given prefix, in lexicographic order.
     fn list(&self, prefix: &str) -> Vec<String>;
@@ -106,9 +108,15 @@ impl Oss {
         &self.inner.network
     }
 
-    /// Arm fault injection.
+    /// Arm fault injection, replacing any armed plans.
     pub fn inject_fault(&self, plan: FaultPlan) {
         self.inner.faults.arm(plan);
+    }
+
+    /// Arm an additional fault plan alongside the already-armed ones (e.g.
+    /// latency plus transient failures).
+    pub fn inject_fault_also(&self, plan: FaultPlan) {
+        self.inner.faults.arm_also(plan);
     }
 
     /// Disarm fault injection.
@@ -144,10 +152,20 @@ impl Oss {
     }
 
     fn check_fault(&self, op: &str, key: &str) -> Result<()> {
-        if self.inner.faults.should_fail(key) {
-            return Err(SlimError::InjectedFault(format!("{op} {key}")));
+        let decision = self.inner.faults.decide(key);
+        if !decision.delay.is_zero() {
+            std::thread::sleep(decision.delay);
+            self.inner.metrics.record_injected_delay(decision.delay);
         }
-        Ok(())
+        let Some(kind) = decision.error else {
+            return Ok(());
+        };
+        self.inner.metrics.record_injected_fault();
+        Err(match kind {
+            FaultErrorKind::Permanent => SlimError::InjectedFault(format!("{op} {key}")),
+            FaultErrorKind::Transient => SlimError::Transient(format!("injected: {op} {key}")),
+            FaultErrorKind::Throttled => SlimError::Throttled(format!("injected: {op} {key}")),
+        })
     }
 
     /// Charge latency + transfer time for `bytes`, bounded by channel
@@ -219,12 +237,14 @@ impl ObjectStore for Oss {
         Ok(())
     }
 
-    fn exists(&self, key: &str) -> bool {
-        self.inner.objects.read().contains_key(key)
+    fn exists(&self, key: &str) -> Result<bool> {
+        self.check_fault("head", key)?;
+        Ok(self.inner.objects.read().contains_key(key))
     }
 
-    fn len(&self, key: &str) -> Option<u64> {
-        self.inner.objects.read().get(key).map(|v| v.len() as u64)
+    fn len(&self, key: &str) -> Result<Option<u64>> {
+        self.check_fault("head", key)?;
+        Ok(self.inner.objects.read().get(key).map(|v| v.len() as u64))
     }
 
     fn list(&self, prefix: &str) -> Vec<String> {
@@ -251,8 +271,8 @@ mod tests {
         let oss = Oss::in_memory();
         oss.put("a/b", Bytes::from_static(b"hello")).unwrap();
         assert_eq!(oss.get("a/b").unwrap(), Bytes::from_static(b"hello"));
-        assert!(oss.exists("a/b"));
-        assert_eq!(oss.len("a/b"), Some(5));
+        assert!(oss.exists("a/b").unwrap());
+        assert_eq!(oss.len("a/b").unwrap(), Some(5));
         assert_eq!(oss.object_count(), 1);
         assert_eq!(oss.stored_bytes(), 5);
     }
@@ -283,7 +303,7 @@ mod tests {
         let oss = Oss::in_memory();
         oss.put("k", Bytes::from_static(b"v")).unwrap();
         oss.delete("k").unwrap();
-        assert!(!oss.exists("k"));
+        assert!(!oss.exists("k").unwrap());
         oss.delete("k").unwrap();
     }
 
@@ -324,6 +344,62 @@ mod tests {
         oss.put("recipes/1", Bytes::from_static(b"y")).unwrap();
         oss.clear_faults();
         oss.get("containers/1").unwrap();
+    }
+
+    #[test]
+    fn metadata_probes_respect_faults() {
+        let oss = Oss::in_memory();
+        oss.put("containers/1", Bytes::from_static(b"x")).unwrap();
+        oss.inject_fault(FaultPlan::KeyPrefix("containers/".into()));
+        assert!(matches!(
+            oss.exists("containers/1"),
+            Err(SlimError::InjectedFault(_))
+        ));
+        assert!(matches!(
+            oss.len("containers/1"),
+            Err(SlimError::InjectedFault(_))
+        ));
+        assert!(oss.exists("recipes/other").is_ok());
+        assert_eq!(oss.metrics().snapshot().injected_faults, 2);
+        oss.clear_faults();
+        assert!(oss.exists("containers/1").unwrap());
+        assert_eq!(oss.len("containers/1").unwrap(), Some(1));
+    }
+
+    #[test]
+    fn transient_and_throttle_faults_map_to_retryable_errors() {
+        let oss = Oss::in_memory();
+        oss.put("k", Bytes::from_static(b"v")).unwrap();
+        oss.inject_fault(FaultPlan::TransientProb {
+            prefix: String::new(),
+            prob: 1.0,
+            seed: 3,
+        });
+        let err = oss.get("k").unwrap_err();
+        assert!(matches!(err, SlimError::Transient(_)));
+        assert!(err.is_retryable());
+        oss.inject_fault(FaultPlan::Throttle { every_nth: 1 });
+        let err = oss.get("k").unwrap_err();
+        assert!(matches!(err, SlimError::Throttled(_)));
+        assert!(err.is_retryable());
+        oss.clear_faults();
+        oss.get("k").unwrap();
+    }
+
+    #[test]
+    fn latency_plan_charges_injected_delay() {
+        let oss = Oss::in_memory();
+        oss.put("k", Bytes::from_static(b"v")).unwrap();
+        oss.inject_fault(FaultPlan::Latency {
+            prefix: String::new(),
+            delay: std::time::Duration::from_millis(3),
+        });
+        let t0 = Instant::now();
+        oss.get("k").unwrap();
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(3));
+        let s = oss.metrics().snapshot();
+        assert!(s.injected_delay >= std::time::Duration::from_millis(3));
+        assert_eq!(s.injected_faults, 0);
     }
 
     #[test]

@@ -22,11 +22,11 @@ impl SpaceReport {
         let sum = |prefix: &str| -> u64 {
             oss.list(prefix)
                 .iter()
-                .filter_map(|k| oss.len(k))
+                .filter_map(|k| oss.len(k).unwrap_or(None))
                 .sum()
         };
         let container_bytes = sum(layout::CONTAINER_PREFIX);
-        let recipe_bytes = sum(layout::RECIPE_PREFIX) + sum("recipe-index/");
+        let recipe_bytes = sum(layout::RECIPE_PREFIX) + sum(layout::RECIPE_INDEX_PREFIX);
         let global_index_bytes = sum(layout::GLOBAL_INDEX_PREFIX);
         let total: u64 = sum("");
         SpaceReport {

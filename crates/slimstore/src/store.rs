@@ -4,13 +4,13 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
-use slim_gnode::{GNode, GNodeCycleStats};
+use slim_gnode::{GNode, GNodeCycleStats, OrphanScrubStats};
 use slim_index::{GlobalIndex, SimilarFileIndex};
 use slim_lnode::node::ChunkerKind;
 use slim_lnode::restore::RestoreOptions;
 use slim_lnode::{BackupStats, RestoreStats, StorageLayer};
 use slim_oss::rocks::RocksConfig;
-use slim_oss::{NetworkModel, ObjectStore, Oss};
+use slim_oss::{MetricsSnapshot, NetworkModel, ObjectStore, Oss};
 use slim_types::{FileId, Result, SlimConfig, SlimError, VersionId, VersionManifest};
 
 use crate::compute::{ComputeLayer, JobScheduler};
@@ -137,6 +137,10 @@ pub struct VersionBackupReport {
     pub stats: BackupStats,
     /// Number of files captured.
     pub files: usize,
+    /// OSS traffic this backup generated (snapshot delta), if the attached
+    /// store keeps counters. Includes retry/giveup counts when the store is
+    /// wrapped in a [`slim_oss::RetryingStore`].
+    pub oss_metrics: Option<MetricsSnapshot>,
 }
 
 /// A SLIMSTORE deployment: storage layer + computing layer.
@@ -194,16 +198,27 @@ impl SlimStore {
     /// Back up one new version with `jobs` concurrent file jobs spread over
     /// the L-node pool.
     ///
-    /// On error the version id is consumed and any files that completed
-    /// before the failure remain persisted (recipes + containers) without a
-    /// manifest; they are harmless — unreachable from `versions()` — but
-    /// occupy space until a future backup re-uses their chunks or the
-    /// deployment is rebuilt. Retrying the backup allocates a fresh version.
+    /// # Commit protocol
+    ///
+    /// Objects reach OSS in a fixed order: container data, container
+    /// metadata, recipes, recipe indexes — and, only after every file job
+    /// finished, the version manifest. The manifest PUT is the single commit
+    /// point: a version exists iff its manifest exists, so a job killed at
+    /// any earlier operation leaves previously committed versions untouched
+    /// and only writes *orphans* — keys unreachable from any manifest. The
+    /// version id is still consumed (retrying allocates a fresh one), and
+    /// [`SlimStore::scrub_orphans`] reclaims everything the dead job wrote.
+    ///
+    /// The similar-file index save after the manifest PUT is best-effort:
+    /// it is a derived performance hint, rebuilt lazily and re-saved by the
+    /// next successful backup, so its failure must not fail an already
+    /// committed version.
     pub fn backup_version_with_jobs(
         &self,
         files: Vec<(FileId, Vec<u8>)>,
         jobs: usize,
     ) -> Result<VersionBackupReport> {
+        let before = self.oss.metrics_snapshot();
         let version = VersionId(self.next_version.fetch_add(1, Ordering::SeqCst));
         let scheduler = JobScheduler::new(jobs);
         let file_count = files.len();
@@ -218,9 +233,15 @@ impl SlimStore {
             manifest.files.push(outcome.info);
             manifest.new_containers.extend(outcome.new_containers);
         }
+        // Commit point: the version becomes durable (and visible) here.
         self.storage.put_manifest(&manifest)?;
-        self.similar.save(self.oss.as_ref())?;
-        Ok(VersionBackupReport { version, stats, files: file_count })
+        // Post-commit, best-effort: the similar index is a rebuildable hint.
+        let _ = self.similar.save(self.oss.as_ref());
+        let oss_metrics = match (before, self.oss.metrics_snapshot()) {
+            (Some(before), Some(after)) => Some(after.since(&before)),
+            _ => None,
+        };
+        Ok(VersionBackupReport { version, stats, files: file_count, oss_metrics })
     }
 
     /// Restore one file at one version.
@@ -314,6 +335,14 @@ impl SlimStore {
     /// Current space breakdown on OSS.
     pub fn space_report(&self) -> SpaceReport {
         SpaceReport::measure(self.oss.as_ref())
+    }
+
+    /// Reclaim orphaned container/recipe objects left by backup jobs that
+    /// died before their commit point (the version-manifest PUT). Safe to
+    /// run any time no backup job is in flight; idempotent — a second pass
+    /// reclaims nothing.
+    pub fn scrub_orphans(&self) -> Result<OrphanScrubStats> {
+        self.gnode.scrub_orphans()
     }
 
     /// Integrity scrub: check that every record of every retained version

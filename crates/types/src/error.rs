@@ -42,6 +42,24 @@ pub enum SlimError {
     #[error("injected fault: {0}")]
     InjectedFault(String),
 
+    /// A transient failure (simulated 5xx); the operation may succeed if
+    /// retried.
+    #[error("transient failure: {0}")]
+    Transient(String),
+
+    /// The object store rejected the request due to rate limiting; the
+    /// operation may succeed if retried after backing off.
+    #[error("throttled: {0}")]
+    Throttled(String),
+
+    /// An operation exhausted its retry/deadline budget without succeeding.
+    #[error("{op} timed out after {attempts} attempts: {last}")]
+    Timeout {
+        op: String,
+        attempts: u32,
+        last: String,
+    },
+
     /// Configuration rejected at construction time.
     #[error("invalid configuration: {0}")]
     InvalidConfig(String),
@@ -61,5 +79,40 @@ impl SlimError {
             what,
             detail: detail.into(),
         }
+    }
+
+    /// Whether retrying the failed operation could plausibly succeed.
+    ///
+    /// Transient and throttling failures are the retryable class; a
+    /// [`SlimError::Timeout`] is retryable too because it wraps a retryable
+    /// cause that merely ran out of budget at one layer — an outer layer with
+    /// a larger budget may still succeed. Permanent conditions (missing
+    /// objects, corruption, injected hard faults, config errors) are not.
+    pub fn is_retryable(&self) -> bool {
+        matches!(
+            self,
+            SlimError::Transient(_) | SlimError::Throttled(_) | SlimError::Timeout { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryable_taxonomy() {
+        assert!(SlimError::Transient("503".into()).is_retryable());
+        assert!(SlimError::Throttled("slow down".into()).is_retryable());
+        assert!(SlimError::Timeout {
+            op: "put k".into(),
+            attempts: 5,
+            last: "transient".into(),
+        }
+        .is_retryable());
+        assert!(!SlimError::ObjectNotFound("k".into()).is_retryable());
+        assert!(!SlimError::InjectedFault("put k".into()).is_retryable());
+        assert!(!SlimError::corrupt("recipe", "bad magic").is_retryable());
+        assert!(!SlimError::ContainerMissing(3).is_retryable());
     }
 }

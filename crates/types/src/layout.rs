@@ -54,6 +54,29 @@ pub const CONTAINER_PREFIX: &str = "containers/";
 /// Prefix of all recipe objects.
 pub const RECIPE_PREFIX: &str = "recipes/";
 
+/// Prefix of all recipe-index objects.
+pub const RECIPE_INDEX_PREFIX: &str = "recipe-index/";
+
+/// Parse the container id out of a `containers/{:012}/...` key.
+///
+/// Returns `None` for keys outside the container prefix or with a malformed
+/// id segment, so scrub passes can skip unknown keys conservatively.
+pub fn parse_container_key(key: &str) -> Option<ContainerId> {
+    let rest = key.strip_prefix(CONTAINER_PREFIX)?;
+    let (id, _) = rest.split_once('/')?;
+    id.parse::<u64>().ok().map(ContainerId)
+}
+
+/// Parse the version id out of a `recipes/<file>/{:08}` or
+/// `recipe-index/<file>/{:08}` key (file ids may themselves contain `/`).
+pub fn parse_recipe_version(key: &str) -> Option<VersionId> {
+    let rest = key
+        .strip_prefix(RECIPE_PREFIX)
+        .or_else(|| key.strip_prefix(RECIPE_INDEX_PREFIX))?;
+    let (_, version) = rest.rsplit_once('/')?;
+    version.parse::<u64>().ok().map(VersionId)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,6 +91,30 @@ mod tests {
         assert_eq!(recipe_index(&f, VersionId(3)), "recipe-index/db/t1.ibd/00000003");
         assert_eq!(version_manifest(VersionId(12)), "versions/00000012");
         assert!(version_manifest(VersionId(2)) < version_manifest(VersionId(10)));
+    }
+
+    #[test]
+    fn parses_container_and_recipe_keys() {
+        assert_eq!(
+            parse_container_key("containers/000000000042/data"),
+            Some(ContainerId(42))
+        );
+        assert_eq!(
+            parse_container_key("containers/000000000042/meta"),
+            Some(ContainerId(42))
+        );
+        assert_eq!(parse_container_key("recipes/f/00000001"), None);
+        assert_eq!(parse_container_key("containers/xx/data"), None);
+        assert_eq!(
+            parse_recipe_version("recipes/db/t1.ibd/00000003"),
+            Some(VersionId(3))
+        );
+        assert_eq!(
+            parse_recipe_version("recipe-index/db/t1.ibd/00000003"),
+            Some(VersionId(3))
+        );
+        assert_eq!(parse_recipe_version("versions/00000003"), None);
+        assert_eq!(parse_recipe_version("recipes/odd"), None);
     }
 
     #[test]

@@ -1,11 +1,20 @@
 //! Fault-injection tests: OSS failures must surface as errors — never as
 //! silent corruption — and previously persisted versions must stay
 //! restorable after a failed job.
+//!
+//! The system-level tests at the bottom exercise the crash-consistency
+//! story: an exhaustive kill-point sweep over a backup's operation sequence
+//! (every committed version survives; the orphan scrub restores the
+//! committed key set), and seeded transient-fault chaos absorbed by the
+//! retrying store with zero divergence.
 
 use std::sync::Arc;
+use std::time::Duration;
 
-use slim_oss::{FaultPlan, ObjectStore, Oss};
+use slim_oss::rocks::RocksConfig;
+use slim_oss::{FaultPlan, ObjectStore, Oss, RetryPolicy, RetryingStore};
 use slim_types::{FileId, SlimConfig, SlimError, VersionId};
+use slimstore::{SlimStore, SlimStoreBuilder};
 use slimstore_repro::chunking::{ChunkSpec, FastCdcChunker};
 use slimstore_repro::index::SimilarFileIndex;
 use slimstore_repro::lnode::backup::BackupPipeline;
@@ -150,4 +159,172 @@ fn corrupt_container_meta_detected() {
         matches!(err, SlimError::Corrupt { .. }),
         "corruption must be detected, got {err}"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Crash consistency and transient-fault chaos (system level)
+// ---------------------------------------------------------------------------
+
+fn system_store(oss: Arc<dyn ObjectStore>) -> SlimStore {
+    SlimStoreBuilder::in_memory()
+        .with_object_store(oss)
+        .with_config(SlimConfig::small_for_tests())
+        .with_rocks_config(RocksConfig::small_for_tests())
+        .build()
+        .unwrap()
+}
+
+fn sorted_keys(oss: &Oss) -> Vec<String> {
+    let mut keys = oss.list("");
+    keys.sort();
+    keys
+}
+
+/// Kill a backup at every operation index in turn. Whatever the kill point,
+/// the committed version stays restorable, no partial version becomes
+/// visible, and one orphan-scrub pass returns the bucket to exactly the
+/// committed key set (a second pass reclaims nothing).
+#[test]
+fn kill_point_sweep_commits_or_leaves_reclaimable_orphans_only() {
+    let oss = Oss::in_memory();
+    let file_a = FileId::new("db/a");
+    let file_b = FileId::new("db/b");
+    let da0 = data(80, 24_000);
+    let db0 = data(81, 16_000);
+    let mut da1 = da0.clone();
+    da1[3_000..3_400].copy_from_slice(&data(82, 400));
+    let db1 = data(83, 16_000);
+    let v0_files = vec![(file_a.clone(), da0.clone()), (file_b.clone(), db0.clone())];
+    let v1_files = vec![(file_a.clone(), da1.clone()), (file_b.clone(), db1.clone())];
+
+    // Commit v0, then capture the committed key set as the baseline.
+    {
+        let store = system_store(Arc::new(oss.clone()));
+        store.backup_version(v0_files.clone()).unwrap();
+    }
+    let baseline = sorted_keys(&oss);
+
+    let mut total_orphans = 0u64;
+    let mut succeeded = false;
+    for kill_point in 1..=10_000u64 {
+        // Fresh deployment per attempt over the same bucket: every attempt
+        // starts from the identical committed state, so the backup issues
+        // the identical operation sequence and `kill_point` sweeps it
+        // exhaustively.
+        let store = system_store(Arc::new(oss.clone()));
+        oss.inject_fault(FaultPlan::NthOnPrefix {
+            prefix: String::new(),
+            nth: kill_point,
+        });
+        let result = store.backup_version(v1_files.clone());
+        oss.clear_faults();
+        match result {
+            Ok(report) => {
+                // The kill point lies past the commit point: the version is
+                // durable and the sweep has covered the whole sequence.
+                assert_eq!(report.version, VersionId(1));
+                store.verify_version(VersionId(0), &v0_files).unwrap();
+                store.verify_version(VersionId(1), &v1_files).unwrap();
+                succeeded = true;
+                break;
+            }
+            Err(_) => {
+                assert_eq!(
+                    store.versions(),
+                    vec![VersionId(0)],
+                    "kill point {kill_point}: no partial version may be visible"
+                );
+                store.verify_version(VersionId(0), &v0_files).unwrap();
+                let stats = store.scrub_orphans().unwrap();
+                total_orphans += stats.objects_reclaimed();
+                assert_eq!(
+                    sorted_keys(&oss),
+                    baseline,
+                    "kill point {kill_point}: scrub must restore the committed key set"
+                );
+                let again = store.scrub_orphans().unwrap();
+                assert_eq!(
+                    again.objects_reclaimed(),
+                    0,
+                    "kill point {kill_point}: scrub must be idempotent"
+                );
+            }
+        }
+    }
+    assert!(succeeded, "the sweep never ran past the end of the backup");
+    assert!(total_orphans > 0, "at least one kill point must leave orphans");
+}
+
+/// A seeded probabilistic transient-fault schedule (p = 0.3 on every OSS
+/// operation) absorbed by the retrying store: every backup commits, every
+/// committed version restores byte-identically, retry counters surface in
+/// the per-backup metrics snapshot, and nothing gives up.
+#[test]
+fn chaos_transient_schedule_preserves_every_committed_version() {
+    let oss = Oss::in_memory();
+    let retrying = RetryingStore::new(Arc::new(oss.clone()), RetryPolicy::no_delay(16));
+    let store = system_store(Arc::new(retrying.clone()));
+    oss.inject_fault(FaultPlan::TransientProb {
+        prefix: String::new(),
+        prob: 0.3,
+        seed: 0xC4A0_55E5,
+    });
+
+    let file_a = FileId::new("db/a");
+    let file_b = FileId::new("db/b");
+    let mut da = data(50, 24_000);
+    let db = data(51, 16_000);
+    let mut history = Vec::new();
+    for round in 0..3u64 {
+        let report = store
+            .backup_version(vec![(file_a.clone(), da.clone()), (file_b.clone(), db.clone())])
+            .unwrap();
+        assert_eq!(report.version, VersionId(round));
+        let snap = report.oss_metrics.expect("retrying store keeps counters");
+        assert_eq!(snap.giveups, 0, "16 attempts must outlast p=0.3");
+        history.push(da.clone());
+        // Every committed version restores byte-identically while the fault
+        // schedule stays armed.
+        for (v, expected) in history.iter().enumerate() {
+            store
+                .verify_version(
+                    VersionId(v as u64),
+                    &[(file_a.clone(), expected.clone()), (file_b.clone(), db.clone())],
+                )
+                .unwrap();
+        }
+        da[1_000..1_800].copy_from_slice(&data(60 + round, 800));
+    }
+
+    let snap = store.oss().metrics_snapshot().unwrap();
+    assert!(snap.retries > 0, "the schedule must actually have fired");
+    assert_eq!(snap.giveups, 0);
+    assert!(snap.injected_faults > 0);
+    assert_eq!(retrying.retry_metrics().giveups(), 0);
+}
+
+/// Throttling plus injected latency end to end: the retrying store rides
+/// out the 429s, the latency plan charges injected delay into the metrics,
+/// and the data path stays byte-identical.
+#[test]
+fn throttle_and_latency_are_absorbed_by_the_retrying_store() {
+    let oss = Oss::in_memory();
+    oss.inject_fault(FaultPlan::Throttle { every_nth: 5 });
+    oss.inject_fault_also(FaultPlan::Latency {
+        prefix: "recipes/".into(),
+        delay: Duration::from_millis(1),
+    });
+    let retrying = RetryingStore::new(Arc::new(oss.clone()), RetryPolicy::no_delay(10));
+    let store = system_store(Arc::new(retrying));
+    let file = FileId::new("f");
+    let input = data(70, 30_000);
+    store
+        .backup_version(vec![(file.clone(), input.clone())])
+        .unwrap();
+    let (bytes, _) = store.restore_file(&file, VersionId(0)).unwrap();
+    assert_eq!(bytes, input);
+    let snap = store.oss().metrics_snapshot().unwrap();
+    assert!(snap.retries > 0, "throttled operations were retried");
+    assert_eq!(snap.giveups, 0);
+    assert!(snap.injected_delay > Duration::ZERO, "latency plan charged");
 }
