@@ -173,9 +173,14 @@ mod tests {
         let file = FileId::new("f");
         let versions = fragmented_versions();
         for (v, bytes) in versions.iter().enumerate() {
-            capping.backup_file(&file, VersionId(v as u64), bytes).unwrap();
+            capping
+                .backup_file(&file, VersionId(v as u64), bytes)
+                .unwrap();
         }
-        assert!(capping.rewritten_chunks > 0, "fragmentation must trigger rewrites");
+        assert!(
+            capping.rewritten_chunks > 0,
+            "fragmentation must trigger rewrites"
+        );
         let engine = RestoreEngine::new(&storage, None);
         let opts = RestoreOptions::from_config(&cfg);
         for (v, expected) in versions.iter().enumerate() {
@@ -191,7 +196,9 @@ mod tests {
         let (storage, mut capping, cfg) = make_system(2);
         let file = FileId::new("f");
         for (v, bytes) in fragmented_versions().iter().enumerate() {
-            capping.backup_file(&file, VersionId(v as u64), bytes).unwrap();
+            capping
+                .backup_file(&file, VersionId(v as u64), bytes)
+                .unwrap();
         }
         let last = VersionId(5);
         let recipe = storage.get_recipe(&file, last).unwrap();
@@ -218,7 +225,10 @@ mod tests {
             let (_, mut sys, _) = make_system(cap);
             let mut stored = 0u64;
             for (v, bytes) in versions.iter().enumerate() {
-                stored += sys.backup_file(&file, VersionId(v as u64), bytes).unwrap().stored_bytes;
+                stored += sys
+                    .backup_file(&file, VersionId(v as u64), bytes)
+                    .unwrap()
+                    .stored_bytes;
             }
             (stored, sys.rewritten_chunks)
         };

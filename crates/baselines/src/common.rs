@@ -43,7 +43,8 @@ impl ContainerWriter {
             Some(b) => b,
             None => {
                 let id = self.storage.allocate_container_id();
-                self.builder.insert(ContainerBuilder::new(id, self.capacity))
+                self.builder
+                    .insert(ContainerBuilder::new(id, self.capacity))
             }
         };
         builder.push(fp, payload);
@@ -86,9 +87,10 @@ pub fn persist_recipe(
     storage
         .oss()
         .put(&slim_types::layout::recipe(file, version), buf)?;
-    storage
-        .oss()
-        .put(&slim_types::layout::recipe_index(file, version), index.encode())?;
+    storage.oss().put(
+        &slim_types::layout::recipe_index(file, version),
+        index.encode(),
+    )?;
     Ok(recipe)
 }
 
@@ -101,7 +103,10 @@ pub struct LruMap<K, V> {
 impl<K: PartialEq + Clone, V> LruMap<K, V> {
     /// LRU holding at most `capacity` entries.
     pub fn new(capacity: usize) -> Self {
-        LruMap { capacity: capacity.max(1), entries: Vec::new() }
+        LruMap {
+            capacity: capacity.max(1),
+            entries: Vec::new(),
+        }
     }
 
     /// Fetch and mark recently used.
@@ -179,8 +184,7 @@ mod tests {
             .map(|b| ChunkRecord::new(fp(b), ContainerId(0), 10, 0))
             .collect();
         let file = FileId::new("f");
-        let recipe =
-            persist_recipe(&storage, &file, VersionId(0), records, 4, 1).unwrap();
+        let recipe = persist_recipe(&storage, &file, VersionId(0), records, 4, 1).unwrap();
         assert_eq!(recipe.segments.len(), 3);
         let loaded = storage.get_recipe(&file, VersionId(0)).unwrap();
         assert_eq!(loaded, recipe);

@@ -101,7 +101,8 @@ impl HarSystem {
         // Record totals for containers created by this backup.
         for id in &writer.sealed {
             let meta = self.storage.get_container_meta(*id)?;
-            self.container_totals.insert(*id, meta.total_chunks() as u32);
+            self.container_totals
+                .insert(*id, meta.total_chunks() as u32);
         }
 
         // Identify sparse containers for the *next* backup.
@@ -163,7 +164,11 @@ mod tests {
         let storage = StorageLayer::open(Arc::new(Oss::in_memory()));
         let config = SlimConfig::small_for_tests();
         let chunker = Box::new(FastCdcChunker::new(ChunkSpec::from_config(&config)));
-        (storage.clone(), HarSystem::new(storage, config.clone(), chunker), config)
+        (
+            storage.clone(),
+            HarSystem::new(storage, config.clone(), chunker),
+            config,
+        )
     }
 
     #[test]
@@ -193,7 +198,10 @@ mod tests {
             v1.extend_from_slice(&filler[i * 7_000..(i + 1) * 7_000]);
         }
         har.backup_file(&file, VersionId(1), &v1).unwrap();
-        assert!(har.sparse_containers() > 0, "v1 must flag v0's containers sparse");
+        assert!(
+            har.sparse_containers() > 0,
+            "v1 must flag v0's containers sparse"
+        );
         let before = har.rewritten_chunks;
         har.backup_file(&file, VersionId(2), &v1).unwrap();
         assert!(
@@ -213,7 +221,13 @@ mod tests {
         har.backup_file(&file, VersionId(1), &v1).unwrap();
         let engine = RestoreEngine::new(&storage, None);
         let opts = RestoreOptions::from_config(&cfg);
-        assert_eq!(engine.restore_file(&file, VersionId(0), &opts).unwrap().0, input);
-        assert_eq!(engine.restore_file(&file, VersionId(1), &opts).unwrap().0, v1);
+        assert_eq!(
+            engine.restore_file(&file, VersionId(0), &opts).unwrap().0,
+            input
+        );
+        assert_eq!(
+            engine.restore_file(&file, VersionId(1), &opts).unwrap().0,
+            v1
+        );
     }
 }

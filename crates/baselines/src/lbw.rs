@@ -121,7 +121,10 @@ impl LbwSystem {
             let (rec, deferred) = match self.index.get(&chunk.fp).copied() {
                 Some(hit) => {
                     stats.duplicates += 1;
-                    (ChunkRecord::new(chunk.fp, hit.container_id, hit.size, 0), true)
+                    (
+                        ChunkRecord::new(chunk.fp, hit.container_id, hit.size, 0),
+                        true,
+                    )
                 }
                 None => {
                     let container = writer.push(chunk.fp, chunk.slice(data))?;
@@ -130,7 +133,12 @@ impl LbwSystem {
                     (rec, false)
                 }
             };
-            slots.push(Slot { start: chunk.start, end: chunk.end, rec, deferred });
+            slots.push(Slot {
+                start: chunk.start,
+                end: chunk.end,
+                rec,
+                deferred,
+            });
             if slots.len() > finalized + self.window {
                 finalize_up_to!(slots.len() - self.window, self, writer, stats);
             }
@@ -202,7 +210,10 @@ mod tests {
         for (v, bytes) in versions.iter().enumerate() {
             lbw.backup_file(&file, VersionId(v as u64), bytes).unwrap();
         }
-        assert!(lbw.rewritten_chunks > 0, "fragmentation must trigger rewrites");
+        assert!(
+            lbw.rewritten_chunks > 0,
+            "fragmentation must trigger rewrites"
+        );
         let engine = RestoreEngine::new(&storage, None);
         let opts = RestoreOptions::from_config(&cfg);
         for (v, expected) in versions.iter().enumerate() {
@@ -236,6 +247,9 @@ mod tests {
             }
             sys.rewritten_chunks
         };
-        assert!(run(8) >= run(2), "higher support requirement must rewrite at least as much");
+        assert!(
+            run(8) >= run(2),
+            "higher support requirement must rewrite at least as much"
+        );
     }
 }

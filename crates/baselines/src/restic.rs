@@ -145,7 +145,14 @@ impl ResticSim {
         let data = Bytes::from(std::mem::take(&mut state.open_pack));
         self.fs.put(&Self::pack_key(id), data)?;
         for (fp, offset, len) in state.open_pack_entries.drain(..) {
-            state.index.insert(fp, PackLoc { pack: id, offset, len });
+            state.index.insert(
+                fp,
+                PackLoc {
+                    pack: id,
+                    offset,
+                    len,
+                },
+            );
         }
         Ok(())
     }
@@ -188,7 +195,11 @@ impl ResticSim {
                     {
                         Some((_, offset, len)) => {
                             stats.duplicates += 1;
-                            PackLoc { pack: repo.next_pack, offset, len }
+                            PackLoc {
+                                pack: repo.next_pack,
+                                offset,
+                                len,
+                            }
                         }
                         None => {
                             let payload = chunk.slice(data);
@@ -197,8 +208,11 @@ impl ResticSim {
                             repo.open_pack_entries
                                 .push((chunk.fp, offset, payload.len() as u32));
                             stats.stored_bytes += payload.len() as u64;
-                            let loc =
-                                PackLoc { pack: repo.next_pack, offset, len: payload.len() as u32 };
+                            let loc = PackLoc {
+                                pack: repo.next_pack,
+                                offset,
+                                len: payload.len() as u32,
+                            };
                             if repo.open_pack.len() >= self.pack_target {
                                 self.flush_pack(&mut repo)?;
                             }

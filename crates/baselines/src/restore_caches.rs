@@ -26,7 +26,11 @@ use slim_types::{ChunkRecord, ContainerId, Fingerprint, Recipe, Result, SlimErro
 /// A restore strategy over the common formats.
 pub trait RestoreCacheSim {
     /// Restore a recipe, returning the bytes and the I/O statistics.
-    fn restore(&mut self, storage: &StorageLayer, recipe: &Recipe) -> Result<(Vec<u8>, RestoreStats)>;
+    fn restore(
+        &mut self,
+        storage: &StorageLayer,
+        recipe: &Recipe,
+    ) -> Result<(Vec<u8>, RestoreStats)>;
 
     /// Strategy name for reports.
     fn name(&self) -> &'static str;
@@ -78,12 +82,18 @@ pub struct LruContainerRestore {
 impl LruContainerRestore {
     /// Cache bounded to `capacity_bytes` of container payload.
     pub fn new(capacity_bytes: usize) -> Self {
-        LruContainerRestore { capacity_bytes: capacity_bytes.max(1) }
+        LruContainerRestore {
+            capacity_bytes: capacity_bytes.max(1),
+        }
     }
 }
 
 impl RestoreCacheSim for LruContainerRestore {
-    fn restore(&mut self, storage: &StorageLayer, recipe: &Recipe) -> Result<(Vec<u8>, RestoreStats)> {
+    fn restore(
+        &mut self,
+        storage: &StorageLayer,
+        recipe: &Recipe,
+    ) -> Result<(Vec<u8>, RestoreStats)> {
         let start = Instant::now();
         let mut stats = RestoreStats::default();
         let mut out = Vec::with_capacity(recipe.logical_bytes() as usize);
@@ -147,7 +157,11 @@ impl OptContainerRestore {
 }
 
 impl RestoreCacheSim for OptContainerRestore {
-    fn restore(&mut self, storage: &StorageLayer, recipe: &Recipe) -> Result<(Vec<u8>, RestoreStats)> {
+    fn restore(
+        &mut self,
+        storage: &StorageLayer,
+        recipe: &Recipe,
+    ) -> Result<(Vec<u8>, RestoreStats)> {
         let start = Instant::now();
         let mut stats = RestoreStats::default();
         let records: Vec<&ChunkRecord> = recipe.records().collect();
@@ -237,12 +251,20 @@ impl AlaccRestore {
     /// (FAST'13): an assembly area and nothing else — no chunk cache, no
     /// look-ahead admission. ALACC's own baseline.
     pub fn faa_only(faa_bytes: usize) -> Self {
-        AlaccRestore { faa_bytes: faa_bytes.max(1), chunk_cache_bytes: 0, law_window: 1 }
+        AlaccRestore {
+            faa_bytes: faa_bytes.max(1),
+            chunk_cache_bytes: 0,
+            law_window: 1,
+        }
     }
 }
 
 impl RestoreCacheSim for AlaccRestore {
-    fn restore(&mut self, storage: &StorageLayer, recipe: &Recipe) -> Result<(Vec<u8>, RestoreStats)> {
+    fn restore(
+        &mut self,
+        storage: &StorageLayer,
+        recipe: &Recipe,
+    ) -> Result<(Vec<u8>, RestoreStats)> {
         let start = Instant::now();
         let mut stats = RestoreStats::default();
         let records: Vec<&ChunkRecord> = recipe.records().collect();
@@ -305,7 +327,9 @@ impl RestoreCacheSim for AlaccRestore {
                     }
                 }
                 while cache_bytes > self.chunk_cache_bytes {
-                    let Some(victim) = cache_order.pop_front() else { break };
+                    let Some(victim) = cache_order.pop_front() else {
+                        break;
+                    };
                     if let Some(gone) = cache.remove(&victim) {
                         cache_bytes -= gone.len();
                     }
@@ -404,8 +428,12 @@ mod tests {
     fn opt_beats_lru_under_pressure() {
         let (storage, recipe, _) = fragmented_store();
         let cap = 12 * 1024;
-        let (_, lru) = LruContainerRestore::new(cap).restore(&storage, &recipe).unwrap();
-        let (_, opt) = OptContainerRestore::new(cap, 128).restore(&storage, &recipe).unwrap();
+        let (_, lru) = LruContainerRestore::new(cap)
+            .restore(&storage, &recipe)
+            .unwrap();
+        let (_, opt) = OptContainerRestore::new(cap, 128)
+            .restore(&storage, &recipe)
+            .unwrap();
         assert!(
             opt.containers_read <= lru.containers_read,
             "Belady with LAW must not lose to LRU: opt={} lru={}",
@@ -434,7 +462,9 @@ mod tests {
     #[test]
     fn faa_only_restores_correctly_but_reads_more() {
         let (storage, recipe, expected) = fragmented_store();
-        let (out, faa) = AlaccRestore::faa_only(8 * 1024).restore(&storage, &recipe).unwrap();
+        let (out, faa) = AlaccRestore::faa_only(8 * 1024)
+            .restore(&storage, &recipe)
+            .unwrap();
         assert_eq!(out, expected);
         let (_, alacc) = AlaccRestore::new(8 * 1024, 128 * 1024, 64)
             .restore(&storage, &recipe)

@@ -133,7 +133,11 @@ impl SiloSystem {
 
         for segment in chunks.chunks(self.config.segment_chunks.max(1)) {
             // Representative fingerprint: the minimum of the segment.
-            let rep = segment.iter().map(|c| c.fp).min().expect("non-empty segment");
+            let rep = segment
+                .iter()
+                .map(|c| c.fp)
+                .min()
+                .expect("non-empty segment");
             if let Some(&block_id) = self.shtable.get(&rep) {
                 if !self.cache.contains(&block_id) {
                     stats.index_fetches += 1;
@@ -207,7 +211,11 @@ mod tests {
         let storage = StorageLayer::open(Arc::new(Oss::in_memory()));
         let config = SlimConfig::small_for_tests();
         let chunker = Box::new(FastCdcChunker::new(ChunkSpec::from_config(&config)));
-        (storage.clone(), SiloSystem::new(storage, config.clone(), chunker), config)
+        (
+            storage.clone(),
+            SiloSystem::new(storage, config.clone(), chunker),
+            config,
+        )
     }
 
     #[test]
@@ -237,8 +245,14 @@ mod tests {
         silo.backup_file(&file, VersionId(1), &v1).unwrap();
         let engine = RestoreEngine::new(&storage, None);
         let opts = RestoreOptions::from_config(&cfg);
-        assert_eq!(engine.restore_file(&file, VersionId(0), &opts).unwrap().0, input);
-        assert_eq!(engine.restore_file(&file, VersionId(1), &opts).unwrap().0, v1);
+        assert_eq!(
+            engine.restore_file(&file, VersionId(0), &opts).unwrap().0,
+            input
+        );
+        assert_eq!(
+            engine.restore_file(&file, VersionId(1), &opts).unwrap().0,
+            v1
+        );
     }
 
     #[test]
@@ -252,7 +266,11 @@ mod tests {
             mutated[at..at + 200].copy_from_slice(&data(at as u64, 200));
         }
         let s = silo.backup_file(&file, VersionId(1), &mutated).unwrap();
-        assert!(s.dedup_ratio() > 0.7, "locality should still find most: {}", s.dedup_ratio());
+        assert!(
+            s.dedup_ratio() > 0.7,
+            "locality should still find most: {}",
+            s.dedup_ratio()
+        );
     }
 
     #[test]
@@ -263,8 +281,12 @@ mod tests {
         silo.backup_file(&file, VersionId(0), &input).unwrap();
         // Fill the cache with unrelated content to force block eviction.
         for i in 0..40u64 {
-            silo.backup_file(&FileId::new(format!("noise{i}")), VersionId(0), &data(100 + i, 20_000))
-                .unwrap();
+            silo.backup_file(
+                &FileId::new(format!("noise{i}")),
+                VersionId(0),
+                &data(100 + i, 20_000),
+            )
+            .unwrap();
         }
         let s = silo.backup_file(&file, VersionId(1), &input).unwrap();
         assert!(s.index_fetches > 0, "evicted blocks must be re-fetched");

@@ -65,7 +65,9 @@ impl SparseIndexingSystem {
             w.u64(rec.container_id.0);
             w.u32(rec.size);
         }
-        self.storage.oss().put(&Self::manifest_key(id), w.freeze())?;
+        self.storage
+            .oss()
+            .put(&Self::manifest_key(id), w.freeze())?;
         let manifest: Manifest = records
             .iter()
             .map(|r| (r.fp, ChunkRecord::new(r.fp, r.container_id, r.size, 0)))
@@ -107,7 +109,11 @@ impl SparseIndexingSystem {
         let mut ranked: Vec<(u64, usize)> = votes.into_iter().collect();
         // Most votes first; newest manifest breaks ties.
         ranked.sort_by(|a, b| b.1.cmp(&a.1).then(b.0.cmp(&a.0)));
-        ranked.into_iter().take(CHAMPIONS).map(|(id, _)| id).collect()
+        ranked
+            .into_iter()
+            .take(CHAMPIONS)
+            .map(|(id, _)| id)
+            .collect()
     }
 
     /// Back up one file.
@@ -257,7 +263,10 @@ mod tests {
         sys.backup_file(&file, VersionId(1), &input).unwrap();
         let engine = RestoreEngine::new(&storage, None);
         let opts = RestoreOptions::from_config(&cfg);
-        assert_eq!(engine.restore_file(&file, VersionId(1), &opts).unwrap().0, input);
+        assert_eq!(
+            engine.restore_file(&file, VersionId(1), &opts).unwrap().0,
+            input
+        );
     }
 
     #[test]

@@ -29,7 +29,13 @@ struct Outcome {
     containers_per_100mb: f64,
 }
 
-fn run(stream: &VersionedFile, versions: usize, cfg: SlimConfig, gnode_on: bool, prefetch: bool) -> Outcome {
+fn run(
+    stream: &VersionedFile,
+    versions: usize,
+    cfg: SlimConfig,
+    gnode_on: bool,
+    prefetch: bool,
+) -> Outcome {
     let oss = Oss::new(bench_network());
     let storage = StorageLayer::open(Arc::new(oss.clone()));
     let similar = SimilarFileIndex::new();
@@ -93,8 +99,18 @@ fn main() {
     let base = SlimConfig::default();
     let rows: Vec<(&str, SlimConfig, bool, bool)> = vec![
         ("full system", base.clone(), true, true),
-        ("- skip chunking", base.clone().with_skip_chunking(false), true, true),
-        ("- chunk merging", base.clone().with_chunk_merging(false), true, true),
+        (
+            "- skip chunking",
+            base.clone().with_skip_chunking(false),
+            true,
+            true,
+        ),
+        (
+            "- chunk merging",
+            base.clone().with_chunk_merging(false),
+            true,
+            true,
+        ),
         ("- G-node (reverse dedup + SCC)", base.clone(), false, true),
         ("- LAW prefetching", base.clone(), true, false),
     ];

@@ -17,7 +17,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use slim_baselines::ResticSim;
-use slim_bench::{f1, mib, pct, scale, Table};
+use slim_bench::{f1, mib, pct, print_telemetry, scale, Table};
 use slim_types::{FileId, VersionId};
 use slim_workload::{Workload, WorkloadConfig};
 use slimstore::{SlimStore, SlimStoreBuilder};
@@ -59,12 +59,7 @@ fn main() {
 
     // ---- (a): backup throughput vs concurrent jobs ----------------------
     println!("\n== Fig 10(a): backup throughput vs concurrent jobs ==\n");
-    let mut table = Table::new(&[
-        "jobs",
-        "L-nodes",
-        "SLIMSTORE MB/s",
-        "restic MB/s",
-    ]);
+    let mut table = Table::new(&["jobs", "L-nodes", "SLIMSTORE MB/s", "restic MB/s"]);
     for jobs in [1usize, 2, 4, 8, 16] {
         // Fresh deployments per point: measure v1 (the dedup path) after a
         // warm-up v0.
@@ -72,9 +67,13 @@ fn main() {
         store
             .scale_l_nodes(jobs.div_ceil(BACKUP_JOBS_PER_NODE))
             .unwrap();
-        store.backup_version_with_jobs(files_v[0].clone(), jobs).unwrap();
+        store
+            .backup_version_with_jobs(files_v[0].clone(), jobs)
+            .unwrap();
         let t = Instant::now();
-        store.backup_version_with_jobs(files_v[1].clone(), jobs).unwrap();
+        store
+            .backup_version_with_jobs(files_v[1].clone(), jobs)
+            .unwrap();
         let slim_mbps = slim_bench::mbps(v1_bytes, t.elapsed());
 
         let restic = Arc::new(restic_repo());
@@ -107,8 +106,12 @@ fn main() {
     println!("\n== Fig 10(b): restore throughput vs concurrent jobs ==\n");
     // One shared deployment with both versions backed up.
     let store = slim_store();
-    store.backup_version_with_jobs(files_v[0].clone(), 4).unwrap();
-    store.backup_version_with_jobs(files_v[1].clone(), 4).unwrap();
+    store
+        .backup_version_with_jobs(files_v[0].clone(), 4)
+        .unwrap();
+    store
+        .backup_version_with_jobs(files_v[1].clone(), 4)
+        .unwrap();
     let restic = Arc::new(restic_repo());
     for v in 0..2u64 {
         for (f, d) in &files_v[v as usize] {
@@ -148,7 +151,10 @@ fn main() {
     table.print();
 
     // ---- (c): occupied space --------------------------------------------
-    println!("\n== Fig 10(c): occupied space after {} versions ==\n", cfg.versions);
+    println!(
+        "\n== Fig 10(c): occupied space after {} versions ==\n",
+        cfg.versions
+    );
     let slim_l = slim_store(); // L-dedupe only
     let slim_lg = slim_store(); // with G-node cycles
     let restic = restic_repo();
@@ -172,8 +178,14 @@ fn main() {
     let mut table = Table::new(&["system", "occupied MiB"]);
     table.row(vec!["restic".into(), mib(restic_bytes)]);
     table.row(vec!["SLIMSTORE (L-dedupe)".into(), mib(slim_l_bytes)]);
-    table.row(vec!["SLIMSTORE (+reverse dedup)".into(), mib(slim_lg_bytes)]);
+    table.row(vec![
+        "SLIMSTORE (+reverse dedup)".into(),
+        mib(slim_lg_bytes),
+    ]);
     table.print();
+    // Where reverse dedup's savings came from: the gnode.* counters and
+    // cycle-stage spans of the G-enabled deployment (SLIM_JSON=1).
+    print_telemetry("fig10c.slim_lg", &slim_lg.telemetry_snapshot());
     println!(
         "\nSLIMSTORE saves {} vs restic (paper ~20%); reverse dedup adds {} (paper 4.6%)\n",
         pct(1.0 - slim_lg_bytes as f64 / restic_bytes.max(1) as f64),

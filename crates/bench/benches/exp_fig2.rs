@@ -8,14 +8,22 @@
 //!
 //! Both history-aware optimizations are disabled here (this figure motivates
 //! them).
+//!
+//! The per-version phase breakdown is regenerated from telemetry span
+//! deltas (`lnode.0.span.{chunking,fingerprinting,index,container_io,
+//! backup}`), not from per-job stats structs — the same numbers any
+//! deployment exports via `SlimStore::telemetry_snapshot()`. With
+//! `SLIM_JSON=1` the full cumulative snapshot is emitted per chunker as a
+//! `TELEMETRY` line.
 
 use std::sync::Arc;
 
-use slim_bench::{bench_network, pct, scale, Table, VersionedFile};
+use slim_bench::{bench_network, pct, print_telemetry, scale, span_secs, Table, VersionedFile};
 use slim_index::SimilarFileIndex;
 use slim_lnode::node::ChunkerKind;
 use slim_lnode::{LNode, StorageLayer};
 use slim_oss::Oss;
+use slim_telemetry::Registry;
 use slim_types::{SlimConfig, VersionId};
 
 fn main() {
@@ -28,9 +36,12 @@ fn main() {
         let cfg = SlimConfig::default()
             .with_skip_chunking(false)
             .with_chunk_merging(false);
+        let registry = Registry::new();
+        let scope = registry.scope("lnode").child("0");
         let storage = StorageLayer::open(Arc::new(Oss::new(bench_network())));
-        let node =
-            LNode::with_chunker(storage, SimilarFileIndex::new(), cfg, kind).unwrap();
+        let node = LNode::with_chunker(storage, SimilarFileIndex::new(), cfg, kind)
+            .unwrap()
+            .with_telemetry(scope);
         let mut table = Table::new(&[
             "version",
             "chunking",
@@ -39,33 +50,32 @@ fn main() {
             "others",
             "network share of wall",
         ]);
+        let mut before = registry.snapshot();
         for v in 0..versions {
             let data = stream.version(v);
-            let out = node
-                .backup_file(&stream.file, VersionId(v as u64), &data)
+            node.backup_file(&stream.file, VersionId(v as u64), &data)
                 .unwrap();
-            let s = &out.stats;
-            let cpu = s
-                .wall_time
-                .saturating_sub(s.network_time)
-                .as_secs_f64()
-                .max(1e-9);
+            let after = registry.snapshot();
+            let delta = after.since(&before);
+            before = after;
+            let wall = span_secs(&delta, "lnode.0", "backup").max(1e-9);
+            let network = span_secs(&delta, "lnode.0", "container_io");
+            let chunking = span_secs(&delta, "lnode.0", "chunking");
+            let fingerprint = span_secs(&delta, "lnode.0", "fingerprinting");
+            let index = span_secs(&delta, "lnode.0", "index");
+            let cpu = (wall - network).max(1e-9);
             table.row(vec![
                 format!("v{v}"),
-                pct(s.chunking_time.as_secs_f64() / cpu),
-                pct(s.fingerprint_time.as_secs_f64() / cpu),
-                pct(s.index_time.as_secs_f64() / cpu),
-                pct((cpu
-                    - s.chunking_time.as_secs_f64()
-                    - s.fingerprint_time.as_secs_f64()
-                    - s.index_time.as_secs_f64())
-                .max(0.0)
-                    / cpu),
-                pct(s.network_time.as_secs_f64() / s.wall_time.as_secs_f64().max(1e-9)),
+                pct(chunking / cpu),
+                pct(fingerprint / cpu),
+                pct(index / cpu),
+                pct((cpu - chunking - fingerprint - index).max(0.0) / cpu),
+                pct(network / wall),
             ]);
         }
         println!("-- {kind:?} CDC --");
         table.print();
+        print_telemetry(&format!("fig2.{kind:?}"), &registry.snapshot());
         println!();
     }
 }

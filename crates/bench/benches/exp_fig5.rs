@@ -12,11 +12,14 @@
 
 use std::sync::Arc;
 
-use slim_bench::{bench_network_fast, f1, pct, scale, Table, VersionedFile};
+use slim_bench::{
+    bench_network_fast, f1, pct, print_telemetry, scale, span_secs, Table, VersionedFile,
+};
 use slim_index::SimilarFileIndex;
 use slim_lnode::node::ChunkerKind;
 use slim_lnode::{BackupStats, LNode, StorageLayer};
 use slim_oss::Oss;
+use slim_telemetry::Registry;
 use slim_types::{SlimConfig, VersionId};
 
 /// Back up v0 then v1 of `stream`; return v1's stats.
@@ -56,7 +59,10 @@ fn main() {
                 format!("{kind:?}"),
                 f1(off.throughput_mbps()),
                 f1(on.throughput_mbps()),
-                format!("{:.2}x", on.throughput_mbps() / off.throughput_mbps().max(1e-9)),
+                format!(
+                    "{:.2}x",
+                    on.throughput_mbps() / off.throughput_mbps().max(1e-9)
+                ),
                 pct(off.dedup_ratio()),
                 pct(on.dedup_ratio()),
             ]);
@@ -85,7 +91,10 @@ fn main() {
                 format!("{kind:?}"),
                 f1(off.throughput_mbps()),
                 f1(on.throughput_mbps()),
-                format!("{:.2}x", on.throughput_mbps() / off.throughput_mbps().max(1e-9)),
+                format!(
+                    "{:.2}x",
+                    on.throughput_mbps() / off.throughput_mbps().max(1e-9)
+                ),
                 on.skip_hits.to_string(),
                 on.skip_misses.to_string(),
             ]);
@@ -94,28 +103,42 @@ fn main() {
     table.print();
 
     // -- (d): CPU time breakdown with skip chunking -----------------------
+    // Regenerated from telemetry span deltas of the v1 backup, like Fig 2:
+    // the same `lnode.0.span.*` histograms any deployment exports.
     println!("\n== Fig 5(d): CPU time breakdown with skip chunking on (v1) ==\n");
     let stream = VersionedFile::new("fig5d", bytes, 2, 0.84);
     let mut table = Table::new(&["algo", "chunking", "fingerprint", "index query", "others"]);
     for kind in [ChunkerKind::Rabin, ChunkerKind::FastCdc] {
-        let s = run(&stream, base_cfg().with_skip_chunking(true), kind);
-        let cpu = s
-            .wall_time
-            .saturating_sub(s.network_time)
-            .as_secs_f64()
-            .max(1e-9);
+        let registry = Registry::new();
+        let storage = StorageLayer::open(Arc::new(Oss::new(bench_network_fast())));
+        let node = LNode::with_chunker(
+            storage,
+            SimilarFileIndex::new(),
+            base_cfg().with_skip_chunking(true),
+            kind,
+        )
+        .unwrap()
+        .with_telemetry(registry.scope("lnode").child("0"));
+        node.backup_file(&stream.file, VersionId(0), &stream.version(0))
+            .unwrap();
+        let before = registry.snapshot();
+        node.backup_file(&stream.file, VersionId(1), &stream.version(1))
+            .unwrap();
+        let delta = registry.snapshot().since(&before);
+        let wall = span_secs(&delta, "lnode.0", "backup").max(1e-9);
+        let network = span_secs(&delta, "lnode.0", "container_io");
+        let chunking = span_secs(&delta, "lnode.0", "chunking");
+        let fingerprint = span_secs(&delta, "lnode.0", "fingerprinting");
+        let index = span_secs(&delta, "lnode.0", "index");
+        let cpu = (wall - network).max(1e-9);
         table.row(vec![
             format!("{kind:?}"),
-            pct(s.chunking_time.as_secs_f64() / cpu),
-            pct(s.fingerprint_time.as_secs_f64() / cpu),
-            pct(s.index_time.as_secs_f64() / cpu),
-            pct((cpu
-                - s.chunking_time.as_secs_f64()
-                - s.fingerprint_time.as_secs_f64()
-                - s.index_time.as_secs_f64())
-            .max(0.0)
-                / cpu),
+            pct(chunking / cpu),
+            pct(fingerprint / cpu),
+            pct(index / cpu),
+            pct((cpu - chunking - fingerprint - index).max(0.0) / cpu),
         ]);
+        print_telemetry(&format!("fig5d.{kind:?}"), &delta);
     }
     table.print();
     println!();

@@ -56,7 +56,10 @@ fn run(stream: &VersionedFile, merging: bool, versions: usize) -> Outcome {
 fn main() {
     let bytes = (32.0 * 1024.0 * 1024.0 * scale()) as usize;
     let versions = 9; // merge threshold 5 → superchunks from ~v5 on
-    println!("\n== Fig 6: history-aware chunk merging (v{} of {versions}) ==\n", versions - 1);
+    println!(
+        "\n== Fig 6: history-aware chunk merging (v{} of {versions}) ==\n",
+        versions - 1
+    );
     let mut table = Table::new(&[
         "dup ratio",
         "MB/s (no merge)",
@@ -68,7 +71,8 @@ fn main() {
         "ratio loss",
     ]);
     for dup in [0.65, 0.75, 0.85, 0.95] {
-        let stream = VersionedFile::with_block_len(&format!("fig6-{dup}"), bytes, versions, dup, 32 * 1024);
+        let stream =
+            VersionedFile::with_block_len(&format!("fig6-{dup}"), bytes, versions, dup, 32 * 1024);
         let off = run(&stream, false, versions);
         let on = run(&stream, true, versions);
         table.row(vec![

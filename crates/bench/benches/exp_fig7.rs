@@ -31,11 +31,18 @@ fn main() {
     let slim = LNode::new(slim_storage, SimilarFileIndex::new(), cfg.clone()).unwrap();
     // SiLO.
     let silo_storage = StorageLayer::open(Arc::new(Oss::new(bench_network_fast())));
-    let mut silo = SiloSystem::new(silo_storage, cfg.clone(), Box::new(FastCdcChunker::new(chunk_spec)));
+    let mut silo = SiloSystem::new(
+        silo_storage,
+        cfg.clone(),
+        Box::new(FastCdcChunker::new(chunk_spec)),
+    );
     // Sparse Indexing.
     let sparse_storage = StorageLayer::open(Arc::new(Oss::new(bench_network_fast())));
-    let mut sparse =
-        SparseIndexingSystem::new(sparse_storage, cfg.clone(), Box::new(FastCdcChunker::new(chunk_spec)));
+    let mut sparse = SparseIndexingSystem::new(
+        sparse_storage,
+        cfg.clone(),
+        Box::new(FastCdcChunker::new(chunk_spec)),
+    );
 
     let mut table = Table::new(&[
         "version",
@@ -97,7 +104,10 @@ fn main() {
     }
     table.print();
     let avg = |v: &[(f64, f64)], i: usize| {
-        v.iter().map(|p| if i == 0 { p.0 } else { p.1 }).sum::<f64>() / v.len().max(1) as f64
+        v.iter()
+            .map(|p| if i == 0 { p.0 } else { p.1 })
+            .sum::<f64>()
+            / v.len().max(1) as f64
     };
     println!(
         "\nbefore merging (v1-v4):  {:.2}x vs SiLO, {:.2}x vs Sparse Indexing (paper: 1.32x / 1.39x)",

@@ -14,7 +14,9 @@
 
 use std::sync::Arc;
 
-use slim_baselines::{AlaccRestore, HarSystem, LruContainerRestore, OptContainerRestore, RestoreCacheSim};
+use slim_baselines::{
+    AlaccRestore, HarSystem, LruContainerRestore, OptContainerRestore, RestoreCacheSim,
+};
 use slim_bench::{bench_network, f1, scale, Table, VersionedFile};
 use slim_chunking::{ChunkSpec, FastCdcChunker};
 use slim_gnode::GNode;
@@ -42,7 +44,11 @@ fn deploy(with_gnode: bool) -> Deployment {
             GlobalIndex::open_with(Arc::new(oss), RocksConfig::default(), 1 << 20).unwrap();
         GNode::new(storage.clone(), global, similar, cfg).unwrap()
     });
-    Deployment { storage, node, gnode }
+    Deployment {
+        storage,
+        node,
+        gnode,
+    }
 }
 
 /// Back up every version; with a G-node, run its cycle after each version
@@ -101,13 +107,11 @@ fn main() {
     let last = VersionId(versions as u64 - 1);
 
     // ---- (a,b): cache comparison at several cache sizes, prefetch off ----
-    println!("\n== Fig 8(a,b): restore caches, prefetch disabled (version v{}) ==\n", last.0);
-    let mut table = Table::new(&[
-        "cache size",
-        "cache",
-        "MB/s",
-        "containers / 100MB",
-    ]);
+    println!(
+        "\n== Fig 8(a,b): restore caches, prefetch disabled (version v{}) ==\n",
+        last.0
+    );
+    let mut table = Table::new(&["cache size", "cache", "MB/s", "containers / 100MB"]);
     for cache_mb in [2usize, 8, 32] {
         let cache_bytes = cache_mb * 1024 * 1024;
         // FV (SLIMSTORE, plain deployment to isolate the cache itself).
@@ -122,7 +126,10 @@ fn main() {
         let recipe = plain.storage.get_recipe(&stream.file, last).unwrap();
         let mut rows: Vec<(&str, slim_lnode::RestoreStats)> = vec![("FV (SLIMSTORE)", fv)];
         let mut opt = OptContainerRestore::new(cache_bytes, SlimConfig::default().law_window);
-        rows.push(("OPT container", opt.restore(&plain.storage, &recipe).unwrap().1));
+        rows.push((
+            "OPT container",
+            opt.restore(&plain.storage, &recipe).unwrap().1,
+        ));
         let mut alacc = AlaccRestore::new(
             cache_bytes / 4,
             cache_bytes,
@@ -130,7 +137,10 @@ fn main() {
         );
         rows.push(("ALACC", alacc.restore(&plain.storage, &recipe).unwrap().1));
         let mut lru = LruContainerRestore::new(cache_bytes);
-        rows.push(("LRU container", lru.restore(&plain.storage, &recipe).unwrap().1));
+        rows.push((
+            "LRU container",
+            lru.restore(&plain.storage, &recipe).unwrap().1,
+        ));
         for (name, stats) in rows {
             table.row(vec![
                 format!("{cache_mb} MB"),
@@ -145,12 +155,7 @@ fn main() {
     // ---- (c): read amplification of the current version over time -------
     println!("\n== Fig 8(c): containers / 100MB restoring the current version ==\n");
     let big = 64 * 1024 * 1024;
-    let mut table = Table::new(&[
-        "version",
-        "SCC+FV",
-        "ALACC (no SCC)",
-        "HAR+OPT",
-    ]);
+    let mut table = Table::new(&["version", "SCC+FV", "ALACC (no SCC)", "HAR+OPT"]);
     for v in 0..versions {
         let vid = VersionId(v as u64);
         // Without a G-node nothing changes after a version's backup, so

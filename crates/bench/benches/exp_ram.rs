@@ -44,17 +44,31 @@ fn main() {
     let mut total_chunks = 0u64;
     for v in 0..versions {
         let data = stream.version(v);
-        har.backup_file(&stream.file, VersionId(v as u64), &data).unwrap();
-        capping.backup_file(&stream.file, VersionId(v as u64), &data).unwrap();
-        lbw.backup_file(&stream.file, VersionId(v as u64), &data).unwrap();
-        silo.backup_file(&stream.file, VersionId(v as u64), &data).unwrap();
-        sparse.backup_file(&stream.file, VersionId(v as u64), &data).unwrap();
-        let out = slim.backup_file(&stream.file, VersionId(v as u64), &data).unwrap();
+        har.backup_file(&stream.file, VersionId(v as u64), &data)
+            .unwrap();
+        capping
+            .backup_file(&stream.file, VersionId(v as u64), &data)
+            .unwrap();
+        lbw.backup_file(&stream.file, VersionId(v as u64), &data)
+            .unwrap();
+        silo.backup_file(&stream.file, VersionId(v as u64), &data)
+            .unwrap();
+        sparse
+            .backup_file(&stream.file, VersionId(v as u64), &data)
+            .unwrap();
+        let out = slim
+            .backup_file(&stream.file, VersionId(v as u64), &data)
+            .unwrap();
         total_chunks += out.stats.chunks;
     }
 
     println!("\n== Supplementary: resident index RAM after {versions} versions ({total_chunks} chunk records processed) ==\n");
-    let mut table = Table::new(&["system", "resident entries", "approx KiB", "entry granularity"]);
+    let mut table = Table::new(&[
+        "system",
+        "resident entries",
+        "approx KiB",
+        "entry granularity",
+    ]);
     let row = |name: &str, entries: usize, per: usize, gran: &str| {
         vec![
             name.to_string(),
@@ -63,12 +77,42 @@ fn main() {
             gran.to_string(),
         ]
     };
-    table.row(row("HAR (exact index)", har.index_entries(), EXACT_ENTRY_BYTES, "per unique chunk"));
-    table.row(row("Capping (exact index)", capping.index_entries(), EXACT_ENTRY_BYTES, "per unique chunk"));
-    table.row(row("LBW (exact index)", lbw.index_entries(), EXACT_ENTRY_BYTES, "per unique chunk"));
-    table.row(row("Sparse Indexing", sparse.index_entries(), HOOK_ENTRY_BYTES, "per hook (fp mod R == 0)"));
-    table.row(row("SiLO (SHTable)", silo.shtable_entries(), SHTABLE_ENTRY_BYTES, "per segment representative"));
-    table.row(row("SLIMSTORE L-node", 0, 0, "stateless (per-job cache only)"));
+    table.row(row(
+        "HAR (exact index)",
+        har.index_entries(),
+        EXACT_ENTRY_BYTES,
+        "per unique chunk",
+    ));
+    table.row(row(
+        "Capping (exact index)",
+        capping.index_entries(),
+        EXACT_ENTRY_BYTES,
+        "per unique chunk",
+    ));
+    table.row(row(
+        "LBW (exact index)",
+        lbw.index_entries(),
+        EXACT_ENTRY_BYTES,
+        "per unique chunk",
+    ));
+    table.row(row(
+        "Sparse Indexing",
+        sparse.index_entries(),
+        HOOK_ENTRY_BYTES,
+        "per hook (fp mod R == 0)",
+    ));
+    table.row(row(
+        "SiLO (SHTable)",
+        silo.shtable_entries(),
+        SHTABLE_ENTRY_BYTES,
+        "per segment representative",
+    ));
+    table.row(row(
+        "SLIMSTORE L-node",
+        0,
+        0,
+        "stateless (per-job cache only)",
+    ));
     table.print();
     println!();
 }

@@ -21,7 +21,12 @@ fn main() {
     let versions = 8;
     let stream = VersionedFile::new("table2", bytes, versions, 0.84);
     let storage = StorageLayer::open(Arc::new(Oss::new(bench_network())));
-    let node = LNode::new(storage.clone(), SimilarFileIndex::new(), SlimConfig::default()).unwrap();
+    let node = LNode::new(
+        storage.clone(),
+        SimilarFileIndex::new(),
+        SlimConfig::default(),
+    )
+    .unwrap();
     for v in 0..versions {
         node.backup_file(&stream.file, VersionId(v as u64), &stream.version(v))
             .unwrap();

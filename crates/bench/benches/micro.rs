@@ -65,9 +65,11 @@ fn bench_fingerprint(c: &mut Criterion) {
     for kb in [4usize, 64] {
         let data = test_data(kb * 1024);
         group.throughput(Throughput::Bytes(data.len() as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(format!("{kb}KB")), &data, |b, d| {
-            b.iter(|| slim_chunking::fingerprint(d))
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{kb}KB")),
+            &data,
+            |b, d| b.iter(|| slim_chunking::fingerprint(d)),
+        );
     }
     group.finish();
 }

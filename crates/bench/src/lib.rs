@@ -24,6 +24,7 @@
 use std::time::Duration;
 
 use slim_oss::NetworkModel;
+use slim_telemetry::TelemetrySnapshot;
 use slim_types::FileId;
 use slim_workload::{Workload, WorkloadConfig};
 
@@ -180,10 +181,35 @@ impl Table {
         for row in &self.rows {
             line(row);
         }
-        if std::env::var("SLIM_JSON").map(|v| v == "1").unwrap_or(false) {
+        if json_output() {
             println!("JSON {}", self.to_json());
         }
     }
+}
+
+/// Whether machine-readable output is requested (`SLIM_JSON=1`).
+pub fn json_output() -> bool {
+    std::env::var("SLIM_JSON")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+/// Emit a telemetry snapshot (or delta) as one machine-readable line when
+/// `SLIM_JSON=1`: `TELEMETRY <label> <json>`. Harness scripts scrape these
+/// lines the same way they scrape the `JSON` table lines.
+pub fn print_telemetry(label: &str, snap: &TelemetrySnapshot) {
+    if json_output() {
+        println!("TELEMETRY {label} {}", snap.to_json());
+    }
+}
+
+/// Total recorded seconds of the span `<scope>.span.<phase>` in a snapshot
+/// (or delta), `0.0` when the span never fired. The figure harnesses build
+/// their phase breakdowns from these instead of per-job stats structs.
+pub fn span_secs(snap: &TelemetrySnapshot, scope: &str, phase: &str) -> f64 {
+    snap.span(scope, phase)
+        .map(|h| h.total_duration().as_secs_f64())
+        .unwrap_or(0.0)
 }
 
 /// Format helpers.
@@ -227,6 +253,18 @@ mod tests {
         let json = t.to_json();
         assert_eq!(json[0]["a"], "1");
         assert_eq!(json[0]["bb"], "2");
+    }
+
+    #[test]
+    fn span_secs_reads_snapshot_deltas() {
+        let registry = slim_telemetry::Registry::new();
+        let scope = registry.scope("lnode").child("0");
+        scope.record_span("chunking", Duration::from_millis(250));
+        let snap = registry.snapshot();
+        assert!((span_secs(&snap, "lnode.0", "chunking") - 0.25).abs() < 1e-9);
+        assert_eq!(span_secs(&snap, "lnode.0", "absent"), 0.0);
+        // Emitting is a no-op without SLIM_JSON=1, and must not panic.
+        print_telemetry("test", &snap);
     }
 
     #[test]

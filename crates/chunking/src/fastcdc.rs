@@ -37,7 +37,12 @@ impl FastCdcChunker {
         // High-bit masks, like Gear: entropy concentrates in the high half.
         let mask_small = ((1u64 << hard_bits) - 1) << (60 - hard_bits);
         let mask_large = ((1u64 << easy_bits) - 1) << (60 - easy_bits);
-        FastCdcChunker { spec, table: gear_table(), mask_small, mask_large }
+        FastCdcChunker {
+            spec,
+            table: gear_table(),
+            mask_small,
+            mask_large,
+        }
     }
 
     #[inline]
@@ -138,7 +143,9 @@ mod tests {
             v
         };
         let fast = sizes(&chunker());
-        let gear = sizes(&crate::gear::GearChunker::new(ChunkSpec::new(64, 256, 1024)));
+        let gear = sizes(&crate::gear::GearChunker::new(ChunkSpec::new(
+            64, 256, 1024,
+        )));
         let sd = |v: &[f64]| {
             let mean = v.iter().sum::<f64>() / v.len() as f64;
             (v.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / v.len() as f64).sqrt()

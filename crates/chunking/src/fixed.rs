@@ -21,7 +21,11 @@ impl FixedChunker {
 
 impl Chunker for FixedChunker {
     fn spec(&self) -> ChunkSpec {
-        ChunkSpec { min: self.size, avg: self.size.next_power_of_two(), max: self.size }
+        ChunkSpec {
+            min: self.size,
+            avg: self.size.next_power_of_two(),
+            max: self.size,
+        }
     }
 
     fn next_boundary(&self, data: &[u8], start: usize) -> usize {

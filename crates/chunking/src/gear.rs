@@ -32,7 +32,10 @@ pub struct GearChunker {
 impl GearChunker {
     /// Chunker with the given size bounds.
     pub fn new(spec: ChunkSpec) -> Self {
-        GearChunker { spec, table: gear_table() }
+        GearChunker {
+            spec,
+            table: gear_table(),
+        }
     }
 
     #[inline]

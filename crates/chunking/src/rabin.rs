@@ -121,7 +121,10 @@ pub struct RabinChunker {
 impl RabinChunker {
     /// Chunker with the given size bounds.
     pub fn new(spec: ChunkSpec) -> Self {
-        RabinChunker { spec, tables: build_tables() }
+        RabinChunker {
+            spec,
+            tables: build_tables(),
+        }
     }
 
     #[inline]

@@ -52,7 +52,11 @@ pub fn chunk_all(chunker: &dyn Chunker, data: &[u8]) -> Vec<ChunkRef> {
     let mut pos = 0;
     while pos < data.len() {
         let end = chunker.next_boundary(data, pos);
-        out.push(ChunkRef { start: pos, end, fp: fingerprint(&data[pos..end]) });
+        out.push(ChunkRef {
+            start: pos,
+            end,
+            fp: fingerprint(&data[pos..end]),
+        });
         pos = end;
     }
     out

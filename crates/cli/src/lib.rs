@@ -13,6 +13,7 @@
 //! slim check    <repo>
 //! slim diff     <repo> <versionA> <versionB>
 //! slim cat      <repo> <version> <file>        (file bytes to stdout)
+//! slim stats    <repo>                         (telemetry snapshot as JSON)
 //! ```
 //!
 //! Every backup captures the full tree as a new version; deduplication makes
@@ -34,16 +35,50 @@ const REPO_MARKER: &str = "slimstore-repo-v1";
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Command {
-    Init { repo: PathBuf },
-    Backup { repo: PathBuf, source: PathBuf, jobs: usize },
-    Restore { repo: PathBuf, version: u64, target: PathBuf, jobs: usize },
-    Versions { repo: PathBuf },
-    Files { repo: PathBuf, version: u64 },
-    Gc { repo: PathBuf, keep: usize },
-    Space { repo: PathBuf },
-    Check { repo: PathBuf },
-    Diff { repo: PathBuf, from: u64, to: u64 },
-    Cat { repo: PathBuf, version: u64, file: String },
+    Init {
+        repo: PathBuf,
+    },
+    Backup {
+        repo: PathBuf,
+        source: PathBuf,
+        jobs: usize,
+    },
+    Restore {
+        repo: PathBuf,
+        version: u64,
+        target: PathBuf,
+        jobs: usize,
+    },
+    Versions {
+        repo: PathBuf,
+    },
+    Files {
+        repo: PathBuf,
+        version: u64,
+    },
+    Gc {
+        repo: PathBuf,
+        keep: usize,
+    },
+    Space {
+        repo: PathBuf,
+    },
+    Check {
+        repo: PathBuf,
+    },
+    Diff {
+        repo: PathBuf,
+        from: u64,
+        to: u64,
+    },
+    Cat {
+        repo: PathBuf,
+        version: u64,
+        file: String,
+    },
+    Stats {
+        repo: PathBuf,
+    },
 }
 
 /// Parse argv (without the program name).
@@ -89,7 +124,9 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, String> {
             .map_err(|_| format!("bad version {raw:?}"))
     };
     Ok(match cmd.as_str() {
-        "init" => Command::Init { repo: pos(0)?.into() },
+        "init" => Command::Init {
+            repo: pos(0)?.into(),
+        },
         "backup" => Command::Backup {
             repo: pos(0)?.into(),
             source: pos(1)?.into(),
@@ -101,26 +138,42 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, String> {
             target: pos(2)?.into(),
             jobs,
         },
-        "versions" => Command::Versions { repo: pos(0)?.into() },
-        "files" => Command::Files { repo: pos(0)?.into(), version: version(1)? },
+        "versions" => Command::Versions {
+            repo: pos(0)?.into(),
+        },
+        "files" => Command::Files {
+            repo: pos(0)?.into(),
+            version: version(1)?,
+        },
         "gc" => Command::Gc {
             repo: pos(0)?.into(),
             keep: keep.ok_or("gc requires --keep N")?,
         },
-        "space" => Command::Space { repo: pos(0)?.into() },
-        "check" => Command::Check { repo: pos(0)?.into() },
-        "diff" => Command::Diff { repo: pos(0)?.into(), from: version(1)?, to: version(2)? },
+        "space" => Command::Space {
+            repo: pos(0)?.into(),
+        },
+        "check" => Command::Check {
+            repo: pos(0)?.into(),
+        },
+        "diff" => Command::Diff {
+            repo: pos(0)?.into(),
+            from: version(1)?,
+            to: version(2)?,
+        },
         "cat" => Command::Cat {
             repo: pos(0)?.into(),
             version: version(1)?,
             file: pos(2)?.clone(),
+        },
+        "stats" => Command::Stats {
+            repo: pos(0)?.into(),
         },
         other => return Err(format!("unknown command {other:?}\n{}", usage())),
     })
 }
 
 fn usage() -> String {
-    "usage: slim <init|backup|restore|versions|files|gc|space|check|diff|cat> ... (see --help)".to_string()
+    "usage: slim <init|backup|restore|versions|files|gc|space|check|diff|cat|stats> ... (see --help)".to_string()
 }
 
 fn open_repo(repo: &Path, must_exist: bool) -> Result<SlimStore> {
@@ -191,7 +244,10 @@ pub fn run(cmd: Command) -> Result<String> {
                 )));
             }
             oss.put(REPO_MARKER, bytes::Bytes::from_static(b"1"))?;
-            Ok(format!("initialized empty slimstore repository at {}", repo.display()))
+            Ok(format!(
+                "initialized empty slimstore repository at {}",
+                repo.display()
+            ))
         }
         Command::Backup { repo, source, jobs } => {
             let store = open_repo(&repo, true)?;
@@ -214,7 +270,12 @@ pub fn run(cmd: Command) -> Result<String> {
                 report.stats.dedup_ratio() * 100.0,
             ))
         }
-        Command::Restore { repo, version, target, jobs } => {
+        Command::Restore {
+            repo,
+            version,
+            target,
+            jobs,
+        } => {
             let store = open_repo(&repo, true)?;
             let restored = store.restore_version(VersionId(version), jobs)?;
             fs::create_dir_all(&target)?;
@@ -307,7 +368,11 @@ pub fn run(cmd: Command) -> Result<String> {
             }
             Ok(lines.join("\n"))
         }
-        Command::Cat { repo, version, file } => {
+        Command::Cat {
+            repo,
+            version,
+            file,
+        } => {
             let store = open_repo(&repo, true)?;
             let mut stdout = std::io::stdout().lock();
             store.restore_file_to(&FileId::new(file), VersionId(version), &mut stdout)?;
@@ -322,6 +387,14 @@ pub fn run(cmd: Command) -> Result<String> {
                 "ok: {} versions, {records} chunk records, all resolvable",
                 store.versions().len(),
             ))
+        }
+        Command::Stats { repo } => {
+            // Telemetry is process-local (counters start at zero for each
+            // invocation), so the snapshot covers the traffic of opening
+            // the repository: index loads, marker checks, LSM scans. Piped
+            // after a long-running import it covers the whole session.
+            let store = open_repo(&repo, true)?;
+            Ok(store.telemetry_snapshot().to_json())
         }
         Command::Space { repo } => {
             let store = open_repo(&repo, true)?;
@@ -357,19 +430,37 @@ mod tests {
     fn parse_commands() {
         assert_eq!(
             parse(&s(&["init", "/tmp/r"])).unwrap(),
-            Command::Init { repo: "/tmp/r".into() }
+            Command::Init {
+                repo: "/tmp/r".into()
+            }
         );
         assert_eq!(
             parse(&s(&["backup", "/r", "/src", "--jobs", "8"])).unwrap(),
-            Command::Backup { repo: "/r".into(), source: "/src".into(), jobs: 8 }
+            Command::Backup {
+                repo: "/r".into(),
+                source: "/src".into(),
+                jobs: 8
+            }
         );
         assert_eq!(
             parse(&s(&["restore", "/r", "v3", "/out"])).unwrap(),
-            Command::Restore { repo: "/r".into(), version: 3, target: "/out".into(), jobs: 4 }
+            Command::Restore {
+                repo: "/r".into(),
+                version: 3,
+                target: "/out".into(),
+                jobs: 4
+            }
         );
         assert_eq!(
             parse(&s(&["gc", "/r", "--keep", "5"])).unwrap(),
-            Command::Gc { repo: "/r".into(), keep: 5 }
+            Command::Gc {
+                repo: "/r".into(),
+                keep: 5
+            }
+        );
+        assert_eq!(
+            parse(&s(&["stats", "/r"])).unwrap(),
+            Command::Stats { repo: "/r".into() }
         );
         assert!(parse(&s(&["gc", "/r"])).is_err());
         assert!(parse(&s(&["bogus"])).is_err());
@@ -401,12 +492,27 @@ mod tests {
 
         // Mutate and take a second version.
         fs::write(src.join("a.txt"), b"hello world".repeat(501)).unwrap();
-        run(Command::Backup { repo: repo.clone(), source: src.clone(), jobs: 2 }).unwrap();
+        run(Command::Backup {
+            repo: repo.clone(),
+            source: src.clone(),
+            jobs: 2,
+        })
+        .unwrap();
 
         let versions = run(Command::Versions { repo: repo.clone() }).unwrap();
-        assert!(versions.contains("v0") && versions.contains("v1"), "{versions}");
-        let files = run(Command::Files { repo: repo.clone(), version: 1 }).unwrap();
-        assert!(files.contains("a.txt") && files.contains("sub/b.bin"), "{files}");
+        assert!(
+            versions.contains("v0") && versions.contains("v1"),
+            "{versions}"
+        );
+        let files = run(Command::Files {
+            repo: repo.clone(),
+            version: 1,
+        })
+        .unwrap();
+        assert!(
+            files.contains("a.txt") && files.contains("sub/b.bin"),
+            "{files}"
+        );
 
         run(Command::Restore {
             repo: repo.clone(),
@@ -415,22 +521,49 @@ mod tests {
             jobs: 2,
         })
         .unwrap();
-        assert_eq!(fs::read(out.join("a.txt")).unwrap(), b"hello world".repeat(501));
+        assert_eq!(
+            fs::read(out.join("a.txt")).unwrap(),
+            b"hello world".repeat(501)
+        );
         assert_eq!(fs::read(out.join("sub/b.bin")).unwrap(), vec![7u8; 9000]);
 
         let space = run(Command::Space { repo: repo.clone() }).unwrap();
         assert!(space.contains("total"), "{space}");
         let check = run(Command::Check { repo: repo.clone() }).unwrap();
         assert!(check.starts_with("ok:"), "{check}");
-        let diff = run(Command::Diff { repo: repo.clone(), from: 0, to: 1 }).unwrap();
+        let diff = run(Command::Diff {
+            repo: repo.clone(),
+            from: 0,
+            to: 1,
+        })
+        .unwrap();
         assert!(diff.contains("M  a.txt"), "{diff}");
         assert!(!diff.contains("b.bin"), "unchanged file listed: {diff}");
-        let gc = run(Command::Gc { repo: repo.clone(), keep: 1 }).unwrap();
+        let stats = run(Command::Stats { repo: repo.clone() }).unwrap();
+        let snap = slim_telemetry::TelemetrySnapshot::from_json(&stats).unwrap();
+        assert!(
+            snap.counters.contains_key("oss.get_requests"),
+            "canonical OSS counters present: {stats}"
+        );
+        let gc = run(Command::Gc {
+            repo: repo.clone(),
+            keep: 1,
+        })
+        .unwrap();
         assert!(gc.contains("kept 1 of 2"), "{gc}");
         // v0 gone, v1 still restorable.
-        assert!(run(Command::Files { repo: repo.clone(), version: 0 }).is_err());
-        run(Command::Restore { repo: repo.clone(), version: 1, target: out.clone(), jobs: 1 })
-            .unwrap();
+        assert!(run(Command::Files {
+            repo: repo.clone(),
+            version: 0
+        })
+        .is_err());
+        run(Command::Restore {
+            repo: repo.clone(),
+            version: 1,
+            target: out.clone(),
+            jobs: 1,
+        })
+        .unwrap();
         run(Command::Check { repo: repo.clone() }).unwrap();
 
         for d in [repo, src, out] {
@@ -445,11 +578,26 @@ mod tests {
         run(Command::Init { repo: repo.clone() }).unwrap();
         fs::write(src.join("keep.txt"), b"same").unwrap();
         fs::write(src.join("old.txt"), b"going away").unwrap();
-        run(Command::Backup { repo: repo.clone(), source: src.clone(), jobs: 1 }).unwrap();
+        run(Command::Backup {
+            repo: repo.clone(),
+            source: src.clone(),
+            jobs: 1,
+        })
+        .unwrap();
         fs::remove_file(src.join("old.txt")).unwrap();
         fs::write(src.join("new.txt"), b"brand new").unwrap();
-        run(Command::Backup { repo: repo.clone(), source: src.clone(), jobs: 1 }).unwrap();
-        let diff = run(Command::Diff { repo: repo.clone(), from: 0, to: 1 }).unwrap();
+        run(Command::Backup {
+            repo: repo.clone(),
+            source: src.clone(),
+            jobs: 1,
+        })
+        .unwrap();
+        let diff = run(Command::Diff {
+            repo: repo.clone(),
+            from: 0,
+            to: 1,
+        })
+        .unwrap();
         assert!(diff.contains("A  new.txt"), "{diff}");
         assert!(diff.contains("D  old.txt"), "{diff}");
         assert!(!diff.contains("keep.txt"), "{diff}");
@@ -463,7 +611,12 @@ mod tests {
         let repo = temp_dir("noinit");
         let src = temp_dir("noinit-src");
         fs::write(src.join("f"), b"x").unwrap();
-        assert!(run(Command::Backup { repo: repo.clone(), source: src.clone(), jobs: 1 }).is_err());
+        assert!(run(Command::Backup {
+            repo: repo.clone(),
+            source: src.clone(),
+            jobs: 1
+        })
+        .is_err());
         for d in [repo, src] {
             let _ = fs::remove_dir_all(d);
         }
@@ -474,7 +627,12 @@ mod tests {
         let repo = temp_dir("empty");
         let src = temp_dir("empty-src");
         run(Command::Init { repo: repo.clone() }).unwrap();
-        assert!(run(Command::Backup { repo: repo.clone(), source: src.clone(), jobs: 1 }).is_err());
+        assert!(run(Command::Backup {
+            repo: repo.clone(),
+            source: src.clone(),
+            jobs: 1
+        })
+        .is_err());
         for d in [repo, src] {
             let _ = fs::remove_dir_all(d);
         }

@@ -32,11 +32,7 @@ pub struct CollectStats {
 
 /// Mark phase: record in version `n`'s manifest the containers it references
 /// that version `n_plus_1` no longer does. Call after `n_plus_1` finishes.
-pub fn mark_unreferenced(
-    storage: &StorageLayer,
-    n: VersionId,
-    n_plus_1: VersionId,
-) -> Result<u64> {
+pub fn mark_unreferenced(storage: &StorageLayer, n: VersionId, n_plus_1: VersionId) -> Result<u64> {
     let refs_of = |v: VersionId| -> Result<HashSet<ContainerId>> {
         let manifest = storage.get_manifest(v)?;
         let mut refs = HashSet::new();
@@ -275,7 +271,9 @@ mod tests {
                 BackupPipeline::new(&self.storage, &self.similar, &chunker, &self.config);
             let mut manifest = VersionManifest::new(VersionId(version));
             for (file, bytes) in files {
-                let out = pipeline.backup_file(file, VersionId(version), bytes).unwrap();
+                let out = pipeline
+                    .backup_file(file, VersionId(version), bytes)
+                    .unwrap();
                 manifest.files.push(out.info);
                 manifest.new_containers.extend(out.new_containers);
             }
@@ -284,7 +282,11 @@ mod tests {
 
         fn restore(&self, file: &FileId, version: u64) -> Vec<u8> {
             RestoreEngine::new(&self.storage, Some(&self.global))
-                .restore_file(file, VersionId(version), &RestoreOptions::from_config(&self.config))
+                .restore_file(
+                    file,
+                    VersionId(version),
+                    &RestoreOptions::from_config(&self.config),
+                )
                 .unwrap()
                 .0
         }
@@ -329,12 +331,14 @@ mod tests {
         env.backup_version(1, &[(&file, &v1)]);
         mark_unreferenced(&env.storage, VersionId(0), VersionId(1)).unwrap();
         let before = env.storage.container_store_bytes();
-        let stats =
-            collect_version(&env.storage, &env.global, &env.similar, VersionId(0)).unwrap();
+        let stats = collect_version(&env.storage, &env.global, &env.similar, VersionId(0)).unwrap();
         assert!(stats.containers_deleted > 0);
         assert!(stats.recipes_deleted >= 1);
         let after = env.storage.container_store_bytes();
-        assert!(after < before, "sweep must reclaim bytes: {before} -> {after}");
+        assert!(
+            after < before,
+            "sweep must reclaim bytes: {before} -> {after}"
+        );
         // v1 still restores; v0 is gone.
         assert_eq!(env.restore(&file, 1), v1);
         assert!(env.storage.get_recipe(&file, VersionId(0)).is_err());
@@ -350,8 +354,8 @@ mod tests {
         let file = FileId::new("f");
         env.backup_version(0, &[(&file, &data(6, 10_000))]);
         env.backup_version(1, &[(&file, &data(7, 10_000))]);
-        let err = collect_version(&env.storage, &env.global, &env.similar, VersionId(1))
-            .unwrap_err();
+        let err =
+            collect_version(&env.storage, &env.global, &env.similar, VersionId(1)).unwrap_err();
         assert!(matches!(err, SlimError::InvalidConfig(_)));
         assert!(matches!(
             collect_version(&env.storage, &env.global, &env.similar, VersionId(9)),
@@ -408,7 +412,8 @@ mod tests {
             .unwrap();
         oss.put("containers/000000000091/meta", Bytes::from(vec![3u8; 16]))
             .unwrap();
-        oss.put("recipes/f/00000001", Bytes::from(vec![4u8; 32])).unwrap();
+        oss.put("recipes/f/00000001", Bytes::from(vec![4u8; 32]))
+            .unwrap();
         oss.put("recipe-index/f/00000001", Bytes::from(vec![5u8; 8]))
             .unwrap();
         let stats = scrub_orphans(&env.storage, Some(&env.global)).unwrap();

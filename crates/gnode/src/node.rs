@@ -13,6 +13,7 @@
 
 use slim_index::{GlobalIndex, SimilarFileIndex};
 use slim_lnode::StorageLayer;
+use slim_telemetry::Scope;
 use slim_types::{ContainerId, Result, SlimConfig, VersionId};
 
 use crate::collect::{
@@ -34,6 +35,44 @@ pub struct GNodeCycleStats {
     pub marked_garbage: u64,
 }
 
+impl GNodeCycleStats {
+    /// Fold this cycle's counters into a telemetry scope (canonically
+    /// `gnode`). Phase *timings* are recorded by the cycle's spans; this
+    /// covers the work counters.
+    pub fn emit(&self, scope: &Scope) {
+        scope.counter("cycles").inc();
+        scope
+            .counter("chunks_scanned")
+            .add(self.reverse.chunks_scanned);
+        scope.counter("bloom_skips").add(self.reverse.bloom_skips);
+        scope
+            .counter("duplicates_removed")
+            .add(self.reverse.duplicates_removed);
+        scope.counter("bytes_marked").add(self.reverse.bytes_marked);
+        scope
+            .counter("containers_rewritten")
+            .add(self.reverse.containers_rewritten);
+        scope
+            .counter("containers_deleted")
+            .add(self.reverse.containers_deleted);
+        scope
+            .counter("bytes_reclaimed")
+            .add(self.reverse.bytes_reclaimed);
+        scope
+            .counter("sparse_containers")
+            .add(self.scc.sparse_containers);
+        scope.counter("chunks_moved").add(self.scc.chunks_moved);
+        scope.counter("bytes_moved").add(self.scc.bytes_moved);
+        scope
+            .counter("containers_created")
+            .add(self.scc.containers_created);
+        scope
+            .counter("recipes_rewritten")
+            .add(self.scc.recipes_rewritten);
+        scope.counter("marked_garbage").add(self.marked_garbage);
+    }
+}
+
 /// The offline space-management node.
 pub struct GNode {
     storage: StorageLayer,
@@ -41,6 +80,7 @@ pub struct GNode {
     similar: SimilarFileIndex,
     config: SlimConfig,
     meta_cache_capacity: usize,
+    telemetry: Option<Scope>,
 }
 
 impl GNode {
@@ -58,7 +98,17 @@ impl GNode {
             similar,
             config,
             meta_cache_capacity: 1024,
+            telemetry: None,
         })
+    }
+
+    /// Attach a telemetry scope (canonically `gnode`): every cycle stage
+    /// emits a span (`cycle`, `reverse_dedup`, `scc`, `mark`, `collect`,
+    /// `scrub_orphans`, `vacuum`) and each cycle's work counters are added
+    /// to the scope's totals.
+    pub fn with_telemetry(mut self, scope: Scope) -> Self {
+        self.telemetry = Some(scope);
+        self
     }
 
     /// The global fingerprint index (shared with old-version restores).
@@ -68,11 +118,13 @@ impl GNode {
 
     /// Run the full offline cycle for the version that just finished.
     pub fn run_cycle(&self, version: VersionId) -> Result<GNodeCycleStats> {
+        let _cycle = self.telemetry.as_ref().map(|s| s.span("cycle"));
         let manifest = self.storage.get_manifest(version)?;
         let mut cache = MetaCache::new(self.storage.clone(), self.meta_cache_capacity);
         let mut stats = GNodeCycleStats::default();
 
         // 1. Exact dedup over the new containers.
+        let stage = self.telemetry.as_ref().map(|s| s.span("reverse_dedup"));
         let (reverse_stats, relocations) = reverse_dedup(
             &self.storage,
             &self.global,
@@ -81,8 +133,10 @@ impl GNode {
             &manifest.new_containers,
         )?;
         stats.reverse = reverse_stats;
+        drop(stage);
 
         // 2. Compact the containers this version uses sparsely.
+        let stage = self.telemetry.as_ref().map(|s| s.span("scc"));
         let files: Vec<_> = manifest.files.iter().map(|f| f.file.clone()).collect();
         let (scc_stats, sparse_garbage) = compact_sparse_containers(
             &self.storage,
@@ -97,20 +151,38 @@ impl GNode {
         )?;
         stats.scc = scc_stats;
         mark_sparse_garbage(&self.storage, version, &sparse_garbage)?;
+        drop(stage);
 
         // 3. Mark phase for the previous version, if it still exists.
+        let stage = self.telemetry.as_ref().map(|s| s.span("mark"));
         if version.0 > 0 {
             let prev = VersionId(version.0 - 1);
             if self.storage.get_manifest(prev).is_ok() {
                 stats.marked_garbage = mark_unreferenced(&self.storage, prev, version)?;
             }
         }
+        drop(stage);
+
+        if let Some(scope) = &self.telemetry {
+            stats.emit(scope);
+        }
         Ok(stats)
     }
 
     /// Sweep the oldest version (retention-window deletion).
     pub fn collect_version(&self, version: VersionId) -> Result<CollectStats> {
-        collect_version(&self.storage, &self.global, &self.similar, version)
+        let _stage = self.telemetry.as_ref().map(|s| s.span("collect"));
+        let stats = collect_version(&self.storage, &self.global, &self.similar, version)?;
+        if let Some(scope) = &self.telemetry {
+            scope
+                .counter("collected_containers")
+                .add(stats.containers_deleted);
+            scope.counter("collected_bytes").add(stats.bytes_reclaimed);
+            scope
+                .counter("collected_recipes")
+                .add(stats.recipes_deleted);
+        }
+        Ok(stats)
     }
 
     /// Reclaim container/recipe keys left behind by backup jobs that died
@@ -118,7 +190,18 @@ impl GNode {
     /// any G-node maintenance window — committed versions are untouched and
     /// the pass is idempotent. See [`crate::collect::scrub_orphans`].
     pub fn scrub_orphans(&self) -> Result<OrphanScrubStats> {
-        scrub_orphans(&self.storage, Some(&self.global))
+        let _stage = self.telemetry.as_ref().map(|s| s.span("scrub_orphans"));
+        let stats = scrub_orphans(&self.storage, Some(&self.global))?;
+        if let Some(scope) = &self.telemetry {
+            scope.counter("scrub_keys_scanned").add(stats.keys_scanned);
+            scope
+                .counter("scrub_objects_reclaimed")
+                .add(stats.objects_reclaimed());
+            scope
+                .counter("scrub_bytes_reclaimed")
+                .add(stats.bytes_reclaimed);
+        }
+        Ok(stats)
     }
 
     /// Physically reclaim every byte marked deleted: rewrite any container
@@ -126,6 +209,7 @@ impl GNode {
     /// defers physical deletion to batch it (§VI-A); vacuum is the batch —
     /// run it when storage cost matters more than offline I/O.
     pub fn vacuum(&self) -> Result<ReverseDedupStats> {
+        let _stage = self.telemetry.as_ref().map(|s| s.span("vacuum"));
         let mut cache = MetaCache::new(self.storage.clone(), self.meta_cache_capacity);
         let mut stats = ReverseDedupStats::default();
         let mut zero_threshold = self.config.clone();
@@ -199,14 +283,13 @@ mod tests {
         let global =
             GlobalIndex::open_with(Arc::new(oss), RocksConfig::small_for_tests(), 8192).unwrap();
         let config = SlimConfig::small_for_tests();
-        let gnode = GNode::new(
-            storage.clone(),
-            global,
-            similar.clone(),
-            config.clone(),
-        )
-        .unwrap();
-        Env { storage, similar, gnode, config }
+        let gnode = GNode::new(storage.clone(), global, similar.clone(), config.clone()).unwrap();
+        Env {
+            storage,
+            similar,
+            gnode,
+            config,
+        }
     }
 
     fn data(seed: u64, len: usize) -> Vec<u8> {
@@ -224,7 +307,9 @@ mod tests {
                 BackupPipeline::new(&self.storage, &self.similar, &chunker, &self.config);
             let mut manifest = VersionManifest::new(VersionId(version));
             for (file, bytes) in files {
-                let out = pipeline.backup_file(file, VersionId(version), bytes).unwrap();
+                let out = pipeline
+                    .backup_file(file, VersionId(version), bytes)
+                    .unwrap();
                 manifest.files.push(out.info);
                 manifest.new_containers.extend(out.new_containers);
             }
@@ -233,7 +318,11 @@ mod tests {
 
         fn restore(&self, file: &FileId, version: u64) -> Vec<u8> {
             RestoreEngine::new(&self.storage, Some(self.gnode.global_index()))
-                .restore_file(file, VersionId(version), &RestoreOptions::from_config(&self.config))
+                .restore_file(
+                    file,
+                    VersionId(version),
+                    &RestoreOptions::from_config(&self.config),
+                )
                 .unwrap()
                 .0
         }
@@ -368,6 +457,43 @@ mod tests {
         for (v, expect) in contents.iter().enumerate() {
             assert_eq!(&env.restore(&f, v as u64), expect, "version {v}");
         }
+    }
+
+    #[test]
+    fn telemetry_scope_collects_cycle_stages() {
+        let oss = Oss::in_memory();
+        let storage = StorageLayer::open(Arc::new(oss.clone()));
+        let similar = SimilarFileIndex::new();
+        let global =
+            GlobalIndex::open_with(Arc::new(oss), RocksConfig::small_for_tests(), 8192).unwrap();
+        let config = SlimConfig::small_for_tests();
+        let registry = slim_telemetry::Registry::new();
+        let gnode = GNode::new(storage.clone(), global, similar.clone(), config.clone())
+            .unwrap()
+            .with_telemetry(registry.scope("gnode"));
+        let env = Env {
+            storage,
+            similar,
+            gnode,
+            config,
+        };
+
+        let f = FileId::new("f");
+        env.backup_version(0, &[(&f, &data(11, 40_000))]);
+        env.gnode.run_cycle(VersionId(0)).unwrap();
+        env.gnode.scrub_orphans().unwrap();
+
+        let snap = registry.snapshot();
+        for stage in ["cycle", "reverse_dedup", "scc", "mark", "scrub_orphans"] {
+            let span = snap
+                .span("gnode", stage)
+                .unwrap_or_else(|| panic!("span {stage}"));
+            assert_eq!(span.count, 1, "span {stage}");
+            assert!(span.sum > 0, "span {stage} has duration");
+        }
+        assert_eq!(snap.counter("gnode.cycles"), 1);
+        assert!(snap.counter("gnode.chunks_scanned") > 0);
+        assert!(snap.counter("gnode.scrub_keys_scanned") > 0);
     }
 
     #[test]

@@ -89,9 +89,8 @@ pub fn reverse_dedup(
                     // Exact duplicate missed online: delete the old copy,
                     // keep the new-version layout intact.
                     let removed = meta_cache.update(old, |m| {
-                        m.mark_deleted(&entry.fp).then(|| {
-                            m.find(&entry.fp).map(|e| e.len as u64).unwrap_or(0)
-                        })
+                        m.mark_deleted(&entry.fp)
+                            .then(|| m.find(&entry.fp).map(|e| e.len as u64).unwrap_or(0))
                     })?;
                     if let Some(bytes) = removed {
                         stats.duplicates_removed += 1;
@@ -197,13 +196,13 @@ mod tests {
     fn setup() -> Env {
         let oss = Oss::in_memory();
         let storage = StorageLayer::open(Arc::new(oss.clone()));
-        let global = GlobalIndex::open_with(
-            Arc::new(oss),
-            RocksConfig::small_for_tests(),
-            1024,
-        )
-        .unwrap();
-        Env { storage, global, config: SlimConfig::small_for_tests() }
+        let global =
+            GlobalIndex::open_with(Arc::new(oss), RocksConfig::small_for_tests(), 1024).unwrap();
+        Env {
+            storage,
+            global,
+            config: SlimConfig::small_for_tests(),
+        }
     }
 
     fn make_container(storage: &StorageLayer, chunks: &[(u8, usize)]) -> ContainerId {

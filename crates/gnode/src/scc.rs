@@ -99,8 +99,8 @@ pub fn compact_sparse_containers(
     let mut relocated: HashMap<Fingerprint, ContainerId> = reverse_relocations;
     let mut builder: Option<ContainerBuilder> = None;
     let seal = |storage: &StorageLayer,
-                    builder: &mut Option<ContainerBuilder>,
-                    stats: &mut SccStats|
+                builder: &mut Option<ContainerBuilder>,
+                stats: &mut SccStats|
      -> Result<()> {
         if let Some(b) = builder.take() {
             if !b.is_empty() {
@@ -173,9 +173,10 @@ pub fn compact_sparse_containers(
         storage
             .oss()
             .put(&slim_types::layout::recipe(&file, version), buf)?;
-        storage
-            .oss()
-            .put(&slim_types::layout::recipe_index(&file, version), index.encode())?;
+        storage.oss().put(
+            &slim_types::layout::recipe_index(&file, version),
+            index.encode(),
+        )?;
         stats.recipes_rewritten += 1;
     }
 
@@ -209,12 +210,8 @@ mod tests {
     fn setup() -> Env {
         let oss = Oss::in_memory();
         let storage = StorageLayer::open(Arc::new(oss.clone()));
-        let global = GlobalIndex::open_with(
-            Arc::new(oss),
-            RocksConfig::small_for_tests(),
-            4096,
-        )
-        .unwrap();
+        let global =
+            GlobalIndex::open_with(Arc::new(oss), RocksConfig::small_for_tests(), 4096).unwrap();
         Env {
             storage,
             similar: SimilarFileIndex::new(),
@@ -242,7 +239,11 @@ mod tests {
 
         fn restore(&self, file: &FileId, version: u64) -> Vec<u8> {
             RestoreEngine::new(&self.storage, Some(&self.global))
-                .restore_file(file, VersionId(version), &RestoreOptions::from_config(&self.config))
+                .restore_file(
+                    file,
+                    VersionId(version),
+                    &RestoreOptions::from_config(&self.config),
+                )
                 .unwrap()
                 .0
         }
@@ -296,7 +297,10 @@ mod tests {
         let (inputs, containers) = build_sparse_history(&env, &file);
         let last = inputs.len() - 1;
         let (stats, garbage) = env.scc(last as u64, &[file.clone()], &containers[last]);
-        assert!(stats.sparse_containers > 0, "history must create sparse containers");
+        assert!(
+            stats.sparse_containers > 0,
+            "history must create sparse containers"
+        );
         assert!(stats.chunks_moved > 0);
         assert!(stats.recipes_rewritten >= 1);
         assert_eq!(garbage.len() as u64, stats.sparse_containers);
@@ -353,7 +357,10 @@ mod tests {
         env.scc(last as u64, &[file.clone()], &containers[last]);
         // Every record of the rewritten recipe resolves through its stated
         // container (no dangling pointers).
-        let recipe = env.storage.get_recipe(&file, VersionId(last as u64)).unwrap();
+        let recipe = env
+            .storage
+            .get_recipe(&file, VersionId(last as u64))
+            .unwrap();
         for rec in recipe.records() {
             let meta = env.storage.get_container_meta(rec.container_id).unwrap();
             assert!(

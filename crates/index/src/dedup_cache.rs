@@ -53,7 +53,7 @@ struct CachedSegment {
 /// Bounded cache of prefetched segment recipes.
 pub struct DedupCache {
     segments: Vec<Option<CachedSegment>>,
-    fifo: VecDeque<u32>,                         // slots in insertion order
+    fifo: VecDeque<u32>, // slots in insertion order
     free: Vec<u32>,
     by_fp: HashMap<Fingerprint, Slot>,
     super_by_first: HashMap<Fingerprint, Slot>,
@@ -103,7 +103,11 @@ impl DedupCache {
         }
         let generation = self.next_generation;
         self.next_generation += 1;
-        let cached = CachedSegment { generation, source_idx, recipe: segment };
+        let cached = CachedSegment {
+            generation,
+            source_idx,
+            recipe: segment,
+        };
         let slot_id = match self.free.pop() {
             Some(id) => {
                 self.segments[id as usize] = Some(cached);
@@ -114,14 +118,21 @@ impl DedupCache {
                 (self.segments.len() - 1) as u32
             }
         };
-        let seg = &self.segments[slot_id as usize].as_ref().expect("just set").recipe;
+        let seg = &self.segments[slot_id as usize]
+            .as_ref()
+            .expect("just set")
+            .recipe;
         // Newest posting wins: if an older cached segment also holds the
         // fingerprint, its eviction must not orphan a fingerprint that the
         // newer segment still serves (eviction only removes postings whose
         // generation matches the evicted segment).
         let mut postings: Vec<(Fingerprint, Slot, bool)> = Vec::with_capacity(seg.records.len());
         for (idx, rec) in seg.records.iter().enumerate() {
-            let slot = Slot { seg: slot_id, idx: idx as u32, generation };
+            let slot = Slot {
+                seg: slot_id,
+                idx: idx as u32,
+                generation,
+            };
             postings.push((rec.fp, slot, false));
             if let Some(sc) = &rec.super_chunk {
                 postings.push((sc.first_chunk, slot, true));
@@ -262,7 +273,10 @@ mod tests {
         s2.records[0].container_id = ContainerId(200);
         cache.insert_segment(s1, 0);
         cache.insert_segment(s2, 1);
-        assert_eq!(cache.peek(&fp(5)).unwrap().record.container_id, ContainerId(200));
+        assert_eq!(
+            cache.peek(&fp(5)).unwrap().record.container_id,
+            ContainerId(200)
+        );
     }
 
     #[test]
@@ -273,7 +287,10 @@ mod tests {
         cache.insert_segment(seg(&[7, 1]), 0); // A
         cache.insert_segment(seg(&[7, 2]), 1); // B re-posts fp(7)
         cache.insert_segment(seg(&[3]), 2); // evicts A
-        assert!(cache.lookup(&fp(7)).is_some(), "posting lost with segment A");
+        assert!(
+            cache.lookup(&fp(7)).is_some(),
+            "posting lost with segment A"
+        );
     }
 
     #[test]

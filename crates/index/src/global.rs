@@ -90,6 +90,18 @@ impl GlobalIndex {
         self.db.compact()
     }
 
+    /// Number of SSTables currently in the LSM (exposed as the
+    /// `rocks.tables` telemetry gauge).
+    pub fn table_count(&self) -> usize {
+        self.db.table_count()
+    }
+
+    /// Bytes buffered in the memtable (exposed as the
+    /// `rocks.memtable_bytes` telemetry gauge).
+    pub fn memtable_bytes(&self) -> usize {
+        self.db.memtable_bytes()
+    }
+
     /// Rebuild the resident bloom filter from the persistent state (called
     /// on open; the bloom is process state, not persisted).
     pub fn rebuild_bloom(&self) -> Result<()> {
@@ -141,12 +153,7 @@ mod tests {
     }
 
     fn open_index(oss: &Oss) -> GlobalIndex {
-        GlobalIndex::open_with(
-            Arc::new(oss.clone()),
-            RocksConfig::small_for_tests(),
-            1024,
-        )
-        .unwrap()
+        GlobalIndex::open_with(Arc::new(oss.clone()), RocksConfig::small_for_tests(), 1024).unwrap()
     }
 
     #[test]
@@ -205,7 +212,10 @@ mod tests {
         assert_eq!(refs.len(), 2);
         assert!(refs.contains(&ContainerId(5)) && refs.contains(&ContainerId(9)));
         idx.remove(&fp(3)).unwrap();
-        assert!(!idx.referenced_containers().unwrap().contains(&ContainerId(9)));
+        assert!(!idx
+            .referenced_containers()
+            .unwrap()
+            .contains(&ContainerId(9)));
     }
 
     #[test]
@@ -215,9 +225,10 @@ mod tests {
         for b in 0..20u8 {
             idx.insert(&fp(b), ContainerId(1)).unwrap();
         }
-        let misses = (100..=255u8)
-            .filter(|&b| !idx.may_contain(&fp(b)))
-            .count();
-        assert!(misses > 140, "bloom should pass most unique chunks: {misses}");
+        let misses = (100..=255u8).filter(|&b| !idx.may_contain(&fp(b))).count();
+        assert!(
+            misses > 140,
+            "bloom should pass most unique chunks: {misses}"
+        );
     }
 }

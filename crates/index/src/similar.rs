@@ -14,9 +14,9 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use parking_lot::RwLock;
-use slim_types::codec::{Reader, Writer};
-use slim_types::{layout, Fingerprint, FileId, Result, VersionId};
 use slim_oss::ObjectStore;
+use slim_types::codec::{Reader, Writer};
+use slim_types::{layout, FileId, Fingerprint, Result, VersionId};
 
 const MAGIC: &[u8; 4] = b"SLSI";
 const VERSION: u8 = 1;
@@ -195,7 +195,10 @@ mod tests {
         idx.register(FileId::new("b"), VersionId(2), vec![fp(1), fp(2), fp(3)]);
         // Even though "b" shares more samples, the path wins.
         let det = idx.detect(&FileId::new("a"), &[fp(1), fp(2), fp(3)]);
-        assert_eq!(det, Detection::HistoricalVersion(FileId::new("a"), VersionId(1)));
+        assert_eq!(
+            det,
+            Detection::HistoricalVersion(FileId::new("a"), VersionId(1))
+        );
     }
 
     #[test]
@@ -204,7 +207,10 @@ mod tests {
         idx.register(FileId::new("x"), VersionId(1), vec![fp(1)]);
         idx.register(FileId::new("y"), VersionId(4), vec![fp(1), fp(2), fp(3)]);
         let det = idx.detect(&FileId::new("renamed"), &[fp(1), fp(2), fp(3)]);
-        assert_eq!(det, Detection::SimilarFile(FileId::new("y"), VersionId(4), 3));
+        assert_eq!(
+            det,
+            Detection::SimilarFile(FileId::new("y"), VersionId(4), 3)
+        );
     }
 
     #[test]

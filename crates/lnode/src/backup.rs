@@ -28,8 +28,8 @@ use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
 use slim_chunking::{chunk_all, fingerprint, sample::file_representatives, Chunker};
-use slim_index::{DedupCache, SimilarFileIndex};
 use slim_index::similar::Detection;
+use slim_index::{DedupCache, SimilarFileIndex};
 use slim_types::recipe::SegmentSpan;
 use slim_types::{
     ChunkRecord, ContainerBuilder, ContainerId, FileBackupInfo, FileId, Fingerprint, Recipe,
@@ -80,7 +80,12 @@ impl<'a> BackupPipeline<'a> {
         chunker: &'a dyn Chunker,
         config: &'a SlimConfig,
     ) -> Self {
-        BackupPipeline { storage, similar, chunker, config }
+        BackupPipeline {
+            storage,
+            similar,
+            chunker,
+            config,
+        }
     }
 
     /// Deduplicate and persist one file as `version`.
@@ -91,7 +96,10 @@ impl<'a> BackupPipeline<'a> {
         data: &[u8],
     ) -> Result<BackupOutcome> {
         let wall_start = Instant::now();
-        let mut stats = BackupStats { logical_bytes: data.len() as u64, ..Default::default() };
+        let mut stats = BackupStats {
+            logical_bytes: data.len() as u64,
+            ..Default::default()
+        };
 
         // ---- STEP 1: detect a historical version or similar file ----
         let detected = self.detect(file, data, &mut stats)?;
@@ -153,7 +161,12 @@ impl<'a> BackupPipeline<'a> {
             stats,
         };
         job.run()?;
-        let Job { mut stats, segments, new_containers, .. } = job;
+        let Job {
+            mut stats,
+            segments,
+            new_containers,
+            ..
+        } = job;
 
         // Persist the recipe and its index.
         let recipe = Recipe { segments };
@@ -211,9 +224,7 @@ impl<'a> BackupPipeline<'a> {
         }
         stats.index_time += t.elapsed();
         // No historical version: chunk + sample the header and vote.
-        let header_len = data
-            .len()
-            .min(HEADER_CHUNKS * self.config.avg_chunk_size);
+        let header_len = data.len().min(HEADER_CHUNKS * self.config.avg_chunk_size);
         let t = Instant::now();
         let header_chunks = chunk_all(self.chunker, &data[..header_len]);
         stats.chunking_time += t.elapsed();
@@ -678,7 +689,11 @@ impl Job<'_, '_> {
                 fp: sc_fp,
                 container_id,
                 size: bytes as u32,
-                duplicate_times: records[i..j].iter().map(|r| r.duplicate_times).min().unwrap_or(0),
+                duplicate_times: records[i..j]
+                    .iter()
+                    .map(|r| r.duplicate_times)
+                    .min()
+                    .unwrap_or(0),
                 super_chunk: Some(SuperChunkInfo {
                     first_chunk: records[i].fp,
                     first_chunk_size: records[i].size,
@@ -708,7 +723,12 @@ mod tests {
     fn setup() -> (Oss, StorageLayer, SimilarFileIndex, SlimConfig) {
         let oss = Oss::in_memory();
         let storage = StorageLayer::open(Arc::new(oss.clone()));
-        (oss, storage, SimilarFileIndex::new(), SlimConfig::small_for_tests())
+        (
+            oss,
+            storage,
+            SimilarFileIndex::new(),
+            SlimConfig::small_for_tests(),
+        )
     }
 
     fn data(seed: u64, len: usize) -> Vec<u8> {
@@ -780,7 +800,10 @@ mod tests {
             out.stats.dedup_ratio()
         );
         assert!(out.stats.duplicates > 0);
-        assert!(out.stats.segments_prefetched > 0, "similar segments fetched");
+        assert!(
+            out.stats.segments_prefetched > 0,
+            "similar segments fetched"
+        );
         assert_eq!(reassemble(&storage, &file, 1), v1);
         // v0 must still restore.
         assert_eq!(reassemble(&storage, &file, 0), v0);
@@ -831,9 +854,10 @@ mod tests {
         v1[10_000..10_200].copy_from_slice(&data(50, 200));
         v1[40_000..40_050].copy_from_slice(&data(51, 50));
 
-        for (storage, similar, cfg) in
-            [(&storage_a, &similar_a, &cfg_a), (&storage_b, &similar_b, &cfg_b)]
-        {
+        for (storage, similar, cfg) in [
+            (&storage_a, &similar_a, &cfg_a),
+            (&storage_b, &similar_b, &cfg_b),
+        ] {
             backup(storage, similar, cfg, &file, 0, &v0);
             backup(storage, similar, cfg, &file, 1, &v1);
         }
@@ -898,8 +922,22 @@ mod tests {
     fn renamed_file_detected_by_similarity() {
         let (_oss, storage, similar, cfg) = setup();
         let input = data(8, 60_000);
-        backup(&storage, &similar, &cfg, &FileId::new("old-name"), 0, &input);
-        let out = backup(&storage, &similar, &cfg, &FileId::new("new-name"), 1, &input);
+        backup(
+            &storage,
+            &similar,
+            &cfg,
+            &FileId::new("old-name"),
+            0,
+            &input,
+        );
+        let out = backup(
+            &storage,
+            &similar,
+            &cfg,
+            &FileId::new("new-name"),
+            1,
+            &input,
+        );
         assert!(
             out.stats.dedup_ratio() > 0.9,
             "similar-file detection failed: {}",
@@ -910,8 +948,22 @@ mod tests {
     #[test]
     fn unrelated_file_stores_fresh() {
         let (_oss, storage, similar, cfg) = setup();
-        backup(&storage, &similar, &cfg, &FileId::new("a"), 0, &data(9, 40_000));
-        let out = backup(&storage, &similar, &cfg, &FileId::new("b"), 0, &data(10, 40_000));
+        backup(
+            &storage,
+            &similar,
+            &cfg,
+            &FileId::new("a"),
+            0,
+            &data(9, 40_000),
+        );
+        let out = backup(
+            &storage,
+            &similar,
+            &cfg,
+            &FileId::new("b"),
+            0,
+            &data(10, 40_000),
+        );
         assert!(out.stats.dedup_ratio() < 0.05);
     }
 
@@ -945,7 +997,14 @@ mod tests {
     #[test]
     fn phase_times_are_recorded() {
         let (_oss, storage, similar, cfg) = setup();
-        let out = backup(&storage, &similar, &cfg, &FileId::new("t"), 0, &data(12, 100_000));
+        let out = backup(
+            &storage,
+            &similar,
+            &cfg,
+            &FileId::new("t"),
+            0,
+            &data(12, 100_000),
+        );
         assert!(out.stats.chunking_time > std::time::Duration::ZERO);
         assert!(out.stats.fingerprint_time > std::time::Duration::ZERO);
         assert!(out.stats.wall_time >= out.stats.chunking_time);

@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use slim_chunking::{ChunkSpec, Chunker, FastCdcChunker, FixedChunker, GearChunker, RabinChunker};
 use slim_index::{GlobalIndex, SimilarFileIndex};
+use slim_telemetry::Scope;
 use slim_types::{FileId, Result, SlimConfig, VersionId};
 
 use crate::backup::{BackupOutcome, BackupPipeline};
@@ -38,12 +39,17 @@ pub struct LNode {
     similar: SimilarFileIndex,
     config: SlimConfig,
     chunker: Arc<dyn Chunker>,
+    telemetry: Option<Scope>,
 }
 
 impl LNode {
     /// Deploy an L-node over the shared storage layer and similar-file
     /// index, with the default FastCDC chunker.
-    pub fn new(storage: StorageLayer, similar: SimilarFileIndex, config: SlimConfig) -> Result<Self> {
+    pub fn new(
+        storage: StorageLayer,
+        similar: SimilarFileIndex,
+        config: SlimConfig,
+    ) -> Result<Self> {
         Self::with_chunker(storage, similar, config, ChunkerKind::FastCdc)
     }
 
@@ -62,7 +68,27 @@ impl LNode {
             ChunkerKind::FastCdc => Arc::new(FastCdcChunker::new(spec)),
             ChunkerKind::Fixed => Arc::new(FixedChunker::new(config.avg_chunk_size)),
         };
-        Ok(LNode { storage, similar, config, chunker })
+        Ok(LNode {
+            storage,
+            similar,
+            config,
+            chunker,
+            telemetry: None,
+        })
+    }
+
+    /// Attach a telemetry scope (canonically `lnode.<id>`): every job this
+    /// node runs folds its phase timings into the scope's span histograms
+    /// (`chunking`, `fingerprinting`, `index`, `container_io`, …) and its
+    /// counters into the shared registry.
+    pub fn with_telemetry(mut self, scope: Scope) -> Self {
+        self.telemetry = Some(scope);
+        self
+    }
+
+    /// The telemetry scope attached to this node, if any.
+    pub fn telemetry(&self) -> Option<&Scope> {
+        self.telemetry.as_ref()
     }
 
     /// The configuration in force.
@@ -82,8 +108,17 @@ impl LNode {
         version: VersionId,
         data: &[u8],
     ) -> Result<BackupOutcome> {
-        BackupPipeline::new(&self.storage, &self.similar, self.chunker.as_ref(), &self.config)
-            .backup_file(file, version, data)
+        let outcome = BackupPipeline::new(
+            &self.storage,
+            &self.similar,
+            self.chunker.as_ref(),
+            &self.config,
+        )
+        .backup_file(file, version, data)?;
+        if let Some(scope) = &self.telemetry {
+            outcome.stats.emit(scope);
+        }
+        Ok(outcome)
     }
 
     /// Run a restore job for one file with default options.
@@ -93,7 +128,12 @@ impl LNode {
         version: VersionId,
         global: Option<&GlobalIndex>,
     ) -> Result<(Vec<u8>, RestoreStats)> {
-        self.restore_file_with(file, version, global, &RestoreOptions::from_config(&self.config))
+        self.restore_file_with(
+            file,
+            version,
+            global,
+            &RestoreOptions::from_config(&self.config),
+        )
     }
 
     /// Run a restore job with explicit options.
@@ -104,7 +144,12 @@ impl LNode {
         global: Option<&GlobalIndex>,
         options: &RestoreOptions,
     ) -> Result<(Vec<u8>, RestoreStats)> {
-        RestoreEngine::new(&self.storage, global).restore_file(file, version, options)
+        let (data, stats) =
+            RestoreEngine::new(&self.storage, global).restore_file(file, version, options)?;
+        if let Some(scope) = &self.telemetry {
+            stats.emit(scope);
+        }
+        Ok((data, stats))
     }
 }
 
@@ -147,6 +192,36 @@ mod tests {
             assert_eq!(out.info.logical_bytes, input.len() as u64);
             let (restored, _) = node.restore_file(&file, VersionId(0), None).unwrap();
             assert_eq!(restored, input, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn telemetry_scope_collects_job_phases() {
+        let registry = slim_telemetry::Registry::new();
+        let node =
+            make_node(ChunkerKind::FastCdc).with_telemetry(registry.scope("lnode").child("0"));
+        let file = FileId::new("f");
+        let input = data(3, 32_000);
+        node.backup_file(&file, VersionId(0), &input).unwrap();
+        let (restored, _) = node.restore_file(&file, VersionId(0), None).unwrap();
+        assert_eq!(restored, input);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("lnode.0.backup_jobs"), 1);
+        assert_eq!(snap.counter("lnode.0.logical_bytes"), input.len() as u64);
+        assert_eq!(snap.counter("lnode.0.restored_bytes"), input.len() as u64);
+        assert!(snap.counter("lnode.0.chunks") > 0);
+        for phase in [
+            "backup",
+            "chunking",
+            "fingerprinting",
+            "index",
+            "container_io",
+            "restore",
+        ] {
+            let span = snap
+                .span("lnode.0", phase)
+                .unwrap_or_else(|| panic!("span {phase}"));
+            assert_eq!(span.count, 1, "span {phase}");
         }
     }
 

@@ -71,7 +71,11 @@ impl Prefetcher {
                 std::thread::spawn(move || worker_loop(&shared, &storage))
             })
             .collect();
-        Prefetcher { shared, storage, workers }
+        Prefetcher {
+            shared,
+            storage,
+            workers,
+        }
     }
 
     /// Whether background workers exist.
@@ -211,13 +215,18 @@ fn worker_loop(shared: &Shared, storage: &StorageLayer) {
     }
 }
 
-fn read_container(storage: &StorageLayer, id: ContainerId, shared: &Shared) -> Result<FetchedContainer> {
+fn read_container(
+    storage: &StorageLayer,
+    id: ContainerId,
+    shared: &Shared,
+) -> Result<FetchedContainer> {
     let meta = storage.get_container_meta(id)?;
     let data = storage.get_container_data(id)?;
     shared.reads.fetch_add(1, Ordering::Relaxed);
-    shared
-        .bytes
-        .fetch_add(data.len() as u64 + meta.encode().len() as u64, Ordering::Relaxed);
+    shared.bytes.fetch_add(
+        data.len() as u64 + meta.encode().len() as u64,
+        Ordering::Relaxed,
+    );
     Ok((data, meta))
 }
 

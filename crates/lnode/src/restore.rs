@@ -313,7 +313,12 @@ mod tests {
                 .unwrap();
         }
 
-        fn restore(&self, file: &FileId, version: u64, opts: &RestoreOptions) -> (Vec<u8>, RestoreStats) {
+        fn restore(
+            &self,
+            file: &FileId,
+            version: u64,
+            opts: &RestoreOptions,
+        ) -> (Vec<u8>, RestoreStats) {
             RestoreEngine::new(&self.storage, None)
                 .restore_file(file, VersionId(version), opts)
                 .unwrap()

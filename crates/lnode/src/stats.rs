@@ -4,8 +4,16 @@
 //! fingerprinting, index querying, others — because that breakdown *is*
 //! Fig 2 and Fig 5(d) of the paper. Restore jobs count containers read and
 //! bytes pulled from OSS, which is the read-amplification series of Fig 8.
+//!
+//! Each stats struct can [`emit`](BackupStats::emit) itself into a
+//! telemetry [`Scope`] (canonically `lnode.<id>`), folding the per-job
+//! phase timings into the shared span histograms and the counters into the
+//! shared registry — so the same breakdowns are available fleet-wide
+//! without threading stats structs around.
 
 use std::time::Duration;
+
+use slim_telemetry::Scope;
 
 /// Statistics of one backup (deduplication) job.
 #[derive(Debug, Clone, Default)]
@@ -77,6 +85,35 @@ impl BackupStats {
             .saturating_sub(self.network_time)
     }
 
+    /// Fold this job into a telemetry scope: one observation per phase
+    /// span (`<scope>.span.{backup,chunking,fingerprinting,index,
+    /// container_io,other}`) and the job counters added to the scope's
+    /// totals.
+    pub fn emit(&self, scope: &Scope) {
+        scope.counter("backup_jobs").inc();
+        scope.counter("logical_bytes").add(self.logical_bytes);
+        scope.counter("stored_bytes").add(self.stored_bytes);
+        scope.counter("chunks").add(self.chunks);
+        scope.counter("duplicates").add(self.duplicates);
+        scope.counter("skip_hits").add(self.skip_hits);
+        scope.counter("skip_misses").add(self.skip_misses);
+        scope.counter("super_hits").add(self.super_hits);
+        scope.counter("super_misses").add(self.super_misses);
+        scope
+            .counter("superchunks_created")
+            .add(self.superchunks_created);
+        scope.counter("chunks_merged").add(self.chunks_merged);
+        scope
+            .counter("segments_prefetched")
+            .add(self.segments_prefetched);
+        scope.record_span("backup", self.wall_time);
+        scope.record_span("chunking", self.chunking_time);
+        scope.record_span("fingerprinting", self.fingerprint_time);
+        scope.record_span("index", self.index_time);
+        scope.record_span("container_io", self.network_time);
+        scope.record_span("other", self.other_time());
+    }
+
     /// Merge another job's stats into this one (multi-file versions).
     pub fn merge(&mut self, other: &BackupStats) {
         self.logical_bytes += other.logical_bytes;
@@ -138,6 +175,21 @@ impl RestoreStats {
         self.containers_read as f64 * (100.0 * 1024.0 * 1024.0) / self.restored_bytes as f64
     }
 
+    /// Fold this job into a telemetry scope (see [`BackupStats::emit`]).
+    pub fn emit(&self, scope: &Scope) {
+        scope.counter("restore_jobs").inc();
+        scope.counter("restored_bytes").add(self.restored_bytes);
+        scope.counter("containers_read").add(self.containers_read);
+        scope.counter("oss_bytes_read").add(self.oss_bytes_read);
+        scope.counter("cache_hits").add(self.cache_hits);
+        scope.counter("cache_misses").add(self.cache_misses);
+        scope
+            .counter("relocation_lookups")
+            .add(self.relocation_lookups);
+        scope.counter("prefetch_hits").add(self.prefetch_hits);
+        scope.record_span("restore", self.wall_time);
+    }
+
     /// Merge another job's stats into this one.
     pub fn merge(&mut self, other: &RestoreStats) {
         self.restored_bytes += other.restored_bytes;
@@ -191,14 +243,61 @@ mod tests {
     }
 
     #[test]
+    fn emit_folds_into_scope() {
+        let registry = slim_telemetry::Registry::new();
+        let scope = registry.scope("lnode").child("0");
+        let stats = BackupStats {
+            logical_bytes: 1000,
+            stored_bytes: 160,
+            chunks: 9,
+            duplicates: 4,
+            wall_time: Duration::from_micros(100),
+            chunking_time: Duration::from_micros(40),
+            ..Default::default()
+        };
+        stats.emit(&scope);
+        stats.emit(&scope);
+        let restore = RestoreStats {
+            restored_bytes: 500,
+            containers_read: 2,
+            wall_time: Duration::from_micros(30),
+            ..Default::default()
+        };
+        restore.emit(&scope);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("lnode.0.backup_jobs"), 2);
+        assert_eq!(snap.counter("lnode.0.logical_bytes"), 2000);
+        assert_eq!(snap.counter("lnode.0.chunks"), 18);
+        assert_eq!(snap.counter("lnode.0.restored_bytes"), 500);
+        let chunking = snap.span("lnode.0", "chunking").unwrap();
+        assert_eq!(chunking.count, 2);
+        assert_eq!(chunking.sum, 80_000);
+        assert_eq!(snap.span("lnode.0", "restore").unwrap().count, 1);
+    }
+
+    #[test]
     fn merge_accumulates() {
-        let mut a = BackupStats { chunks: 5, duplicates: 2, ..Default::default() };
-        let b = BackupStats { chunks: 7, duplicates: 3, ..Default::default() };
+        let mut a = BackupStats {
+            chunks: 5,
+            duplicates: 2,
+            ..Default::default()
+        };
+        let b = BackupStats {
+            chunks: 7,
+            duplicates: 3,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.chunks, 12);
         assert_eq!(a.duplicates, 5);
-        let mut ra = RestoreStats { containers_read: 1, ..Default::default() };
-        ra.merge(&RestoreStats { containers_read: 2, ..Default::default() });
+        let mut ra = RestoreStats {
+            containers_read: 1,
+            ..Default::default()
+        };
+        ra.merge(&RestoreStats {
+            containers_read: 2,
+            ..Default::default()
+        });
         assert_eq!(ra.containers_read, 3);
     }
 }

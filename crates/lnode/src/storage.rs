@@ -63,15 +63,18 @@ impl StorageLayer {
 
     /// Persist only a container's metadata (deletion marks etc.).
     pub fn put_container_meta(&self, meta: &ContainerMeta) -> Result<()> {
-        self.oss.put(&layout::container_meta(meta.id), meta.encode())
+        self.oss
+            .put(&layout::container_meta(meta.id), meta.encode())
     }
 
     /// Read a container's data object.
     pub fn get_container_data(&self, id: ContainerId) -> Result<Bytes> {
-        self.oss.get(&layout::container_data(id)).map_err(|e| match e {
-            SlimError::ObjectNotFound(_) => SlimError::ContainerMissing(id.0),
-            other => other,
-        })
+        self.oss
+            .get(&layout::container_data(id))
+            .map_err(|e| match e {
+                SlimError::ObjectNotFound(_) => SlimError::ContainerMissing(id.0),
+                other => other,
+            })
     }
 
     /// Read a byte range of a container's data object.
@@ -81,10 +84,13 @@ impl StorageLayer {
 
     /// Read a container's metadata.
     pub fn get_container_meta(&self, id: ContainerId) -> Result<ContainerMeta> {
-        let buf = self.oss.get(&layout::container_meta(id)).map_err(|e| match e {
-            SlimError::ObjectNotFound(_) => SlimError::ContainerMissing(id.0),
-            other => other,
-        })?;
+        let buf = self
+            .oss
+            .get(&layout::container_meta(id))
+            .map_err(|e| match e {
+                SlimError::ObjectNotFound(_) => SlimError::ContainerMissing(id.0),
+                other => other,
+            })?;
         ContainerMeta::decode(&buf)
     }
 

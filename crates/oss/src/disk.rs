@@ -15,24 +15,50 @@ use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
 
 use bytes::Bytes;
 use slim_types::{Result, SlimError};
 
+use crate::metrics::{MetricsSnapshot, OssMetrics};
 use crate::store::ObjectStore;
 
 /// Object store persisting to a local directory.
 pub struct LocalDiskOss {
     root: PathBuf,
     tmp_counter: AtomicU64,
+    metrics: OssMetrics,
 }
 
 impl LocalDiskOss {
     /// Open (creating if needed) a store rooted at `root`.
     pub fn open(root: impl Into<PathBuf>) -> Result<Self> {
+        Self::open_with_metrics(root, OssMetrics::default())
+    }
+
+    /// Open a store whose traffic counters are registered under `scope`
+    /// (canonically `"oss"`), so disk-backed repositories report the same
+    /// telemetry names as the simulated [`crate::Oss`].
+    pub fn open_with_telemetry(
+        root: impl Into<PathBuf>,
+        scope: &slim_telemetry::Scope,
+    ) -> Result<Self> {
+        Self::open_with_metrics(root, OssMetrics::new(scope))
+    }
+
+    fn open_with_metrics(root: impl Into<PathBuf>, metrics: OssMetrics) -> Result<Self> {
         let root = root.into();
         fs::create_dir_all(&root)?;
-        Ok(LocalDiskOss { root, tmp_counter: AtomicU64::new(0) })
+        Ok(LocalDiskOss {
+            root,
+            tmp_counter: AtomicU64::new(0),
+            metrics,
+        })
+    }
+
+    /// Traffic counters (request counts, payload bytes, I/O wall time).
+    pub fn metrics(&self) -> &OssMetrics {
+        &self.metrics
     }
 
     fn path_of(&self, key: &str) -> Result<PathBuf> {
@@ -86,6 +112,7 @@ impl LocalDiskOss {
 
 impl ObjectStore for LocalDiskOss {
     fn put(&self, key: &str, value: Bytes) -> Result<()> {
+        let start = Instant::now();
         let path = self.path_of(key)?;
         if let Some(parent) = path.parent() {
             fs::create_dir_all(parent)?;
@@ -101,13 +128,18 @@ impl ObjectStore for LocalDiskOss {
             f.sync_all()?;
         }
         fs::rename(&tmp, &path)?;
+        self.metrics.record_put(value.len() as u64, start.elapsed());
         Ok(())
     }
 
     fn get(&self, key: &str) -> Result<Bytes> {
+        let start = Instant::now();
         let path = self.path_of(key)?;
         match fs::read(&path) {
-            Ok(buf) => Ok(Bytes::from(buf)),
+            Ok(buf) => {
+                self.metrics.record_get(buf.len() as u64, start.elapsed());
+                Ok(Bytes::from(buf))
+            }
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
                 Err(SlimError::ObjectNotFound(key.to_string()))
             }
@@ -117,6 +149,7 @@ impl ObjectStore for LocalDiskOss {
 
     fn get_range(&self, key: &str, start: u64, len: u64) -> Result<Bytes> {
         use std::io::{Read, Seek, SeekFrom};
+        let t0 = Instant::now();
         let path = self.path_of(key)?;
         let mut f = match fs::File::open(&path) {
             Ok(f) => f,
@@ -137,14 +170,22 @@ impl ObjectStore for LocalDiskOss {
         f.seek(SeekFrom::Start(start))?;
         let mut buf = vec![0u8; len as usize];
         f.read_exact(&mut buf)?;
+        self.metrics.record_get(len, t0.elapsed());
         Ok(Bytes::from(buf))
     }
 
     fn delete(&self, key: &str) -> Result<()> {
+        let start = Instant::now();
         let path = self.path_of(key)?;
         match fs::remove_file(&path) {
-            Ok(()) => Ok(()),
-            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Ok(()) => {
+                self.metrics.record_delete(start.elapsed());
+                Ok(())
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                self.metrics.record_delete(start.elapsed());
+                Ok(())
+            }
             Err(e) => Err(e.into()),
         }
     }
@@ -168,6 +209,10 @@ impl ObjectStore for LocalDiskOss {
         keys.sort();
         keys
     }
+
+    fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
+        Some(self.metrics.snapshot())
+    }
 }
 
 #[cfg(test)]
@@ -175,10 +220,7 @@ mod tests {
     use super::*;
 
     fn temp_store(tag: &str) -> (PathBuf, LocalDiskOss) {
-        let dir = std::env::temp_dir().join(format!(
-            "slim-disk-oss-{tag}-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("slim-disk-oss-{tag}-{}", std::process::id()));
         let _ = fs::remove_dir_all(&dir);
         let store = LocalDiskOss::open(&dir).unwrap();
         (dir, store)
@@ -193,8 +235,16 @@ mod tests {
         assert_eq!(store.get("a/b/c").unwrap(), Bytes::from_static(b"hello"));
         assert_eq!(store.len("a/b/c").unwrap(), Some(5));
         assert!(store.exists("a/d").unwrap());
-        assert_eq!(store.list("a/"), vec!["a/b/c".to_string(), "a/d".to_string()]);
+        assert_eq!(
+            store.list("a/"),
+            vec!["a/b/c".to_string(), "a/d".to_string()]
+        );
         assert_eq!(store.list("").len(), 3);
+        let snap = store.metrics_snapshot().unwrap();
+        assert_eq!(snap.put_requests, 3);
+        assert_eq!(snap.get_requests, 1);
+        assert_eq!(snap.bytes_written, 7);
+        assert_eq!(snap.bytes_read, 5);
         let _ = fs::remove_dir_all(dir);
     }
 
@@ -202,7 +252,10 @@ mod tests {
     fn range_reads_and_errors() {
         let (dir, store) = temp_store("range");
         store.put("obj", Bytes::from_static(b"0123456789")).unwrap();
-        assert_eq!(store.get_range("obj", 3, 4).unwrap(), Bytes::from_static(b"3456"));
+        assert_eq!(
+            store.get_range("obj", 3, 4).unwrap(),
+            Bytes::from_static(b"3456")
+        );
         assert!(matches!(
             store.get_range("obj", 8, 5),
             Err(SlimError::RangeOutOfBounds { .. })
@@ -238,10 +291,15 @@ mod tests {
     #[test]
     fn survives_reopen() {
         let (dir, store) = temp_store("reopen");
-        store.put("persist/me", Bytes::from_static(b"data")).unwrap();
+        store
+            .put("persist/me", Bytes::from_static(b"data"))
+            .unwrap();
         drop(store);
         let store = LocalDiskOss::open(&dir).unwrap();
-        assert_eq!(store.get("persist/me").unwrap(), Bytes::from_static(b"data"));
+        assert_eq!(
+            store.get("persist/me").unwrap(),
+            Bytes::from_static(b"data")
+        );
         let _ = fs::remove_dir_all(dir);
     }
 
@@ -255,7 +313,8 @@ mod tests {
         oss.put("containers/000000000000/data", Bytes::from(vec![7u8; 100]))
             .unwrap();
         assert_eq!(
-            oss.get_range("containers/000000000000/data", 10, 5).unwrap(),
+            oss.get_range("containers/000000000000/data", 10, 5)
+                .unwrap(),
             Bytes::from(vec![7u8; 5])
         );
         let _ = FileId::new("x");

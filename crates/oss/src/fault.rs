@@ -36,7 +36,11 @@ pub enum FaultPlan {
     /// `prob`, deterministically derived from `seed` and the per-plan
     /// operation ordinal. A failed operation succeeds when retried iff the
     /// next ordinal draws above `prob` — the transient-5xx model.
-    TransientProb { prefix: String, prob: f64, seed: u64 },
+    TransientProb {
+        prefix: String,
+        prob: f64,
+        seed: u64,
+    },
     /// Fail every `every_nth` (1-based) operation with a throttling error,
     /// persistently — the rate-limit model.
     Throttle { every_nth: u64 },
@@ -214,7 +218,10 @@ mod tests {
     #[test]
     fn nth_on_prefix_fires_once() {
         let st = FaultState::default();
-        st.arm(FaultPlan::NthOnPrefix { prefix: "x/".into(), nth: 2 });
+        st.arm(FaultPlan::NthOnPrefix {
+            prefix: "x/".into(),
+            nth: 2,
+        });
         assert!(!fails(&st, "x/1"));
         assert!(!fails(&st, "y/anything"));
         assert!(fails(&st, "x/2"));
@@ -225,7 +232,11 @@ mod tests {
     fn transient_prob_is_seed_deterministic() {
         let run = |seed: u64| -> Vec<bool> {
             let st = FaultState::default();
-            st.arm(FaultPlan::TransientProb { prefix: String::new(), prob: 0.3, seed });
+            st.arm(FaultPlan::TransientProb {
+                prefix: String::new(),
+                prob: 0.3,
+                seed,
+            });
             (0..64).map(|_| fails(&st, "k")).collect()
         };
         let a = run(7);
@@ -234,7 +245,11 @@ mod tests {
         let hits = a.iter().filter(|f| **f).count();
         assert!(hits > 5 && hits < 40, "p=0.3 over 64 ops, got {hits}");
         let st = FaultState::default();
-        st.arm(FaultPlan::TransientProb { prefix: "x/".into(), prob: 1.0, seed: 1 });
+        st.arm(FaultPlan::TransientProb {
+            prefix: "x/".into(),
+            prob: 1.0,
+            seed: 1,
+        });
         assert!(!fails(&st, "y/other"), "prefix-filtered");
         assert_eq!(
             st.decide("x/k").error,
@@ -277,7 +292,10 @@ mod tests {
             prefix: String::new(),
             delay: Duration::from_millis(2),
         });
-        st.arm_also(FaultPlan::NthOnPrefix { prefix: String::new(), nth: 2 });
+        st.arm_also(FaultPlan::NthOnPrefix {
+            prefix: String::new(),
+            nth: 2,
+        });
         st.arm_also(FaultPlan::Throttle { every_nth: 2 });
         let first = st.decide("k");
         assert_eq!(first.delay, Duration::from_millis(2));
@@ -290,7 +308,10 @@ mod tests {
             "earlier-armed NthOnPrefix outranks Throttle on the same op"
         );
         let third = st.decide("k");
-        assert_eq!(third.error, None, "one-shot plan disarmed, throttle off-cycle");
+        assert_eq!(
+            third.error, None,
+            "one-shot plan disarmed, throttle off-cycle"
+        );
         let fourth = st.decide("k");
         assert_eq!(fourth.error, Some(FaultErrorKind::Throttled));
     }

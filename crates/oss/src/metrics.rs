@@ -2,81 +2,131 @@
 //!
 //! Every experiment in the paper that measures "read container number per
 //! 100 MB", OSS bandwidth consumption, or network time is computed from
-//! counters like these. They are atomics so all L-node/G-node threads share
-//! one instance without locking.
+//! counters like these. Since PR 2 the counters are registry-backed
+//! [`slim_telemetry`] handles: all L-node/G-node threads share one
+//! instance without locking, and the same values appear under the `oss.*`
+//! names in [`slim_telemetry::TelemetrySnapshot`]s. The [`OssMetrics`] /
+//! [`MetricsSnapshot`] API is kept as a thin view over the registry.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
+use slim_telemetry::{Counter, Histogram, Registry, Scope, TelemetrySnapshot};
+
 /// Live counters on an [`crate::Oss`] instance.
-#[derive(Debug, Default)]
+///
+/// Construct with [`OssMetrics::new`] to register the counters under a
+/// shared telemetry scope (canonically `"oss"`); the `Default` instance
+/// registers in a fresh private registry so a bare `Oss::new` still
+/// counts correctly without any wiring.
+#[derive(Debug, Clone)]
 pub struct OssMetrics {
     /// Number of GET (full or range) requests.
-    pub get_requests: AtomicU64,
+    pub get_requests: Counter,
     /// Number of PUT requests.
-    pub put_requests: AtomicU64,
+    pub put_requests: Counter,
     /// Number of DELETE requests.
-    pub delete_requests: AtomicU64,
+    pub delete_requests: Counter,
     /// Payload bytes downloaded.
-    pub bytes_read: AtomicU64,
+    pub bytes_read: Counter,
     /// Payload bytes uploaded.
-    pub bytes_written: AtomicU64,
+    pub bytes_written: Counter,
     /// Wall-clock nanoseconds threads spent inside OSS calls (latency +
     /// transfer + channel queueing). This is the "network time" series of
     /// Fig 2.
-    pub net_time_nanos: AtomicU64,
+    pub net_time_nanos: Counter,
     /// Faults injected by the armed [`crate::FaultPlan`]s (all kinds).
-    pub injected_faults: AtomicU64,
+    pub injected_faults: Counter,
     /// Nanoseconds of artificial latency injected by `FaultPlan::Latency`.
-    pub injected_delay_nanos: AtomicU64,
+    pub injected_delay_nanos: Counter,
+    /// Per-request wall-time distribution (nanoseconds), across GET, PUT,
+    /// and DELETE. Exposes p50/p95/p99 in telemetry snapshots as
+    /// `oss.request_nanos`.
+    pub request_nanos: Histogram,
 }
 
 impl OssMetrics {
+    /// Names used by this view, relative to its scope. Keeping them in
+    /// one place ties [`OssMetrics::new`], [`MetricsSnapshot::from_telemetry`],
+    /// and [`MetricsSnapshot::overlay_into`] together.
+    const COUNTERS: [&'static str; 8] = [
+        "get_requests",
+        "put_requests",
+        "delete_requests",
+        "bytes_read",
+        "bytes_written",
+        "net_time_nanos",
+        "injected_faults",
+        "injected_delay_nanos",
+    ];
+
+    /// Register (or re-attach to) the OSS counters under `scope`.
+    pub fn new(scope: &Scope) -> Self {
+        OssMetrics {
+            get_requests: scope.counter("get_requests"),
+            put_requests: scope.counter("put_requests"),
+            delete_requests: scope.counter("delete_requests"),
+            bytes_read: scope.counter("bytes_read"),
+            bytes_written: scope.counter("bytes_written"),
+            net_time_nanos: scope.counter("net_time_nanos"),
+            injected_faults: scope.counter("injected_faults"),
+            injected_delay_nanos: scope.counter("injected_delay_nanos"),
+            request_nanos: scope.histogram("request_nanos"),
+        }
+    }
+
     pub(crate) fn record_get(&self, bytes: u64, elapsed: Duration) {
-        self.get_requests.fetch_add(1, Ordering::Relaxed);
-        self.bytes_read.fetch_add(bytes, Ordering::Relaxed);
-        self.net_time_nanos
-            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        self.get_requests.inc();
+        self.bytes_read.add(bytes);
+        self.record_elapsed(elapsed);
     }
 
     pub(crate) fn record_put(&self, bytes: u64, elapsed: Duration) {
-        self.put_requests.fetch_add(1, Ordering::Relaxed);
-        self.bytes_written.fetch_add(bytes, Ordering::Relaxed);
-        self.net_time_nanos
-            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        self.put_requests.inc();
+        self.bytes_written.add(bytes);
+        self.record_elapsed(elapsed);
     }
 
     pub(crate) fn record_delete(&self, elapsed: Duration) {
-        self.delete_requests.fetch_add(1, Ordering::Relaxed);
-        self.net_time_nanos
-            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+        self.delete_requests.inc();
+        self.record_elapsed(elapsed);
+    }
+
+    fn record_elapsed(&self, elapsed: Duration) {
+        let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
+        self.net_time_nanos.add(nanos);
+        self.request_nanos.record(nanos);
     }
 
     pub(crate) fn record_injected_fault(&self) {
-        self.injected_faults.fetch_add(1, Ordering::Relaxed);
+        self.injected_faults.inc();
     }
 
     pub(crate) fn record_injected_delay(&self, delay: Duration) {
         self.injected_delay_nanos
-            .fetch_add(delay.as_nanos() as u64, Ordering::Relaxed);
+            .add(u64::try_from(delay.as_nanos()).unwrap_or(u64::MAX));
     }
 
     /// Capture current values.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
-            get_requests: self.get_requests.load(Ordering::Relaxed),
-            put_requests: self.put_requests.load(Ordering::Relaxed),
-            delete_requests: self.delete_requests.load(Ordering::Relaxed),
-            bytes_read: self.bytes_read.load(Ordering::Relaxed),
-            bytes_written: self.bytes_written.load(Ordering::Relaxed),
-            net_time: Duration::from_nanos(self.net_time_nanos.load(Ordering::Relaxed)),
-            injected_faults: self.injected_faults.load(Ordering::Relaxed),
-            injected_delay: Duration::from_nanos(
-                self.injected_delay_nanos.load(Ordering::Relaxed),
-            ),
+            get_requests: self.get_requests.get(),
+            put_requests: self.put_requests.get(),
+            delete_requests: self.delete_requests.get(),
+            bytes_read: self.bytes_read.get(),
+            bytes_written: self.bytes_written.get(),
+            net_time: Duration::from_nanos(self.net_time_nanos.get()),
+            injected_faults: self.injected_faults.get(),
+            injected_delay: Duration::from_nanos(self.injected_delay_nanos.get()),
             retries: 0,
             giveups: 0,
+            retry_bytes: 0,
         }
+    }
+}
+
+impl Default for OssMetrics {
+    fn default() -> Self {
+        OssMetrics::new(&Registry::new().scope("oss"))
     }
 }
 
@@ -100,6 +150,10 @@ pub struct MetricsSnapshot {
     /// Operations a [`crate::RetryingStore`] abandoned after exhausting its
     /// attempt or deadline budget.
     pub giveups: u64,
+    /// Payload bytes re-uploaded by retried PUT attempts. Kept separate so
+    /// retries never inflate `bytes_written` (the dedup-cost series of the
+    /// paper's figures); `bytes_written` stays the logical upload volume.
+    pub retry_bytes: u64,
 }
 
 impl MetricsSnapshot {
@@ -116,12 +170,61 @@ impl MetricsSnapshot {
             injected_delay: self.injected_delay.saturating_sub(earlier.injected_delay),
             retries: self.retries - earlier.retries,
             giveups: self.giveups - earlier.giveups,
+            retry_bytes: self.retry_bytes - earlier.retry_bytes,
         }
     }
 
     /// Total request count.
     pub fn total_requests(&self) -> u64 {
         self.get_requests + self.put_requests + self.delete_requests
+    }
+
+    /// Reconstruct the OSS view from a telemetry snapshot (or snapshot
+    /// delta) containing `oss.*` counters; retry counters are folded in
+    /// from the `retry.*` scope when present. Returns `None` when the
+    /// snapshot carries no OSS section at all.
+    pub fn from_telemetry(snap: &TelemetrySnapshot) -> Option<MetricsSnapshot> {
+        if !snap.counters.keys().any(|k| k.starts_with("oss.")) {
+            return None;
+        }
+        Some(MetricsSnapshot {
+            get_requests: snap.counter("oss.get_requests"),
+            put_requests: snap.counter("oss.put_requests"),
+            delete_requests: snap.counter("oss.delete_requests"),
+            bytes_read: snap.counter("oss.bytes_read"),
+            bytes_written: snap.counter("oss.bytes_written"),
+            net_time: Duration::from_nanos(snap.counter("oss.net_time_nanos")),
+            injected_faults: snap.counter("oss.injected_faults"),
+            injected_delay: Duration::from_nanos(snap.counter("oss.injected_delay_nanos")),
+            retries: snap.counter("retry.retries"),
+            giveups: snap.counter("retry.giveups"),
+            retry_bytes: snap.counter("retry.retry_bytes"),
+        })
+    }
+
+    /// Write this snapshot into `snap` under the canonical `oss.*` /
+    /// `retry.*` counter names. Used when an externally-supplied object
+    /// store does not share the main registry: its own counters are
+    /// overlaid at snapshot time so every store looks the same in
+    /// telemetry output.
+    pub fn overlay_into(&self, snap: &mut TelemetrySnapshot) {
+        let values = [
+            self.get_requests,
+            self.put_requests,
+            self.delete_requests,
+            self.bytes_read,
+            self.bytes_written,
+            u64::try_from(self.net_time.as_nanos()).unwrap_or(u64::MAX),
+            self.injected_faults,
+            u64::try_from(self.injected_delay.as_nanos()).unwrap_or(u64::MAX),
+        ];
+        for (name, value) in OssMetrics::COUNTERS.iter().zip(values) {
+            snap.counters.insert(format!("oss.{name}"), value);
+        }
+        snap.counters.insert("retry.retries".into(), self.retries);
+        snap.counters.insert("retry.giveups".into(), self.giveups);
+        snap.counters
+            .insert("retry.retry_bytes".into(), self.retry_bytes);
     }
 }
 
@@ -143,6 +246,7 @@ mod tests {
         assert_eq!(s.bytes_written, 50);
         assert_eq!(s.net_time, Duration::from_millis(4));
         assert_eq!(s.total_requests(), 3);
+        assert_eq!(m.request_nanos.snapshot().count, 3);
     }
 
     #[test]
@@ -158,5 +262,31 @@ mod tests {
         assert_eq!(d.bytes_read, 200);
         assert_eq!(d.put_requests, 1);
         assert_eq!(d.bytes_written, 10);
+    }
+
+    #[test]
+    fn registry_backed_counters_share_the_scope() {
+        let registry = Registry::new();
+        let m = OssMetrics::new(&registry.scope("oss"));
+        m.record_put(64, Duration::from_micros(5));
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("oss.put_requests"), 1);
+        assert_eq!(snap.counter("oss.bytes_written"), 64);
+        assert_eq!(snap.histogram("oss.request_nanos").unwrap().count, 1);
+    }
+
+    #[test]
+    fn telemetry_round_trip_via_overlay() {
+        let m = OssMetrics::default();
+        m.record_get(100, Duration::from_millis(2));
+        m.record_put(50, Duration::from_millis(1));
+        let mut view = m.snapshot();
+        view.retries = 3;
+        view.retry_bytes = 150;
+
+        let mut snap = TelemetrySnapshot::default();
+        assert_eq!(MetricsSnapshot::from_telemetry(&snap), None);
+        view.overlay_into(&mut snap);
+        assert_eq!(MetricsSnapshot::from_telemetry(&snap), Some(view));
     }
 }

@@ -127,7 +127,10 @@ mod tests {
     fn invalid_names_rejected() {
         let bucket: Arc<dyn ObjectStore> = Arc::new(Oss::in_memory());
         for bad in ["", "a/b", "a b", "../x"] {
-            assert!(NamespacedStore::new(bucket.clone(), bad).is_err(), "{bad:?}");
+            assert!(
+                NamespacedStore::new(bucket.clone(), bad).is_err(),
+                "{bad:?}"
+            );
         }
     }
 
@@ -136,7 +139,10 @@ mod tests {
         let bucket: Arc<dyn ObjectStore> = Arc::new(Oss::in_memory());
         let t = NamespacedStore::new(bucket, "t").unwrap();
         t.put("obj", Bytes::from_static(b"0123456789")).unwrap();
-        assert_eq!(t.get_range("obj", 2, 3).unwrap(), Bytes::from_static(b"234"));
+        assert_eq!(
+            t.get_range("obj", 2, 3).unwrap(),
+            Bytes::from_static(b"234")
+        );
         assert_eq!(t.len("obj").unwrap(), Some(10));
     }
 
@@ -151,8 +157,11 @@ mod tests {
         };
         let sa = mk("acme");
         let sb = mk("globex");
-        sa.put(&slim_types::layout::version_manifest(slim_types::VersionId(0)),
-               slim_types::VersionManifest::new(slim_types::VersionId(0)).encode()).unwrap();
+        sa.put(
+            &slim_types::layout::version_manifest(slim_types::VersionId(0)),
+            slim_types::VersionManifest::new(slim_types::VersionId(0)).encode(),
+        )
+        .unwrap();
         assert!(sa.exists("versions/00000000").unwrap());
         assert!(!sb.exists("versions/00000000").unwrap());
         let _ = (FileId::new("x"), SlimConfig::default()); // types in scope

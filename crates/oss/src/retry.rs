@@ -13,11 +13,11 @@
 //! the wrapper reports [`SlimError::Timeout`] carrying the operation, the
 //! attempt count, and the last underlying error.
 
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
+use slim_telemetry::{Counter, Registry, Scope};
 use slim_types::{Result, SlimError};
 
 use crate::fault::{splitmix64, unit_f64};
@@ -84,33 +84,62 @@ impl RetryPolicy {
 }
 
 /// Retry counters of a [`RetryingStore`], shared across clones.
-#[derive(Debug, Default)]
+///
+/// Registry-backed since PR 2: construct with [`RetryMetrics::new`] to
+/// expose the counters under a shared telemetry scope (canonically
+/// `"retry"`); the `Default` instance registers in a private registry.
+#[derive(Debug, Clone)]
 pub struct RetryMetrics {
     /// Attempts issued to the inner store (successes and failures).
-    pub attempts: AtomicU64,
+    pub attempts: Counter,
     /// Re-issued operations (attempts beyond the first per operation).
-    pub retries: AtomicU64,
+    pub retries: Counter,
     /// Operations abandoned after exhausting the attempt/deadline budget.
-    pub giveups: AtomicU64,
+    pub giveups: Counter,
     /// Nanoseconds spent sleeping in backoff.
-    pub backoff_nanos: AtomicU64,
+    pub backoff_nanos: Counter,
+    /// Payload bytes re-uploaded by retried PUT attempts. Attributed here —
+    /// never to the inner store's `bytes_written` — so transient faults do
+    /// not inflate the dedup-cost byte counters the paper's figures report.
+    pub retry_bytes: Counter,
 }
 
 impl RetryMetrics {
+    /// Register (or re-attach to) the retry counters under `scope`.
+    pub fn new(scope: &Scope) -> Self {
+        RetryMetrics {
+            attempts: scope.counter("attempts"),
+            retries: scope.counter("retries"),
+            giveups: scope.counter("giveups"),
+            backoff_nanos: scope.counter("backoff_nanos"),
+            retry_bytes: scope.counter("retry_bytes"),
+        }
+    }
+
     pub fn retries(&self) -> u64 {
-        self.retries.load(Ordering::Relaxed)
+        self.retries.get()
     }
 
     pub fn giveups(&self) -> u64 {
-        self.giveups.load(Ordering::Relaxed)
+        self.giveups.get()
     }
 
     pub fn attempts(&self) -> u64 {
-        self.attempts.load(Ordering::Relaxed)
+        self.attempts.get()
+    }
+
+    pub fn retry_bytes(&self) -> u64 {
+        self.retry_bytes.get()
     }
 
     pub fn backoff_time(&self) -> Duration {
-        Duration::from_nanos(self.backoff_nanos.load(Ordering::Relaxed))
+        Duration::from_nanos(self.backoff_nanos.get())
+    }
+}
+
+impl Default for RetryMetrics {
+    fn default() -> Self {
+        RetryMetrics::new(&Registry::new().scope("retry"))
     }
 }
 
@@ -144,6 +173,17 @@ impl RetryingStore {
         }
     }
 
+    /// Like [`RetryingStore::new`], but the retry counters are registered
+    /// under `scope` (canonically a `"retry"` scope of the shared
+    /// registry) instead of a private one.
+    pub fn with_telemetry(inner: Arc<dyn ObjectStore>, policy: RetryPolicy, scope: &Scope) -> Self {
+        RetryingStore {
+            inner,
+            policy,
+            metrics: Arc::new(RetryMetrics::new(scope)),
+        }
+    }
+
     /// The wrapped store.
     pub fn inner(&self) -> &Arc<dyn ObjectStore> {
         &self.inner
@@ -155,14 +195,23 @@ impl RetryingStore {
     }
 
     /// Run `f` under the retry policy. `op` labels the operation in
-    /// [`SlimError::Timeout`] reports.
-    fn run<T>(&self, op: &str, key: &str, f: impl Fn() -> Result<T>) -> Result<T> {
+    /// [`SlimError::Timeout`] reports. `upload_bytes` is the request
+    /// payload size (non-zero only for PUT): every re-issued attempt
+    /// sends the body again, and that re-upload volume is charged to
+    /// `retry_bytes` rather than the inner store's byte counters.
+    fn run<T>(
+        &self,
+        op: &str,
+        key: &str,
+        upload_bytes: u64,
+        f: impl Fn() -> Result<T>,
+    ) -> Result<T> {
         let start = Instant::now();
         let max_attempts = self.policy.max_attempts.max(1);
         let mut attempt = 0u32;
         loop {
             attempt += 1;
-            self.metrics.attempts.fetch_add(1, Ordering::Relaxed);
+            self.metrics.attempts.inc();
             let err = match f() {
                 Ok(value) => return Ok(value),
                 Err(err) if err.is_retryable() => err,
@@ -174,23 +223,22 @@ impl RetryingStore {
                 last: last.to_string(),
             };
             if attempt >= max_attempts {
-                self.metrics.giveups.fetch_add(1, Ordering::Relaxed);
+                self.metrics.giveups.inc();
                 return Err(give_up(&err));
             }
             let delay = self.policy.backoff(attempt);
             if let Some(deadline) = self.policy.deadline {
                 if start.elapsed() + delay >= deadline {
-                    self.metrics.giveups.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.giveups.inc();
                     return Err(give_up(&err));
                 }
             }
             if !delay.is_zero() {
                 std::thread::sleep(delay);
-                self.metrics
-                    .backoff_nanos
-                    .fetch_add(delay.as_nanos() as u64, Ordering::Relaxed);
+                self.metrics.backoff_nanos.add(delay.as_nanos() as u64);
             }
-            self.metrics.retries.fetch_add(1, Ordering::Relaxed);
+            self.metrics.retries.inc();
+            self.metrics.retry_bytes.add(upload_bytes);
         }
     }
 }
@@ -198,27 +246,30 @@ impl RetryingStore {
 impl ObjectStore for RetryingStore {
     fn put(&self, key: &str, value: Bytes) -> Result<()> {
         // Bytes clones are refcount bumps, so retrying a PUT is free.
-        self.run("put", key, || self.inner.put(key, value.clone()))
+        let upload = value.len() as u64;
+        self.run("put", key, upload, || self.inner.put(key, value.clone()))
     }
 
     fn get(&self, key: &str) -> Result<Bytes> {
-        self.run("get", key, || self.inner.get(key))
+        self.run("get", key, 0, || self.inner.get(key))
     }
 
     fn get_range(&self, key: &str, start: u64, len: u64) -> Result<Bytes> {
-        self.run("get_range", key, || self.inner.get_range(key, start, len))
+        self.run("get_range", key, 0, || {
+            self.inner.get_range(key, start, len)
+        })
     }
 
     fn delete(&self, key: &str) -> Result<()> {
-        self.run("delete", key, || self.inner.delete(key))
+        self.run("delete", key, 0, || self.inner.delete(key))
     }
 
     fn exists(&self, key: &str) -> Result<bool> {
-        self.run("head", key, || self.inner.exists(key))
+        self.run("head", key, 0, || self.inner.exists(key))
     }
 
     fn len(&self, key: &str) -> Result<Option<u64>> {
-        self.run("head", key, || self.inner.len(key))
+        self.run("head", key, 0, || self.inner.len(key))
     }
 
     fn list(&self, prefix: &str) -> Vec<String> {
@@ -226,11 +277,12 @@ impl ObjectStore for RetryingStore {
     }
 
     /// Inner traffic counters overlaid with this wrapper's retry/giveup
-    /// counts, so one snapshot carries the whole story.
+    /// counts and re-upload volume, so one snapshot carries the whole story.
     fn metrics_snapshot(&self) -> Option<MetricsSnapshot> {
         let mut snapshot = self.inner.metrics_snapshot().unwrap_or_default();
         snapshot.retries += self.metrics.retries();
         snapshot.giveups += self.metrics.giveups();
+        snapshot.retry_bytes += self.metrics.retry_bytes();
         Some(snapshot)
     }
 }
@@ -356,8 +408,65 @@ mod tests {
         assert!(d1 >= Duration::from_millis(5) && d1 < Duration::from_millis(10));
         assert!(d2 >= Duration::from_millis(10) && d2 < Duration::from_millis(20));
         assert!(d5 <= Duration::from_millis(100), "capped at max_delay");
-        assert_eq!(policy.backoff(3), policy.backoff(3), "jitter is deterministic");
+        assert_eq!(
+            policy.backoff(3),
+            policy.backoff(3),
+            "jitter is deterministic"
+        );
         assert_eq!(RetryPolicy::no_delay(3).backoff(7), Duration::ZERO);
+    }
+
+    #[test]
+    fn retried_put_bytes_go_to_retry_bytes_not_bytes_written() {
+        // Regression (PR 2 satellite): under a seeded TransientProb plan,
+        // re-uploaded PUT payloads must land in `retry_bytes`; the
+        // `bytes_written` dedup-cost counter stays the exact logical
+        // volume, as if no fault had ever fired.
+        const N: u64 = 200;
+        const L: u64 = 64;
+        let oss = Oss::in_memory();
+        oss.inject_fault(FaultPlan::TransientProb {
+            prefix: String::new(),
+            prob: 0.3,
+            seed: 0xfeed,
+        });
+        let store = retrying(&oss, 50);
+        let payload = Bytes::from(vec![7u8; L as usize]);
+        for i in 0..N {
+            store.put(&format!("obj/{i}"), payload.clone()).unwrap();
+        }
+        oss.clear_faults();
+
+        let retries = store.retry_metrics().retries();
+        assert!(retries > 0, "seeded plan must trigger retries");
+        assert_eq!(store.retry_metrics().giveups(), 0);
+        let snap = store.metrics_snapshot().unwrap();
+        assert_eq!(snap.bytes_written, N * L, "no inflation from retries");
+        assert_eq!(snap.retry_bytes, retries * L, "each re-issue re-sends L");
+        // GET retries carry no payload.
+        oss.inject_fault(FaultPlan::Throttle { every_nth: 2 });
+        oss.get("obj/0").unwrap(); // advance counter so the next op faults
+        store.get("obj/0").unwrap();
+        assert_eq!(store.retry_metrics().retries(), retries + 1);
+        assert_eq!(store.retry_metrics().retry_bytes(), retries * L);
+    }
+
+    #[test]
+    fn telemetry_scope_exposes_retry_counters() {
+        let registry = slim_telemetry::Registry::new();
+        let oss = Oss::in_memory();
+        oss.inject_fault(FaultPlan::Throttle { every_nth: 2 });
+        let store = RetryingStore::with_telemetry(
+            Arc::new(oss.clone()),
+            RetryPolicy::no_delay(4),
+            &registry.scope("retry"),
+        );
+        oss.put("warmup", Bytes::new()).unwrap();
+        store.put("k", Bytes::from_static(b"payload")).unwrap();
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("retry.retries"), 1);
+        assert_eq!(snap.counter("retry.retry_bytes"), 7);
+        assert!(snap.counter("retry.attempts") >= 2);
     }
 
     #[test]

@@ -93,7 +93,11 @@ impl SstHandle {
         let idx = self
             .sparse_index
             .partition_point(|(k, _)| k.as_slice() <= key);
-        let start = if idx == 0 { 0 } else { self.sparse_index[idx - 1].1 };
+        let start = if idx == 0 {
+            0
+        } else {
+            self.sparse_index[idx - 1].1
+        };
         let end = self
             .sparse_index
             .get(idx)
@@ -134,7 +138,11 @@ pub struct RocksOss {
 
 impl RocksOss {
     /// Create a fresh store under `prefix` (e.g. `"rocks/global-index/"`).
-    pub fn create(oss: Arc<dyn ObjectStore>, prefix: impl Into<String>, config: RocksConfig) -> Self {
+    pub fn create(
+        oss: Arc<dyn ObjectStore>,
+        prefix: impl Into<String>,
+        config: RocksConfig,
+    ) -> Self {
         RocksOss {
             oss,
             prefix: prefix.into(),
@@ -150,7 +158,11 @@ impl RocksOss {
 
     /// Reopen a store persisted under `prefix` by replaying the MANIFEST.
     /// A missing manifest yields an empty store (first open).
-    pub fn open(oss: Arc<dyn ObjectStore>, prefix: impl Into<String>, config: RocksConfig) -> Result<Self> {
+    pub fn open(
+        oss: Arc<dyn ObjectStore>,
+        prefix: impl Into<String>,
+        config: RocksConfig,
+    ) -> Result<Self> {
         let prefix = prefix.into();
         let store = RocksOss::create(oss.clone(), prefix.clone(), config);
         let manifest_key = format!("{prefix}MANIFEST");
@@ -349,10 +361,8 @@ impl RocksOss {
         }
         // Tombstones can be dropped entirely: after a full merge nothing
         // older can resurrect the key.
-        let live: Vec<(Vec<u8>, Option<Vec<u8>>)> = merged
-            .into_iter()
-            .filter(|(_, v)| v.is_some())
-            .collect();
+        let live: Vec<(Vec<u8>, Option<Vec<u8>>)> =
+            merged.into_iter().filter(|(_, v)| v.is_some()).collect();
         if !live.is_empty() {
             let id = inner.next_table_id;
             inner.next_table_id += 1;
@@ -373,7 +383,8 @@ impl RocksOss {
         for t in &inner.tables {
             w.u64(t.id);
         }
-        self.oss.put(&format!("{}MANIFEST", self.prefix), w.freeze())
+        self.oss
+            .put(&format!("{}MANIFEST", self.prefix), w.freeze())
     }
 
     /// Serialize sorted entries into an SSTable object and return its handle.
@@ -543,8 +554,11 @@ mod tests {
     fn get_after_flush_reads_sstable() {
         let db = new_store();
         for i in 0..50u32 {
-            db.put(format!("key{i:03}").as_bytes(), format!("val{i}").as_bytes())
-                .unwrap();
+            db.put(
+                format!("key{i:03}").as_bytes(),
+                format!("val{i}").as_bytes(),
+            )
+            .unwrap();
         }
         db.flush().unwrap();
         assert!(db.table_count() >= 1);

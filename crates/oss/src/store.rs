@@ -81,13 +81,25 @@ pub struct Oss {
 impl Oss {
     /// An OSS with the given network model.
     pub fn new(network: NetworkModel) -> Self {
+        Oss::build(network, OssMetrics::default())
+    }
+
+    /// An OSS whose traffic counters are registered under `scope`
+    /// (canonically an `"oss"` scope of a shared telemetry registry), so
+    /// they appear directly in [`slim_telemetry::Registry::snapshot`]s
+    /// alongside every other component's metrics.
+    pub fn with_telemetry(network: NetworkModel, scope: &slim_telemetry::Scope) -> Self {
+        Oss::build(network, OssMetrics::new(scope))
+    }
+
+    fn build(network: NetworkModel, metrics: OssMetrics) -> Self {
         let channels = ChannelPool::new(network.channels);
         Oss {
             inner: Arc::new(Inner {
                 objects: RwLock::new(BTreeMap::new()),
                 network,
                 channels,
-                metrics: OssMetrics::default(),
+                metrics,
                 faults: FaultState::default(),
             }),
         }
@@ -280,17 +292,17 @@ mod tests {
     #[test]
     fn get_missing_is_error() {
         let oss = Oss::in_memory();
-        assert!(matches!(
-            oss.get("nope"),
-            Err(SlimError::ObjectNotFound(_))
-        ));
+        assert!(matches!(oss.get("nope"), Err(SlimError::ObjectNotFound(_))));
     }
 
     #[test]
     fn range_reads() {
         let oss = Oss::in_memory();
         oss.put("obj", Bytes::from_static(b"0123456789")).unwrap();
-        assert_eq!(oss.get_range("obj", 2, 3).unwrap(), Bytes::from_static(b"234"));
+        assert_eq!(
+            oss.get_range("obj", 2, 3).unwrap(),
+            Bytes::from_static(b"234")
+        );
         assert_eq!(oss.get_range("obj", 0, 10).unwrap().len(), 10);
         assert!(matches!(
             oss.get_range("obj", 5, 6),

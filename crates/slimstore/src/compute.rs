@@ -13,6 +13,7 @@ use slim_index::{GlobalIndex, SimilarFileIndex};
 use slim_lnode::node::ChunkerKind;
 use slim_lnode::restore::RestoreOptions;
 use slim_lnode::{BackupOutcome, LNode, RestoreStats, StorageLayer};
+use slim_telemetry::Scope;
 use slim_types::{FileId, Result, SlimConfig, VersionId};
 
 /// The pool of online processing nodes.
@@ -22,6 +23,9 @@ pub struct ComputeLayer {
     similar: SimilarFileIndex,
     config: SlimConfig,
     chunker: ChunkerKind,
+    /// Parent telemetry scope; node `i` gets the child scope `<scope>.<i>`
+    /// (canonically `lnode.<i>`).
+    telemetry: Option<Scope>,
 }
 
 impl ComputeLayer {
@@ -33,12 +37,26 @@ impl ComputeLayer {
         chunker: ChunkerKind,
         nodes: usize,
     ) -> Result<Self> {
+        Self::with_telemetry(storage, similar, config, chunker, nodes, None)
+    }
+
+    /// A compute layer whose L-nodes fold job stats into per-node child
+    /// scopes of `telemetry` (when given).
+    pub fn with_telemetry(
+        storage: StorageLayer,
+        similar: SimilarFileIndex,
+        config: SlimConfig,
+        chunker: ChunkerKind,
+        nodes: usize,
+        telemetry: Option<Scope>,
+    ) -> Result<Self> {
         let mut layer = ComputeLayer {
             nodes: Vec::new(),
             storage,
             similar,
             config,
             chunker,
+            telemetry,
         };
         layer.scale_to(nodes.max(1))?;
         Ok(layer)
@@ -54,12 +72,16 @@ impl ComputeLayer {
     pub fn scale_to(&mut self, n: usize) -> Result<()> {
         let n = n.max(1);
         while self.nodes.len() < n {
-            self.nodes.push(Arc::new(LNode::with_chunker(
+            let mut node = LNode::with_chunker(
                 self.storage.clone(),
                 self.similar.clone(),
                 self.config.clone(),
                 self.chunker,
-            )?));
+            )?;
+            if let Some(scope) = &self.telemetry {
+                node = node.with_telemetry(scope.child(&self.nodes.len().to_string()));
+            }
+            self.nodes.push(Arc::new(node));
         }
         self.nodes.truncate(n);
         Ok(())

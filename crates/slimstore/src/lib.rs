@@ -27,5 +27,5 @@ pub mod space;
 pub mod store;
 
 pub use compute::{ComputeLayer, JobScheduler};
-pub use store::{SlimStore, SlimStoreBuilder, VersionBackupReport};
 pub use space::SpaceReport;
+pub use store::{SlimStore, SlimStoreBuilder, VersionBackupReport};

@@ -54,12 +54,14 @@ mod tests {
         let oss = Oss::in_memory();
         oss.put("containers/000000000001/data", Bytes::from(vec![0; 100]))
             .unwrap();
-        oss.put("recipes/f/00000000", Bytes::from(vec![0; 30])).unwrap();
+        oss.put("recipes/f/00000000", Bytes::from(vec![0; 30]))
+            .unwrap();
         oss.put("recipe-index/f/00000000", Bytes::from(vec![0; 10]))
             .unwrap();
         oss.put("global-index/MANIFEST", Bytes::from(vec![0; 20]))
             .unwrap();
-        oss.put("versions/00000000", Bytes::from(vec![0; 5])).unwrap();
+        oss.put("versions/00000000", Bytes::from(vec![0; 5]))
+            .unwrap();
         let report = SpaceReport::measure(&oss);
         assert_eq!(report.container_bytes, 100);
         assert_eq!(report.recipe_bytes, 40);

@@ -11,6 +11,7 @@ use slim_lnode::restore::RestoreOptions;
 use slim_lnode::{BackupStats, RestoreStats, StorageLayer};
 use slim_oss::rocks::RocksConfig;
 use slim_oss::{MetricsSnapshot, NetworkModel, ObjectStore, Oss};
+use slim_telemetry::{Registry, TelemetrySnapshot};
 use slim_types::{FileId, Result, SlimConfig, SlimError, VersionId, VersionManifest};
 
 use crate::compute::{ComputeLayer, JobScheduler};
@@ -91,31 +92,34 @@ impl SlimStoreBuilder {
     /// Assemble the deployment.
     pub fn build(self) -> Result<SlimStore> {
         self.config.validate()?;
+        let registry = Registry::new();
+        let enabled = self.config.telemetry;
         let oss: Arc<dyn ObjectStore> = match self.oss {
             Some(oss) => oss,
+            None if enabled => Arc::new(Oss::with_telemetry(self.network, &registry.scope("oss"))),
             None => Arc::new(Oss::new(self.network)),
         };
         let storage = StorageLayer::open(oss.clone());
         let similar = SimilarFileIndex::load(oss.as_ref())?;
         let global = GlobalIndex::open_with(oss.clone(), self.rocks, 1 << 20)?;
-        let compute = ComputeLayer::new(
+        let compute = ComputeLayer::with_telemetry(
             storage.clone(),
             similar.clone(),
             self.config.clone(),
             self.chunker,
             self.l_nodes,
+            enabled.then(|| registry.scope("lnode")),
         )?;
-        let gnode = GNode::new(
+        let mut gnode = GNode::new(
             storage.clone(),
             global,
             similar.clone(),
             self.config.clone(),
         )?;
-        let next_version = storage
-            .list_versions()
-            .last()
-            .map(|v| v.0 + 1)
-            .unwrap_or(0);
+        if enabled {
+            gnode = gnode.with_telemetry(registry.scope("gnode"));
+        }
+        let next_version = storage.list_versions().last().map(|v| v.0 + 1).unwrap_or(0);
         Ok(SlimStore {
             oss,
             storage,
@@ -123,6 +127,7 @@ impl SlimStoreBuilder {
             config: self.config,
             compute: RwLock::new(compute),
             gnode,
+            registry,
             next_version: AtomicU64::new(next_version),
         })
     }
@@ -139,8 +144,13 @@ pub struct VersionBackupReport {
     pub files: usize,
     /// OSS traffic this backup generated (snapshot delta), if the attached
     /// store keeps counters. Includes retry/giveup counts when the store is
-    /// wrapped in a [`slim_oss::RetryingStore`].
+    /// wrapped in a [`slim_oss::RetryingStore`]. This is a thin view over
+    /// the `oss.*` / `retry.*` counters of [`telemetry`](Self::telemetry).
     pub oss_metrics: Option<MetricsSnapshot>,
+    /// Everything the fleet recorded during this backup: the delta of
+    /// [`SlimStore::telemetry_snapshot`] taken before and after the
+    /// version commit, including per-node span histograms.
+    pub telemetry: TelemetrySnapshot,
 }
 
 /// A SLIMSTORE deployment: storage layer + computing layer.
@@ -151,6 +161,7 @@ pub struct SlimStore {
     config: SlimConfig,
     compute: RwLock<ComputeLayer>,
     gnode: GNode,
+    registry: Registry,
     next_version: AtomicU64,
 }
 
@@ -178,6 +189,49 @@ impl SlimStore {
     /// The offline space manager.
     pub fn gnode(&self) -> &GNode {
         &self.gnode
+    }
+
+    /// The shared metric registry every component scope records into.
+    pub fn telemetry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// A point-in-time copy of every metric the deployment has recorded:
+    /// `oss.*` traffic counters, `retry.*` fault accounting, per-node
+    /// `lnode.<i>.*` job counters and phase span histograms, `gnode.*`
+    /// cycle stages, and the instantaneous `rocks.*` LSM gauges.
+    ///
+    /// When the attached object store was supplied by the caller (so its
+    /// counters are not registry-backed), its [`MetricsSnapshot`] is
+    /// overlaid under the same canonical `oss.*` / `retry.*` names, so the
+    /// snapshot shape is identical either way.
+    pub fn telemetry_snapshot(&self) -> TelemetrySnapshot {
+        let mut snap = self.registry.snapshot();
+        if !snap.counters.contains_key("oss.get_requests") {
+            if let Some(metrics) = self.oss.metrics_snapshot() {
+                metrics.overlay_into(&mut snap);
+            }
+        }
+        let global = self.gnode.global_index();
+        snap.gauges
+            .insert("rocks.tables".into(), global.table_count() as i64);
+        snap.gauges.insert(
+            "rocks.memtable_bytes".into(),
+            global.memtable_bytes() as i64,
+        );
+        snap
+    }
+
+    /// What happened between two [`telemetry_snapshot`]s: counters and
+    /// histograms subtract, gauges keep the later value. This is the same
+    /// delta embedded per backup in [`VersionBackupReport::telemetry`].
+    ///
+    /// [`telemetry_snapshot`]: Self::telemetry_snapshot
+    pub fn snapshot_delta(
+        later: &TelemetrySnapshot,
+        earlier: &TelemetrySnapshot,
+    ) -> TelemetrySnapshot {
+        later.since(earlier)
     }
 
     /// Elastically scale the L-node pool.
@@ -218,7 +272,7 @@ impl SlimStore {
         files: Vec<(FileId, Vec<u8>)>,
         jobs: usize,
     ) -> Result<VersionBackupReport> {
-        let before = self.oss.metrics_snapshot();
+        let before = self.telemetry_snapshot();
         let version = VersionId(self.next_version.fetch_add(1, Ordering::SeqCst));
         let scheduler = JobScheduler::new(jobs);
         let file_count = files.len();
@@ -237,15 +291,23 @@ impl SlimStore {
         self.storage.put_manifest(&manifest)?;
         // Post-commit, best-effort: the similar index is a rebuildable hint.
         let _ = self.similar.save(self.oss.as_ref());
-        let oss_metrics = match (before, self.oss.metrics_snapshot()) {
-            (Some(before), Some(after)) => Some(after.since(&before)),
-            _ => None,
-        };
-        Ok(VersionBackupReport { version, stats, files: file_count, oss_metrics })
+        let telemetry = Self::snapshot_delta(&self.telemetry_snapshot(), &before);
+        let oss_metrics = MetricsSnapshot::from_telemetry(&telemetry);
+        Ok(VersionBackupReport {
+            version,
+            stats,
+            files: file_count,
+            oss_metrics,
+            telemetry,
+        })
     }
 
     /// Restore one file at one version.
-    pub fn restore_file(&self, file: &FileId, version: VersionId) -> Result<(Vec<u8>, RestoreStats)> {
+    pub fn restore_file(
+        &self,
+        file: &FileId,
+        version: VersionId,
+    ) -> Result<(Vec<u8>, RestoreStats)> {
         self.restore_file_with(file, version, &RestoreOptions::from_config(&self.config))
     }
 
@@ -260,7 +322,12 @@ impl SlimStore {
         let compute = self.compute.read();
         let node = compute.node_for(0);
         slim_lnode::restore::RestoreEngine::new(node.storage(), Some(self.gnode.global_index()))
-            .restore_file_to(file, version, &RestoreOptions::from_config(&self.config), sink)
+            .restore_file_to(
+                file,
+                version,
+                &RestoreOptions::from_config(&self.config),
+                sink,
+            )
     }
 
     /// Restore one file with explicit options.
@@ -271,9 +338,12 @@ impl SlimStore {
         options: &RestoreOptions,
     ) -> Result<(Vec<u8>, RestoreStats)> {
         let compute = self.compute.read();
-        compute
-            .node_for(0)
-            .restore_file_with(file, version, Some(self.gnode.global_index()), options)
+        compute.node_for(0).restore_file_with(
+            file,
+            version,
+            Some(self.gnode.global_index()),
+            options,
+        )
     }
 
     /// Restore every file of a version, `jobs` at a time.
@@ -441,10 +511,7 @@ mod tests {
         let mut history = Vec::new();
         for v in 0..4 {
             let report = store
-                .backup_version_with_jobs(
-                    vec![(a.clone(), da.clone()), (b.clone(), db.clone())],
-                    2,
-                )
+                .backup_version_with_jobs(vec![(a.clone(), da.clone()), (b.clone(), db.clone())], 2)
                 .unwrap();
             assert_eq!(report.version, VersionId(v));
             assert_eq!(report.files, 2);
@@ -469,10 +536,18 @@ mod tests {
         let store = store();
         let f = FileId::new("f");
         let input = data(3, 40_000);
-        let r0 = store.backup_version(vec![(f.clone(), input.clone())]).unwrap();
+        let r0 = store
+            .backup_version(vec![(f.clone(), input.clone())])
+            .unwrap();
         assert!(r0.stats.dedup_ratio() < 0.1);
-        let r1 = store.backup_version(vec![(f.clone(), input.clone())]).unwrap();
-        assert!(r1.stats.dedup_ratio() > 0.9, "ratio {}", r1.stats.dedup_ratio());
+        let r1 = store
+            .backup_version(vec![(f.clone(), input.clone())])
+            .unwrap();
+        assert!(
+            r1.stats.dedup_ratio() > 0.9,
+            "ratio {}",
+            r1.stats.dedup_ratio()
+        );
     }
 
     #[test]
@@ -504,7 +579,9 @@ mod tests {
                 .with_rocks_config(RocksConfig::small_for_tests())
                 .build()
                 .unwrap();
-            store.backup_version(vec![(f.clone(), input.clone())]).unwrap();
+            store
+                .backup_version(vec![(f.clone(), input.clone())])
+                .unwrap();
             store.run_gnode_cycle(VersionId(0)).unwrap();
         }
         // A fresh deployment over the same bucket sees everything.
@@ -541,6 +618,76 @@ mod tests {
         assert!(report.container_bytes > 25_000);
         assert!(report.recipe_bytes > 0);
         assert!(report.total() >= report.container_bytes + report.recipe_bytes);
+    }
+
+    #[test]
+    fn telemetry_covers_pipeline_and_delta_matches_report() {
+        let store = store();
+        let f = FileId::new("f");
+        let before = store.telemetry_snapshot();
+        let report = store
+            .backup_version(vec![(f.clone(), data(9, 30_000))])
+            .unwrap();
+        let after = store.telemetry_snapshot();
+        // The externally computed delta equals the per-backup delta the
+        // report embeds (single delta implementation, acceptance criterion).
+        let delta = SlimStore::snapshot_delta(&after, &before);
+        assert_eq!(delta, report.telemetry);
+        // The thin OSS view is derived from the same delta.
+        let view = report.oss_metrics.expect("default store keeps counters");
+        assert_eq!(
+            view.put_requests,
+            report.telemetry.counter("oss.put_requests")
+        );
+        assert!(view.put_requests > 0);
+        // Backup phases all recorded spans.
+        for phase in [
+            "backup",
+            "chunking",
+            "fingerprinting",
+            "index",
+            "container_io",
+        ] {
+            let span = report
+                .telemetry
+                .span("lnode.0", phase)
+                .unwrap_or_else(|| panic!("span {phase}"));
+            assert_eq!(span.count, 1, "span {phase}");
+        }
+        store.restore_file(&f, report.version).unwrap();
+        store.run_gnode_cycle(report.version).unwrap();
+        let snap = store.telemetry_snapshot();
+        assert!(snap.span("lnode.0", "restore").is_some());
+        for phase in ["cycle", "reverse_dedup", "scc", "mark"] {
+            let span = snap
+                .span("gnode", phase)
+                .unwrap_or_else(|| panic!("span {phase}"));
+            assert!(span.count >= 1, "span {phase}");
+        }
+        assert!(snap.counter("gnode.cycles") >= 1);
+        assert!(snap.gauges.contains_key("rocks.tables"));
+        // JSON round trip preserves the full snapshot.
+        let parsed = slim_telemetry::TelemetrySnapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn telemetry_disabled_still_reports_oss_metrics() {
+        let mut cfg = SlimConfig::small_for_tests();
+        cfg.telemetry = false;
+        let store = SlimStoreBuilder::in_memory()
+            .with_config(cfg)
+            .with_rocks_config(RocksConfig::small_for_tests())
+            .build()
+            .unwrap();
+        let f = FileId::new("f");
+        let report = store
+            .backup_version(vec![(f.clone(), data(11, 20_000))])
+            .unwrap();
+        // No spans were recorded, but the OSS counter overlay still yields
+        // the per-backup traffic view.
+        assert!(report.telemetry.span("lnode.0", "backup").is_none());
+        assert!(report.oss_metrics.expect("overlay").put_requests > 0);
     }
 
     #[test]

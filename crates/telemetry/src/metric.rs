@@ -1,0 +1,184 @@
+//! Individual metric instruments: counters, gauges, and log-bucketed
+//! histograms. All instruments are `Arc`-backed handles; cloning a
+//! handle is cheap and every clone observes the same underlying cell.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crate::snapshot::HistogramSnapshot;
+
+/// Number of histogram buckets: bucket `0` holds the value `0`,
+/// bucket `i` (for `1 <= i <= 64`) holds values in `[2^(i-1), 2^i)`.
+pub const BUCKETS: usize = 65;
+
+/// Bucket index for a recorded value (see [`BUCKETS`]).
+#[inline]
+pub fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
+/// Inclusive upper bound of a bucket, used when reporting quantiles.
+#[inline]
+pub fn bucket_ceiling(bucket: usize) -> u64 {
+    match bucket {
+        0 => 0,
+        64 => u64::MAX,
+        i => (1u64 << i) - 1,
+    }
+}
+
+/// Monotonically increasing counter.
+#[derive(Clone, Debug)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A counter not attached to any registry. Used as the fallback
+    /// when a name is already registered under a different metric
+    /// kind, and by metric holders that default to a private registry.
+    pub fn detached() -> Self {
+        Counter(Arc::new(AtomicU64::new(0)))
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Counter::detached()
+    }
+}
+
+/// Signed instantaneous value (queue depths, cache sizes, table counts).
+#[derive(Clone, Debug)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A gauge not attached to any registry.
+    pub fn detached() -> Self {
+        Gauge(Arc::new(AtomicI64::new(0)))
+    }
+
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, n: i64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn sub(&self, n: i64) {
+        self.0.fetch_sub(n, Ordering::Relaxed);
+    }
+
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge::detached()
+    }
+}
+
+/// Lock-free histogram over power-of-two buckets.
+///
+/// Values are typically latencies in nanoseconds, but any `u64`
+/// distribution (chunk sizes, batch lengths) fits. Relaxed atomics are
+/// used throughout: a snapshot taken concurrently with writers is a
+/// consistent-enough view (each cell individually up to date), which
+/// is the usual contract for monitoring data.
+#[derive(Debug)]
+pub(crate) struct HistogramCore {
+    count: AtomicU64,
+    sum: AtomicU64,
+    /// `u64::MAX` until the first record; see [`HistogramSnapshot::min`].
+    min: AtomicU64,
+    max: AtomicU64,
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl HistogramCore {
+    pub(crate) fn new() -> Self {
+        HistogramCore {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    #[inline]
+    pub(crate) fn record(&self, value: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            min: self.min.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Handle to a histogram registered in a [`crate::Registry`].
+#[derive(Clone, Debug)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    /// A histogram not attached to any registry.
+    pub fn detached() -> Self {
+        Histogram(Arc::new(HistogramCore::new()))
+    }
+
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.0.record(value);
+    }
+
+    /// Record a duration as whole nanoseconds (saturating at `u64::MAX`).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.0.snapshot()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::detached()
+    }
+}

@@ -1,0 +1,277 @@
+//! Immutable snapshots with `merge` / `since` algebra and JSON codec.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use crate::json::{self, JsonError, JsonValue};
+use crate::metric::{bucket_ceiling, BUCKETS};
+
+/// Point-in-time copy of one histogram.
+///
+/// Invariant: when `count == 0`, `min == u64::MAX` and `max == 0`.
+/// Keeping the empty `min` at `u64::MAX` (rather than a display-
+/// friendly 0) is what makes [`merge`](HistogramSnapshot::merge)
+/// associative and commutative with a plain `min(a, b)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    /// Sum of all recorded values (wraps only after ~584 years of
+    /// nanosecond-scale recording).
+    pub sum: u64,
+    pub min: u64,
+    pub max: u64,
+    pub buckets: [u64; BUCKETS],
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        HistogramSnapshot {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl HistogramSnapshot {
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    pub fn mean(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.sum / self.count
+        }
+    }
+
+    /// Combine two snapshots as if all observations had been recorded
+    /// into one histogram. Associative and commutative, with the empty
+    /// snapshot as identity — so per-node snapshots can be folded in
+    /// any order.
+    pub fn merge(&self, other: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (i, b) in buckets.iter_mut().enumerate() {
+            *b = self.buckets[i] + other.buckets[i];
+        }
+        HistogramSnapshot {
+            count: self.count + other.count,
+            sum: self.sum + other.sum,
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+            buckets,
+        }
+    }
+
+    /// Observations recorded between `earlier` and `self` (counts,
+    /// sums, and buckets subtract saturating). `min`/`max` cannot be
+    /// un-merged from cumulative extrema, so the delta keeps the later
+    /// snapshot's values — correct whenever the interval actually
+    /// recorded the extremes, and a documented approximation otherwise.
+    pub fn since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let mut buckets = [0u64; BUCKETS];
+        for (i, b) in buckets.iter_mut().enumerate() {
+            *b = self.buckets[i].saturating_sub(earlier.buckets[i]);
+        }
+        let count = self.count.saturating_sub(earlier.count);
+        HistogramSnapshot {
+            count,
+            sum: self.sum.saturating_sub(earlier.sum),
+            min: if count == 0 { u64::MAX } else { self.min },
+            max: if count == 0 { 0 } else { self.max },
+            buckets,
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`, reported as the ceiling
+    /// of the bucket containing that rank, clamped into the observed
+    /// `[min, max]` range. Monotone in `q` by construction, so
+    /// `p50 <= p95 <= p99` always holds.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cumulative = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            cumulative += b;
+            if cumulative >= rank {
+                return bucket_ceiling(i).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Total recorded time, interpreting values as nanoseconds.
+    pub fn total_duration(&self) -> Duration {
+        Duration::from_nanos(self.sum)
+    }
+
+    fn to_json_value(&self) -> JsonValue {
+        // Trailing zero buckets are trimmed; the parser pads them back.
+        let mut last = BUCKETS;
+        while last > 0 && self.buckets[last - 1] == 0 {
+            last -= 1;
+        }
+        let buckets = self.buckets[..last]
+            .iter()
+            .map(|&b| JsonValue::Int(b as i128))
+            .collect();
+        JsonValue::Object(vec![
+            ("count".into(), JsonValue::Int(self.count as i128)),
+            ("sum".into(), JsonValue::Int(self.sum as i128)),
+            ("min".into(), JsonValue::Int(self.min as i128)),
+            ("max".into(), JsonValue::Int(self.max as i128)),
+            ("buckets".into(), JsonValue::Array(buckets)),
+        ])
+    }
+
+    fn from_json_value(v: &JsonValue) -> Result<HistogramSnapshot, JsonError> {
+        let mut snap = HistogramSnapshot::default();
+        snap.count = v.get_u64("count")?;
+        snap.sum = v.get_u64("sum")?;
+        snap.min = v.get_u64("min")?;
+        snap.max = v.get_u64("max")?;
+        let buckets = v.get_array("buckets")?;
+        if buckets.len() > BUCKETS {
+            return Err(JsonError::new("too many histogram buckets"));
+        }
+        for (i, b) in buckets.iter().enumerate() {
+            snap.buckets[i] = b.as_u64()?;
+        }
+        Ok(snap)
+    }
+}
+
+/// A point-in-time copy of every metric in a registry (or a delta /
+/// merge of such copies). Keys are fully-qualified dotted names.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TelemetrySnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, i64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl TelemetrySnapshot {
+    /// Counter value, `0` when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value, `0` when absent.
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Convenience accessor for the span histogram of `phase` under
+    /// `scope`, i.e. `"<scope>.span.<phase>"`.
+    pub fn span(&self, scope: &str, phase: &str) -> Option<&HistogramSnapshot> {
+        self.histogram(&format!("{scope}.span.{phase}"))
+    }
+
+    /// Union of two snapshots: counters add, gauges take `other`'s
+    /// value on key collisions (gauges are instantaneous, so "merge"
+    /// of the same gauge from two sources has no natural sum), and
+    /// histograms merge bucket-wise. With disjoint or identical-source
+    /// keys this is associative; the empty snapshot is the identity.
+    pub fn merge(&self, other: &TelemetrySnapshot) -> TelemetrySnapshot {
+        let mut out = self.clone();
+        for (k, v) in &other.counters {
+            *out.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            out.gauges.insert(k.clone(), *v);
+        }
+        for (k, v) in &other.histograms {
+            let merged = match out.histograms.get(k) {
+                Some(existing) => existing.merge(v),
+                None => v.clone(),
+            };
+            out.histograms.insert(k.clone(), merged);
+        }
+        out
+    }
+
+    /// What happened between `earlier` and `self`: counters and
+    /// histograms subtract (saturating, keyed on `self`'s entries);
+    /// gauges keep the later instantaneous value. This is the single
+    /// delta implementation used for per-backup OSS cost attribution.
+    pub fn since(&self, earlier: &TelemetrySnapshot) -> TelemetrySnapshot {
+        let mut out = TelemetrySnapshot::default();
+        for (k, v) in &self.counters {
+            out.counters
+                .insert(k.clone(), v.saturating_sub(earlier.counter(k)));
+        }
+        out.gauges = self.gauges.clone();
+        for (k, v) in &self.histograms {
+            let delta = match earlier.histograms.get(k) {
+                Some(e) => v.since(e),
+                None => v.clone(),
+            };
+            out.histograms.insert(k.clone(), delta);
+        }
+        out
+    }
+
+    /// Serialize to a self-contained JSON object.
+    pub fn to_json(&self) -> String {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), JsonValue::Int(*v as i128)))
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(k, v)| (k.clone(), JsonValue::Int(*v as i128)))
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_json_value()))
+            .collect();
+        JsonValue::Object(vec![
+            ("counters".into(), JsonValue::Object(counters)),
+            ("gauges".into(), JsonValue::Object(gauges)),
+            ("histograms".into(), JsonValue::Object(histograms)),
+        ])
+        .render()
+    }
+
+    /// Parse a snapshot previously produced by
+    /// [`to_json`](TelemetrySnapshot::to_json).
+    pub fn from_json(s: &str) -> Result<TelemetrySnapshot, JsonError> {
+        let root = json::parse(s)?;
+        let mut snap = TelemetrySnapshot::default();
+        for (k, v) in root.get_object("counters")? {
+            snap.counters.insert(k.clone(), v.as_u64()?);
+        }
+        for (k, v) in root.get_object("gauges")? {
+            snap.gauges.insert(k.clone(), v.as_i64()?);
+        }
+        for (k, v) in root.get_object("histograms")? {
+            snap.histograms
+                .insert(k.clone(), HistogramSnapshot::from_json_value(v)?);
+        }
+        Ok(snap)
+    }
+}

@@ -1,0 +1,72 @@
+//! Hierarchical span timers.
+
+use std::time::{Duration, Instant};
+
+use crate::metric::Histogram;
+use crate::registry::Scope;
+
+/// A running phase timer.
+///
+/// Created via [`Scope::span`]; records its elapsed wall time (in
+/// nanoseconds) into the histogram `"<scope>.span.<path>"` when
+/// dropped or explicitly [`finish`](Span::finish)ed. Spans nest:
+/// [`Span::child`] starts a sub-phase whose dotted path extends the
+/// parent's, e.g. `gnode.span.cycle` → `gnode.span.cycle.reverse_dedup`.
+#[derive(Debug)]
+pub struct Span {
+    scope: Scope,
+    path: String,
+    histogram: Histogram,
+    start: Instant,
+    finished: bool,
+}
+
+impl Span {
+    pub(crate) fn start(scope: Scope, path: String) -> Self {
+        let histogram = scope.span_histogram(&path);
+        Span {
+            scope,
+            path,
+            histogram,
+            start: Instant::now(),
+            finished: false,
+        }
+    }
+
+    /// The dotted phase path relative to the owning scope.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Elapsed time so far, without stopping the span.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Start a sub-phase span `"<path>.<phase>"` under the same scope.
+    pub fn child(&self, phase: &str) -> Span {
+        Span::start(self.scope.clone(), format!("{}.{}", self.path, phase))
+    }
+
+    /// Stop the span now, record it, and return the elapsed time.
+    pub fn finish(mut self) -> Duration {
+        let elapsed = self.start.elapsed();
+        self.histogram.record_duration(elapsed);
+        self.finished = true;
+        elapsed
+    }
+
+    /// Drop the span without recording anything (e.g. a phase that
+    /// failed and should not pollute latency quantiles).
+    pub fn cancel(mut self) {
+        self.finished = true;
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.finished {
+            self.histogram.record_duration(self.start.elapsed());
+        }
+    }
+}

@@ -135,7 +135,12 @@ impl BloomFilter {
                 buf[20 + i * 8..28 + i * 8].try_into().ok()?,
             ));
         }
-        Some(BloomFilter { bits, n_bits, k, inserted })
+        Some(BloomFilter {
+            bits,
+            n_bits,
+            k,
+            inserted,
+        })
     }
 }
 

@@ -45,7 +45,12 @@ pub struct ChunkRecord {
 
 impl ChunkRecord {
     /// A plain (non-super) chunk record.
-    pub fn new(fp: Fingerprint, container_id: ContainerId, size: u32, duplicate_times: u32) -> Self {
+    pub fn new(
+        fp: Fingerprint,
+        container_id: ContainerId,
+        size: u32,
+        duplicate_times: u32,
+    ) -> Self {
         ChunkRecord {
             fp,
             container_id,

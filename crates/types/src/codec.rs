@@ -128,7 +128,9 @@ pub struct Writer {
 impl Writer {
     /// New empty writer.
     pub fn new() -> Self {
-        Writer { buf: BytesMut::new() }
+        Writer {
+            buf: BytesMut::new(),
+        }
     }
 
     /// New writer with a 4-byte magic and format version byte.

@@ -66,6 +66,17 @@ pub struct SlimConfig {
     /// Number of background prefetch threads for LAW-based prefetching
     /// (Table II; 6 saturates in the paper).
     pub prefetch_threads: usize,
+
+    /// Whether the unified telemetry subsystem is wired up: when true the
+    /// store registers component scopes (`oss`, `rocks`, `lnode.<id>`,
+    /// `gnode`) in a shared metric registry and every pipeline phase emits
+    /// spans. The hot-path cost is a handful of relaxed atomic adds per job.
+    #[serde(default = "default_telemetry")]
+    pub telemetry: bool,
+}
+
+fn default_telemetry() -> bool {
+    true
 }
 
 impl Default for SlimConfig {
@@ -89,6 +100,7 @@ impl Default for SlimConfig {
             restore_cache_mem: 64 * 1024 * 1024,
             restore_cache_disk: 256 * 1024 * 1024,
             prefetch_threads: 6,
+            telemetry: true,
         }
     }
 }
@@ -118,13 +130,16 @@ impl SlimConfig {
             restore_cache_mem: 64 * 1024,
             restore_cache_disk: 256 * 1024,
             prefetch_threads: 2,
+            telemetry: true,
         }
     }
 
     /// Validate invariants the hot paths rely on.
     pub fn validate(&self) -> Result<()> {
         if self.min_chunk_size == 0 {
-            return Err(SlimError::InvalidConfig("min_chunk_size must be > 0".into()));
+            return Err(SlimError::InvalidConfig(
+                "min_chunk_size must be > 0".into(),
+            ));
         }
         if !(self.min_chunk_size <= self.avg_chunk_size
             && self.avg_chunk_size <= self.max_chunk_size)
@@ -141,7 +156,9 @@ impl SlimConfig {
             )));
         }
         if self.segment_chunks == 0 {
-            return Err(SlimError::InvalidConfig("segment_chunks must be > 0".into()));
+            return Err(SlimError::InvalidConfig(
+                "segment_chunks must be > 0".into(),
+            ));
         }
         if self.container_capacity < self.max_chunk_size {
             return Err(SlimError::InvalidConfig(format!(
@@ -161,8 +178,14 @@ impl SlimConfig {
             )));
         }
         for (name, v) in [
-            ("sparse_utilization_threshold", self.sparse_utilization_threshold),
-            ("container_rewrite_threshold", self.container_rewrite_threshold),
+            (
+                "sparse_utilization_threshold",
+                self.sparse_utilization_threshold,
+            ),
+            (
+                "container_rewrite_threshold",
+                self.container_rewrite_threshold,
+            ),
         ] {
             if !(0.0..=1.0).contains(&v) {
                 return Err(SlimError::InvalidConfig(format!(
@@ -174,7 +197,9 @@ impl SlimConfig {
             return Err(SlimError::InvalidConfig("law_window must be > 0".into()));
         }
         if self.restore_cache_mem == 0 {
-            return Err(SlimError::InvalidConfig("restore_cache_mem must be > 0".into()));
+            return Err(SlimError::InvalidConfig(
+                "restore_cache_mem must be > 0".into(),
+            ));
         }
         Ok(())
     }

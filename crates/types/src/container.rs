@@ -21,9 +21,7 @@ use crate::fingerprint::Fingerprint;
 ///
 /// Monotonicity matters: reverse deduplication keeps the copy in the
 /// *newer* container (larger id) and deletes the copy in the older one.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ContainerId(pub u64);
 
 impl fmt::Display for ContainerId {
@@ -64,7 +62,11 @@ pub struct ContainerMeta {
 impl ContainerMeta {
     /// Metadata for a freshly sealed container.
     pub fn new(id: ContainerId, entries: Vec<ContainerEntry>, data_len: u32) -> Self {
-        ContainerMeta { id, entries, data_len }
+        ContainerMeta {
+            id,
+            entries,
+            data_len,
+        }
     }
 
     /// Number of chunks, including deleted ones.
@@ -171,7 +173,11 @@ impl ContainerMeta {
             });
         }
         r.finish()?;
-        Ok(ContainerMeta { id, entries, data_len })
+        Ok(ContainerMeta {
+            id,
+            entries,
+            data_len,
+        })
     }
 }
 
@@ -285,8 +291,18 @@ mod tests {
         let meta = ContainerMeta::new(
             ContainerId(9),
             vec![
-                ContainerEntry { fp: fp(1), offset: 0, len: 10, deleted: false },
-                ContainerEntry { fp: fp(2), offset: 10, len: 20, deleted: true },
+                ContainerEntry {
+                    fp: fp(1),
+                    offset: 0,
+                    len: 10,
+                    deleted: false,
+                },
+                ContainerEntry {
+                    fp: fp(2),
+                    offset: 10,
+                    len: 20,
+                    deleted: true,
+                },
             ],
             30,
         );
@@ -310,9 +326,24 @@ mod tests {
         let mut meta = ContainerMeta::new(
             ContainerId(3),
             vec![
-                ContainerEntry { fp: fp(1), offset: 0, len: 10, deleted: false },
-                ContainerEntry { fp: fp(2), offset: 10, len: 30, deleted: false },
-                ContainerEntry { fp: fp(3), offset: 40, len: 60, deleted: false },
+                ContainerEntry {
+                    fp: fp(1),
+                    offset: 0,
+                    len: 10,
+                    deleted: false,
+                },
+                ContainerEntry {
+                    fp: fp(2),
+                    offset: 10,
+                    len: 30,
+                    deleted: false,
+                },
+                ContainerEntry {
+                    fp: fp(3),
+                    offset: 40,
+                    len: 60,
+                    deleted: false,
+                },
             ],
             100,
         );

@@ -83,12 +83,21 @@ mod tests {
 
     #[test]
     fn keys_are_stable_and_sortable() {
-        assert_eq!(container_data(ContainerId(7)), "containers/000000000007/data");
-        assert_eq!(container_meta(ContainerId(7)), "containers/000000000007/meta");
+        assert_eq!(
+            container_data(ContainerId(7)),
+            "containers/000000000007/data"
+        );
+        assert_eq!(
+            container_meta(ContainerId(7)),
+            "containers/000000000007/meta"
+        );
         assert!(container_data(ContainerId(9)) < container_data(ContainerId(10)));
         let f = FileId::new("db/t1.ibd");
         assert_eq!(recipe(&f, VersionId(3)), "recipes/db/t1.ibd/00000003");
-        assert_eq!(recipe_index(&f, VersionId(3)), "recipe-index/db/t1.ibd/00000003");
+        assert_eq!(
+            recipe_index(&f, VersionId(3)),
+            "recipe-index/db/t1.ibd/00000003"
+        );
         assert_eq!(version_manifest(VersionId(12)), "versions/00000012");
         assert!(version_manifest(VersionId(2)) < version_manifest(VersionId(10)));
     }

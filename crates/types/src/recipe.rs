@@ -121,7 +121,10 @@ impl Recipe {
         let mut offset = w.len() as u64;
         for seg in &self.segments {
             let block = seg.encode_block();
-            spans.push(SegmentSpan { offset, len: block.len() as u64 });
+            spans.push(SegmentSpan {
+                offset,
+                len: block.len() as u64,
+            });
             offset += block.len() as u64;
             body.push(block);
         }
@@ -221,7 +224,11 @@ impl RecipeIndex {
     ///   sampling selected nothing stable (e.g. only a tail chunk that the
     ///   next version appends to).
     pub fn build(recipe: &Recipe, spans: &[SegmentSpan], sample_rate: u64) -> RecipeIndex {
-        assert_eq!(spans.len(), recipe.segments.len(), "spans from this recipe's encode()");
+        assert_eq!(
+            spans.len(),
+            recipe.segments.len(),
+            "spans from this recipe's encode()"
+        );
         let key_of = |rec: &ChunkRecord| match &rec.super_chunk {
             Some(sc) => sc.first_chunk,
             None => rec.fp,
@@ -278,7 +285,10 @@ impl RecipeIndex {
             entries.push(RecipeIndexEntry {
                 sample_fp: r.fingerprint()?,
                 segment_idx: r.u32()?,
-                span: SegmentSpan { offset: r.u64()?, len: r.u64()? },
+                span: SegmentSpan {
+                    offset: r.u64()?,
+                    len: r.u64()?,
+                },
             });
         }
         r.finish()?;
@@ -351,12 +361,18 @@ mod tests {
         idx.push(RecipeIndexEntry {
             sample_fp: fp(1),
             segment_idx: 2,
-            span: SegmentSpan { offset: 100, len: 30 },
+            span: SegmentSpan {
+                offset: 100,
+                len: 30,
+            },
         });
         idx.push(RecipeIndexEntry {
             sample_fp: fp(2),
             segment_idx: 1,
-            span: SegmentSpan { offset: 59, len: 41 },
+            span: SegmentSpan {
+                offset: 59,
+                len: 41,
+            },
         });
         let buf = idx.encode();
         let back = RecipeIndex::decode(&buf).unwrap();

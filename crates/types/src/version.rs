@@ -15,9 +15,7 @@ use crate::container::ContainerId;
 use crate::error::Result;
 
 /// Identifier of one backup version (monotonically increasing per user).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct VersionId(pub u64);
 
 impl fmt::Display for VersionId {
@@ -96,7 +94,10 @@ const MANIFEST_VERSION: u8 = 1;
 impl VersionManifest {
     /// A fresh manifest for `version`.
     pub fn new(version: VersionId) -> Self {
-        VersionManifest { version: version.0, ..Default::default() }
+        VersionManifest {
+            version: version.0,
+            ..Default::default()
+        }
     }
 
     /// Typed version id.
@@ -183,7 +184,12 @@ impl VersionManifest {
             garbage_on_delete.push(ContainerId(r.u64()?));
         }
         r.finish()?;
-        Ok(VersionManifest { version, files, new_containers, garbage_on_delete })
+        Ok(VersionManifest {
+            version,
+            files,
+            new_containers,
+            garbage_on_delete,
+        })
     }
 }
 

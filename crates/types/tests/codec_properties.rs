@@ -4,9 +4,8 @@
 
 use proptest::prelude::*;
 use slim_types::{
-    ChunkRecord, ContainerEntry, ContainerId, ContainerMeta, FileBackupInfo, FileId,
-    Fingerprint, Recipe, RecipeIndex, RecipeIndexEntry, SegmentRecipe, SuperChunkInfo,
-    VersionManifest,
+    ChunkRecord, ContainerEntry, ContainerId, ContainerMeta, FileBackupInfo, FileId, Fingerprint,
+    Recipe, RecipeIndex, RecipeIndexEntry, SegmentRecipe, SuperChunkInfo, VersionManifest,
 };
 
 fn fp_strategy() -> impl Strategy<Value = Fingerprint> {
@@ -26,11 +25,13 @@ fn record_strategy() -> impl Strategy<Value = ChunkRecord> {
             container_id: ContainerId(cid),
             size,
             duplicate_times: dup,
-            super_chunk: sc.map(|(first_chunk, first_chunk_size, member_count)| SuperChunkInfo {
-                first_chunk,
-                first_chunk_size,
-                member_count,
-            }),
+            super_chunk: sc.map(
+                |(first_chunk, first_chunk_size, member_count)| SuperChunkInfo {
+                    first_chunk,
+                    first_chunk_size,
+                    member_count,
+                },
+            ),
         })
 }
 

@@ -203,8 +203,8 @@ impl Workload {
             let seed = mix64(fseed ^ mix64(*seq));
             *seq += 1;
             let spread = self.config.block_len / 2;
-            let len = (self.config.block_len - spread
-                + (seed as usize % (2 * spread).max(1))) as u32;
+            let len =
+                (self.config.block_len - spread + (seed as usize % (2 * spread).max(1))) as u32;
             BlockRef { seed, len }
         };
         for _ in 0..self.config.blocks_per_file {
@@ -369,7 +369,10 @@ mod tests {
         cfg.self_ref_rate = 0.20;
         let w = Workload::new(cfg);
         let r = w.measured_self_reference(0, 0);
-        assert!((r - 0.20).abs() < 0.08, "self-reference {r} too far from 0.20");
+        assert!(
+            (r - 0.20).abs() < 0.08,
+            "self-reference {r} too far from 0.20"
+        );
         let mut cfg0 = WorkloadConfig::tiny_for_tests();
         cfg0.blocks_per_file = 400;
         cfg0.self_ref_rate = 0.0;

@@ -50,7 +50,11 @@ impl DatasetStats {
             total_bytes,
             versions: cfg.versions,
             files: cfg.files,
-            avg_dup_ratio: if dup_n == 0 { 0.0 } else { dup_sum / dup_n as f64 },
+            avg_dup_ratio: if dup_n == 0 {
+                0.0
+            } else {
+                dup_sum / dup_n as f64
+            },
             self_reference: self_sum / sampled.len() as f64,
         }
     }

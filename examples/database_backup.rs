@@ -25,7 +25,10 @@ fn main() -> slim_types::Result<()> {
         .build()?;
     store.scale_l_nodes(2)?;
 
-    println!("backing up {} table files x {} nightly versions...\n", cfg.files, cfg.versions);
+    println!(
+        "backing up {} table files x {} nightly versions...\n",
+        cfg.files, cfg.versions
+    );
     for v in 0..cfg.versions {
         let files: Vec<_> = workload
             .version_files(v)

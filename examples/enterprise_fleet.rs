@@ -17,8 +17,14 @@ fn main() -> slim_types::Result<()> {
     let mut cfg = WorkloadConfig::rdata(0.3);
     cfg.versions = 2;
     let workload = Workload::new(cfg.clone());
-    let v0: Vec<_> = workload.version_files(0).map(|f| (f.file, f.data)).collect();
-    let v1: Vec<_> = workload.version_files(1).map(|f| (f.file, f.data)).collect();
+    let v0: Vec<_> = workload
+        .version_files(0)
+        .map(|f| (f.file, f.data))
+        .collect();
+    let v1: Vec<_> = workload
+        .version_files(1)
+        .map(|f| (f.file, f.data))
+        .collect();
     let v1_bytes: u64 = v1.iter().map(|(_, d)| d.len() as u64).sum();
 
     println!(

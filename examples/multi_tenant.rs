@@ -41,7 +41,11 @@ fn main() -> slim_types::Result<()> {
             r0.version.0,
             r1.version.0,
             r1.stats.dedup_ratio() * 100.0,
-            if store.scrub().is_ok() { "ok" } else { "FAILED" },
+            if store.scrub().is_ok() {
+                "ok"
+            } else {
+                "FAILED"
+            },
         );
     }
 
@@ -53,8 +57,7 @@ fn main() -> slim_types::Result<()> {
             .with_object_store(bucket.clone())
             .with_tenant(tenant)?
             .build()?;
-        let (bytes, _) =
-            store.restore_file(&FileId::new("db/main.sqlite"), VersionId(1))?;
+        let (bytes, _) = store.restore_file(&FileId::new("db/main.sqlite"), VersionId(1))?;
         payloads.push(bytes);
     }
     assert!(payloads.windows(2).all(|w| w[0] != w[1]));

@@ -10,6 +10,7 @@ pub use slim_gnode as gnode;
 pub use slim_index as index;
 pub use slim_lnode as lnode;
 pub use slim_oss as oss;
+pub use slim_telemetry as telemetry;
 pub use slim_types as types;
 pub use slim_workload as workload;
 pub use slimstore as system;

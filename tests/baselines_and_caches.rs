@@ -9,8 +9,8 @@ use std::time::Duration;
 use slim_oss::Oss;
 use slim_types::{FileId, SlimConfig, VersionId};
 use slimstore_repro::baselines::{
-    AlaccRestore, HarSystem, LruContainerRestore, OptContainerRestore, ResticSim,
-    RestoreCacheSim, SiloSystem, SparseIndexingSystem,
+    AlaccRestore, HarSystem, LruContainerRestore, OptContainerRestore, ResticSim, RestoreCacheSim,
+    SiloSystem, SparseIndexingSystem,
 };
 use slimstore_repro::chunking::{ChunkSpec, FastCdcChunker};
 use slimstore_repro::index::SimilarFileIndex;
@@ -40,7 +40,9 @@ fn all_dedup_systems_roundtrip_the_same_workload() {
         let chunker = FastCdcChunker::new(ChunkSpec::from_config(&cfg));
         let pipeline = BackupPipeline::new(&storage, &similar, &chunker, &cfg);
         for (v, data) in versions.iter().enumerate() {
-            pipeline.backup_file(&file, VersionId(v as u64), data).unwrap();
+            pipeline
+                .backup_file(&file, VersionId(v as u64), data)
+                .unwrap();
         }
         let engine = RestoreEngine::new(&storage, None);
         for (v, expected) in versions.iter().enumerate() {
@@ -80,7 +82,9 @@ fn all_dedup_systems_roundtrip_the_same_workload() {
             Box::new(FastCdcChunker::new(ChunkSpec::from_config(&cfg))),
         );
         for (v, data) in versions.iter().enumerate() {
-            sparse.backup_file(&file, VersionId(v as u64), data).unwrap();
+            sparse
+                .backup_file(&file, VersionId(v as u64), data)
+                .unwrap();
         }
         let engine = RestoreEngine::new(&storage, None);
         for (v, expected) in versions.iter().enumerate() {
@@ -115,7 +119,9 @@ fn all_dedup_systems_roundtrip_the_same_workload() {
     {
         let restic = ResticSim::new(Arc::new(Oss::in_memory()), Duration::ZERO, 1024);
         for (v, data) in versions.iter().enumerate() {
-            restic.backup_file(&file, VersionId(v as u64), data).unwrap();
+            restic
+                .backup_file(&file, VersionId(v as u64), data)
+                .unwrap();
         }
         for (v, expected) in versions.iter().enumerate() {
             let (out, _) = restic.restore_file(&file, VersionId(v as u64)).unwrap();
@@ -133,7 +139,9 @@ fn restore_strategies_agree_and_fv_reads_fewest() {
     let chunker = FastCdcChunker::new(ChunkSpec::from_config(&cfg));
     let pipeline = BackupPipeline::new(&storage, &similar, &chunker, &cfg);
     for (v, data) in versions.iter().enumerate() {
-        pipeline.backup_file(&file, VersionId(v as u64), data).unwrap();
+        pipeline
+            .backup_file(&file, VersionId(v as u64), data)
+            .unwrap();
     }
     let last = VersionId(versions.len() as u64 - 1);
     let expected = versions.last().unwrap();
@@ -180,9 +188,7 @@ fn restic_lock_serializes_but_stays_correct_under_concurrency() {
         for f in &files {
             let restic = restic.clone();
             s.spawn(move || {
-                restic
-                    .backup_file(&f.file, VersionId(0), &f.data)
-                    .unwrap();
+                restic.backup_file(&f.file, VersionId(0), &f.data).unwrap();
             });
         }
     });

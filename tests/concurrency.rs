@@ -49,7 +49,10 @@ fn restores_run_while_backup_progresses() {
     let a0 = data(1, 30_000);
     let b0 = data(2, 30_000);
     store
-        .backup_version(vec![(file_a.clone(), a0.clone()), (file_b.clone(), b0.clone())])
+        .backup_version(vec![
+            (file_a.clone(), a0.clone()),
+            (file_b.clone(), b0.clone()),
+        ])
         .unwrap();
 
     // Thread 1 backs up v1 while thread 2 repeatedly restores v0.
@@ -59,7 +62,8 @@ fn restores_run_while_backup_progresses() {
         let st = store.clone();
         let (fa, fb, a1c, b1c) = (file_a.clone(), file_b.clone(), a1.clone(), b1.clone());
         s.spawn(move || {
-            st.backup_version_with_jobs(vec![(fa, a1c), (fb, b1c)], 2).unwrap();
+            st.backup_version_with_jobs(vec![(fa, a1c), (fb, b1c)], 2)
+                .unwrap();
         });
         let st = store.clone();
         let (fa, a0c) = (file_a.clone(), a0.clone());
@@ -82,7 +86,9 @@ fn container_ids_unique_under_contention() {
     for _ in 0..8 {
         let storage = storage.clone();
         handles.push(std::thread::spawn(move || {
-            (0..200).map(|_| storage.allocate_container_id().0).collect::<Vec<u64>>()
+            (0..200)
+                .map(|_| storage.allocate_container_id().0)
+                .collect::<Vec<u64>>()
         }));
     }
     let mut all: Vec<u64> = handles
@@ -93,6 +99,49 @@ fn container_ids_unique_under_contention() {
     all.sort();
     all.dedup();
     assert_eq!(all.len(), total, "duplicate container ids allocated");
+}
+
+#[test]
+fn telemetry_registry_is_exact_under_contention() {
+    use slimstore_repro::telemetry::Registry;
+    const THREADS: usize = 8;
+    const METRICS: usize = 16;
+    const ITERS: u64 = 2_000;
+    let registry = Registry::new();
+    // Every thread hammers every metric: counters increment, gauges add,
+    // histograms record — handles are looked up by name concurrently, so
+    // this also races the get-or-create path.
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let registry = registry.clone();
+            s.spawn(move || {
+                for i in 0..ITERS {
+                    for m in 0..METRICS {
+                        let scope = registry.scope("node").child(&m.to_string());
+                        scope.counter("ops").inc();
+                        scope.gauge("depth").add(1);
+                        scope.span_histogram("work").record(t as u64 * ITERS + i);
+                    }
+                }
+            });
+        }
+    });
+    let snap = registry.snapshot();
+    for m in 0..METRICS {
+        assert_eq!(
+            snap.counter(&format!("node.{m}.ops")),
+            (THREADS as u64) * ITERS,
+            "metric {m}: no increment lost"
+        );
+        assert_eq!(
+            snap.gauge(&format!("node.{m}.depth")),
+            (THREADS * ITERS as usize) as i64
+        );
+        let hist = snap.span(&format!("node.{m}"), "work").unwrap();
+        assert_eq!(hist.count, (THREADS as u64) * ITERS);
+        assert_eq!(hist.min, 0);
+        assert_eq!(hist.max, (THREADS as u64 - 1) * ITERS + ITERS - 1);
+    }
 }
 
 #[test]

@@ -64,9 +64,7 @@ fn workload_lifecycle_with_gnode_and_retention() {
     for (v, files) in history.iter().enumerate().skip(versions - 2) {
         store.verify_version(VersionId(v as u64), files).unwrap();
     }
-    assert!(store
-        .restore_file(&history[0][0].0, VersionId(0))
-        .is_err());
+    assert!(store.restore_file(&history[0][0].0, VersionId(0)).is_err());
 }
 
 #[test]
@@ -189,7 +187,10 @@ fn space_report_structure() {
     assert!(report.other_bytes > 0, "manifests + similar index");
     assert_eq!(
         report.total(),
-        report.container_bytes + report.recipe_bytes + report.global_index_bytes + report.other_bytes
+        report.container_bytes
+            + report.recipe_bytes
+            + report.global_index_bytes
+            + report.other_bytes
     );
 }
 
@@ -211,8 +212,11 @@ fn tenants_share_bucket_but_nothing_else() {
     let file = FileId::new("shared/name.txt");
     let data_a = b"acme secret payroll".repeat(400);
     let data_b = b"globex launch codes".repeat(400);
-    acme.backup_version(vec![(file.clone(), data_a.clone())]).unwrap();
-    globex.backup_version(vec![(file.clone(), data_b.clone())]).unwrap();
+    acme.backup_version(vec![(file.clone(), data_a.clone())])
+        .unwrap();
+    globex
+        .backup_version(vec![(file.clone(), data_b.clone())])
+        .unwrap();
     // Same file id, same version id, fully isolated contents.
     let (got_a, _) = acme.restore_file(&file, VersionId(0)).unwrap();
     let (got_b, _) = globex.restore_file(&file, VersionId(0)).unwrap();
@@ -254,14 +258,19 @@ fn failed_file_job_fails_the_version_and_retry_succeeds() {
         prefix: "containers/".into(),
         nth: 3,
     });
-    assert!(store
-        .backup_version_with_jobs(files.clone(), 2)
-        .is_err());
+    assert!(store.backup_version_with_jobs(files.clone(), 2).is_err());
     oss.clear_faults();
-    assert!(store.versions().is_empty(), "failed version must not be listed");
+    assert!(
+        store.versions().is_empty(),
+        "failed version must not be listed"
+    );
     // Retry consumes a fresh version id and fully succeeds.
     let report = store.backup_version_with_jobs(files.clone(), 2).unwrap();
-    assert_eq!(report.version, VersionId(1), "v0 id was burned by the failure");
+    assert_eq!(
+        report.version,
+        VersionId(1),
+        "v0 id was burned by the failure"
+    );
     store.verify_version(report.version, &files).unwrap();
     store.run_gnode_cycle(report.version).unwrap();
     store.scrub().unwrap();
@@ -284,7 +293,9 @@ fn retain_last_zero_deletes_everything() {
     let r = store
         .backup_version(vec![(f.clone(), vec![9u8; 4000])])
         .unwrap();
-    store.verify_version(r.version, &[(f, vec![9u8; 4000])]).unwrap();
+    store
+        .verify_version(r.version, &[(f, vec![9u8; 4000])])
+        .unwrap();
 }
 
 #[test]

@@ -65,7 +65,8 @@ impl Env {
 fn container_write_failure_fails_backup() {
     let env = setup();
     let file = FileId::new("f");
-    env.oss.inject_fault(FaultPlan::KeyPrefix("containers/".into()));
+    env.oss
+        .inject_fault(FaultPlan::KeyPrefix("containers/".into()));
     let err = env.backup(&file, 0, &data(1, 20_000)).unwrap_err();
     assert!(matches!(err, SlimError::InjectedFault(_)), "{err}");
     env.oss.clear_faults();
@@ -80,7 +81,8 @@ fn recipe_write_failure_fails_backup_but_preserves_old_versions() {
     let file = FileId::new("f");
     let v0 = data(2, 20_000);
     env.backup(&file, 0, &v0).unwrap();
-    env.oss.inject_fault(FaultPlan::KeyPrefix("recipes/".into()));
+    env.oss
+        .inject_fault(FaultPlan::KeyPrefix("recipes/".into()));
     assert!(env.backup(&file, 1, &data(3, 20_000)).is_err());
     env.oss.clear_faults();
     // v0 untouched.
@@ -110,7 +112,8 @@ fn restore_surfaces_read_failures() {
     let file = FileId::new("f");
     let input = data(5, 30_000);
     env.backup(&file, 0, &input).unwrap();
-    env.oss.inject_fault(FaultPlan::KeyPrefix("containers/".into()));
+    env.oss
+        .inject_fault(FaultPlan::KeyPrefix("containers/".into()));
     assert!(env.restore(&file, 0).is_err());
     env.oss.clear_faults();
     assert_eq!(env.restore(&file, 0).unwrap(), input);
@@ -134,11 +137,13 @@ fn restore_with_prefetch_surfaces_worker_failures() {
         law_window: 64,
         prefetch_threads: 3,
     };
-    let result = RestoreEngine::new(&env.storage, None).restore_file(&file, VersionId(0), &chunker_opts);
+    let result =
+        RestoreEngine::new(&env.storage, None).restore_file(&file, VersionId(0), &chunker_opts);
     assert!(result.is_err());
     env.oss.clear_faults();
-    let (out, _) =
-        RestoreEngine::new(&env.storage, None).restore_file(&file, VersionId(0), &chunker_opts).unwrap();
+    let (out, _) = RestoreEngine::new(&env.storage, None)
+        .restore_file(&file, VersionId(0), &chunker_opts)
+        .unwrap();
     assert_eq!(out, input);
 }
 
@@ -252,7 +257,10 @@ fn kill_point_sweep_commits_or_leaves_reclaimable_orphans_only() {
         }
     }
     assert!(succeeded, "the sweep never ran past the end of the backup");
-    assert!(total_orphans > 0, "at least one kill point must leave orphans");
+    assert!(
+        total_orphans > 0,
+        "at least one kill point must leave orphans"
+    );
 }
 
 /// A seeded probabilistic transient-fault schedule (p = 0.3 on every OSS
@@ -277,7 +285,10 @@ fn chaos_transient_schedule_preserves_every_committed_version() {
     let mut history = Vec::new();
     for round in 0..3u64 {
         let report = store
-            .backup_version(vec![(file_a.clone(), da.clone()), (file_b.clone(), db.clone())])
+            .backup_version(vec![
+                (file_a.clone(), da.clone()),
+                (file_b.clone(), db.clone()),
+            ])
             .unwrap();
         assert_eq!(report.version, VersionId(round));
         let snap = report.oss_metrics.expect("retrying store keeps counters");
@@ -289,7 +300,10 @@ fn chaos_transient_schedule_preserves_every_committed_version() {
             store
                 .verify_version(
                     VersionId(v as u64),
-                    &[(file_a.clone(), expected.clone()), (file_b.clone(), db.clone())],
+                    &[
+                        (file_a.clone(), expected.clone()),
+                        (file_b.clone(), db.clone()),
+                    ],
                 )
                 .unwrap();
         }
