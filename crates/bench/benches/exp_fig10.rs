@@ -29,11 +29,15 @@ const RESTORE_JOBS_PER_NODE: usize = 8;
 
 fn slim_store() -> SlimStore {
     let cfg = slim_types::SlimConfig::default().with_avg_chunk_size(8 * 1024);
-    SlimStoreBuilder::in_memory()
+    let mut builder = SlimStoreBuilder::in_memory()
         .with_network(slim_bench::bench_network_fast())
-        .with_config(cfg)
-        .build()
-        .unwrap()
+        .with_config(cfg);
+    // SLIM_BATCH=off reruns the G-node cycle numbers without the batched
+    // I/O plane (SLIM_BATCH=N caps its fan-out).
+    if let Some(cap) = slim_bench::batch_workers() {
+        builder = builder.with_batch_workers(cap);
+    }
+    builder.build().unwrap()
 }
 
 fn restic_repo() -> ResticSim {
@@ -158,6 +162,7 @@ fn main() {
     let slim_l = slim_store(); // L-dedupe only
     let slim_lg = slim_store(); // with G-node cycles
     let restic = restic_repo();
+    let mut gnode_time = Duration::ZERO;
     for v in 0..cfg.versions {
         let files: Vec<_> = workload
             .version_files(v)
@@ -166,14 +171,23 @@ fn main() {
         let r = slim_l.backup_version_with_jobs(files.clone(), 4).unwrap();
         let r2 = slim_lg.backup_version_with_jobs(files.clone(), 4).unwrap();
         assert_eq!(r.version, r2.version);
+        let t = Instant::now();
         slim_lg.run_gnode_cycle(r2.version).unwrap();
         slim_lg.gnode().vacuum().unwrap();
+        gnode_time += t.elapsed();
         for (f, d) in &files {
             restic.backup_file(f, VersionId(v as u64), d).unwrap();
         }
     }
-    let slim_l_bytes = slim_l.space_report().container_bytes;
-    let slim_lg_bytes = slim_lg.space_report().container_bytes;
+    println!(
+        "G-node cycle time (all versions): {:.2}s  [batched I/O fan-out: {}]",
+        gnode_time.as_secs_f64(),
+        slim_bench::batch_workers()
+            .map(|n| n.to_string())
+            .unwrap_or_else(|| "default".into()),
+    );
+    let slim_l_bytes = slim_l.space_report().unwrap().container_bytes;
+    let slim_lg_bytes = slim_lg.space_report().unwrap().container_bytes;
     let restic_bytes = restic.repository_bytes();
     let mut table = Table::new(&["system", "occupied MiB"]);
     table.row(vec!["restic".into(), mib(restic_bytes)]);

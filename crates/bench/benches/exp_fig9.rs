@@ -66,14 +66,14 @@ fn main() {
         table.row(vec![
             format!("v{v}"),
             f1(logical_total as f64 / (1024.0 * 1024.0)),
-            f1(l_only.space_report().container_bytes as f64 / (1024.0 * 1024.0)),
-            f1(lg.space_report().container_bytes as f64 / (1024.0 * 1024.0)),
-            f1(lg_retain.space_report().container_bytes as f64 / (1024.0 * 1024.0)),
+            f1(l_only.space_report().unwrap().container_bytes as f64 / (1024.0 * 1024.0)),
+            f1(lg.space_report().unwrap().container_bytes as f64 / (1024.0 * 1024.0)),
+            f1(lg_retain.space_report().unwrap().container_bytes as f64 / (1024.0 * 1024.0)),
         ]);
     }
     table.print();
-    let l_bytes = l_only.space_report().container_bytes as f64;
-    let lg_bytes = lg.space_report().container_bytes as f64;
+    let l_bytes = l_only.space_report().unwrap().container_bytes as f64;
+    let lg_bytes = lg.space_report().unwrap().container_bytes as f64;
     println!(
         "\nL-dedupe reduction: {:.2}x (paper 4.8x); G-dedupe extra: {} (paper 2.4%)\n",
         logical_total as f64 / l_bytes,

@@ -36,6 +36,20 @@ pub fn scale() -> f64 {
         .unwrap_or(1.0)
 }
 
+/// Batched-I/O fan-out cap from `SLIM_BATCH`.
+///
+/// Unset → `None` (the store's default fan-out). `SLIM_BATCH=0` or
+/// `SLIM_BATCH=off` → `Some(1)`, forcing batched operations down the
+/// sequential path — the A/B knob for regenerating the Fig 10 G-node cycle
+/// numbers with and without batching. Any other integer caps the fan-out.
+pub fn batch_workers() -> Option<usize> {
+    let raw = std::env::var("SLIM_BATCH").ok()?;
+    if raw.eq_ignore_ascii_case("off") {
+        return Some(1);
+    }
+    raw.parse::<usize>().ok().map(|n| n.max(1))
+}
+
 /// The network model used by throughput experiments: OSS-like latency and
 /// per-channel bandwidth so that network effects (Fig 2, Fig 8, Table II)
 /// are visible, scaled down so runs finish in seconds.

@@ -398,7 +398,7 @@ pub fn run(cmd: Command) -> Result<String> {
         }
         Command::Space { repo } => {
             let store = open_repo(&repo, true)?;
-            let s = store.space_report();
+            let s = store.space_report()?;
             Ok(format!(
                 "containers: {:.1} MiB\nrecipes:    {:.1} MiB\nglobal idx: {:.1} MiB\nother:      {:.1} MiB\ntotal:      {:.1} MiB",
                 s.container_bytes as f64 / (1024.0 * 1024.0),

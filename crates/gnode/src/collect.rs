@@ -102,11 +102,18 @@ pub fn collect_version(
     let manifest = storage.get_manifest(v)?;
     let mut stats = CollectStats::default();
 
-    for &container in &manifest.garbage_on_delete {
-        if !storage.container_exists(container)? {
-            continue; // already reclaimed (e.g. emptied by reverse dedup)
-        }
-        let meta = storage.get_container_meta(container)?;
+    // One batched sweep reads every garbage container's metadata; a second
+    // batched sweep deletes the doomed objects. Already-reclaimed containers
+    // (e.g. emptied by reverse dedup) surface as `ContainerMissing` and are
+    // skipped.
+    let garbage = &manifest.garbage_on_delete;
+    let mut doomed: Vec<ContainerId> = Vec::new();
+    for (&container, meta) in garbage.iter().zip(storage.get_container_meta_many(garbage)) {
+        let meta = match meta {
+            Ok(meta) => meta,
+            Err(SlimError::ContainerMissing(_)) => continue,
+            Err(other) => return Err(other),
+        };
         // Unindex fingerprints whose authoritative copy dies with this
         // container.
         for entry in &meta.entries {
@@ -115,9 +122,10 @@ pub fn collect_version(
             }
         }
         stats.bytes_reclaimed += meta.data_len as u64 + meta.encode().len() as u64;
-        storage.delete_container(container)?;
-        stats.containers_deleted += 1;
+        doomed.push(container);
     }
+    storage.delete_containers(&doomed)?;
+    stats.containers_deleted += doomed.len() as u64;
 
     for file in &manifest.files {
         storage.delete_recipe(&file.file, v)?;
@@ -194,34 +202,46 @@ pub fn scrub_orphans(
 
     let oss = storage.oss();
     let mut stats = OrphanScrubStats::default();
+    // Reclaim a doomed key set in two batched sweeps: size everything (the
+    // reclaimed-bytes figure), then delete everything. Errors propagate —
+    // an under-counted scrub would misreport what the protocol leaked.
+    let reclaim = |doomed: &[String], stats: &mut OrphanScrubStats| -> Result<()> {
+        for result in oss.len_many(doomed) {
+            stats.bytes_reclaimed += result?.unwrap_or(0);
+        }
+        for result in oss.delete_many(doomed) {
+            result?;
+        }
+        Ok(())
+    };
     // List raw container keys rather than metas: a job killed between the
     // data PUT and the meta PUT leaves a data object with no meta.
+    let mut doomed: Vec<String> = Vec::new();
     for key in oss.list(layout::CONTAINER_PREFIX) {
         stats.keys_scanned += 1;
         let Some(id) = layout::parse_container_key(&key) else {
             continue; // unknown layout: never delete what we can't attribute
         };
-        if reachable.contains(&id) {
-            continue;
+        if !reachable.contains(&id) {
+            doomed.push(key);
         }
-        stats.bytes_reclaimed += oss.len(&key)?.unwrap_or(0);
-        oss.delete(&key)?;
-        stats.container_objects_reclaimed += 1;
     }
+    reclaim(&doomed, &mut stats)?;
+    stats.container_objects_reclaimed += doomed.len() as u64;
+    let mut doomed: Vec<String> = Vec::new();
     for prefix in [layout::RECIPE_PREFIX, layout::RECIPE_INDEX_PREFIX] {
         for key in oss.list(prefix) {
             stats.keys_scanned += 1;
             let Some(v) = layout::parse_recipe_version(&key) else {
                 continue;
             };
-            if live_versions.contains(&v) {
-                continue;
+            if !live_versions.contains(&v) {
+                doomed.push(key);
             }
-            stats.bytes_reclaimed += oss.len(&key)?.unwrap_or(0);
-            oss.delete(&key)?;
-            stats.recipe_objects_reclaimed += 1;
         }
     }
+    reclaim(&doomed, &mut stats)?;
+    stats.recipe_objects_reclaimed += doomed.len() as u64;
     Ok(stats)
 }
 
@@ -330,11 +350,11 @@ mod tests {
         env.backup_version(0, &[(&file, &v0)]);
         env.backup_version(1, &[(&file, &v1)]);
         mark_unreferenced(&env.storage, VersionId(0), VersionId(1)).unwrap();
-        let before = env.storage.container_store_bytes();
+        let before = env.storage.container_store_bytes().unwrap();
         let stats = collect_version(&env.storage, &env.global, &env.similar, VersionId(0)).unwrap();
         assert!(stats.containers_deleted > 0);
         assert!(stats.recipes_deleted >= 1);
-        let after = env.storage.container_store_bytes();
+        let after = env.storage.container_store_bytes().unwrap();
         assert!(
             after < before,
             "sweep must reclaim bytes: {before} -> {after}"

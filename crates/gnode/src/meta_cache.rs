@@ -39,6 +39,38 @@ impl MetaCache {
         }
     }
 
+    /// Pre-load many containers' metadata in one batched OSS sweep.
+    ///
+    /// Only ids not already cached are fetched (at most `capacity` of them,
+    /// newest-listed first, so the warm-up itself cannot thrash the cache).
+    /// Per-item fetch errors are ignored here: a later demand [`MetaCache::get`]
+    /// on that id re-surfaces the error to the caller that needs the value.
+    pub fn warm_up(&mut self, ids: &[ContainerId]) {
+        let mut wanted: Vec<ContainerId> = Vec::new();
+        for &id in ids {
+            if !self.entries.contains_key(&id) && !wanted.contains(&id) {
+                wanted.push(id);
+            }
+            if wanted.len() == self.capacity {
+                break;
+            }
+        }
+        if wanted.is_empty() {
+            return;
+        }
+        for (id, result) in wanted
+            .iter()
+            .zip(self.storage.get_container_meta_many(&wanted))
+        {
+            if let Ok(meta) = result {
+                self.misses += 1;
+                self.entries.insert(*id, meta);
+                self.touch(*id);
+            }
+        }
+        self.evict_if_needed();
+    }
+
     /// Fetch metadata (cached).
     pub fn get(&mut self, id: ContainerId) -> Result<&ContainerMeta> {
         self.ensure_loaded(id)?;
@@ -215,6 +247,22 @@ mod tests {
         let on_oss = storage.get_container_meta(id).unwrap();
         assert!(on_oss.find_live(&fp(9)).is_some(), "forget must not flush");
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn warm_up_batches_fetches_and_respects_capacity() {
+        let storage = StorageLayer::open(Arc::new(Oss::in_memory()));
+        let ids: Vec<_> = (0..6u8).map(|b| store(&storage, b)).collect();
+        let mut cache = MetaCache::new(storage, 4);
+        cache.warm_up(&ids);
+        assert_eq!(cache.len(), 4, "warm-up never exceeds capacity");
+        assert_eq!(cache.misses, 4);
+        // Warmed entries hit; missing ids still error on demand.
+        cache.get(ids[0]).unwrap();
+        assert_eq!(cache.hits, 1);
+        cache.warm_up(&ids[..2]);
+        assert_eq!(cache.misses, 4, "already-cached ids are not refetched");
+        assert!(cache.get(ContainerId(999)).is_err());
     }
 
     #[test]

@@ -363,7 +363,7 @@ mod tests {
         b_content.extend_from_slice(&shared);
         env.backup_version(0, &[(&a, &shared), (&b, &b_content)]);
         let stats = env.gnode.run_cycle(VersionId(0)).unwrap();
-        let store_bytes = env.storage.container_store_bytes();
+        let store_bytes = env.storage.container_store_bytes().unwrap();
         // Regardless of what online dedup caught, after the G-node cycle the
         // store holds at most one copy of the shared content (plus slack).
         assert!(
@@ -424,10 +424,10 @@ mod tests {
             };
         }
         // Keep only the last 3 versions.
-        let before = env.storage.container_store_bytes();
+        let before = env.storage.container_store_bytes().unwrap();
         env.gnode.collect_version(VersionId(0)).unwrap();
         env.gnode.collect_version(VersionId(1)).unwrap();
-        let after = env.storage.container_store_bytes();
+        let after = env.storage.container_store_bytes().unwrap();
         assert!(after <= before);
         for v in 2..5u64 {
             assert_eq!(env.restore(&f, v), contents[v as usize], "survivor {v}");
@@ -503,10 +503,13 @@ mod tests {
         let input = data(7, 30_000);
         env.backup_version(0, &[(&f, &input)]);
         env.gnode.run_cycle(VersionId(0)).unwrap();
-        let bytes_after_first = env.storage.container_store_bytes();
+        let bytes_after_first = env.storage.container_store_bytes().unwrap();
         let stats = env.gnode.run_cycle(VersionId(0)).unwrap();
         assert_eq!(stats.reverse.duplicates_removed, 0);
-        assert_eq!(env.storage.container_store_bytes(), bytes_after_first);
+        assert_eq!(
+            env.storage.container_store_bytes().unwrap(),
+            bytes_after_first
+        );
         assert_eq!(env.restore(&f, 0), input);
     }
 }

@@ -19,7 +19,7 @@ use std::collections::HashMap;
 
 use slim_index::GlobalIndex;
 use slim_lnode::StorageLayer;
-use slim_types::{ContainerBuilder, ContainerId, Fingerprint, Result, SlimConfig};
+use slim_types::{ContainerBuilder, ContainerId, ContainerMeta, Fingerprint, Result, SlimConfig};
 
 use crate::meta_cache::MetaCache;
 
@@ -63,6 +63,10 @@ pub fn reverse_dedup(
     ordered.sort();
     let mut touched_old: Vec<ContainerId> = Vec::new();
     let mut relocations: RelocationMap = HashMap::new();
+
+    // One batched sweep pre-loads every new container's metadata; the
+    // per-container loop below then runs entirely against the cache.
+    meta_cache.warm_up(&ordered);
 
     for &container in &ordered {
         let entries: Vec<_> = meta_cache
@@ -120,12 +124,58 @@ pub fn reverse_dedup(
     // Deferred physical deletion: rewrite or drop heavily-deleted containers.
     touched_old.sort();
     touched_old.dedup();
-    for id in touched_old {
-        maybe_rewrite(storage, meta_cache, config, id, &mut stats)?;
-    }
+    rewrite_sweep(storage, meta_cache, config, &touched_old, &mut stats)?;
     meta_cache.flush()?;
     global.flush()?;
     Ok((stats, relocations))
+}
+
+/// Batched equivalent of running [`maybe_rewrite`] over `ids`: fully-dead
+/// containers are dropped in one batched delete, and the data objects of all
+/// rewrite candidates are fetched in one batched read, so the deferred-
+/// deletion phase costs a bounded number of OSS round-trips regardless of
+/// how many containers a cycle touched.
+fn rewrite_sweep(
+    storage: &StorageLayer,
+    meta_cache: &mut MetaCache,
+    config: &SlimConfig,
+    ids: &[ContainerId],
+    stats: &mut ReverseDedupStats,
+) -> Result<()> {
+    let mut dead: Vec<ContainerId> = Vec::new();
+    let mut rewrites: Vec<(ContainerId, ContainerMeta)> = Vec::new();
+    for &id in ids {
+        let meta = meta_cache.get(id)?.clone();
+        if meta.live_chunks() == 0 {
+            stats.containers_deleted += 1;
+            stats.bytes_reclaimed += meta.data_len as u64;
+            meta_cache.forget(id);
+            dead.push(id);
+        } else if meta.deleted_ratio() > config.container_rewrite_threshold {
+            rewrites.push((id, meta));
+        }
+    }
+    storage.delete_containers(&dead)?;
+    let rewrite_ids: Vec<ContainerId> = rewrites.iter().map(|(id, _)| *id).collect();
+    for ((id, meta), data) in rewrites
+        .iter()
+        .zip(storage.get_container_data_many(&rewrite_ids))
+    {
+        let data = data?;
+        let mut builder = ContainerBuilder::new(*id, data.len());
+        for entry in meta.entries.iter().filter(|e| !e.deleted) {
+            builder.push(
+                entry.fp,
+                &data[entry.offset as usize..(entry.offset + entry.len) as usize],
+            );
+        }
+        let (new_data, new_meta) = builder.seal();
+        stats.containers_rewritten += 1;
+        stats.bytes_reclaimed += meta.data_len as u64 - new_meta.data_len as u64;
+        storage.put_container(new_data, &new_meta)?;
+        meta_cache.put(new_meta);
+    }
+    Ok(())
 }
 
 /// Rewrite `id` without its deleted chunks once the deleted ratio exceeds

@@ -2,9 +2,10 @@
 //!
 //! Wraps an [`ObjectStore`] with the container store, recipe store and
 //! version-manifest conventions. All state lives on OSS; the only in-process
-//! state is the monotonic container-id allocator, which is recovered from
-//! the key space on open (ids are zero-padded, so the lexicographically last
-//! container key carries the max id).
+//! state is the monotonic container-id allocator, which is recovered on open
+//! as the numeric max over every parsed container key (zero-padding makes
+//! keys *usually* sort numerically, but recovery must not depend on it —
+//! a 13-digit id sorts before any 12-digit one).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -27,21 +28,21 @@ impl StorageLayer {
     /// Open the storage layer on `oss`, recovering the container-id
     /// allocator from the existing key space.
     pub fn open(oss: Arc<dyn ObjectStore>) -> Self {
-        let max_id = oss
+        // Numeric max over *all* parsed ids, not the lexicographically last
+        // key: once an id outgrows the 12-digit key padding it sorts before
+        // shorter ids, and recovering from `.last()` would hand out a live
+        // id again.
+        let next_id = oss
             .list(layout::CONTAINER_PREFIX)
-            .last()
-            .and_then(|k| {
-                k.strip_prefix(layout::CONTAINER_PREFIX)?
-                    .split('/')
-                    .next()?
-                    .parse::<u64>()
-                    .ok()
-            })
-            .map(|id| id + 1)
+            .iter()
+            .filter_map(|k| layout::parse_container_key(k))
+            .map(|id| id.0)
+            .max()
+            .map(|max| max + 1)
             .unwrap_or(0);
         StorageLayer {
             oss,
-            next_container: Arc::new(AtomicU64::new(max_id)),
+            next_container: Arc::new(AtomicU64::new(next_id)),
         }
     }
 
@@ -82,6 +83,43 @@ impl StorageLayer {
         self.oss.get_range(&layout::container_data(id), start, len)
     }
 
+    /// Read many containers' data objects in one batched OSS sweep.
+    ///
+    /// Results are in `ids` order, one per input, with the same error
+    /// mapping as [`StorageLayer::get_container_data`].
+    pub fn get_container_data_many(&self, ids: &[ContainerId]) -> Vec<Result<Bytes>> {
+        let keys: Vec<String> = ids.iter().map(|id| layout::container_data(*id)).collect();
+        self.oss
+            .get_many(&keys)
+            .into_iter()
+            .zip(ids)
+            .map(|(r, id)| {
+                r.map_err(|e| match e {
+                    SlimError::ObjectNotFound(_) => SlimError::ContainerMissing(id.0),
+                    other => other,
+                })
+            })
+            .collect()
+    }
+
+    /// Read many containers' metadata objects in one batched OSS sweep.
+    ///
+    /// Results are in `ids` order, one per input, with the same error
+    /// mapping as [`StorageLayer::get_container_meta`].
+    pub fn get_container_meta_many(&self, ids: &[ContainerId]) -> Vec<Result<ContainerMeta>> {
+        let keys: Vec<String> = ids.iter().map(|id| layout::container_meta(*id)).collect();
+        self.oss
+            .get_many(&keys)
+            .into_iter()
+            .zip(ids)
+            .map(|(r, id)| match r {
+                Ok(buf) => ContainerMeta::decode(&buf),
+                Err(SlimError::ObjectNotFound(_)) => Err(SlimError::ContainerMissing(id.0)),
+                Err(other) => Err(other),
+            })
+            .collect()
+    }
+
     /// Read a container's metadata.
     pub fn get_container_meta(&self, id: ContainerId) -> Result<ContainerMeta> {
         let buf = self
@@ -105,20 +143,28 @@ impl StorageLayer {
         self.oss.delete(&layout::container_meta(id))
     }
 
+    /// Delete both objects of many containers in one batched OSS sweep.
+    ///
+    /// Returns the first error encountered (in key order); deletes are
+    /// idempotent, so a partially-applied sweep can simply be retried.
+    pub fn delete_containers(&self, ids: &[ContainerId]) -> Result<()> {
+        let keys: Vec<String> = ids
+            .iter()
+            .flat_map(|id| [layout::container_data(*id), layout::container_meta(*id)])
+            .collect();
+        for result in self.oss.delete_many(&keys) {
+            result?;
+        }
+        Ok(())
+    }
+
     /// All container ids currently stored, ascending.
     pub fn list_containers(&self) -> Vec<ContainerId> {
         self.oss
             .list(layout::CONTAINER_PREFIX)
             .iter()
             .filter(|k| k.ends_with("/meta"))
-            .filter_map(|k| {
-                k.strip_prefix(layout::CONTAINER_PREFIX)?
-                    .split('/')
-                    .next()?
-                    .parse::<u64>()
-                    .ok()
-            })
-            .map(ContainerId)
+            .filter_map(|k| layout::parse_container_key(k))
             .collect()
     }
 
@@ -205,18 +251,23 @@ impl StorageLayer {
 
     /// Total bytes stored in the container store (the paper's "occupied
     /// space").
-    pub fn container_store_bytes(&self) -> u64 {
+    ///
+    /// Errors (e.g. transient faults on a `len` probe) are propagated, not
+    /// silently counted as zero: an under-reported figure would corrupt the
+    /// space-saving curves without any visible failure.
+    pub fn container_store_bytes(&self) -> Result<u64> {
         // Only available on the simulated OSS; a real deployment would track
         // this in billing metadata.
         self.oss_stored_bytes(layout::CONTAINER_PREFIX)
     }
 
-    fn oss_stored_bytes(&self, prefix: &str) -> u64 {
-        self.oss
-            .list(prefix)
-            .iter()
-            .filter_map(|k| self.oss.len(k).unwrap_or(None))
-            .sum()
+    fn oss_stored_bytes(&self, prefix: &str) -> Result<u64> {
+        let keys = self.oss.list(prefix);
+        let mut total = 0u64;
+        for result in self.oss.len_many(&keys) {
+            total += result?.unwrap_or(0);
+        }
+        Ok(total)
     }
 }
 
@@ -320,13 +371,52 @@ mod tests {
     #[test]
     fn container_store_bytes_counts_data_and_meta() {
         let (_oss, s) = layer();
-        assert_eq!(s.container_store_bytes(), 0);
+        assert_eq!(s.container_store_bytes().unwrap(), 0);
         let id = s.allocate_container_id();
         let mut b = ContainerBuilder::new(id, 1024);
         b.push(fp(3), &[0u8; 200]);
         let (data, meta) = b.seal();
         let expect = data.len() as u64 + meta.encode().len() as u64;
         s.put_container(data, &meta).unwrap();
-        assert_eq!(s.container_store_bytes(), expect);
+        assert_eq!(s.container_store_bytes().unwrap(), expect);
+    }
+
+    #[test]
+    fn allocator_recovery_survives_padding_overflow() {
+        // Regression: keys are zero-padded to 12 digits, so a 13-digit id
+        // sorts lexicographically *before* any 12-digit id. Recovery via the
+        // last listed key would resurrect a live id; numeric max must win.
+        let oss = Oss::in_memory();
+        for id in [999_999_999_999u64, 1_000_000_000_000u64] {
+            oss.put(&layout::container_meta(ContainerId(id)), Bytes::new())
+                .unwrap();
+        }
+        let s = StorageLayer::open(Arc::new(oss));
+        let next = s.allocate_container_id();
+        assert!(
+            next.0 > 1_000_000_000_000,
+            "allocator handed out live id {next:?}"
+        );
+    }
+
+    #[test]
+    fn container_store_bytes_surfaces_transient_faults() {
+        // Regression: a transient fault during the sizing sweep used to be
+        // swallowed (`len(k).unwrap_or(None)`), silently under-counting.
+        let (oss, s) = layer();
+        let id = s.allocate_container_id();
+        let mut b = ContainerBuilder::new(id, 1024);
+        b.push(fp(4), &[0u8; 100]);
+        let (data, meta) = b.seal();
+        s.put_container(data, &meta).unwrap();
+        oss.inject_fault(slim_oss::FaultPlan::TransientProb {
+            prefix: "containers/".into(),
+            prob: 1.0,
+            seed: 11,
+        });
+        let err = s.container_store_bytes().unwrap_err();
+        assert!(err.is_retryable(), "expected transient error, got {err:?}");
+        oss.clear_faults();
+        assert!(s.container_store_bytes().unwrap() > 0);
     }
 }

@@ -159,11 +159,13 @@ impl ObjectStore for LocalDiskOss {
             Err(e) => return Err(e.into()),
         };
         let total = f.metadata()?.len();
-        if start + len > total {
+        // checked_add: `start + len` can exceed u64::MAX, and a wrapped end
+        // would pass the bounds check.
+        if start.checked_add(len).is_none_or(|end| end > total) {
             return Err(SlimError::RangeOutOfBounds {
                 key: key.to_string(),
                 start,
-                end: start + len,
+                end: start.saturating_add(len),
                 len: total,
             });
         }
@@ -258,6 +260,12 @@ mod tests {
         );
         assert!(matches!(
             store.get_range("obj", 8, 5),
+            Err(SlimError::RangeOutOfBounds { .. })
+        ));
+        // Regression: start + len overflowing u64 must be an error, not a
+        // wrapped end that passes the bounds check (or a debug panic).
+        assert!(matches!(
+            store.get_range("obj", u64::MAX - 2, 5),
             Err(SlimError::RangeOutOfBounds { .. })
         ));
         assert!(matches!(

@@ -37,4 +37,4 @@ pub use metrics::{MetricsSnapshot, OssMetrics};
 pub use namespace::NamespacedStore;
 pub use network::NetworkModel;
 pub use retry::{RetryMetrics, RetryPolicy, RetryingStore};
-pub use store::{ObjectStore, Oss};
+pub use store::{ObjectStore, Oss, DEFAULT_BATCH_WORKERS};

@@ -42,6 +42,15 @@ pub struct OssMetrics {
     /// and DELETE. Exposes p50/p95/p99 in telemetry snapshots as
     /// `oss.request_nanos`.
     pub request_nanos: Histogram,
+    /// Number of batched (`*_many`) calls issued (`oss.batch.calls`).
+    pub batch_calls: Counter,
+    /// Total items across all batched calls (`oss.batch.items`).
+    pub batch_items: Counter,
+    /// Batch size distribution — items per batched call (`oss.batch.size`).
+    pub batch_size: Histogram,
+    /// Worker fan-out per batched call: how many of the network model's
+    /// channels the batch actually saturates (`oss.batch.fanout`).
+    pub batch_fanout: Histogram,
 }
 
 impl OssMetrics {
@@ -71,6 +80,10 @@ impl OssMetrics {
             injected_faults: scope.counter("injected_faults"),
             injected_delay_nanos: scope.counter("injected_delay_nanos"),
             request_nanos: scope.histogram("request_nanos"),
+            batch_calls: scope.counter("batch.calls"),
+            batch_items: scope.counter("batch.items"),
+            batch_size: scope.histogram("batch.size"),
+            batch_fanout: scope.histogram("batch.fanout"),
         }
     }
 
@@ -95,6 +108,18 @@ impl OssMetrics {
         let nanos = u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX);
         self.net_time_nanos.add(nanos);
         self.request_nanos.record(nanos);
+    }
+
+    /// Account one batched call of `items` requests served by `workers`
+    /// fan-out. Deliberately *not* part of [`MetricsSnapshot`]: the batch
+    /// plane must leave the per-request byte/request counters (the read
+    /// amplification metrics of Fig 5 / Fig 10) byte-identical to the
+    /// sequential path, so batch accounting lives only in telemetry.
+    pub(crate) fn record_batch(&self, items: usize, workers: usize) {
+        self.batch_calls.inc();
+        self.batch_items.add(items as u64);
+        self.batch_size.record(items as u64);
+        self.batch_fanout.record(workers as u64);
     }
 
     pub(crate) fn record_injected_fault(&self) {

@@ -41,6 +41,18 @@ impl NamespacedStore {
     fn full(&self, key: &str) -> String {
         format!("{}{}", self.prefix, key)
     }
+
+    fn full_keys(&self, keys: &[String]) -> Vec<String> {
+        keys.iter().map(|k| self.full(k)).collect()
+    }
+
+    /// Rewrite a not-found error back to the tenant-relative key name.
+    fn relative_err(key: &str, err: SlimError) -> SlimError {
+        match err {
+            SlimError::ObjectNotFound(_) => SlimError::ObjectNotFound(key.to_string()),
+            other => other,
+        }
+    }
 }
 
 impl ObjectStore for NamespacedStore {
@@ -51,19 +63,15 @@ impl ObjectStore for NamespacedStore {
     fn get(&self, key: &str) -> Result<Bytes> {
         // Strip the prefix from not-found errors so callers see their own
         // key names.
-        self.inner.get(&self.full(key)).map_err(|e| match e {
-            SlimError::ObjectNotFound(_) => SlimError::ObjectNotFound(key.to_string()),
-            other => other,
-        })
+        self.inner
+            .get(&self.full(key))
+            .map_err(|e| Self::relative_err(key, e))
     }
 
     fn get_range(&self, key: &str, start: u64, len: u64) -> Result<Bytes> {
         self.inner
             .get_range(&self.full(key), start, len)
-            .map_err(|e| match e {
-                SlimError::ObjectNotFound(_) => SlimError::ObjectNotFound(key.to_string()),
-                other => other,
-            })
+            .map_err(|e| Self::relative_err(key, e))
     }
 
     fn delete(&self, key: &str) -> Result<()> {
@@ -76,6 +84,36 @@ impl ObjectStore for NamespacedStore {
 
     fn len(&self, key: &str) -> Result<Option<u64>> {
         self.inner.len(&self.full(key))
+    }
+
+    fn get_many(&self, keys: &[String]) -> Vec<Result<Bytes>> {
+        self.inner
+            .get_many(&self.full_keys(keys))
+            .into_iter()
+            .zip(keys)
+            .map(|(r, key)| r.map_err(|e| Self::relative_err(key, e)))
+            .collect()
+    }
+
+    fn get_range_many(&self, ranges: &[(String, u64, u64)]) -> Vec<Result<Bytes>> {
+        let full: Vec<(String, u64, u64)> = ranges
+            .iter()
+            .map(|(key, start, len)| (self.full(key), *start, *len))
+            .collect();
+        self.inner
+            .get_range_many(&full)
+            .into_iter()
+            .zip(ranges)
+            .map(|(r, (key, _, _))| r.map_err(|e| Self::relative_err(key, e)))
+            .collect()
+    }
+
+    fn len_many(&self, keys: &[String]) -> Vec<Result<Option<u64>>> {
+        self.inner.len_many(&self.full_keys(keys))
+    }
+
+    fn delete_many(&self, keys: &[String]) -> Vec<Result<()>> {
+        self.inner.delete_many(&self.full_keys(keys))
     }
 
     fn list(&self, prefix: &str) -> Vec<String> {
@@ -121,6 +159,27 @@ mod tests {
             Err(SlimError::ObjectNotFound(k)) => assert_eq!(k, "missing/key"),
             other => panic!("unexpected: {other:?}"),
         }
+    }
+
+    #[test]
+    fn batched_ops_stay_tenant_scoped() {
+        let bucket: Arc<dyn ObjectStore> = Arc::new(Oss::in_memory());
+        let t = NamespacedStore::new(bucket.clone(), "t1").unwrap();
+        t.put("a", Bytes::from_static(b"v")).unwrap();
+        let keys: Vec<String> = vec!["a".into(), "missing".into()];
+        let results = t.get_many(&keys);
+        assert_eq!(results[0].as_ref().unwrap(), &Bytes::from_static(b"v"));
+        match &results[1] {
+            Err(SlimError::ObjectNotFound(k)) => {
+                assert_eq!(k, "missing", "error keys are tenant-relative")
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert_eq!(*t.len_many(&keys)[0].as_ref().unwrap(), Some(1));
+        for r in t.delete_many(&keys) {
+            r.unwrap();
+        }
+        assert!(bucket.list("tenants/t1/").is_empty());
     }
 
     #[test]

@@ -76,7 +76,10 @@ pub(crate) struct ChannelPool {
 impl ChannelPool {
     pub fn new(capacity: usize) -> Self {
         ChannelPool {
-            capacity,
+            // A zero-channel pool can never admit anyone and every acquire
+            // would block forever; the narrowest meaningful network has one
+            // channel.
+            capacity: capacity.max(1),
             state: Mutex::new(0),
             cond: Condvar::new(),
         }
@@ -164,5 +167,17 @@ mod tests {
         let pool = ChannelPool::new(usize::MAX);
         let _a = pool.acquire();
         let _b = pool.acquire();
+    }
+
+    #[test]
+    fn zero_capacity_pool_is_clamped_to_one() {
+        // Regression: `ChannelPool::new(0)` used to build a pool no acquire
+        // could ever pass (`used >= capacity` holds at 0), so the first
+        // request on a `channels == 0` model deadlocked forever. The clamp
+        // makes such a model behave as a single serial channel.
+        let pool = ChannelPool::new(0);
+        let first = pool.acquire();
+        drop(first);
+        let _second = pool.acquire();
     }
 }

@@ -241,6 +241,78 @@ impl RetryingStore {
             self.metrics.retry_bytes.add(upload_bytes);
         }
     }
+
+    /// Run a batched operation under the retry policy with a *per-item*
+    /// budget: each round re-issues only the still-retryable items as one
+    /// batch to the inner store, so the fan-out below stays saturated while
+    /// every item individually observes the sequential retry contract —
+    /// non-retryable errors pass through on first sight, and an item that
+    /// exhausts `max_attempts` (or the shared deadline) reports
+    /// [`SlimError::Timeout`] with its own attempt count and last cause.
+    /// Backoff is slept once per round, not once per pending item.
+    fn run_many<I: Clone, T>(
+        &self,
+        op: &str,
+        items: &[I],
+        key_of: impl Fn(&I) -> &str,
+        f: impl Fn(&[I]) -> Vec<Result<T>>,
+    ) -> Vec<Result<T>> {
+        let start = Instant::now();
+        let max_attempts = self.policy.max_attempts.max(1);
+        let n = items.len();
+        let mut out: Vec<Option<Result<T>>> = (0..n).map(|_| None).collect();
+        let mut pending: Vec<usize> = (0..n).collect();
+        let mut last_err: Vec<Option<SlimError>> = (0..n).map(|_| None).collect();
+        let mut attempt = 0u32;
+        while !pending.is_empty() {
+            attempt += 1;
+            let batch: Vec<I> = pending.iter().map(|&i| items[i].clone()).collect();
+            self.metrics.attempts.add(batch.len() as u64);
+            let results = f(&batch);
+            debug_assert_eq!(results.len(), batch.len());
+            let mut still = Vec::new();
+            for (result, &i) in results.into_iter().zip(&pending) {
+                match result {
+                    Ok(value) => out[i] = Some(Ok(value)),
+                    Err(err) if err.is_retryable() => {
+                        last_err[i] = Some(err);
+                        still.push(i);
+                    }
+                    Err(err) => out[i] = Some(Err(err)),
+                }
+            }
+            pending = still;
+            if pending.is_empty() {
+                break;
+            }
+            let delay = self.policy.backoff(attempt);
+            let out_of_budget = attempt >= max_attempts
+                || self
+                    .policy
+                    .deadline
+                    .is_some_and(|deadline| start.elapsed() + delay >= deadline);
+            if out_of_budget {
+                for &i in &pending {
+                    self.metrics.giveups.inc();
+                    let last = last_err[i].take().expect("pending item has a last error");
+                    out[i] = Some(Err(SlimError::Timeout {
+                        op: format!("{op} {}", key_of(&items[i])),
+                        attempts: attempt,
+                        last: last.to_string(),
+                    }));
+                }
+                break;
+            }
+            if !delay.is_zero() {
+                std::thread::sleep(delay);
+                self.metrics.backoff_nanos.add(delay.as_nanos() as u64);
+            }
+            self.metrics.retries.add(pending.len() as u64);
+        }
+        out.into_iter()
+            .map(|slot| slot.expect("every item resolved"))
+            .collect()
+    }
 }
 
 impl ObjectStore for RetryingStore {
@@ -270,6 +342,42 @@ impl ObjectStore for RetryingStore {
 
     fn len(&self, key: &str) -> Result<Option<u64>> {
         self.run("head", key, 0, || self.inner.len(key))
+    }
+
+    fn get_many(&self, keys: &[String]) -> Vec<Result<Bytes>> {
+        self.run_many(
+            "get",
+            keys,
+            |k| k.as_str(),
+            |batch| self.inner.get_many(batch),
+        )
+    }
+
+    fn get_range_many(&self, ranges: &[(String, u64, u64)]) -> Vec<Result<Bytes>> {
+        self.run_many(
+            "get_range",
+            ranges,
+            |(key, _, _)| key.as_str(),
+            |batch| self.inner.get_range_many(batch),
+        )
+    }
+
+    fn len_many(&self, keys: &[String]) -> Vec<Result<Option<u64>>> {
+        self.run_many(
+            "head",
+            keys,
+            |k| k.as_str(),
+            |batch| self.inner.len_many(batch),
+        )
+    }
+
+    fn delete_many(&self, keys: &[String]) -> Vec<Result<()>> {
+        self.run_many(
+            "delete",
+            keys,
+            |k| k.as_str(),
+            |batch| self.inner.delete_many(batch),
+        )
     }
 
     fn list(&self, prefix: &str) -> Vec<String> {
@@ -467,6 +575,84 @@ mod tests {
         assert_eq!(snap.counter("retry.retries"), 1);
         assert_eq!(snap.counter("retry.retry_bytes"), 7);
         assert!(snap.counter("retry.attempts") >= 2);
+    }
+
+    #[test]
+    fn get_many_retries_per_item_to_success() {
+        let oss = Oss::in_memory();
+        let keys: Vec<String> = (0..8).map(|i| format!("b/{i}")).collect();
+        for k in &keys[..7] {
+            oss.put(k, Bytes::from_static(b"v")).unwrap();
+        }
+        // Ops on `b/` fail transiently about half the time; `b/7` is also
+        // missing entirely, which must surface as the non-retryable
+        // ObjectNotFound once the fault schedule lets the request through.
+        oss.inject_fault(FaultPlan::TransientProb {
+            prefix: "b/".into(),
+            prob: 0.5,
+            seed: 0x1234,
+        });
+        let store = retrying(&oss, 20);
+        let results = store.get_many(&keys);
+        for (i, r) in results.iter().enumerate() {
+            if i == 7 {
+                assert!(
+                    matches!(r, Err(SlimError::ObjectNotFound(_))),
+                    "item 7: {r:?}"
+                );
+            } else {
+                assert_eq!(r.as_ref().unwrap(), &Bytes::from_static(b"v"));
+            }
+        }
+        assert_eq!(store.retry_metrics().giveups(), 0);
+    }
+
+    #[test]
+    fn batched_giveups_report_per_item_timeouts() {
+        let oss = Oss::in_memory();
+        let keys: Vec<String> = (0..4).map(|i| format!("b/{i}")).collect();
+        for k in &keys {
+            oss.put(k, Bytes::from_static(b"v")).unwrap();
+        }
+        oss.inject_fault(FaultPlan::TransientProb {
+            prefix: String::new(),
+            prob: 1.0,
+            seed: 5,
+        });
+        let store = retrying(&oss, 3);
+        let results = store.get_many(&keys);
+        for (r, k) in results.iter().zip(&keys) {
+            match r {
+                Err(SlimError::Timeout { op, attempts, .. }) => {
+                    assert_eq!(*attempts, 3, "per-item budget honored");
+                    assert_eq!(op, &format!("get {k}"));
+                }
+                other => panic!("expected Timeout, got {other:?}"),
+            }
+        }
+        assert_eq!(store.retry_metrics().giveups(), 4);
+        assert_eq!(store.retry_metrics().attempts(), 12, "4 items x 3 rounds");
+        assert_eq!(
+            store.retry_metrics().retries(),
+            8,
+            "rounds 2 and 3 re-issue all 4"
+        );
+    }
+
+    #[test]
+    fn batched_delete_and_len_pass_through_retry_layer() {
+        let oss = Oss::in_memory();
+        let keys: Vec<String> = (0..3).map(|i| format!("b/{i}")).collect();
+        for k in &keys {
+            oss.put(k, Bytes::from_static(b"xy")).unwrap();
+        }
+        let store = retrying(&oss, 4);
+        let lens = store.len_many(&keys);
+        assert!(lens.iter().all(|l| *l.as_ref().unwrap() == Some(2)));
+        for r in store.delete_many(&keys) {
+            r.unwrap();
+        }
+        assert_eq!(oss.object_count(), 0);
     }
 
     #[test]

@@ -182,10 +182,7 @@ impl RocksOss {
         {
             let mut inner = store.inner.lock();
             inner.next_table_id = next_table_id;
-            for id in ids {
-                let handle = store.load_table(id)?;
-                inner.tables.push(handle);
-            }
+            inner.tables = store.load_tables(&ids)?;
         }
         Ok(store)
     }
@@ -238,15 +235,18 @@ impl RocksOss {
                     .filter(|t| t.may_contain(key))
                     .map(|t| {
                         let (start, end) = t.block_range(key);
-                        (t.object_key.clone(), start, end)
+                        // saturating_sub: a corrupt sparse index could place
+                        // end before start; an empty read then surfaces as a
+                        // clean miss instead of an underflow panic.
+                        (t.object_key.clone(), start, end.saturating_sub(start))
                     })
                     .collect()
             };
             // Execute it lock-free.
             let mut stale = false;
             let mut result = None;
-            for (object_key, start, end) in plan {
-                match self.oss.get_range(&object_key, start, end - start) {
+            for (object_key, start, len) in plan {
+                match self.oss.get_range(&object_key, start, len) {
                     Ok(block) => {
                         if let Some(found) = scan_block_for(&block, key)? {
                             result = Some(found);
@@ -278,12 +278,15 @@ impl RocksOss {
     pub fn scan_prefix(&self, prefix: &[u8]) -> Result<Vec<(Vec<u8>, Vec<u8>)>> {
         let inner = self.inner.lock();
         let mut merged: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
-        // Oldest tables first so newer entries overwrite.
-        for table in &inner.tables {
-            let block = self
-                .oss
-                .get_range(&table.object_key, 0, table.entries_end)?;
-            for (k, v) in decode_entries(&block)? {
+        // One batched sweep over every table's entries region; the results
+        // come back oldest-first so newer entries overwrite.
+        let ranges: Vec<(String, u64, u64)> = inner
+            .tables
+            .iter()
+            .map(|t| (t.object_key.clone(), 0, t.entries_end))
+            .collect();
+        for block in self.oss.get_range_many(&ranges) {
+            for (k, v) in decode_entries(&block?)? {
                 if k.starts_with(prefix) {
                     merged.insert(k, v);
                 }
@@ -351,11 +354,14 @@ impl RocksOss {
         }
         let mut merged: BTreeMap<Vec<u8>, Option<Vec<u8>>> = BTreeMap::new();
         let old: Vec<SstHandle> = std::mem::take(&mut inner.tables);
-        for table in &old {
-            let block = self
-                .oss
-                .get_range(&table.object_key, 0, table.entries_end)?;
-            for (k, v) in decode_entries(&block)? {
+        // Compaction reads every input table in full — the dominant I/O of
+        // the offline pass — so fetch all entries regions as one batch.
+        let ranges: Vec<(String, u64, u64)> = old
+            .iter()
+            .map(|t| (t.object_key.clone(), 0, t.entries_end))
+            .collect();
+        for block in self.oss.get_range_many(&ranges) {
+            for (k, v) in decode_entries(&block?)? {
                 merged.insert(k, v); // newer tables come later → overwrite
             }
         }
@@ -370,8 +376,9 @@ impl RocksOss {
             inner.tables.push(handle);
         }
         self.persist_manifest(inner)?;
-        for table in old {
-            self.oss.delete(&table.object_key)?;
+        let dead: Vec<String> = old.into_iter().map(|t| t.object_key).collect();
+        for result in self.oss.delete_many(&dead) {
+            result?;
         }
         Ok(())
     }
@@ -436,52 +443,95 @@ impl RocksOss {
         })
     }
 
-    /// Load a table handle by reading the footer of its object.
-    fn load_table(&self, id: u64) -> Result<SstHandle> {
-        let object_key = self.table_key(id);
-        let total = self
+    /// Load table handles for `ids`, in order, by reading object footers.
+    ///
+    /// The OSS traffic is batched into three sweeps across all tables — the
+    /// length probes, the footer-offset words, and the footers themselves —
+    /// so reopening a store with many runs pays three round-trip latencies
+    /// instead of three per table.
+    fn load_tables(&self, ids: &[u64]) -> Result<Vec<SstHandle>> {
+        if ids.is_empty() {
+            return Ok(Vec::new());
+        }
+        let keys: Vec<String> = ids.iter().map(|id| self.table_key(*id)).collect();
+        let mut totals = Vec::with_capacity(ids.len());
+        for (key, total) in keys.iter().zip(self.oss.len_many(&keys)) {
+            let total = total?.ok_or_else(|| SlimError::ObjectNotFound(key.clone()))?;
+            if total < 8 {
+                return Err(SlimError::corrupt("sstable", "object too small"));
+            }
+            totals.push(total);
+        }
+        let tail_ranges: Vec<(String, u64, u64)> = keys
+            .iter()
+            .zip(&totals)
+            .map(|(key, total)| (key.clone(), total - 8, 8))
+            .collect();
+        let mut entries_ends = Vec::with_capacity(ids.len());
+        for (tail, total) in self
             .oss
-            .len(&object_key)?
-            .ok_or_else(|| SlimError::ObjectNotFound(object_key.clone()))?;
-        if total < 8 {
-            return Err(SlimError::corrupt("sstable", "object too small"));
+            .get_range_many(&tail_ranges)
+            .into_iter()
+            .zip(&totals)
+        {
+            let tail = tail?;
+            let tail: [u8; 8] = tail[..]
+                .try_into()
+                .map_err(|_| SlimError::corrupt("sstable", "short footer length word"))?;
+            let entries_end = u64::from_le_bytes(tail);
+            if entries_end > total - 8 {
+                return Err(SlimError::corrupt("sstable", "bad footer offset"));
+            }
+            entries_ends.push(entries_end);
         }
-        let tail = self.oss.get_range(&object_key, total - 8, 8)?;
-        let tail: [u8; 8] = tail[..]
-            .try_into()
-            .map_err(|_| SlimError::corrupt("sstable", "short footer length word"))?;
-        let entries_end = u64::from_le_bytes(tail);
-        if entries_end > total - 8 {
-            return Err(SlimError::corrupt("sstable", "bad footer offset"));
+        let footer_ranges: Vec<(String, u64, u64)> = keys
+            .iter()
+            .zip(&totals)
+            .zip(&entries_ends)
+            .map(|((key, total), end)| (key.clone(), *end, total - 8 - end))
+            .collect();
+        let footers = self.oss.get_range_many(&footer_ranges);
+        let mut handles = Vec::with_capacity(ids.len());
+        for (((id, key), entries_end), footer) in
+            ids.iter().zip(keys).zip(entries_ends).zip(footers)
+        {
+            handles.push(parse_sst_footer(*id, key, entries_end, &footer?)?);
         }
-        let footer = self
-            .oss
-            .get_range(&object_key, entries_end, total - 8 - entries_end)?;
-        let mut r = Reader::new(&footer, "sstable footer");
-        r.expect_header(SST_MAGIC, SST_VERSION)?;
-        let min_key = r.bytes()?;
-        let max_key = r.bytes()?;
-        let n = r.u32()? as usize;
-        let mut sparse_index = Vec::with_capacity(n);
-        for _ in 0..n {
-            let k = r.bytes()?;
-            let off = r.u64()?;
-            sparse_index.push((k, off));
-        }
-        let bloom_bytes = r.bytes()?;
-        r.finish()?;
-        let bloom = BloomFilter::decode(&bloom_bytes)
-            .ok_or_else(|| SlimError::corrupt("sstable", "bad bloom encoding"))?;
-        Ok(SstHandle {
-            id,
-            object_key,
-            bloom,
-            sparse_index,
-            entries_end,
-            min_key,
-            max_key,
-        })
+        Ok(handles)
     }
+}
+
+/// Parse an SSTable footer region into a handle.
+fn parse_sst_footer(
+    id: u64,
+    object_key: String,
+    entries_end: u64,
+    footer: &[u8],
+) -> Result<SstHandle> {
+    let mut r = Reader::new(footer, "sstable footer");
+    r.expect_header(SST_MAGIC, SST_VERSION)?;
+    let min_key = r.bytes()?;
+    let max_key = r.bytes()?;
+    let n = r.u32()? as usize;
+    let mut sparse_index = Vec::with_capacity(n);
+    for _ in 0..n {
+        let k = r.bytes()?;
+        let off = r.u64()?;
+        sparse_index.push((k, off));
+    }
+    let bloom_bytes = r.bytes()?;
+    r.finish()?;
+    let bloom = BloomFilter::decode(&bloom_bytes)
+        .ok_or_else(|| SlimError::corrupt("sstable", "bad bloom encoding"))?;
+    Ok(SstHandle {
+        id,
+        object_key,
+        bloom,
+        sparse_index,
+        entries_end,
+        min_key,
+        max_key,
+    })
 }
 
 fn encode_entry(w: &mut Writer, key: &[u8], value: Option<&[u8]>) {
@@ -674,6 +724,34 @@ mod tests {
                 Some(format!("v{i}").into_bytes()),
                 "k{i:03} after reopen"
             );
+        }
+    }
+
+    #[test]
+    fn reopen_with_many_tables_loads_all_handles() {
+        let oss: Arc<dyn ObjectStore> = Arc::new(Oss::in_memory());
+        {
+            let db = RocksOss::create(oss.clone(), "m/", RocksConfig::small_for_tests());
+            for t in 0..3u32 {
+                for i in 0..10u32 {
+                    db.put(
+                        format!("t{t}k{i}").as_bytes(),
+                        format!("v{t}.{i}").as_bytes(),
+                    )
+                    .unwrap();
+                }
+                db.flush().unwrap();
+            }
+        }
+        let db = RocksOss::open(oss, "m/", RocksConfig::small_for_tests()).unwrap();
+        assert_eq!(db.table_count(), 3, "all runs loaded via the batched path");
+        for t in 0..3u32 {
+            for i in 0..10u32 {
+                assert_eq!(
+                    db.get(format!("t{t}k{i}").as_bytes()).unwrap(),
+                    Some(format!("v{t}.{i}").into_bytes())
+                );
+            }
         }
     }
 

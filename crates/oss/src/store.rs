@@ -5,18 +5,34 @@
 //! DELETE, prefix LIST. All payloads are [`Bytes`], so GETs are zero-copy
 //! clones of the stored buffer (the *network model* is where the cost lives,
 //! not memcpy).
+//!
+//! # Batched I/O plane
+//!
+//! Multi-object sweeps (reverse dedup, GC, compaction, space accounting) go
+//! through the `*_many` methods of [`ObjectStore`]: per-item `Result`s in
+//! input order, driven in [`Oss`] by a bounded worker pool so up to
+//! `channels` requests overlap their round-trip latency (§III-A: OSS
+//! throughput comes from request concurrency). Fault decisions are drawn
+//! sequentially in input order *before* the fan-out starts, so seeded fault
+//! schedules and all byte/request counters are identical to the equivalent
+//! sequential loop — batching changes scheduling, not which bytes move.
 
 use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use bytes::Bytes;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use slim_types::{Result, SlimError};
 
-use crate::fault::{FaultErrorKind, FaultPlan, FaultState};
+use crate::fault::{FaultDecision, FaultErrorKind, FaultPlan, FaultState};
 use crate::metrics::OssMetrics;
 use crate::network::{ChannelPool, NetworkModel};
+
+/// Default bound on the worker fan-out of batched [`Oss`] operations,
+/// matching the channel count of [`NetworkModel::oss_like`].
+pub const DEFAULT_BATCH_WORKERS: usize = 64;
 
 /// Object-store interface used by every SLIMSTORE component.
 ///
@@ -45,6 +61,38 @@ pub trait ObjectStore: Send + Sync {
     /// Object length in bytes, if it exists.
     fn len(&self, key: &str) -> Result<Option<u64>>;
 
+    /// Fetch many whole objects. Item `i` of the result is the outcome for
+    /// `keys[i]`; every item carries its own `Result`, so one missing object
+    /// does not poison the rest of the batch.
+    ///
+    /// The default implementation is the equivalent sequential loop; stores
+    /// that model network latency override it with a bounded parallel
+    /// fan-out carrying identical per-item semantics.
+    fn get_many(&self, keys: &[String]) -> Vec<Result<Bytes>> {
+        keys.iter().map(|k| self.get(k)).collect()
+    }
+
+    /// Fetch many object ranges (`(key, start, len)` per item), with the
+    /// same per-item contract as [`ObjectStore::get_many`].
+    fn get_range_many(&self, ranges: &[(String, u64, u64)]) -> Vec<Result<Bytes>> {
+        ranges
+            .iter()
+            .map(|(key, start, len)| self.get_range(key, *start, *len))
+            .collect()
+    }
+
+    /// Query many object lengths, with the same per-item contract as
+    /// [`ObjectStore::get_many`].
+    fn len_many(&self, keys: &[String]) -> Vec<Result<Option<u64>>> {
+        keys.iter().map(|k| self.len(k)).collect()
+    }
+
+    /// Delete many objects (idempotent per item), with the same per-item
+    /// contract as [`ObjectStore::get_many`].
+    fn delete_many(&self, keys: &[String]) -> Vec<Result<()>> {
+        keys.iter().map(|k| self.delete(k)).collect()
+    }
+
     /// All keys with the given prefix, in lexicographic order.
     fn list(&self, prefix: &str) -> Vec<String>;
 
@@ -62,6 +110,7 @@ struct Inner {
     channels: ChannelPool,
     metrics: OssMetrics,
     faults: FaultState,
+    batch_cap: AtomicUsize,
 }
 
 /// The simulated OSS. Cheap to clone (shared handle).
@@ -101,6 +150,7 @@ impl Oss {
                 channels,
                 metrics,
                 faults: FaultState::default(),
+                batch_cap: AtomicUsize::new(DEFAULT_BATCH_WORKERS),
             }),
         }
     }
@@ -118,6 +168,20 @@ impl Oss {
     /// The network model in force.
     pub fn network(&self) -> &NetworkModel {
         &self.inner.network
+    }
+
+    /// Bound the worker fan-out of batched (`*_many`) operations. `1`
+    /// forces the sequential path through the same code (the A/B knob for
+    /// measuring what batching buys); the effective fan-out is always
+    /// additionally clamped to the batch size and the network model's
+    /// channel count.
+    pub fn set_batch_workers(&self, cap: usize) {
+        self.inner.batch_cap.store(cap.max(1), Ordering::Relaxed);
+    }
+
+    /// Current fan-out bound of batched operations.
+    pub fn batch_workers(&self) -> usize {
+        self.inner.batch_cap.load(Ordering::Relaxed)
     }
 
     /// Arm fault injection, replacing any armed plans.
@@ -163,8 +227,9 @@ impl Oss {
         self.inner.objects.read().len()
     }
 
-    fn check_fault(&self, op: &str, key: &str) -> Result<()> {
-        let decision = self.inner.faults.decide(key);
+    /// Apply a pre-drawn fault decision: sleep injected latency, account
+    /// it, and map an injected failure onto its error kind.
+    fn apply_fault(&self, op: &str, key: &str, decision: FaultDecision) -> Result<()> {
         if !decision.delay.is_zero() {
             std::thread::sleep(decision.delay);
             self.inner.metrics.record_injected_delay(decision.delay);
@@ -180,6 +245,11 @@ impl Oss {
         })
     }
 
+    fn check_fault(&self, op: &str, key: &str) -> Result<()> {
+        let decision = self.inner.faults.decide(key);
+        self.apply_fault(op, key, decision)
+    }
+
     /// Charge latency + transfer time for `bytes`, bounded by channel
     /// availability; returns elapsed wall time.
     fn charge(&self, bytes: u64) -> std::time::Duration {
@@ -191,6 +261,121 @@ impl Oss {
         let cost = self.inner.network.request_latency + self.inner.network.transfer_time(bytes);
         std::thread::sleep(cost);
         start.elapsed()
+    }
+
+    fn get_after_fault(&self, key: &str) -> Result<Bytes> {
+        let value = self
+            .inner
+            .objects
+            .read()
+            .get(key)
+            .cloned()
+            .ok_or_else(|| SlimError::ObjectNotFound(key.to_string()))?;
+        let elapsed = self.charge(value.len() as u64);
+        self.inner.metrics.record_get(value.len() as u64, elapsed);
+        Ok(value)
+    }
+
+    fn get_range_after_fault(&self, key: &str, start: u64, len: u64) -> Result<Bytes> {
+        let value = self
+            .inner
+            .objects
+            .read()
+            .get(key)
+            .cloned()
+            .ok_or_else(|| SlimError::ObjectNotFound(key.to_string()))?;
+        // `start + len` can exceed u64::MAX, and a wrapped `end` would pass
+        // the bounds check below.
+        let end = start
+            .checked_add(len)
+            .filter(|end| *end <= value.len() as u64);
+        let Some(end) = end else {
+            return Err(SlimError::RangeOutOfBounds {
+                key: key.to_string(),
+                start,
+                end: start.saturating_add(len),
+                len: value.len() as u64,
+            });
+        };
+        let slice = value.slice(start as usize..end as usize);
+        let elapsed = self.charge(slice.len() as u64);
+        self.inner.metrics.record_get(slice.len() as u64, elapsed);
+        Ok(slice)
+    }
+
+    fn len_after_fault(&self, key: &str) -> Result<Option<u64>> {
+        Ok(self.inner.objects.read().get(key).map(|v| v.len() as u64))
+    }
+
+    fn delete_after_fault(&self, key: &str) -> Result<()> {
+        let elapsed = self.charge(0);
+        self.inner.metrics.record_delete(elapsed);
+        self.inner.objects.write().remove(key);
+        Ok(())
+    }
+
+    /// Execute a homogeneous batch with bounded worker fan-out, preserving
+    /// exact sequential semantics per item.
+    ///
+    /// Fault decisions are drawn sequentially in input order *before* any
+    /// worker starts: armed plans depend only on the key and the per-plan
+    /// operation ordinal, so the batch observes the same fault schedule the
+    /// equivalent sequential loop would, regardless of worker interleaving.
+    fn run_batch<I, T>(
+        &self,
+        op: &str,
+        items: &[I],
+        key_of: impl Fn(&I) -> &str + Sync,
+        exec: impl Fn(&I) -> Result<T> + Sync,
+    ) -> Vec<Result<T>>
+    where
+        I: Sync,
+        T: Send,
+    {
+        if items.is_empty() {
+            return Vec::new();
+        }
+        let n = items.len();
+        let decisions: Vec<FaultDecision> = items
+            .iter()
+            .map(|item| self.inner.faults.decide(key_of(item)))
+            .collect();
+        let workers = n
+            .min(self.inner.network.channels.max(1))
+            .min(self.inner.batch_cap.load(Ordering::Relaxed))
+            .max(1);
+        self.inner.metrics.record_batch(n, workers);
+        if workers <= 1 {
+            return items
+                .iter()
+                .zip(&decisions)
+                .map(|(item, decision)| {
+                    self.apply_fault(op, key_of(item), *decision)?;
+                    exec(item)
+                })
+                .collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let item = &items[i];
+                    let result = self
+                        .apply_fault(op, key_of(item), decisions[i])
+                        .and_then(|()| exec(item));
+                    *slots[i].lock() = Some(result);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("batch worker filled every slot"))
+            .collect()
     }
 }
 
@@ -205,48 +390,17 @@ impl ObjectStore for Oss {
 
     fn get(&self, key: &str) -> Result<Bytes> {
         self.check_fault("get", key)?;
-        let value = self
-            .inner
-            .objects
-            .read()
-            .get(key)
-            .cloned()
-            .ok_or_else(|| SlimError::ObjectNotFound(key.to_string()))?;
-        let elapsed = self.charge(value.len() as u64);
-        self.inner.metrics.record_get(value.len() as u64, elapsed);
-        Ok(value)
+        self.get_after_fault(key)
     }
 
     fn get_range(&self, key: &str, start: u64, len: u64) -> Result<Bytes> {
         self.check_fault("get", key)?;
-        let value = self
-            .inner
-            .objects
-            .read()
-            .get(key)
-            .cloned()
-            .ok_or_else(|| SlimError::ObjectNotFound(key.to_string()))?;
-        let end = start + len;
-        if end > value.len() as u64 {
-            return Err(SlimError::RangeOutOfBounds {
-                key: key.to_string(),
-                start,
-                end,
-                len: value.len() as u64,
-            });
-        }
-        let slice = value.slice(start as usize..end as usize);
-        let elapsed = self.charge(slice.len() as u64);
-        self.inner.metrics.record_get(slice.len() as u64, elapsed);
-        Ok(slice)
+        self.get_range_after_fault(key, start, len)
     }
 
     fn delete(&self, key: &str) -> Result<()> {
         self.check_fault("delete", key)?;
-        let elapsed = self.charge(0);
-        self.inner.metrics.record_delete(elapsed);
-        self.inner.objects.write().remove(key);
-        Ok(())
+        self.delete_after_fault(key)
     }
 
     fn exists(&self, key: &str) -> Result<bool> {
@@ -256,7 +410,33 @@ impl ObjectStore for Oss {
 
     fn len(&self, key: &str) -> Result<Option<u64>> {
         self.check_fault("head", key)?;
-        Ok(self.inner.objects.read().get(key).map(|v| v.len() as u64))
+        self.len_after_fault(key)
+    }
+
+    fn get_many(&self, keys: &[String]) -> Vec<Result<Bytes>> {
+        self.run_batch("get", keys, |k| k.as_str(), |k| self.get_after_fault(k))
+    }
+
+    fn get_range_many(&self, ranges: &[(String, u64, u64)]) -> Vec<Result<Bytes>> {
+        self.run_batch(
+            "get",
+            ranges,
+            |(key, _, _)| key.as_str(),
+            |(key, start, len)| self.get_range_after_fault(key, *start, *len),
+        )
+    }
+
+    fn len_many(&self, keys: &[String]) -> Vec<Result<Option<u64>>> {
+        self.run_batch("head", keys, |k| k.as_str(), |k| self.len_after_fault(k))
+    }
+
+    fn delete_many(&self, keys: &[String]) -> Vec<Result<()>> {
+        self.run_batch(
+            "delete",
+            keys,
+            |k| k.as_str(),
+            |k| self.delete_after_fault(k),
+        )
     }
 
     fn list(&self, prefix: &str) -> Vec<String> {
@@ -306,6 +486,31 @@ mod tests {
         assert_eq!(oss.get_range("obj", 0, 10).unwrap().len(), 10);
         assert!(matches!(
             oss.get_range("obj", 5, 6),
+            Err(SlimError::RangeOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn range_read_overflow_is_rejected() {
+        // Regression: `start + len` used to be computed with unchecked
+        // addition — a panic in debug builds, and in release a wrapped `end`
+        // below the object length that passed the bounds check and sliced
+        // with start > end.
+        let oss = Oss::in_memory();
+        oss.put("obj", Bytes::from_static(b"0123456789")).unwrap();
+        match oss.get_range("obj", u64::MAX - 2, 5) {
+            Err(SlimError::RangeOutOfBounds {
+                start, end, len, ..
+            }) => {
+                assert_eq!(start, u64::MAX - 2);
+                assert_eq!(end, u64::MAX, "end saturates instead of wrapping");
+                assert_eq!(len, 10);
+            }
+            other => panic!("expected RangeOutOfBounds, got {other:?}"),
+        }
+        // A huge start with a small, non-overflowing len is still plain OOB.
+        assert!(matches!(
+            oss.get_range("obj", u64::MAX - 2, 1),
             Err(SlimError::RangeOutOfBounds { .. })
         ));
     }
@@ -438,5 +643,129 @@ mod tests {
         assert!(t0.elapsed() >= std::time::Duration::from_millis(5));
         let s = oss.metrics().snapshot();
         assert!(s.net_time >= std::time::Duration::from_millis(5));
+    }
+
+    fn batch_keys(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("batch/{i:03}")).collect()
+    }
+
+    #[test]
+    fn get_many_preserves_input_order_and_per_item_errors() {
+        let oss = Oss::in_memory();
+        let keys = batch_keys(10);
+        for (i, k) in keys.iter().enumerate() {
+            if i != 4 && i != 7 {
+                oss.put(k, Bytes::from(vec![i as u8; i + 1])).unwrap();
+            }
+        }
+        let results = oss.get_many(&keys);
+        assert_eq!(results.len(), keys.len());
+        for (i, r) in results.iter().enumerate() {
+            if i == 4 || i == 7 {
+                match r {
+                    Err(SlimError::ObjectNotFound(k)) => assert_eq!(k, &keys[i]),
+                    other => panic!("item {i}: expected ObjectNotFound, got {other:?}"),
+                }
+            } else {
+                assert_eq!(r.as_ref().unwrap(), &Bytes::from(vec![i as u8; i + 1]));
+            }
+        }
+        // Same counters as ten sequential gets: 8 hits, 2 misses.
+        let s = oss.metrics().snapshot();
+        assert_eq!(s.get_requests, 8);
+    }
+
+    #[test]
+    fn len_and_delete_many_cover_the_batch() {
+        let oss = Oss::in_memory();
+        let keys = batch_keys(6);
+        for k in &keys[..4] {
+            oss.put(k, Bytes::from_static(b"xy")).unwrap();
+        }
+        let lens = oss.len_many(&keys);
+        assert!(lens[..4].iter().all(|l| *l.as_ref().unwrap() == Some(2)));
+        assert!(lens[4..].iter().all(|l| l.as_ref().unwrap().is_none()));
+        for r in oss.delete_many(&keys) {
+            r.unwrap(); // missing keys delete idempotently
+        }
+        assert_eq!(oss.object_count(), 0);
+        assert_eq!(oss.metrics().snapshot().delete_requests, 6);
+    }
+
+    #[test]
+    fn get_range_many_matches_sequential_ranges() {
+        let oss = Oss::in_memory();
+        oss.put("obj", Bytes::from_static(b"0123456789")).unwrap();
+        let ranges: Vec<(String, u64, u64)> = vec![
+            ("obj".into(), 0, 4),
+            ("obj".into(), 4, 6),
+            ("obj".into(), 9, 5), // out of bounds
+            ("missing".into(), 0, 1),
+        ];
+        let results = oss.get_range_many(&ranges);
+        assert_eq!(results[0].as_ref().unwrap(), &Bytes::from_static(b"0123"));
+        assert_eq!(results[1].as_ref().unwrap(), &Bytes::from_static(b"456789"));
+        assert!(matches!(
+            results[2],
+            Err(SlimError::RangeOutOfBounds { .. })
+        ));
+        assert!(matches!(results[3], Err(SlimError::ObjectNotFound(_))));
+    }
+
+    #[test]
+    fn batch_faults_follow_sequential_schedule() {
+        // The same seeded plan must fail the same batch positions whether
+        // the batch runs fanned out or item-by-item.
+        let plan = |oss: &Oss| {
+            oss.inject_fault(FaultPlan::TransientProb {
+                prefix: "batch/".into(),
+                prob: 0.5,
+                seed: 0xabcd,
+            })
+        };
+        let keys = batch_keys(32);
+        let seed = |oss: &Oss| {
+            for k in &keys {
+                oss.put(k, Bytes::from_static(b"v")).unwrap();
+            }
+        };
+        let batched = Oss::in_memory();
+        seed(&batched);
+        plan(&batched);
+        let b: Vec<bool> = batched.get_many(&keys).iter().map(|r| r.is_ok()).collect();
+        let sequential = Oss::in_memory();
+        seed(&sequential);
+        plan(&sequential);
+        let s: Vec<bool> = keys.iter().map(|k| sequential.get(k).is_ok()).collect();
+        assert_eq!(b, s, "fan-out must not perturb the fault schedule");
+        assert!(b.iter().any(|ok| !ok), "plan fired at least once");
+    }
+
+    #[test]
+    fn batch_workers_knob_clamps_and_reports() {
+        let oss = Oss::in_memory();
+        assert_eq!(oss.batch_workers(), DEFAULT_BATCH_WORKERS);
+        oss.set_batch_workers(0);
+        assert_eq!(oss.batch_workers(), 1, "clamped to at least one worker");
+        oss.set_batch_workers(4);
+        let keys = batch_keys(8);
+        for k in &keys {
+            oss.put(k, Bytes::from_static(b"v")).unwrap();
+        }
+        for r in oss.get_many(&keys) {
+            r.unwrap();
+        }
+        let hist = oss.metrics().batch_fanout.snapshot();
+        assert_eq!(hist.max, 4, "fan-out honors the knob");
+        assert_eq!(oss.metrics().batch_items.get(), 8);
+    }
+
+    #[test]
+    fn empty_batches_are_free() {
+        let oss = Oss::in_memory();
+        assert!(oss.get_many(&[]).is_empty());
+        assert!(oss.len_many(&[]).is_empty());
+        assert!(oss.delete_many(&[]).is_empty());
+        assert_eq!(oss.metrics().batch_calls.get(), 0);
     }
 }

@@ -122,7 +122,7 @@ impl JobScheduler {
             (0..total).map(|_| parking_lot::Mutex::new(None)).collect();
         let worker_id = AtomicUsize::new(0);
         std::thread::scope(|s| {
-            for _ in 0..self.jobs.min(total.max(1)) {
+            for _ in 0..self.jobs.min(total) {
                 s.spawn(|| {
                     let wid = worker_id.fetch_add(1, Ordering::SeqCst);
                     let node = compute.node_for(wid);
@@ -160,7 +160,7 @@ impl JobScheduler {
         let results: Vec<Slot> = (0..total).map(|_| parking_lot::Mutex::new(None)).collect();
         let worker_id = AtomicUsize::new(0);
         std::thread::scope(|s| {
-            for _ in 0..self.jobs.min(total.max(1)) {
+            for _ in 0..self.jobs.min(total) {
                 s.spawn(|| {
                     let wid = worker_id.fetch_add(1, Ordering::SeqCst);
                     let node = compute.node_for(wid);
@@ -247,8 +247,19 @@ mod tests {
     fn backup_errors_are_per_job() {
         let compute = layer(2);
         let sched = JobScheduler::new(2);
-        // Empty batch is fine.
+        // Empty batches complete without spawning any worker thread (the
+        // worker count is `jobs.min(total)`, not `jobs.min(total.max(1))`).
         let outcomes = sched.backup(&compute, VersionId(0), vec![]).unwrap();
         assert!(outcomes.is_empty());
+        let restored = sched
+            .restore(
+                &compute,
+                VersionId(0),
+                vec![],
+                None,
+                &RestoreOptions::from_config(&SlimConfig::small_for_tests()),
+            )
+            .unwrap();
+        assert!(restored.is_empty());
     }
 }

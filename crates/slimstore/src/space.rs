@@ -1,7 +1,7 @@
 //! Space accounting — the "occupied space" metrics of Fig 9 / Fig 10(c).
 
 use slim_oss::ObjectStore;
-use slim_types::layout;
+use slim_types::{layout, Result};
 
 /// Byte-level breakdown of what the deployment stores on OSS.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -18,23 +18,30 @@ pub struct SpaceReport {
 
 impl SpaceReport {
     /// Measure the current state of the object store.
-    pub fn measure(oss: &dyn ObjectStore) -> SpaceReport {
-        let sum = |prefix: &str| -> u64 {
-            oss.list(prefix)
-                .iter()
-                .filter_map(|k| oss.len(k).unwrap_or(None))
-                .sum()
+    ///
+    /// Sizing probes run as one batched `len_many` sweep per prefix; any
+    /// probe failure (e.g. a transient fault) is propagated rather than
+    /// silently counted as zero bytes, which would corrupt the
+    /// space-saving curves without a visible failure.
+    pub fn measure(oss: &dyn ObjectStore) -> Result<SpaceReport> {
+        let sum = |prefix: &str| -> Result<u64> {
+            let keys = oss.list(prefix);
+            let mut total = 0u64;
+            for result in oss.len_many(&keys) {
+                total += result?.unwrap_or(0);
+            }
+            Ok(total)
         };
-        let container_bytes = sum(layout::CONTAINER_PREFIX);
-        let recipe_bytes = sum(layout::RECIPE_PREFIX) + sum(layout::RECIPE_INDEX_PREFIX);
-        let global_index_bytes = sum(layout::GLOBAL_INDEX_PREFIX);
-        let total: u64 = sum("");
-        SpaceReport {
+        let container_bytes = sum(layout::CONTAINER_PREFIX)?;
+        let recipe_bytes = sum(layout::RECIPE_PREFIX)? + sum(layout::RECIPE_INDEX_PREFIX)?;
+        let global_index_bytes = sum(layout::GLOBAL_INDEX_PREFIX)?;
+        let total: u64 = sum("")?;
+        Ok(SpaceReport {
             container_bytes,
             recipe_bytes,
             global_index_bytes,
             other_bytes: total - container_bytes - recipe_bytes - global_index_bytes,
-        }
+        })
     }
 
     /// Total bytes stored.
@@ -62,7 +69,7 @@ mod tests {
             .unwrap();
         oss.put("versions/00000000", Bytes::from(vec![0; 5]))
             .unwrap();
-        let report = SpaceReport::measure(&oss);
+        let report = SpaceReport::measure(&oss).unwrap();
         assert_eq!(report.container_bytes, 100);
         assert_eq!(report.recipe_bytes, 40);
         assert_eq!(report.global_index_bytes, 20);

@@ -25,6 +25,7 @@ pub struct SlimStoreBuilder {
     l_nodes: usize,
     chunker: ChunkerKind,
     rocks: RocksConfig,
+    batch_workers: Option<usize>,
 }
 
 impl SlimStoreBuilder {
@@ -37,6 +38,7 @@ impl SlimStoreBuilder {
             l_nodes: 1,
             chunker: ChunkerKind::FastCdc,
             rocks: RocksConfig::default(),
+            batch_workers: None,
         }
     }
 
@@ -89,6 +91,15 @@ impl SlimStoreBuilder {
         self
     }
 
+    /// Cap the worker fan-out of batched OSS operations on the internally
+    /// built simulated store (`1` disables batching — the A/B knob for the
+    /// Fig 10 G-node cycle numbers). Ignored when an external object store
+    /// is attached via [`SlimStoreBuilder::with_object_store`].
+    pub fn with_batch_workers(mut self, cap: usize) -> Self {
+        self.batch_workers = Some(cap);
+        self
+    }
+
     /// Assemble the deployment.
     pub fn build(self) -> Result<SlimStore> {
         self.config.validate()?;
@@ -96,8 +107,17 @@ impl SlimStoreBuilder {
         let enabled = self.config.telemetry;
         let oss: Arc<dyn ObjectStore> = match self.oss {
             Some(oss) => oss,
-            None if enabled => Arc::new(Oss::with_telemetry(self.network, &registry.scope("oss"))),
-            None => Arc::new(Oss::new(self.network)),
+            None => {
+                let oss = if enabled {
+                    Oss::with_telemetry(self.network, &registry.scope("oss"))
+                } else {
+                    Oss::new(self.network)
+                };
+                if let Some(cap) = self.batch_workers {
+                    oss.set_batch_workers(cap);
+                }
+                Arc::new(oss)
+            }
         };
         let storage = StorageLayer::open(oss.clone());
         let similar = SimilarFileIndex::load(oss.as_ref())?;
@@ -402,8 +422,9 @@ impl SlimStore {
             .collect())
     }
 
-    /// Current space breakdown on OSS.
-    pub fn space_report(&self) -> SpaceReport {
+    /// Current space breakdown on OSS. Sizing-probe failures are propagated
+    /// rather than under-counted.
+    pub fn space_report(&self) -> Result<SpaceReport> {
         SpaceReport::measure(self.oss.as_ref())
     }
 
@@ -614,7 +635,7 @@ mod tests {
         store
             .backup_version(vec![(f.clone(), data(6, 30_000))])
             .unwrap();
-        let report = store.space_report();
+        let report = store.space_report().unwrap();
         assert!(report.container_bytes > 25_000);
         assert!(report.recipe_bytes > 0);
         assert!(report.total() >= report.container_bytes + report.recipe_bytes);

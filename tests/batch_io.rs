@@ -1,0 +1,183 @@
+//! Batched OSS I/O plane: sequential-equivalence properties and the
+//! acceptance check for the G-node offline cycle.
+//!
+//! The batched operations (`get_many` / `get_range_many` / `len_many` /
+//! `delete_many`) pre-draw every fault decision in input order before the
+//! worker fan-out, so under any seeded fault schedule a batch must be
+//! indistinguishable from the equivalent sequence of single calls: same
+//! per-item results, same per-item errors, and byte-identical request/byte
+//! counters. Only wall-clock (and the net-time the channel pool charges)
+//! may differ — that difference *is* the optimisation.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use slim_oss::{FaultPlan, MetricsSnapshot, NetworkModel, ObjectStore, Oss};
+use slim_types::{FileId, SlimConfig};
+use slimstore::SlimStore;
+
+fn data(seed: u64, len: usize) -> Vec<u8> {
+    use rand::{RngCore, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut buf = vec![0u8; len];
+    rng.fill_bytes(&mut buf);
+    buf
+}
+
+/// Compare two traffic snapshots ignoring the time fields: batching changes
+/// when requests run, never how many there are or what they carry.
+fn assert_same_traffic(label: &str, mut a: MetricsSnapshot, mut b: MetricsSnapshot) {
+    a.net_time = Duration::ZERO;
+    b.net_time = Duration::ZERO;
+    a.injected_delay = Duration::ZERO;
+    b.injected_delay = Duration::ZERO;
+    assert_eq!(a, b, "{label}: batched and sequential traffic diverged");
+}
+
+/// Build an Oss pre-loaded with `objects` keys and a seeded transient plan.
+fn faulty_store(seed: u64, objects: u64) -> Oss {
+    let oss = Oss::in_memory();
+    for i in 0..objects {
+        let len = 64 + (i as usize * 37) % 1500;
+        oss.put(&format!("objs/{i:03}"), Bytes::from(data(seed ^ i, len)))
+            .unwrap();
+    }
+    oss.inject_fault(FaultPlan::TransientProb {
+        prefix: "objs/".into(),
+        prob: 0.4,
+        seed,
+    });
+    oss
+}
+
+#[test]
+fn get_many_is_equivalent_to_sequential_gets_under_seeded_faults() {
+    for seed in [1u64, 7, 42, 0xdead, 0xbeef] {
+        // Two identical stores with identical fault schedules; one serves a
+        // batch, the other the same keys one by one. Mix in missing keys so
+        // per-item errors are exercised too.
+        let sequential = faulty_store(seed, 48);
+        let batched = faulty_store(seed, 48);
+        let keys: Vec<String> = (0..64u64)
+            .map(|i| {
+                if i % 7 == 3 {
+                    format!("missing/{i}")
+                } else {
+                    format!("objs/{:03}", i % 48)
+                }
+            })
+            .collect();
+        let seq_results: Vec<_> = keys.iter().map(|k| sequential.get(k)).collect();
+        let batch_results = batched.get_many(&keys);
+        assert_eq!(seq_results.len(), batch_results.len());
+        for (i, (s, b)) in seq_results.iter().zip(&batch_results).enumerate() {
+            match (s, b) {
+                (Ok(x), Ok(y)) => assert_eq!(x, y, "seed {seed} key {i}: payload diverged"),
+                (Err(x), Err(y)) => assert_eq!(
+                    x.to_string(),
+                    y.to_string(),
+                    "seed {seed} key {i}: error diverged"
+                ),
+                _ => panic!(
+                    "seed {seed} key {i}: ok/err divergence (sequential {s:?} vs batched {b:?})"
+                ),
+            }
+        }
+        assert_same_traffic(
+            "get_many",
+            sequential.metrics_snapshot().unwrap(),
+            batched.metrics_snapshot().unwrap(),
+        );
+    }
+}
+
+#[test]
+fn len_and_delete_many_are_equivalent_to_sequential_under_seeded_faults() {
+    for seed in [3u64, 11, 0xc0ffee] {
+        let sequential = faulty_store(seed, 32);
+        let batched = faulty_store(seed, 32);
+        let keys: Vec<String> = (0..40u64)
+            .map(|i| {
+                if i % 9 == 4 {
+                    format!("missing/{i}")
+                } else {
+                    format!("objs/{:03}", i % 32)
+                }
+            })
+            .collect();
+        let seq_lens: Vec<_> = keys.iter().map(|k| sequential.len(k)).collect();
+        for (i, (s, b)) in seq_lens.iter().zip(batched.len_many(&keys)).enumerate() {
+            match (s, &b) {
+                (Ok(x), Ok(y)) => assert_eq!(x, y, "seed {seed} len {i}"),
+                (Err(x), Err(y)) => assert_eq!(x.to_string(), y.to_string(), "seed {seed} len {i}"),
+                _ => panic!("seed {seed} len {i}: ok/err divergence ({s:?} vs {b:?})"),
+            }
+        }
+        let seq_dels: Vec<_> = keys.iter().map(|k| sequential.delete(k)).collect();
+        for (i, (s, b)) in seq_dels.iter().zip(batched.delete_many(&keys)).enumerate() {
+            match (s, &b) {
+                (Ok(()), Ok(())) => {}
+                (Err(x), Err(y)) => {
+                    assert_eq!(x.to_string(), y.to_string(), "seed {seed} delete {i}")
+                }
+                _ => panic!("seed {seed} delete {i}: ok/err divergence ({s:?} vs {b:?})"),
+            }
+        }
+        // The surviving key sets must be identical too.
+        assert_eq!(sequential.list(""), batched.list(""));
+        assert_same_traffic(
+            "len/delete_many",
+            sequential.metrics_snapshot().unwrap(),
+            batched.metrics_snapshot().unwrap(),
+        );
+    }
+}
+
+/// Acceptance: with the paper's OSS-like network model, the G-node offline
+/// cycle (reverse dedup + version collection) over ≥ 32 containers is faster
+/// through the batched I/O plane than with batching disabled
+/// (`set_batch_workers(1)`), while the request/byte counters stay identical.
+#[test]
+fn batched_gnode_cycle_is_faster_with_identical_traffic() {
+    fn run_cycle(batch_workers: Option<usize>) -> (MetricsSnapshot, Duration) {
+        let oss = Oss::new(NetworkModel::oss_like());
+        if let Some(cap) = batch_workers {
+            oss.set_batch_workers(cap);
+        }
+        let store = SlimStore::builder()
+            .with_object_store(Arc::new(oss.clone()))
+            .with_config(SlimConfig::small_for_tests())
+            .build()
+            .unwrap();
+        // Version 0 stores `a`; version 1 stores the same bytes under a new
+        // file name, which the online (similarity) path cannot dedup — every
+        // chunk is an exact duplicate only the offline reverse dedup finds.
+        let payload = data(99, 320_000);
+        store
+            .backup_version(vec![(FileId::new("a"), payload.clone())])
+            .unwrap();
+        let report = store
+            .backup_version(vec![(FileId::new("b"), payload)])
+            .unwrap();
+        let new_containers = store.storage().list_containers().len();
+        assert!(
+            new_containers >= 64,
+            "need ≥ 32 containers per version for the sweep to matter, have {new_containers} total"
+        );
+        let before = oss.metrics_snapshot().unwrap();
+        let t0 = Instant::now();
+        store.run_gnode_cycle(report.version).unwrap();
+        store.retain_last(1).unwrap();
+        let elapsed = t0.elapsed();
+        (oss.metrics_snapshot().unwrap().since(&before), elapsed)
+    }
+
+    let (seq_traffic, seq_time) = run_cycle(Some(1));
+    let (batch_traffic, batch_time) = run_cycle(None);
+    assert_same_traffic("gnode cycle", seq_traffic, batch_traffic);
+    assert!(
+        batch_time < seq_time,
+        "batched G-node cycle must beat the sequential one: batched {batch_time:?} vs sequential {seq_time:?}"
+    );
+}

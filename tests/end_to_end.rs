@@ -49,7 +49,7 @@ fn workload_lifecycle_with_gnode_and_retention() {
         .iter()
         .flat_map(|files| files.iter().map(|(_, d)| d.len() as u64))
         .sum();
-    let stored = store.space_report().container_bytes;
+    let stored = store.space_report().unwrap().container_bytes;
     // The tiny workload mutates uniformly (the hardest case for dedup);
     // still expect a solid reduction.
     assert!(
@@ -81,9 +81,9 @@ fn vacuum_reclaims_marked_bytes_without_breaking_restores() {
         store.run_gnode_cycle(report.version).unwrap();
         history.push(files);
     }
-    let before = store.space_report().container_bytes;
+    let before = store.space_report().unwrap().container_bytes;
     store.gnode().vacuum().unwrap();
-    let after = store.space_report().container_bytes;
+    let after = store.space_report().unwrap().container_bytes;
     assert!(after <= before, "vacuum must not grow the store");
     for (v, files) in history.iter().enumerate() {
         store.verify_version(VersionId(v as u64), files).unwrap();
@@ -180,7 +180,7 @@ fn space_report_structure() {
         .collect();
     let r = store.backup_version(files.clone()).unwrap();
     store.run_gnode_cycle(r.version).unwrap();
-    let report = store.space_report();
+    let report = store.space_report().unwrap();
     assert!(report.container_bytes > 0);
     assert!(report.recipe_bytes > 0);
     assert!(report.global_index_bytes > 0, "global index persisted");
