@@ -19,6 +19,8 @@ use slim_index::{GlobalIndex, SimilarFileIndex};
 use slim_lnode::StorageLayer;
 use slim_types::{layout, ContainerId, Result, SlimError, VersionId};
 
+use crate::journal::{Intent, Journal};
+
 /// Outcome of sweeping one version.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CollectStats {
@@ -83,10 +85,18 @@ pub fn mark_sparse_garbage(
 /// manifest, and (for files whose last version this was) similar-index
 /// registrations. Enforces FIFO deletion: `v` must be the oldest stored
 /// version.
+///
+/// Crash safety: the index removals are flushed *before* any container is
+/// deleted (a durable index must never point at a deleted object), and the
+/// deletes themselves ride behind a journal `DropContainers` intent so a
+/// killed sweep re-deletes on recovery. A crash mid-sweep can leave `v`'s
+/// recipes/manifest behind with its containers already gone; re-running the
+/// sweep converges (missing containers are skipped).
 pub fn collect_version(
     storage: &StorageLayer,
     global: &GlobalIndex,
     similar: &SimilarFileIndex,
+    journal: &Journal,
     v: VersionId,
 ) -> Result<CollectStats> {
     let versions = storage.list_versions();
@@ -124,6 +134,14 @@ pub fn collect_version(
         stats.bytes_reclaimed += meta.data_len as u64 + meta.encode().len() as u64;
         doomed.push(container);
     }
+    // Make the removals durable before anything disappears, then promise the
+    // deletes so a killed sweep finishes them on recovery.
+    global.flush()?;
+    let seq = if doomed.is_empty() {
+        None
+    } else {
+        Some(journal.record(&Intent::DropContainers { ids: doomed.clone() })?)
+    };
     storage.delete_containers(&doomed)?;
     stats.containers_deleted += doomed.len() as u64;
 
@@ -136,7 +154,9 @@ pub fn collect_version(
         }
     }
     storage.delete_manifest(v)?;
-    global.flush()?;
+    if let Some(seq) = seq {
+        journal.retire(seq)?;
+    }
     Ok(stats)
 }
 
@@ -260,6 +280,7 @@ mod tests {
         storage: StorageLayer,
         similar: SimilarFileIndex,
         global: GlobalIndex,
+        journal: Journal,
         config: SlimConfig,
     }
 
@@ -267,13 +288,32 @@ mod tests {
         let oss = Oss::in_memory();
         let storage = StorageLayer::open(Arc::new(oss.clone()));
         let global =
-            GlobalIndex::open_with(Arc::new(oss), RocksConfig::small_for_tests(), 4096).unwrap();
+            GlobalIndex::open_with(Arc::new(oss.clone()), RocksConfig::small_for_tests(), 4096)
+                .unwrap();
         Env {
             storage,
             similar: SimilarFileIndex::new(),
             global,
+            journal: Journal::open(Arc::new(oss)),
             config: SlimConfig::small_for_tests(),
         }
+    }
+
+    fn collect(env: &Env, v: u64) -> Result<CollectStats> {
+        let out = collect_version(
+            &env.storage,
+            &env.global,
+            &env.similar,
+            &env.journal,
+            VersionId(v),
+        );
+        if out.is_ok() {
+            assert!(
+                env.journal.is_empty(),
+                "a completed sweep must retire its intents"
+            );
+        }
+        out
     }
 
     fn data(seed: u64, len: usize) -> Vec<u8> {
@@ -351,7 +391,7 @@ mod tests {
         env.backup_version(1, &[(&file, &v1)]);
         mark_unreferenced(&env.storage, VersionId(0), VersionId(1)).unwrap();
         let before = env.storage.container_store_bytes().unwrap();
-        let stats = collect_version(&env.storage, &env.global, &env.similar, VersionId(0)).unwrap();
+        let stats = collect(&env, 0).unwrap();
         assert!(stats.containers_deleted > 0);
         assert!(stats.recipes_deleted >= 1);
         let after = env.storage.container_store_bytes().unwrap();
@@ -374,13 +414,9 @@ mod tests {
         let file = FileId::new("f");
         env.backup_version(0, &[(&file, &data(6, 10_000))]);
         env.backup_version(1, &[(&file, &data(7, 10_000))]);
-        let err =
-            collect_version(&env.storage, &env.global, &env.similar, VersionId(1)).unwrap_err();
+        let err = collect(&env, 1).unwrap_err();
         assert!(matches!(err, SlimError::InvalidConfig(_)));
-        assert!(matches!(
-            collect_version(&env.storage, &env.global, &env.similar, VersionId(9)),
-            Err(SlimError::InvalidConfig(_))
-        ));
+        assert!(matches!(collect(&env, 9), Err(SlimError::InvalidConfig(_))));
     }
 
     #[test]
@@ -389,17 +425,14 @@ mod tests {
         let file = FileId::new("only");
         env.backup_version(0, &[(&file, &data(8, 20_000))]);
         assert_eq!(env.similar.latest_version(&file), Some(VersionId(0)));
-        collect_version(&env.storage, &env.global, &env.similar, VersionId(0)).unwrap();
+        collect(&env, 0).unwrap();
         assert_eq!(env.similar.latest_version(&file), None);
     }
 
     #[test]
     fn collect_missing_version_errors() {
         let env = setup();
-        assert!(matches!(
-            collect_version(&env.storage, &env.global, &env.similar, VersionId(0)),
-            Err(SlimError::VersionNotFound(0))
-        ));
+        assert!(matches!(collect(&env, 0), Err(SlimError::VersionNotFound(0))));
     }
 
     #[test]

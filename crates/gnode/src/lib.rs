@@ -20,14 +20,22 @@
 //!   by PUTting the version manifest last, so a job killed mid-backup leaves
 //!   unreachable container/recipe keys; the scrub reclaims them.
 //!
+//! Because every one of these passes rewrites or deletes shared objects in
+//! multiple non-atomic OSS steps, each destructive step is preceded by an
+//! idempotent record in the [`journal`]; [`GNode::recover`] replays
+//! outstanding intents after a crash and quarantines corrupted maintenance
+//! outputs, so a cycle killed at any point converges to its post-cycle state.
+//!
 //! [`GNode`] packages these into the offline cycle the system facade
 //! schedules after each backup version.
 
 pub mod collect;
+pub mod journal;
 pub mod meta_cache;
 pub mod node;
 pub mod reverse_dedup;
 pub mod scc;
 
 pub use collect::{scrub_orphans, CollectStats, OrphanScrubStats};
-pub use node::{GNode, GNodeCycleStats};
+pub use journal::{Intent, Journal};
+pub use node::{GNode, GNodeCycleStats, IntegrityReport, RecoveryReport};

@@ -10,16 +10,25 @@
 //! All of it is offline: the online dedup/restore path never waits on the
 //! G-node, and the recipes of the latest version are only improved (SCC
 //! rewrites them to a denser layout), never invalidated.
+//!
+//! The maintenance plane is crash-safe: every destructive stage journals an
+//! idempotent intent first (see [`crate::journal`]), and [`GNode::recover`]
+//! — run on every startup — replays outstanding intents, quarantines
+//! corrupted maintenance outputs, and re-derives lost global-index entries
+//! from container metadata.
+
+use std::collections::{BTreeMap, HashSet};
 
 use slim_index::{GlobalIndex, SimilarFileIndex};
 use slim_lnode::StorageLayer;
 use slim_telemetry::Scope;
-use slim_types::{ContainerId, Result, SlimConfig, VersionId};
+use slim_types::{layout, ContainerId, Result, SlimConfig, SlimError, VersionId};
 
 use crate::collect::{
     collect_version, mark_sparse_garbage, mark_unreferenced, scrub_orphans, CollectStats,
     OrphanScrubStats,
 };
+use crate::journal::{Intent, Journal};
 use crate::meta_cache::MetaCache;
 use crate::reverse_dedup::{reverse_dedup, ReverseDedupStats};
 use crate::scc::{compact_sparse_containers, SccStats};
@@ -73,11 +82,65 @@ impl GNodeCycleStats {
     }
 }
 
+/// What [`GNode::recover`] found and did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Outstanding journal intents replayed (then retired).
+    pub intents_replayed: u64,
+    /// Two-phase rewrites completed forward (new copy intact).
+    pub rewrites_rolled_forward: u64,
+    /// Two-phase rewrites undone (new copy missing or corrupt).
+    pub rewrites_rolled_back: u64,
+    /// Journal records that failed their own CRC and were quarantined.
+    pub journal_records_quarantined: u64,
+    /// Container data/meta objects moved under the quarantine prefix.
+    pub objects_quarantined: u64,
+    /// Global-index SSTable objects quarantined as corrupt.
+    pub index_tables_quarantined: u64,
+    /// Unreferenced global-index SSTable objects retired.
+    pub index_tables_retired: u64,
+    /// Fingerprint entries re-derived from container metadata after an
+    /// index run was dropped.
+    pub index_entries_rederived: u64,
+}
+
+impl RecoveryReport {
+    /// True when recovery found nothing to repair.
+    pub fn is_clean(&self) -> bool {
+        *self == RecoveryReport::default()
+    }
+}
+
+/// What [`GNode::verify_checksums`] found and did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IntegrityReport {
+    /// Containers whose data and metadata objects were CRC-verified.
+    pub containers_checked: u64,
+    /// Containers that failed verification and were quarantined.
+    pub containers_quarantined: u64,
+    /// Individual objects moved under the quarantine prefix.
+    pub objects_quarantined: u64,
+    /// Global-index entries removed because they pointed at quarantined
+    /// containers (an honest miss beats a dangling pointer).
+    pub index_entries_removed: u64,
+}
+
+/// Health of one container's pair of OSS objects.
+enum ContainerState {
+    /// Both objects present and CRC-clean.
+    Intact,
+    /// Neither object readable as present (already deleted / never written).
+    Missing,
+    /// At least one object present but failing its checksum or decode.
+    Corrupt,
+}
+
 /// The offline space-management node.
 pub struct GNode {
     storage: StorageLayer,
     global: GlobalIndex,
     similar: SimilarFileIndex,
+    journal: Journal,
     config: SlimConfig,
     meta_cache_capacity: usize,
     telemetry: Option<Scope>,
@@ -92,10 +155,12 @@ impl GNode {
         config: SlimConfig,
     ) -> Result<Self> {
         config.validate()?;
+        let journal = Journal::open(storage.oss().clone());
         Ok(GNode {
             storage,
             global,
             similar,
+            journal,
             config,
             meta_cache_capacity: 1024,
             telemetry: None,
@@ -129,6 +194,7 @@ impl GNode {
             &self.storage,
             &self.global,
             &mut cache,
+            &self.journal,
             &self.config,
             &manifest.new_containers,
         )?;
@@ -142,6 +208,7 @@ impl GNode {
             &self.storage,
             &self.global,
             &mut cache,
+            &self.journal,
             &self.config,
             version,
             &files,
@@ -172,7 +239,13 @@ impl GNode {
     /// Sweep the oldest version (retention-window deletion).
     pub fn collect_version(&self, version: VersionId) -> Result<CollectStats> {
         let _stage = self.telemetry.as_ref().map(|s| s.span("collect"));
-        let stats = collect_version(&self.storage, &self.global, &self.similar, version)?;
+        let stats = collect_version(
+            &self.storage,
+            &self.global,
+            &self.similar,
+            &self.journal,
+            version,
+        )?;
         if let Some(scope) = &self.telemetry {
             scope
                 .counter("collected_containers")
@@ -220,7 +293,9 @@ impl GNode {
             }
             crate::reverse_dedup::maybe_rewrite(
                 &self.storage,
+                &self.global,
                 &mut cache,
+                &self.journal,
                 &zero_threshold,
                 id,
                 &mut stats,
@@ -228,6 +303,263 @@ impl GNode {
         }
         cache.flush()?;
         Ok(stats)
+    }
+
+    /// Replay the maintenance journal and repair corrupted maintenance
+    /// state. Run on every startup, before any backup/restore traffic: a
+    /// G-node cycle killed at any point leaves intents behind, and this pass
+    /// drives the store back to a state from which re-running the cycle
+    /// converges.
+    ///
+    /// Per intent kind:
+    /// * `RepointIndex` — re-relocate each fingerprint whose target
+    ///   container still holds a live copy (the deletion marks may be
+    ///   durable while the index flip was lost with the memtable);
+    /// * `RewriteContainer` — roll *forward* when the new container is
+    ///   intact (flip index entries, delete the old object), roll *back*
+    ///   when it is missing or corrupt (quarantine the remnants, repoint
+    ///   entries at the still-whole old container);
+    /// * `DropContainers` — re-delete (idempotent).
+    ///
+    /// Afterwards the global index's SSTables are CRC-verified; corrupt runs
+    /// are quarantined and their lost entries re-derived from container
+    /// metadata (ascending id order, so the newest live copy wins — the
+    /// reverse-dedup invariant).
+    pub fn recover(&self) -> Result<RecoveryReport> {
+        let _stage = self.telemetry.as_ref().map(|s| s.span("recover"));
+        let mut report = RecoveryReport::default();
+
+        let (pending, corrupt) = self.journal.pending()?;
+        report.journal_records_quarantined = corrupt.len() as u64;
+        for (_, intent) in &pending {
+            match intent {
+                Intent::RepointIndex { entries } => {
+                    let mut by_dest: BTreeMap<ContainerId, Vec<_>> = BTreeMap::new();
+                    for (fp, dest) in entries {
+                        by_dest.entry(*dest).or_default().push(*fp);
+                    }
+                    for (dest, fps) in by_dest {
+                        match self.container_state(dest)? {
+                            ContainerState::Intact => {
+                                let meta = self.storage.get_container_meta(dest)?;
+                                for fp in fps {
+                                    if meta.find_live(&fp).is_some() {
+                                        self.global.relocate(&fp, dest)?;
+                                    }
+                                }
+                            }
+                            ContainerState::Missing => {}
+                            ContainerState::Corrupt => {
+                                report.objects_quarantined += self.quarantine_container(dest)?;
+                            }
+                        }
+                    }
+                }
+                Intent::RewriteContainer { old, new } => match self.container_state(*new)? {
+                    ContainerState::Intact => {
+                        // Roll forward: the new copy is authoritative.
+                        let meta = self.storage.get_container_meta(*new)?;
+                        for entry in meta.entries.iter().filter(|e| !e.deleted) {
+                            match self.global.get(&entry.fp)? {
+                                Some(c) if c == *old => self.global.relocate(&entry.fp, *new)?,
+                                None => self.global.insert(&entry.fp, *new)?,
+                                _ => {}
+                            }
+                        }
+                        self.storage.delete_container(*old)?;
+                        report.rewrites_rolled_forward += 1;
+                    }
+                    state => {
+                        // Roll back: the old object was only deleted after
+                        // the new one was durably written and the index
+                        // flushed, so here the old copy must still be whole.
+                        if matches!(state, ContainerState::Corrupt) {
+                            report.objects_quarantined += self.quarantine_container(*new)?;
+                        }
+                        match self.storage.get_container_meta(*old) {
+                            Ok(meta) => {
+                                for entry in meta.entries.iter().filter(|e| !e.deleted) {
+                                    match self.global.get(&entry.fp)? {
+                                        Some(c) if c == *new => {
+                                            self.global.relocate(&entry.fp, *old)?
+                                        }
+                                        None => self.global.insert(&entry.fp, *old)?,
+                                        _ => {}
+                                    }
+                                }
+                                report.rewrites_rolled_back += 1;
+                            }
+                            Err(SlimError::ContainerMissing(_)) => {}
+                            Err(SlimError::Corrupt { .. }) => {
+                                // Genuine bit-rot of the sole surviving copy:
+                                // nothing to roll to. Quarantine and report.
+                                report.objects_quarantined += self.quarantine_container(*old)?;
+                            }
+                            Err(e) => return Err(e),
+                        }
+                    }
+                },
+                Intent::DropContainers { ids } => {
+                    self.storage.delete_containers(ids)?;
+                }
+            }
+        }
+        self.global.flush()?;
+        for (seq, _) in &pending {
+            self.journal.retire(*seq)?;
+        }
+        report.intents_replayed = pending.len() as u64;
+
+        // Integrity sweep over the index's persistent runs; a dropped run
+        // loses entries, so re-derive them from container metadata.
+        let (quarantined, retired) = self.global.verify_and_repair()?;
+        report.index_tables_quarantined = quarantined.len() as u64;
+        report.index_tables_retired = retired as u64;
+        if !quarantined.is_empty() {
+            let (rederived, objects_quarantined) = self.rederive_index()?;
+            report.index_entries_rederived = rederived;
+            report.objects_quarantined += objects_quarantined;
+        }
+
+        if let Some(scope) = &self.telemetry {
+            scope.counter("journal.replayed").add(report.intents_replayed);
+            scope
+                .counter("journal.rolled_forward")
+                .add(report.rewrites_rolled_forward);
+            scope
+                .counter("journal.rolled_back")
+                .add(report.rewrites_rolled_back);
+            scope
+                .counter("journal.corrupt")
+                .add(report.journal_records_quarantined);
+            scope
+                .counter("quarantined_objects")
+                .add(report.objects_quarantined);
+            scope
+                .counter("index.tables_quarantined")
+                .add(report.index_tables_quarantined);
+            scope
+                .counter("index.tables_retired")
+                .add(report.index_tables_retired);
+            scope
+                .counter("index.entries_rederived")
+                .add(report.index_entries_rederived);
+        }
+        Ok(report)
+    }
+
+    /// Full checksum sweep over every container's data and metadata objects.
+    /// Corrupt containers are quarantined (both objects moved under the
+    /// quarantine prefix) and their global-index entries removed, so reads
+    /// fail honestly (`ChunkUnresolvable`) instead of returning garbage.
+    /// This is the heavy half of `slim scrub`; [`GNode::recover`] only
+    /// verifies what the journal implicates.
+    pub fn verify_checksums(&self) -> Result<IntegrityReport> {
+        let _stage = self.telemetry.as_ref().map(|s| s.span("verify_checksums"));
+        let mut report = IntegrityReport::default();
+        let mut doomed: HashSet<ContainerId> = HashSet::new();
+        let mut ids = self.storage.list_containers();
+        ids.sort();
+        for id in ids {
+            report.containers_checked += 1;
+            if let ContainerState::Corrupt = self.container_state(id)? {
+                report.containers_quarantined += 1;
+                report.objects_quarantined += self.quarantine_container(id)?;
+                doomed.insert(id);
+            }
+        }
+        report.index_entries_removed = self.global.remove_references_to(&doomed)?;
+        if let Some(scope) = &self.telemetry {
+            scope
+                .counter("integrity.containers_checked")
+                .add(report.containers_checked);
+            scope
+                .counter("quarantined_objects")
+                .add(report.objects_quarantined);
+            scope
+                .counter("integrity.index_entries_removed")
+                .add(report.index_entries_removed);
+        }
+        Ok(report)
+    }
+
+    /// CRC-verify one container's pair of objects.
+    fn container_state(&self, id: ContainerId) -> Result<ContainerState> {
+        match self.storage.get_container_meta(id) {
+            Ok(_) => {}
+            Err(SlimError::ContainerMissing(_)) => {
+                // No meta. A leftover data object is a remnant, not a
+                // container; report Corrupt so callers quarantine it.
+                return match self.storage.oss().exists(&layout::container_data(id))? {
+                    true => Ok(ContainerState::Corrupt),
+                    false => Ok(ContainerState::Missing),
+                };
+            }
+            Err(SlimError::Corrupt { .. }) => return Ok(ContainerState::Corrupt),
+            Err(e) => return Err(e),
+        }
+        match self.storage.get_container_data(id) {
+            Ok(_) => Ok(ContainerState::Intact),
+            Err(SlimError::ContainerMissing(_)) | Err(SlimError::Corrupt { .. }) => {
+                Ok(ContainerState::Corrupt)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Move a container's surviving objects under the quarantine prefix
+    /// (raw byte moves — the objects may not decode). Returns the number of
+    /// objects moved.
+    fn quarantine_container(&self, id: ContainerId) -> Result<u64> {
+        let oss = self.storage.oss();
+        let mut moved = 0u64;
+        for key in [layout::container_data(id), layout::container_meta(id)] {
+            match oss.get(&key) {
+                Ok(buf) => {
+                    oss.put(&layout::quarantine_key(&key), buf)?;
+                    oss.delete(&key)?;
+                    moved += 1;
+                }
+                Err(SlimError::ObjectNotFound(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(moved)
+    }
+
+    /// Rebuild global-index entries from container metadata after a corrupt
+    /// index run was dropped. Ascending id order, so for a fingerprint with
+    /// several live copies the newest container wins (the reverse-dedup
+    /// invariant). Containers whose metadata fails verification are
+    /// quarantined along the way. Returns `(entries inserted, objects
+    /// quarantined)`.
+    fn rederive_index(&self) -> Result<(u64, u64)> {
+        let mut ids = self.storage.list_containers();
+        ids.sort();
+        let mut inserted = 0u64;
+        let mut objects_quarantined = 0u64;
+        let mut doomed: HashSet<ContainerId> = HashSet::new();
+        for batch in ids.chunks(64) {
+            for (&id, meta) in batch.iter().zip(self.storage.get_container_meta_many(batch)) {
+                let meta = match meta {
+                    Ok(meta) => meta,
+                    Err(SlimError::ContainerMissing(_)) => continue,
+                    Err(SlimError::Corrupt { .. }) => {
+                        objects_quarantined += self.quarantine_container(id)?;
+                        doomed.insert(id);
+                        continue;
+                    }
+                    Err(e) => return Err(e),
+                };
+                for entry in meta.entries.iter().filter(|e| !e.deleted) {
+                    self.global.insert(&entry.fp, id)?;
+                    inserted += 1;
+                }
+            }
+        }
+        self.global.flush()?;
+        self.global.remove_references_to(&doomed)?;
+        Ok((inserted, objects_quarantined))
     }
 
     /// Live bytes still held by the containers a version created — the
@@ -270,6 +602,7 @@ mod tests {
     use std::sync::Arc;
 
     struct Env {
+        oss: Oss,
         storage: StorageLayer,
         similar: SimilarFileIndex,
         gnode: GNode,
@@ -281,10 +614,12 @@ mod tests {
         let storage = StorageLayer::open(Arc::new(oss.clone()));
         let similar = SimilarFileIndex::new();
         let global =
-            GlobalIndex::open_with(Arc::new(oss), RocksConfig::small_for_tests(), 8192).unwrap();
+            GlobalIndex::open_with(Arc::new(oss.clone()), RocksConfig::small_for_tests(), 8192)
+                .unwrap();
         let config = SlimConfig::small_for_tests();
         let gnode = GNode::new(storage.clone(), global, similar.clone(), config.clone()).unwrap();
         Env {
+            oss,
             storage,
             similar,
             gnode,
@@ -465,13 +800,15 @@ mod tests {
         let storage = StorageLayer::open(Arc::new(oss.clone()));
         let similar = SimilarFileIndex::new();
         let global =
-            GlobalIndex::open_with(Arc::new(oss), RocksConfig::small_for_tests(), 8192).unwrap();
+            GlobalIndex::open_with(Arc::new(oss.clone()), RocksConfig::small_for_tests(), 8192)
+                .unwrap();
         let config = SlimConfig::small_for_tests();
         let registry = slim_telemetry::Registry::new();
         let gnode = GNode::new(storage.clone(), global, similar.clone(), config.clone())
             .unwrap()
             .with_telemetry(registry.scope("gnode"));
         let env = Env {
+            oss,
             storage,
             similar,
             gnode,
@@ -511,5 +848,163 @@ mod tests {
             bytes_after_first
         );
         assert_eq!(env.restore(&f, 0), input);
+    }
+
+    fn fp(b: u8) -> slim_types::Fingerprint {
+        slim_types::Fingerprint::from_slice(&[b; 20]).unwrap()
+    }
+
+    fn put_container(env: &Env, chunks: &[(u8, usize)]) -> ContainerId {
+        let id = env.storage.allocate_container_id();
+        let mut b = slim_types::ContainerBuilder::new(id, 1 << 20);
+        for &(tag, len) in chunks {
+            b.push(fp(tag), &vec![tag; len]);
+        }
+        let (data, meta) = b.seal();
+        env.storage.put_container(data, &meta).unwrap();
+        id
+    }
+
+    #[test]
+    fn recover_is_noop_on_clean_state() {
+        let env = setup();
+        let f = FileId::new("f");
+        env.backup_version(0, &[(&f, &data(30, 30_000))]);
+        env.gnode.run_cycle(VersionId(0)).unwrap();
+        let report = env.gnode.recover().unwrap();
+        assert!(report.is_clean(), "{report:?}");
+    }
+
+    #[test]
+    fn recover_rolls_interrupted_rewrite_forward() {
+        let env = setup();
+        // Simulate a rewrite killed after the new container was written and
+        // its intent recorded, but before the index flip and old-object
+        // delete: old still whole, index still pointing at it.
+        let old = put_container(&env, &[(1, 100), (2, 100)]);
+        let global = env.gnode.global_index();
+        global.insert(&fp(1), old).unwrap();
+        global.insert(&fp(2), old).unwrap();
+        global.flush().unwrap();
+        let new = put_container(&env, &[(1, 100), (2, 100)]);
+        let journal = crate::journal::Journal::open(env.storage.oss().clone());
+        journal
+            .record(&Intent::RewriteContainer { old, new })
+            .unwrap();
+
+        let report = env.gnode.recover().unwrap();
+        assert_eq!(report.intents_replayed, 1);
+        assert_eq!(report.rewrites_rolled_forward, 1);
+        assert_eq!(global.get(&fp(1)).unwrap(), Some(new));
+        assert_eq!(global.get(&fp(2)).unwrap(), Some(new));
+        assert!(!env.storage.container_exists(old).unwrap());
+        assert!(journal.is_empty());
+        assert!(env.gnode.recover().unwrap().is_clean());
+    }
+
+    #[test]
+    fn recover_rolls_back_when_new_copy_is_corrupt() {
+        use bytes::Bytes;
+        let env = setup();
+        // The index flip reached OSS but the new container's objects are
+        // garbage (torn write): recovery must quarantine the remnants and
+        // repoint the index at the still-whole old container.
+        let old = put_container(&env, &[(1, 100), (2, 100)]);
+        let new = env.storage.allocate_container_id();
+        let global = env.gnode.global_index();
+        global.insert(&fp(1), new).unwrap();
+        global.insert(&fp(2), new).unwrap();
+        global.flush().unwrap();
+        let data_key = slim_types::layout::container_data(new);
+        let meta_key = slim_types::layout::container_meta(new);
+        env.oss.put(&data_key, Bytes::from(vec![0xAB; 64])).unwrap();
+        env.oss.put(&meta_key, Bytes::from(vec![0xCD; 32])).unwrap();
+        let journal = crate::journal::Journal::open(env.storage.oss().clone());
+        journal
+            .record(&Intent::RewriteContainer { old, new })
+            .unwrap();
+
+        let report = env.gnode.recover().unwrap();
+        assert_eq!(report.rewrites_rolled_back, 1);
+        assert_eq!(report.objects_quarantined, 2);
+        assert_eq!(global.get(&fp(1)).unwrap(), Some(old));
+        assert_eq!(global.get(&fp(2)).unwrap(), Some(old));
+        let qkey = slim_types::layout::quarantine_key(&data_key);
+        assert!(env.oss.exists(&qkey).unwrap());
+        assert!(!env.oss.exists(&data_key).unwrap());
+        assert!(env.storage.container_exists(old).unwrap());
+        assert!(journal.is_empty());
+    }
+
+    #[test]
+    fn recover_rederives_index_after_sst_quarantine() {
+        let env = setup();
+        let f = FileId::new("f");
+        let mut contents = Vec::new();
+        let mut cur = data(33, 40_000);
+        for v in 0..3u64 {
+            env.backup_version(v, &[(&f, &cur)]);
+            env.gnode.run_cycle(VersionId(v)).unwrap();
+            contents.push(cur.clone());
+            let patch = data(60 + v, 3_000);
+            let at = 5_000 + v as usize * 9_000;
+            cur[at..at + 3_000].copy_from_slice(&patch);
+        }
+        // Rot one of the index's SSTable objects.
+        let key = env
+            .oss
+            .list(slim_types::layout::GLOBAL_INDEX_PREFIX)
+            .into_iter()
+            .find(|k| k.contains("sst/"))
+            .expect("cycles must have flushed an index run");
+        let mut buf = env.oss.get(&key).unwrap().to_vec();
+        buf[10] ^= 0x10;
+        env.oss.put(&key, bytes::Bytes::from(buf)).unwrap();
+
+        let report = env.gnode.recover().unwrap();
+        assert!(report.index_tables_quarantined >= 1, "{report:?}");
+        assert!(report.index_entries_rederived > 0, "{report:?}");
+        // Old versions depend on the global index for relocated chunks; the
+        // re-derived index must resolve all of them.
+        for (v, expect) in contents.iter().enumerate() {
+            assert_eq!(&env.restore(&f, v as u64), expect, "version {v}");
+        }
+    }
+
+    #[test]
+    fn verify_checksums_quarantines_corrupt_containers() {
+        let env = setup();
+        let f = FileId::new("f");
+        let input = data(44, 40_000);
+        env.backup_version(0, &[(&f, &input)]);
+        env.gnode.run_cycle(VersionId(0)).unwrap();
+        let clean = env.gnode.verify_checksums().unwrap();
+        assert_eq!(clean.containers_quarantined, 0);
+        assert!(clean.containers_checked > 0);
+
+        // Rot one container's data object.
+        let victim = *env.storage.list_containers().first().unwrap();
+        let key = slim_types::layout::container_data(victim);
+        let mut buf = env.oss.get(&key).unwrap().to_vec();
+        buf[0] ^= 0x01;
+        env.oss.put(&key, bytes::Bytes::from(buf)).unwrap();
+
+        let report = env.gnode.verify_checksums().unwrap();
+        assert_eq!(report.containers_quarantined, 1);
+        assert_eq!(report.objects_quarantined, 2, "data and meta both move");
+        assert!(report.index_entries_removed > 0);
+        assert!(!env.storage.container_exists(victim).unwrap());
+        assert!(env
+            .oss
+            .exists(&slim_types::layout::quarantine_key(&key))
+            .unwrap());
+        // The damaged version now fails honestly instead of returning bytes.
+        let err = RestoreEngine::new(&env.storage, Some(env.gnode.global_index()))
+            .restore_file(&f, VersionId(0), &RestoreOptions::from_config(&env.config))
+            .unwrap_err();
+        assert!(
+            matches!(err, slim_types::SlimError::ChunkUnresolvable { .. }),
+            "{err:?}"
+        );
     }
 }

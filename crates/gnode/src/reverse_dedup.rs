@@ -14,6 +14,13 @@
 //! * deletion is deferred — chunks are only *marked* deleted; a container is
 //!   physically rewritten once its deleted ratio exceeds the threshold
 //!   (default 20 %), and deleted outright when nothing live remains.
+//!
+//! Crash safety: rewrites are **two-phase with fresh ids**. The surviving
+//! chunks are written to a *new* container, the index flips to it, and only
+//! then is the old object deleted — an in-place rewrite would have no intact
+//! copy to fall back to if the overwrite were torn. Every destructive step
+//! is preceded by a [`crate::journal`] intent so a killed pass either rolls
+//! forward (new container intact) or back (old container still whole).
 
 use std::collections::HashMap;
 
@@ -21,6 +28,7 @@ use slim_index::GlobalIndex;
 use slim_lnode::StorageLayer;
 use slim_types::{ContainerBuilder, ContainerId, ContainerMeta, Fingerprint, Result, SlimConfig};
 
+use crate::journal::{Intent, Journal};
 use crate::meta_cache::MetaCache;
 
 /// Outcome of one reverse-deduplication pass.
@@ -55,6 +63,7 @@ pub fn reverse_dedup(
     storage: &StorageLayer,
     global: &GlobalIndex,
     meta_cache: &mut MetaCache,
+    journal: &Journal,
     config: &SlimConfig,
     new_containers: &[ContainerId],
 ) -> Result<(ReverseDedupStats, RelocationMap)> {
@@ -124,27 +133,10 @@ pub fn reverse_dedup(
     // Deferred physical deletion: rewrite or drop heavily-deleted containers.
     touched_old.sort();
     touched_old.dedup();
-    rewrite_sweep(storage, meta_cache, config, &touched_old, &mut stats)?;
-    meta_cache.flush()?;
-    global.flush()?;
-    Ok((stats, relocations))
-}
 
-/// Batched equivalent of running [`maybe_rewrite`] over `ids`: fully-dead
-/// containers are dropped in one batched delete, and the data objects of all
-/// rewrite candidates are fetched in one batched read, so the deferred-
-/// deletion phase costs a bounded number of OSS round-trips regardless of
-/// how many containers a cycle touched.
-fn rewrite_sweep(
-    storage: &StorageLayer,
-    meta_cache: &mut MetaCache,
-    config: &SlimConfig,
-    ids: &[ContainerId],
-    stats: &mut ReverseDedupStats,
-) -> Result<()> {
     let mut dead: Vec<ContainerId> = Vec::new();
     let mut rewrites: Vec<(ContainerId, ContainerMeta)> = Vec::new();
-    for &id in ids {
+    for &id in &touched_old {
         let meta = meta_cache.get(id)?.clone();
         if meta.live_chunks() == 0 {
             stats.containers_deleted += 1;
@@ -155,14 +147,32 @@ fn rewrite_sweep(
             rewrites.push((id, meta));
         }
     }
-    storage.delete_containers(&dead)?;
+
+    let mut seqs: Vec<u64> = Vec::new();
+    // Intent first: the marks above become durable with the meta flush, so
+    // the index flips must survive a crash before the global flush lands.
+    if !relocations.is_empty() {
+        seqs.push(journal.record(&Intent::RepointIndex {
+            entries: relocations.iter().map(|(fp, id)| (*fp, *id)).collect(),
+        })?);
+    }
+
+    // Two-phase rewrites: survivors move to fresh containers (one batched
+    // data read for all candidates), the index flips, and the old objects
+    // are deleted only after both flushes below are durable.
     let rewrite_ids: Vec<ContainerId> = rewrites.iter().map(|(id, _)| *id).collect();
-    for ((id, meta), data) in rewrites
+    let mut retired: Vec<ContainerId> = Vec::new();
+    for ((old, meta), data) in rewrites
         .iter()
         .zip(storage.get_container_data_many(&rewrite_ids))
     {
         let data = data?;
-        let mut builder = ContainerBuilder::new(*id, data.len());
+        let new_id = storage.allocate_container_id();
+        seqs.push(journal.record(&Intent::RewriteContainer {
+            old: *old,
+            new: new_id,
+        })?);
+        let mut builder = ContainerBuilder::new(new_id, data.len());
         for entry in meta.entries.iter().filter(|e| !e.deleted) {
             builder.push(
                 entry.fp,
@@ -170,20 +180,49 @@ fn rewrite_sweep(
             );
         }
         let (new_data, new_meta) = builder.seal();
+        storage.put_container(new_data, &new_meta)?;
+        for entry in new_meta.entries.iter() {
+            global.relocate(&entry.fp, new_id)?;
+            relocations.insert(entry.fp, new_id);
+        }
         stats.containers_rewritten += 1;
         stats.bytes_reclaimed += meta.data_len as u64 - new_meta.data_len as u64;
-        storage.put_container(new_data, &new_meta)?;
         meta_cache.put(new_meta);
+        meta_cache.forget(*old);
+        retired.push(*old);
     }
-    Ok(())
+
+    if !dead.is_empty() {
+        seqs.push(journal.record(&Intent::DropContainers { ids: dead.clone() })?);
+    }
+
+    // Commit: marks and index flips become durable, then the now-
+    // unreferenced old objects go, then the journal's promise is discharged.
+    meta_cache.flush()?;
+    global.flush()?;
+    let mut doomed = retired;
+    doomed.extend(dead);
+    storage.delete_containers(&doomed)?;
+    for seq in seqs {
+        journal.retire(seq)?;
+    }
+    Ok((stats, relocations))
 }
 
 /// Rewrite `id` without its deleted chunks once the deleted ratio exceeds
 /// the configured threshold; delete it entirely when nothing live remains.
-/// The container keeps its id, so recipes referencing live chunks stay valid.
+///
+/// Self-contained journaled two-phase primitive (used by SCC and vacuum):
+/// records its intent, writes the replacement container under a **fresh id**,
+/// flips the global index, flushes both the metadata cache and the index,
+/// and only then deletes the old object and retires the intent. Recipes
+/// still naming the old id resolve through the global-index fallback on the
+/// restore path.
 pub(crate) fn maybe_rewrite(
     storage: &StorageLayer,
+    global: &GlobalIndex,
     meta_cache: &mut MetaCache,
+    journal: &Journal,
     config: &SlimConfig,
     id: ContainerId,
     stats: &mut ReverseDedupStats,
@@ -193,14 +232,22 @@ pub(crate) fn maybe_rewrite(
         stats.containers_deleted += 1;
         stats.bytes_reclaimed += meta.data_len as u64;
         meta_cache.forget(id);
+        let seq = journal.record(&Intent::DropContainers { ids: vec![id] })?;
+        // The relocations that emptied this container may still be buffered;
+        // make them durable before the object disappears (no dangle).
+        meta_cache.flush()?;
+        global.flush()?;
         storage.delete_container(id)?;
+        journal.retire(seq)?;
         return Ok(());
     }
     if meta.deleted_ratio() <= config.container_rewrite_threshold {
         return Ok(());
     }
     let data = storage.get_container_data(id)?;
-    let mut builder = ContainerBuilder::new(id, data.len());
+    let new_id = storage.allocate_container_id();
+    let seq = journal.record(&Intent::RewriteContainer { old: id, new: new_id })?;
+    let mut builder = ContainerBuilder::new(new_id, data.len());
     for entry in meta.entries.iter().filter(|e| !e.deleted) {
         builder.push(
             entry.fp,
@@ -208,10 +255,18 @@ pub(crate) fn maybe_rewrite(
         );
     }
     let (new_data, new_meta) = builder.seal();
+    storage.put_container(new_data, &new_meta)?;
+    for entry in new_meta.entries.iter() {
+        global.relocate(&entry.fp, new_id)?;
+    }
     stats.containers_rewritten += 1;
     stats.bytes_reclaimed += meta.data_len as u64 - new_meta.data_len as u64;
-    storage.put_container(new_data, &new_meta)?;
     meta_cache.put(new_meta);
+    meta_cache.forget(id);
+    meta_cache.flush()?;
+    global.flush()?;
+    storage.delete_container(id)?;
+    journal.retire(seq)?;
     Ok(())
 }
 
@@ -240,6 +295,7 @@ mod tests {
     struct Env {
         storage: StorageLayer,
         global: GlobalIndex,
+        journal: Journal,
         config: SlimConfig,
     }
 
@@ -247,12 +303,31 @@ mod tests {
         let oss = Oss::in_memory();
         let storage = StorageLayer::open(Arc::new(oss.clone()));
         let global =
-            GlobalIndex::open_with(Arc::new(oss), RocksConfig::small_for_tests(), 1024).unwrap();
+            GlobalIndex::open_with(Arc::new(oss.clone()), RocksConfig::small_for_tests(), 1024)
+                .unwrap();
         Env {
             storage,
             global,
+            journal: Journal::open(Arc::new(oss)),
             config: SlimConfig::small_for_tests(),
         }
+    }
+
+    fn run(env: &Env, cache: &mut MetaCache, new: &[ContainerId]) -> (ReverseDedupStats, RelocationMap) {
+        let out = reverse_dedup(
+            &env.storage,
+            &env.global,
+            cache,
+            &env.journal,
+            &env.config,
+            new,
+        )
+        .unwrap();
+        assert!(
+            env.journal.is_empty(),
+            "a completed pass must retire all of its intents"
+        );
+        out
     }
 
     fn make_container(storage: &StorageLayer, chunks: &[(u8, usize)]) -> ContainerId {
@@ -271,8 +346,7 @@ mod tests {
         let env = setup();
         let c = make_container(&env.storage, &[(1, 100), (2, 100)]);
         let mut cache = MetaCache::new(env.storage.clone(), 8);
-        let (stats, _) =
-            reverse_dedup(&env.storage, &env.global, &mut cache, &env.config, &[c]).unwrap();
+        let (stats, _) = run(&env, &mut cache, &[c]);
         assert_eq!(stats.chunks_scanned, 2);
         assert_eq!(stats.duplicates_removed, 0);
         assert_eq!(env.global.get(&fp(1)).unwrap(), Some(c));
@@ -284,11 +358,10 @@ mod tests {
         let env = setup();
         let old = make_container(&env.storage, &[(1, 100), (2, 100), (3, 100)]);
         let mut cache = MetaCache::new(env.storage.clone(), 8);
-        let _ = reverse_dedup(&env.storage, &env.global, &mut cache, &env.config, &[old]).unwrap();
+        let _ = run(&env, &mut cache, &[old]);
         // A new container re-stores chunk 2 (missed duplicate).
         let new = make_container(&env.storage, &[(2, 100), (4, 100)]);
-        let (stats, _) =
-            reverse_dedup(&env.storage, &env.global, &mut cache, &env.config, &[new]).unwrap();
+        let (stats, _) = run(&env, &mut cache, &[new]);
         assert_eq!(stats.duplicates_removed, 1);
         assert_eq!(stats.bytes_marked, 100);
         // Old copy marked deleted; index points at the new container.
@@ -302,24 +375,27 @@ mod tests {
     }
 
     #[test]
-    fn heavy_deletion_triggers_rewrite() {
+    fn heavy_deletion_triggers_two_phase_rewrite() {
         let env = setup();
         let old = make_container(&env.storage, &[(1, 100), (2, 100), (3, 100)]);
         let mut cache = MetaCache::new(env.storage.clone(), 8);
-        let _ = reverse_dedup(&env.storage, &env.global, &mut cache, &env.config, &[old]).unwrap();
+        let _ = run(&env, &mut cache, &[old]);
         // Re-store two of the three chunks: 2/3 deleted > 20% threshold.
         let new = make_container(&env.storage, &[(1, 100), (2, 100)]);
-        let (stats, _) =
-            reverse_dedup(&env.storage, &env.global, &mut cache, &env.config, &[new]).unwrap();
+        let (stats, relocations) = run(&env, &mut cache, &[new]);
         assert_eq!(stats.duplicates_removed, 2);
         assert_eq!(stats.containers_rewritten, 1);
         assert!(stats.bytes_reclaimed >= 200);
-        // Rewritten container holds only chunk 3, same id.
-        let meta = env.storage.get_container_meta(old).unwrap();
+        // The survivor (chunk 3) moved to a fresh container; the old object
+        // is gone and both the index and the relocation map flipped.
+        let home = env.global.get(&fp(3)).unwrap().expect("chunk 3 indexed");
+        assert_ne!(home, old, "rewrite must use a fresh container id");
+        assert!(!env.storage.container_exists(old).unwrap());
+        assert_eq!(relocations.get(&fp(3)), Some(&home));
+        let meta = env.storage.get_container_meta(home).unwrap();
         assert_eq!(meta.total_chunks(), 1);
         assert!(meta.find_live(&fp(3)).is_some());
-        // Its data object shrank and offsets remain valid.
-        let data = env.storage.get_container_data(old).unwrap();
+        let data = env.storage.get_container_data(home).unwrap();
         assert_eq!(data.len(), 100);
     }
 
@@ -328,10 +404,9 @@ mod tests {
         let env = setup();
         let old = make_container(&env.storage, &[(1, 50), (2, 50)]);
         let mut cache = MetaCache::new(env.storage.clone(), 8);
-        let _ = reverse_dedup(&env.storage, &env.global, &mut cache, &env.config, &[old]).unwrap();
+        let _ = run(&env, &mut cache, &[old]);
         let new = make_container(&env.storage, &[(1, 50), (2, 50)]);
-        let (stats, _) =
-            reverse_dedup(&env.storage, &env.global, &mut cache, &env.config, &[new]).unwrap();
+        let (stats, _) = run(&env, &mut cache, &[new]);
         assert_eq!(stats.containers_deleted, 1);
         assert!(!env.storage.container_exists(old).unwrap());
         assert_eq!(env.global.get(&fp(1)).unwrap(), Some(new));
@@ -342,10 +417,8 @@ mod tests {
         let env = setup();
         let c = make_container(&env.storage, &[(7, 64)]);
         let mut cache = MetaCache::new(env.storage.clone(), 8);
-        let (s1, _) =
-            reverse_dedup(&env.storage, &env.global, &mut cache, &env.config, &[c]).unwrap();
-        let (s2, _) =
-            reverse_dedup(&env.storage, &env.global, &mut cache, &env.config, &[c]).unwrap();
+        let (s1, _) = run(&env, &mut cache, &[c]);
+        let (s2, _) = run(&env, &mut cache, &[c]);
         assert_eq!(s1.duplicates_removed, 0);
         assert_eq!(s2.duplicates_removed, 0, "self-match must not delete");
         assert_eq!(env.global.get(&fp(7)).unwrap(), Some(c));
@@ -357,8 +430,7 @@ mod tests {
         let a = make_container(&env.storage, &[(5, 40)]);
         let b = make_container(&env.storage, &[(5, 40), (6, 40)]);
         let mut cache = MetaCache::new(env.storage.clone(), 8);
-        let (stats, _) =
-            reverse_dedup(&env.storage, &env.global, &mut cache, &env.config, &[a, b]).unwrap();
+        let (stats, _) = run(&env, &mut cache, &[a, b]);
         assert_eq!(stats.duplicates_removed, 1);
         assert_eq!(env.global.get(&fp(5)).unwrap(), Some(b));
         // Container a lost its only chunk and was deleted.

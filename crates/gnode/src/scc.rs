@@ -12,6 +12,13 @@
 //! (reclaiming old-version storage over time, Fig 9(b)), and the compacted
 //! sparse containers are associated as garbage with the current version for
 //! the Sweep phase of version collection (§VI-B).
+//!
+//! Crash safety: the compaction containers are written first, then a
+//! [`crate::journal`] `RepointIndex` intent records every move, and only
+//! then are the sparse copies marked deleted and the global index flipped.
+//! A crash at any point either leaves unreferenced compaction containers
+//! (reclaimed by the orphan scrub) or an intent that recovery replays, so a
+//! durable deletion mark can never outlive the index flip to the new home.
 
 use std::collections::{HashMap, HashSet};
 
@@ -22,6 +29,7 @@ use slim_types::{
     VersionId,
 };
 
+use crate::journal::{Intent, Journal};
 use crate::meta_cache::MetaCache;
 use crate::reverse_dedup::{maybe_rewrite, RelocationMap, ReverseDedupStats};
 
@@ -51,6 +59,7 @@ pub fn compact_sparse_containers(
     storage: &StorageLayer,
     global: &GlobalIndex,
     meta_cache: &mut MetaCache,
+    journal: &Journal,
     config: &SlimConfig,
     version: VersionId,
     files: &[FileId],
@@ -95,8 +104,12 @@ pub fn compact_sparse_containers(
     stats.sparse_containers = sparse.len() as u64;
 
     // Pass 2: move the useful chunks of sparse containers into fresh
-    // containers, remembering each chunk's new home.
+    // containers, remembering each chunk's new home. Deletion marks and
+    // index flips are deferred to after the intent record below, so no mark
+    // can become durable (e.g. via cache eviction) before the journal
+    // promises the repoint.
     let mut relocated: HashMap<Fingerprint, ContainerId> = reverse_relocations;
+    let mut moved: Vec<(ContainerId, Fingerprint, ContainerId)> = Vec::new();
     let mut builder: Option<ContainerBuilder> = None;
     let seal = |storage: &StorageLayer,
                 builder: &mut Option<ContainerBuilder>,
@@ -143,14 +156,26 @@ pub fn compact_sparse_containers(
             };
             b.push(entry.fp, payload);
             relocated.insert(entry.fp, b.id());
+            moved.push((container, entry.fp, b.id()));
             stats.chunks_moved += 1;
             stats.bytes_moved += entry.len as u64;
-            // Delete the sparse copy; the global index follows the move.
-            meta_cache.update(container, |m| m.mark_deleted(&entry.fp))?;
-            global.relocate(&entry.fp, b.id())?;
         }
     }
     seal(storage, &mut builder, &mut stats)?;
+
+    // Every compaction container is durable; promise the index flips, then
+    // delete the sparse copies and repoint the global index.
+    let repoint_seq = if moved.is_empty() {
+        None
+    } else {
+        Some(journal.record(&Intent::RepointIndex {
+            entries: moved.iter().map(|&(_, fp, dest)| (fp, dest)).collect(),
+        })?)
+    };
+    for &(source, fp, dest) in &moved {
+        meta_cache.update(source, |m| m.mark_deleted(&fp))?;
+        global.relocate(&fp, dest)?;
+    }
 
     // Pass 3: rewrite the current version's recipes to the new layout.
     for (file, mut recipe) in recipes {
@@ -180,12 +205,16 @@ pub fn compact_sparse_containers(
         stats.recipes_rewritten += 1;
     }
 
-    // Physically shrink the sparse containers we touched.
+    // Physically shrink the sparse containers we touched (each call is its
+    // own journaled two-phase rewrite).
     for &container in &sparse_sorted {
-        maybe_rewrite(storage, meta_cache, config, container, rd_stats)?;
+        maybe_rewrite(storage, global, meta_cache, journal, config, container, rd_stats)?;
     }
     meta_cache.flush()?;
     global.flush()?;
+    if let Some(seq) = repoint_seq {
+        journal.retire(seq)?;
+    }
     Ok((stats, sparse_sorted))
 }
 
@@ -204,6 +233,7 @@ mod tests {
         storage: StorageLayer,
         similar: SimilarFileIndex,
         global: GlobalIndex,
+        journal: Journal,
         config: SlimConfig,
     }
 
@@ -211,11 +241,13 @@ mod tests {
         let oss = Oss::in_memory();
         let storage = StorageLayer::open(Arc::new(oss.clone()));
         let global =
-            GlobalIndex::open_with(Arc::new(oss), RocksConfig::small_for_tests(), 4096).unwrap();
+            GlobalIndex::open_with(Arc::new(oss.clone()), RocksConfig::small_for_tests(), 4096)
+                .unwrap();
         Env {
             storage,
             similar: SimilarFileIndex::new(),
             global,
+            journal: Journal::open(Arc::new(oss)),
             config: SlimConfig::small_for_tests(),
         }
     }
@@ -256,10 +288,11 @@ mod tests {
         ) -> (SccStats, Vec<ContainerId>) {
             let mut cache = MetaCache::new(self.storage.clone(), 64);
             let mut rd = ReverseDedupStats::default();
-            compact_sparse_containers(
+            let out = compact_sparse_containers(
                 &self.storage,
                 &self.global,
                 &mut cache,
+                &self.journal,
                 &self.config,
                 VersionId(version),
                 files,
@@ -267,7 +300,12 @@ mod tests {
                 RelocationMap::new(),
                 &mut rd,
             )
-            .unwrap()
+            .unwrap();
+            assert!(
+                self.journal.is_empty(),
+                "a completed SCC pass must retire all of its intents"
+            );
+            out
         }
     }
 

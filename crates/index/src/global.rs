@@ -102,6 +102,54 @@ impl GlobalIndex {
         self.db.memtable_bytes()
     }
 
+    /// Integrity sweep over the LSM's persistent runs: verify every
+    /// SSTable's whole-object CRC32, quarantine corrupted ones, and retire
+    /// SSTable objects the durable manifest no longer references (leftovers
+    /// of a compaction whose post-flip deletes failed).
+    ///
+    /// Returns `(quarantined object keys, retired object count)`. Dropping a
+    /// corrupt run *loses* the fingerprint entries it held; callers must
+    /// re-derive them from container metadata (see `GNode::recover`). The
+    /// bloom filter is rebuilt whenever a run was dropped, so it never
+    /// over-promises against the shrunk index.
+    pub fn verify_and_repair(&self) -> Result<(Vec<String>, usize)> {
+        let quarantined = self.db.quarantine_corrupt_tables()?;
+        let retired = self.db.retire_unreferenced_tables()?;
+        if !quarantined.is_empty() {
+            self.rebuild_bloom()?;
+        }
+        Ok((quarantined, retired))
+    }
+
+    /// Delete every index entry pointing at one of `containers` (full scan;
+    /// offline use only). Returns the number of entries removed. Used when
+    /// corrupt containers are quarantined: an honest `ChunkUnresolvable`
+    /// beats a dangling pointer at an object that no longer decodes.
+    pub fn remove_references_to(
+        &self,
+        containers: &std::collections::HashSet<ContainerId>,
+    ) -> Result<u64> {
+        if containers.is_empty() {
+            return Ok(0);
+        }
+        let rows = self.db.scan_prefix(&[])?;
+        let mut removed = 0u64;
+        for (key, value) in &rows {
+            let arr: [u8; 8] = value
+                .as_slice()
+                .try_into()
+                .map_err(|_| slim_types::SlimError::corrupt("global index value", "bad length"))?;
+            if containers.contains(&ContainerId(u64::from_le_bytes(arr))) {
+                self.db.delete(key)?;
+                removed += 1;
+            }
+        }
+        if removed > 0 {
+            self.flush()?;
+        }
+        Ok(removed)
+    }
+
     /// Rebuild the resident bloom filter from the persistent state (called
     /// on open; the bloom is process state, not persisted).
     pub fn rebuild_bloom(&self) -> Result<()> {
@@ -216,6 +264,56 @@ mod tests {
             .referenced_containers()
             .unwrap()
             .contains(&ContainerId(9)));
+    }
+
+    #[test]
+    fn remove_references_to_unindexes_quarantined_containers() {
+        let oss = Oss::in_memory();
+        let idx = open_index(&oss);
+        idx.insert(&fp(1), ContainerId(5)).unwrap();
+        idx.insert(&fp(2), ContainerId(5)).unwrap();
+        idx.insert(&fp(3), ContainerId(9)).unwrap();
+        let doomed = std::collections::HashSet::from([ContainerId(5)]);
+        assert_eq!(idx.remove_references_to(&doomed).unwrap(), 2);
+        assert_eq!(idx.get(&fp(1)).unwrap(), None);
+        assert_eq!(idx.get(&fp(2)).unwrap(), None);
+        assert_eq!(idx.get(&fp(3)).unwrap(), Some(ContainerId(9)));
+        assert_eq!(idx.remove_references_to(&doomed).unwrap(), 0);
+    }
+
+    #[test]
+    fn verify_and_repair_quarantines_corrupt_runs() {
+        use slim_oss::ObjectStore;
+        let oss = Oss::in_memory();
+        let idx = open_index(&oss);
+        for b in 0..10u8 {
+            idx.insert(&fp(b), ContainerId(b as u64)).unwrap();
+        }
+        idx.flush().unwrap();
+        assert_eq!(idx.table_count(), 1);
+        assert_eq!(
+            idx.verify_and_repair().unwrap(),
+            (Vec::new(), 0),
+            "intact index passes clean"
+        );
+        let key = oss
+            .list(layout::GLOBAL_INDEX_PREFIX)
+            .into_iter()
+            .find(|k| k.contains("sst/"))
+            .unwrap();
+        let mut buf = oss.get(&key).unwrap().to_vec();
+        buf[3] ^= 0x40;
+        oss.put(&key, bytes::Bytes::from(buf)).unwrap();
+        let (quarantined, retired) = idx.verify_and_repair().unwrap();
+        assert_eq!(quarantined, vec![key.clone()]);
+        assert_eq!(retired, 0);
+        assert_eq!(idx.table_count(), 0);
+        assert!(oss.exists(&layout::quarantine_key(&key)).unwrap());
+        assert_eq!(
+            idx.get(&fp(1)).unwrap(),
+            None,
+            "entries of the dropped run read as absent until re-derived"
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@ use std::sync::Arc;
 use bytes::Bytes;
 use slim_oss::ObjectStore;
 use slim_types::{
-    layout, ContainerId, ContainerMeta, FileId, Recipe, RecipeIndex, Result, SegmentRecipe,
+    crc, layout, ContainerId, ContainerMeta, FileId, Recipe, RecipeIndex, Result, SegmentRecipe,
     SlimError, VersionId, VersionManifest,
 };
 
@@ -57,25 +57,33 @@ impl StorageLayer {
     }
 
     /// Persist a sealed container (data + metadata).
+    ///
+    /// Both objects carry a CRC32 trailer ([`crc::seal`]) so that corruption
+    /// is detected on read rather than silently restored. The trailer sits
+    /// *after* the payload, so chunk offsets recorded in recipes still address
+    /// the data object directly and range reads stay trailer-free.
     pub fn put_container(&self, data: Bytes, meta: &ContainerMeta) -> Result<()> {
-        self.oss.put(&layout::container_data(meta.id), data)?;
+        self.oss
+            .put(&layout::container_data(meta.id), crc::seal(&data))?;
         self.put_container_meta(meta)
     }
 
     /// Persist only a container's metadata (deletion marks etc.).
     pub fn put_container_meta(&self, meta: &ContainerMeta) -> Result<()> {
         self.oss
-            .put(&layout::container_meta(meta.id), meta.encode())
+            .put(&layout::container_meta(meta.id), crc::seal(&meta.encode()))
     }
 
-    /// Read a container's data object.
+    /// Read a container's data object, verifying its CRC32 trailer.
     pub fn get_container_data(&self, id: ContainerId) -> Result<Bytes> {
-        self.oss
+        let buf = self
+            .oss
             .get(&layout::container_data(id))
             .map_err(|e| match e {
                 SlimError::ObjectNotFound(_) => SlimError::ContainerMissing(id.0),
                 other => other,
-            })
+            })?;
+        crc::unseal(&buf, "container data")
     }
 
     /// Read a byte range of a container's data object.
@@ -93,11 +101,10 @@ impl StorageLayer {
             .get_many(&keys)
             .into_iter()
             .zip(ids)
-            .map(|(r, id)| {
-                r.map_err(|e| match e {
-                    SlimError::ObjectNotFound(_) => SlimError::ContainerMissing(id.0),
-                    other => other,
-                })
+            .map(|(r, id)| match r {
+                Ok(buf) => crc::unseal(&buf, "container data"),
+                Err(SlimError::ObjectNotFound(_)) => Err(SlimError::ContainerMissing(id.0)),
+                Err(other) => Err(other),
             })
             .collect()
     }
@@ -113,14 +120,14 @@ impl StorageLayer {
             .into_iter()
             .zip(ids)
             .map(|(r, id)| match r {
-                Ok(buf) => ContainerMeta::decode(&buf),
+                Ok(buf) => ContainerMeta::decode(&crc::unseal(&buf, "container meta")?),
                 Err(SlimError::ObjectNotFound(_)) => Err(SlimError::ContainerMissing(id.0)),
                 Err(other) => Err(other),
             })
             .collect()
     }
 
-    /// Read a container's metadata.
+    /// Read a container's metadata, verifying its CRC32 trailer.
     pub fn get_container_meta(&self, id: ContainerId) -> Result<ContainerMeta> {
         let buf = self
             .oss
@@ -129,7 +136,7 @@ impl StorageLayer {
                 SlimError::ObjectNotFound(_) => SlimError::ContainerMissing(id.0),
                 other => other,
             })?;
-        ContainerMeta::decode(&buf)
+        ContainerMeta::decode(&crc::unseal(&buf, "container meta")?)
     }
 
     /// Whether a container still exists.
@@ -310,6 +317,37 @@ mod tests {
     }
 
     #[test]
+    fn corrupted_container_objects_are_detected_on_read() {
+        let (oss, s) = layer();
+        let id = s.allocate_container_id();
+        let mut b = ContainerBuilder::new(id, 1024);
+        b.push(fp(5), &[7u8; 64]);
+        let (data, meta) = b.seal();
+        s.put_container(data, &meta).unwrap();
+        for key in [layout::container_data(id), layout::container_meta(id)] {
+            let mut buf = oss.get(&key).unwrap().to_vec();
+            buf[0] ^= 0x01;
+            oss.put(&key, Bytes::from(buf)).unwrap();
+        }
+        assert!(matches!(
+            s.get_container_data(id),
+            Err(SlimError::Corrupt { .. })
+        ));
+        assert!(matches!(
+            s.get_container_meta(id),
+            Err(SlimError::Corrupt { .. })
+        ));
+        assert!(matches!(
+            s.get_container_data_many(&[id])[0],
+            Err(SlimError::Corrupt { .. })
+        ));
+        assert!(matches!(
+            s.get_container_meta_many(&[id])[0],
+            Err(SlimError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
     fn id_allocator_recovers_after_reopen() {
         let (oss, s) = layer();
         let a = s.allocate_container_id();
@@ -376,7 +414,8 @@ mod tests {
         let mut b = ContainerBuilder::new(id, 1024);
         b.push(fp(3), &[0u8; 200]);
         let (data, meta) = b.seal();
-        let expect = data.len() as u64 + meta.encode().len() as u64;
+        let expect =
+            data.len() as u64 + meta.encode().len() as u64 + 2 * crc::CRC_TRAILER_LEN as u64;
         s.put_container(data, &meta).unwrap();
         assert_eq!(s.container_store_bytes().unwrap(), expect);
     }

@@ -47,6 +47,25 @@ pub enum FaultPlan {
     /// Inject `delay` on every operation whose key starts with `prefix`;
     /// the operation itself succeeds — the slow-request model.
     Latency { prefix: String, delay: Duration },
+    /// Corrupt the payload of every *read* whose key starts with `prefix`:
+    /// the operation succeeds but returns mangled bytes — the bit-rot /
+    /// torn-object model. Non-read operations are unaffected. The corruption
+    /// site is drawn deterministically from `seed` and the per-plan
+    /// operation ordinal, so schedules replay exactly.
+    CorruptRead {
+        prefix: String,
+        kind: CorruptionKind,
+        seed: u64,
+    },
+}
+
+/// How a [`FaultPlan::CorruptRead`] plan mangles a read payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptionKind {
+    /// Flip one bit at a seeded position.
+    BitFlip,
+    /// Drop a seeded number of trailing bytes (at least one).
+    Truncate,
 }
 
 /// Error class an armed plan assigns to a failed operation.
@@ -67,12 +86,44 @@ pub struct FaultDecision {
     pub delay: Duration,
     /// Failure to inject, if any.
     pub error: Option<FaultErrorKind>,
+    /// Payload corruption to apply if the operation is a read, if any.
+    pub corruption: Option<Corruption>,
+}
+
+/// A concrete corruption draw for one read: the kind plus a seeded salt
+/// that picks the bit/byte position within the payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Corruption {
+    pub kind: CorruptionKind,
+    pub salt: u64,
+}
+
+impl Corruption {
+    /// Mangle `buf` in place. A bit flip targets a salted bit; a truncation
+    /// drops a salted number of trailing bytes (at least one). Empty
+    /// payloads are returned unchanged — there is nothing to corrupt.
+    pub fn apply(&self, buf: &mut Vec<u8>) {
+        if buf.is_empty() {
+            return;
+        }
+        match self.kind {
+            CorruptionKind::BitFlip => {
+                let bit = (self.salt as usize) % (buf.len() * 8);
+                buf[bit / 8] ^= 1 << (bit % 8);
+            }
+            CorruptionKind::Truncate => {
+                let drop = 1 + (self.salt as usize) % buf.len();
+                buf.truncate(buf.len() - drop);
+            }
+        }
+    }
 }
 
 impl FaultDecision {
     const ALLOW: FaultDecision = FaultDecision {
         delay: Duration::ZERO,
         error: None,
+        corruption: None,
     };
 }
 
@@ -114,6 +165,7 @@ impl FaultState {
         }
         let mut delay = Duration::ZERO;
         let mut error = None;
+        let mut corruption = None;
         let mut i = 0;
         while i < guard.len() {
             let armed = &mut guard[i];
@@ -160,6 +212,18 @@ impl FaultState {
                     }
                     None
                 }
+                FaultPlan::CorruptRead { prefix, kind, seed } => {
+                    if key.starts_with(prefix.as_str()) {
+                        armed.seen += 1;
+                        if corruption.is_none() {
+                            corruption = Some(Corruption {
+                                kind: *kind,
+                                salt: splitmix64(seed.wrapping_add(armed.seen)),
+                            });
+                        }
+                    }
+                    None
+                }
             };
             if error.is_none() {
                 error = fired;
@@ -170,7 +234,11 @@ impl FaultState {
                 i += 1;
             }
         }
-        FaultDecision { delay, error }
+        FaultDecision {
+            delay,
+            error,
+            corruption,
+        }
     }
 }
 
@@ -314,6 +382,45 @@ mod tests {
         );
         let fourth = st.decide("k");
         assert_eq!(fourth.error, Some(FaultErrorKind::Throttled));
+    }
+
+    #[test]
+    fn corrupt_read_plan_mangles_deterministically() {
+        let st = FaultState::default();
+        st.arm(FaultPlan::CorruptRead {
+            prefix: "containers/".into(),
+            kind: CorruptionKind::BitFlip,
+            seed: 11,
+        });
+        let d = st.decide("containers/1/data");
+        assert_eq!(d.error, None, "corruption succeeds the op");
+        let c = d.corruption.expect("matching prefix corrupts");
+        let mut a = vec![0u8; 32];
+        let mut b = vec![0u8; 32];
+        c.apply(&mut a);
+        c.apply(&mut b);
+        assert_eq!(a, b, "same draw, same damage");
+        assert_eq!(a.iter().filter(|&&x| x != 0).count(), 1, "one bit flipped");
+        assert_eq!(
+            st.decide("recipes/a").corruption,
+            None,
+            "prefix-filtered"
+        );
+        // Truncation drops at least one byte and never empties more than
+        // the payload.
+        let st = FaultState::default();
+        st.arm(FaultPlan::CorruptRead {
+            prefix: String::new(),
+            kind: CorruptionKind::Truncate,
+            seed: 3,
+        });
+        let c = st.decide("k").corruption.unwrap();
+        let mut buf = vec![9u8; 16];
+        c.apply(&mut buf);
+        assert!(buf.len() < 16);
+        let mut empty: Vec<u8> = Vec::new();
+        c.apply(&mut empty);
+        assert!(empty.is_empty(), "empty payload unchanged");
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod rocks;
 pub mod store;
 
 pub use disk::LocalDiskOss;
-pub use fault::{FaultDecision, FaultErrorKind, FaultPlan};
+pub use fault::{Corruption, CorruptionKind, FaultDecision, FaultErrorKind, FaultPlan};
 pub use metrics::{MetricsSnapshot, OssMetrics};
 pub use namespace::NamespacedStore;
 pub use network::NetworkModel;

@@ -51,6 +51,11 @@ pub struct OssMetrics {
     /// Worker fan-out per batched call: how many of the network model's
     /// channels the batch actually saturates (`oss.batch.fanout`).
     pub batch_fanout: Histogram,
+    /// Read payloads mangled by an armed [`crate::FaultPlan::CorruptRead`]
+    /// plan (`oss.corruption.injected`). Like the batch counters, kept out
+    /// of [`MetricsSnapshot`]: corruption is a test-plane concern, not OSS
+    /// traffic.
+    pub corruptions: Counter,
 }
 
 impl OssMetrics {
@@ -84,6 +89,7 @@ impl OssMetrics {
             batch_items: scope.counter("batch.items"),
             batch_size: scope.histogram("batch.size"),
             batch_fanout: scope.histogram("batch.fanout"),
+            corruptions: scope.counter("corruption.injected"),
         }
     }
 
@@ -124,6 +130,10 @@ impl OssMetrics {
 
     pub(crate) fn record_injected_fault(&self) {
         self.injected_faults.inc();
+    }
+
+    pub(crate) fn record_injected_corruption(&self) {
+        self.corruptions.inc();
     }
 
     pub(crate) fn record_injected_delay(&self, delay: Duration) {

@@ -478,6 +478,50 @@ mod tests {
     }
 
     #[test]
+    fn corrupt_errors_are_not_retried() {
+        // Corruption is durable state, not a transient fault: re-issuing the
+        // request downloads the same damaged object. The wrapper must
+        // surface `SlimError::Corrupt` on the first attempt and leave
+        // healing to the G-node's quarantine/recovery plane.
+        struct AlwaysCorrupt;
+        impl ObjectStore for AlwaysCorrupt {
+            fn put(&self, _: &str, _: Bytes) -> Result<()> {
+                Ok(())
+            }
+            fn get(&self, key: &str) -> Result<Bytes> {
+                Err(SlimError::corrupt("get", format!("bad checksum on {key}")))
+            }
+            fn get_range(&self, key: &str, _: u64, _: u64) -> Result<Bytes> {
+                Err(SlimError::corrupt("get_range", format!("bad checksum on {key}")))
+            }
+            fn delete(&self, _: &str) -> Result<()> {
+                Ok(())
+            }
+            fn exists(&self, _: &str) -> Result<bool> {
+                Ok(true)
+            }
+            fn len(&self, _: &str) -> Result<Option<u64>> {
+                Ok(None)
+            }
+            fn list(&self, _: &str) -> Vec<String> {
+                Vec::new()
+            }
+        }
+        let store = RetryingStore::new(Arc::new(AlwaysCorrupt), RetryPolicy::no_delay(8));
+        assert!(matches!(
+            store.get("containers/1/data"),
+            Err(SlimError::Corrupt { .. })
+        ));
+        let results = store.get_many(&["a".into(), "b".into()]);
+        assert!(results
+            .iter()
+            .all(|r| matches!(r, Err(SlimError::Corrupt { .. }))));
+        assert_eq!(store.retry_metrics().retries(), 0, "never retried");
+        assert_eq!(store.retry_metrics().attempts(), 3, "one attempt per item");
+        assert_eq!(store.retry_metrics().giveups(), 0);
+    }
+
+    #[test]
     fn deadline_bounds_total_time() {
         let oss = Oss::in_memory();
         oss.put("k", Bytes::from_static(b"v")).unwrap();

@@ -12,20 +12,24 @@
 //! * reads consult the memtable, then tables newest-to-oldest;
 //! * **size-tiered compaction** merges all tables into one when the run
 //!   count exceeds a threshold, dropping tombstones and shadowed versions;
-//! * a **MANIFEST** object makes the store reopenable.
+//! * a **MANIFEST** object makes the store reopenable;
+//! * every SSTable object carries a whole-object **CRC32** in its trailer,
+//!   verified by [`RocksOss::quarantine_corrupt_tables`] — point reads are
+//!   range reads and cannot check it, so integrity is a sweep, not a
+//!   per-read cost.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 use std::sync::Arc;
 
 use parking_lot::Mutex;
 use slim_types::bloom::{hash_bytes, BloomFilter};
 use slim_types::codec::{Reader, Writer};
-use slim_types::{Result, SlimError};
+use slim_types::{crc, layout, Result, SlimError};
 
 use crate::store::ObjectStore;
 
 const SST_MAGIC: &[u8; 4] = b"SLST";
-const SST_VERSION: u8 = 1;
+const SST_VERSION: u8 = 2;
 const MANIFEST_MAGIC: &[u8; 4] = b"SLMF";
 const MANIFEST_VERSION: u8 = 1;
 
@@ -376,11 +380,67 @@ impl RocksOss {
             inner.tables.push(handle);
         }
         self.persist_manifest(inner)?;
+        // The manifest flip above is the commit point: the inputs are dead
+        // the moment it lands. Deleting them is garbage collection, so a
+        // failed delete must not fail a compaction that already succeeded —
+        // stragglers sit unreferenced until `retire_unreferenced_tables`
+        // sweeps them on recovery.
         let dead: Vec<String> = old.into_iter().map(|t| t.object_key).collect();
+        let _ = self.oss.delete_many(&dead);
+        Ok(())
+    }
+
+    /// Delete SSTable objects under this store's prefix that the durable
+    /// manifest no longer references — leftovers of a compaction whose
+    /// post-flip deletes failed. Returns how many objects were retired.
+    pub fn retire_unreferenced_tables(&self) -> Result<usize> {
+        let inner = self.inner.lock();
+        let live: HashSet<&str> = inner.tables.iter().map(|t| t.object_key.as_str()).collect();
+        let sst_prefix = format!("{}sst/", self.prefix);
+        let dead: Vec<String> = self
+            .oss
+            .list(&sst_prefix)
+            .into_iter()
+            .filter(|k| !live.contains(k.as_str()))
+            .collect();
         for result in self.oss.delete_many(&dead) {
             result?;
         }
-        Ok(())
+        Ok(dead.len())
+    }
+
+    /// Verify the whole-object CRC32 of every live SSTable.
+    ///
+    /// Corrupted (or missing) tables are dropped from the table set, the
+    /// manifest is re-persisted without them, and the damaged bytes are
+    /// parked under [`layout::QUARANTINE_PREFIX`] for forensics. Returns the
+    /// original object keys of every quarantined table; the entries they
+    /// held are *lost* from the index and the caller is expected to
+    /// re-derive them from primary data (container metadata).
+    pub fn quarantine_corrupt_tables(&self) -> Result<Vec<String>> {
+        let mut inner = self.inner.lock();
+        let keys: Vec<String> = inner.tables.iter().map(|t| t.object_key.clone()).collect();
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut bad = Vec::new();
+        for (key, object) in keys.iter().zip(self.oss.get_many(&keys)) {
+            match object {
+                Ok(buf) if sst_object_intact(&buf) => {}
+                Ok(buf) => {
+                    self.oss.put(&layout::quarantine_key(key), buf)?;
+                    self.oss.delete(key)?;
+                    bad.push(key.clone());
+                }
+                Err(SlimError::ObjectNotFound(_)) => bad.push(key.clone()),
+                Err(e) => return Err(e),
+            }
+        }
+        if !bad.is_empty() {
+            inner.tables.retain(|t| !bad.contains(&t.object_key));
+            self.persist_manifest(&inner)?;
+        }
+        Ok(bad)
     }
 
     fn persist_manifest(&self, inner: &Inner) -> Result<()> {
@@ -396,8 +456,11 @@ impl RocksOss {
 
     /// Serialize sorted entries into an SSTable object and return its handle.
     ///
-    /// Layout: entries region | footer | u64 footer_offset.
+    /// Layout: entries region | footer | u32 crc32 | u64 footer_offset.
     /// Footer: header | min/max key | entry spans of sparse index | bloom.
+    /// The CRC covers everything before the 12-byte trailer; the trailing
+    /// footer offset itself is validated structurally on load (bounds check
+    /// plus footer magic), since the CRC cannot cover bytes written after it.
     fn write_table(&self, id: u64, entries: &[(Vec<u8>, Option<Vec<u8>>)]) -> Result<SstHandle> {
         debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
         let mut body = Writer::new();
@@ -426,9 +489,11 @@ impl RocksOss {
 
         let body = body.freeze();
         let footer = footer.freeze();
-        let mut object = bytes::BytesMut::with_capacity(body.len() + footer.len() + 8);
+        let mut object = bytes::BytesMut::with_capacity(body.len() + footer.len() + 12);
         object.extend_from_slice(&body);
         object.extend_from_slice(&footer);
+        let checksum = crc::crc32(&object);
+        object.extend_from_slice(&checksum.to_le_bytes());
         object.extend_from_slice(&entries_end.to_le_bytes());
         let object_key = self.table_key(id);
         self.oss.put(&object_key, object.freeze())?;
@@ -457,7 +522,7 @@ impl RocksOss {
         let mut totals = Vec::with_capacity(ids.len());
         for (key, total) in keys.iter().zip(self.oss.len_many(&keys)) {
             let total = total?.ok_or_else(|| SlimError::ObjectNotFound(key.clone()))?;
-            if total < 8 {
+            if total < 12 {
                 return Err(SlimError::corrupt("sstable", "object too small"));
             }
             totals.push(total);
@@ -479,7 +544,7 @@ impl RocksOss {
                 .try_into()
                 .map_err(|_| SlimError::corrupt("sstable", "short footer length word"))?;
             let entries_end = u64::from_le_bytes(tail);
-            if entries_end > total - 8 {
+            if entries_end > total - 12 {
                 return Err(SlimError::corrupt("sstable", "bad footer offset"));
             }
             entries_ends.push(entries_end);
@@ -488,7 +553,7 @@ impl RocksOss {
             .iter()
             .zip(&totals)
             .zip(&entries_ends)
-            .map(|((key, total), end)| (key.clone(), *end, total - 8 - end))
+            .map(|((key, total), end)| (key.clone(), *end, total - 12 - end))
             .collect();
         let footers = self.oss.get_range_many(&footer_ranges);
         let mut handles = Vec::with_capacity(ids.len());
@@ -499,6 +564,19 @@ impl RocksOss {
         }
         Ok(handles)
     }
+}
+
+/// Whole-object SSTable integrity check: the stored CRC32 must match the
+/// bytes before the 12-byte trailer, and the trailing footer offset must
+/// stay inside them. Truncation, bit flips and short objects all fail here.
+fn sst_object_intact(buf: &[u8]) -> bool {
+    if buf.len() < 12 {
+        return false;
+    }
+    let crc_at = buf.len() - 12;
+    let stored = u32::from_le_bytes(buf[crc_at..crc_at + 4].try_into().unwrap());
+    let entries_end = u64::from_le_bytes(buf[buf.len() - 8..].try_into().unwrap());
+    entries_end <= crc_at as u64 && crc::crc32(&buf[..crc_at]) == stored
 }
 
 /// Parse an SSTable footer region into a handle.
@@ -753,6 +831,92 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn compaction_survives_failed_input_deletes_and_recovery_retires_them() {
+        // Regression: a failed delete of a dead input table used to fail the
+        // whole compaction, even though the merged run and its manifest were
+        // already durable — and the undeleted object leaked forever.
+        let oss = Oss::in_memory();
+        let store: Arc<dyn ObjectStore> = Arc::new(oss.clone());
+        let db = RocksOss::create(store, "r/", RocksConfig::small_for_tests());
+        for t in 0..2u32 {
+            for i in 0..10u32 {
+                db.put(format!("t{t}k{i}").as_bytes(), b"v").unwrap();
+            }
+            db.flush().unwrap();
+        }
+        assert_eq!(db.table_count(), 2);
+        // Ops on the sst prefix during compact: 2 input reads, 1 merged-run
+        // write, then the input deletes. Fail the first delete.
+        oss.inject_fault(crate::fault::FaultPlan::NthOnPrefix {
+            prefix: "r/sst/".into(),
+            nth: 4,
+        });
+        db.compact().unwrap();
+        oss.clear_faults();
+        assert_eq!(db.table_count(), 1);
+        // The undeleted input is unreferenced by the durable manifest; the
+        // recovery sweep retires it.
+        assert_eq!(oss.list("r/sst/").len(), 2);
+        assert_eq!(db.retire_unreferenced_tables().unwrap(), 1);
+        assert_eq!(oss.list("r/sst/").len(), 1);
+        assert_eq!(db.retire_unreferenced_tables().unwrap(), 0, "idempotent");
+        for t in 0..2u32 {
+            for i in 0..10u32 {
+                assert_eq!(
+                    db.get(format!("t{t}k{i}").as_bytes()).unwrap(),
+                    Some(b"v".to_vec())
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_sstable_is_quarantined_not_served() {
+        let oss = Oss::in_memory();
+        let store: Arc<dyn ObjectStore> = Arc::new(oss.clone());
+        let db = RocksOss::create(store, "q/", RocksConfig::small_for_tests());
+        for i in 0..20u32 {
+            db.put(format!("k{i:02}").as_bytes(), b"v").unwrap();
+        }
+        db.flush().unwrap();
+        assert_eq!(db.table_count(), 1);
+        assert_eq!(
+            db.quarantine_corrupt_tables().unwrap(),
+            Vec::<String>::new(),
+            "intact table passes the sweep"
+        );
+        let key = oss.list("q/sst/")[0].clone();
+        let mut buf = oss.get(&key).unwrap().to_vec();
+        buf[10] ^= 0x10;
+        oss.put(&key, bytes::Bytes::from(buf)).unwrap();
+        let bad = db.quarantine_corrupt_tables().unwrap();
+        assert_eq!(bad, vec![key.clone()]);
+        assert_eq!(db.table_count(), 0);
+        assert!(oss.exists(&layout::quarantine_key(&key)).unwrap());
+        assert!(!oss.exists(&key).unwrap());
+        // The drop is durable: a reopen agrees.
+        let db2 = RocksOss::open(Arc::new(oss), "q/", RocksConfig::small_for_tests()).unwrap();
+        assert_eq!(db2.table_count(), 0);
+        assert_eq!(db2.get(b"k00").unwrap(), None);
+    }
+
+    #[test]
+    fn truncated_sstable_fails_the_integrity_sweep() {
+        let oss = Oss::in_memory();
+        let store: Arc<dyn ObjectStore> = Arc::new(oss.clone());
+        let db = RocksOss::create(store, "t/", RocksConfig::small_for_tests());
+        for i in 0..10u32 {
+            db.put(format!("k{i}").as_bytes(), b"v").unwrap();
+        }
+        db.flush().unwrap();
+        let key = oss.list("t/sst/")[0].clone();
+        let buf = oss.get(&key).unwrap();
+        oss.put(&key, buf.slice(..buf.len() - 3)).unwrap();
+        assert_eq!(db.quarantine_corrupt_tables().unwrap(), vec![key]);
+        assert_eq!(db.table_count(), 0);
     }
 
     #[test]

@@ -26,7 +26,7 @@ use bytes::Bytes;
 use parking_lot::{Mutex, RwLock};
 use slim_types::{Result, SlimError};
 
-use crate::fault::{FaultDecision, FaultErrorKind, FaultPlan, FaultState};
+use crate::fault::{Corruption, FaultDecision, FaultErrorKind, FaultPlan, FaultState};
 use crate::metrics::OssMetrics;
 use crate::network::{ChannelPool, NetworkModel};
 
@@ -250,6 +250,25 @@ impl Oss {
         self.apply_fault(op, key, decision)
     }
 
+    /// Like [`Oss::check_fault`], but hands back any payload corruption the
+    /// decision carries so read paths can apply it to the returned bytes.
+    fn check_read_fault(&self, op: &str, key: &str) -> Result<Option<Corruption>> {
+        let decision = self.inner.faults.decide(key);
+        self.apply_fault(op, key, decision)?;
+        Ok(decision.corruption)
+    }
+
+    /// Apply an injected read corruption (if any) to an outgoing payload.
+    fn mangle(&self, value: Bytes, corruption: Option<Corruption>) -> Bytes {
+        let Some(corruption) = corruption else {
+            return value;
+        };
+        let mut buf = value.to_vec();
+        corruption.apply(&mut buf);
+        self.inner.metrics.record_injected_corruption();
+        Bytes::from(buf)
+    }
+
     /// Charge latency + transfer time for `bytes`, bounded by channel
     /// availability; returns elapsed wall time.
     fn charge(&self, bytes: u64) -> std::time::Duration {
@@ -263,7 +282,7 @@ impl Oss {
         start.elapsed()
     }
 
-    fn get_after_fault(&self, key: &str) -> Result<Bytes> {
+    fn get_after_fault(&self, key: &str, corruption: Option<Corruption>) -> Result<Bytes> {
         let value = self
             .inner
             .objects
@@ -271,12 +290,19 @@ impl Oss {
             .get(key)
             .cloned()
             .ok_or_else(|| SlimError::ObjectNotFound(key.to_string()))?;
+        let value = self.mangle(value, corruption);
         let elapsed = self.charge(value.len() as u64);
         self.inner.metrics.record_get(value.len() as u64, elapsed);
         Ok(value)
     }
 
-    fn get_range_after_fault(&self, key: &str, start: u64, len: u64) -> Result<Bytes> {
+    fn get_range_after_fault(
+        &self,
+        key: &str,
+        start: u64,
+        len: u64,
+        corruption: Option<Corruption>,
+    ) -> Result<Bytes> {
         let value = self
             .inner
             .objects
@@ -297,7 +323,7 @@ impl Oss {
                 len: value.len() as u64,
             });
         };
-        let slice = value.slice(start as usize..end as usize);
+        let slice = self.mangle(value.slice(start as usize..end as usize), corruption);
         let elapsed = self.charge(slice.len() as u64);
         self.inner.metrics.record_get(slice.len() as u64, elapsed);
         Ok(slice)
@@ -326,7 +352,7 @@ impl Oss {
         op: &str,
         items: &[I],
         key_of: impl Fn(&I) -> &str + Sync,
-        exec: impl Fn(&I) -> Result<T> + Sync,
+        exec: impl Fn(&I, Option<Corruption>) -> Result<T> + Sync,
     ) -> Vec<Result<T>>
     where
         I: Sync,
@@ -351,7 +377,7 @@ impl Oss {
                 .zip(&decisions)
                 .map(|(item, decision)| {
                     self.apply_fault(op, key_of(item), *decision)?;
-                    exec(item)
+                    exec(item, decision.corruption)
                 })
                 .collect();
         }
@@ -367,7 +393,7 @@ impl Oss {
                     let item = &items[i];
                     let result = self
                         .apply_fault(op, key_of(item), decisions[i])
-                        .and_then(|()| exec(item));
+                        .and_then(|()| exec(item, decisions[i].corruption));
                     *slots[i].lock() = Some(result);
                 });
             }
@@ -389,13 +415,13 @@ impl ObjectStore for Oss {
     }
 
     fn get(&self, key: &str) -> Result<Bytes> {
-        self.check_fault("get", key)?;
-        self.get_after_fault(key)
+        let corruption = self.check_read_fault("get", key)?;
+        self.get_after_fault(key, corruption)
     }
 
     fn get_range(&self, key: &str, start: u64, len: u64) -> Result<Bytes> {
-        self.check_fault("get", key)?;
-        self.get_range_after_fault(key, start, len)
+        let corruption = self.check_read_fault("get", key)?;
+        self.get_range_after_fault(key, start, len, corruption)
     }
 
     fn delete(&self, key: &str) -> Result<()> {
@@ -414,7 +440,12 @@ impl ObjectStore for Oss {
     }
 
     fn get_many(&self, keys: &[String]) -> Vec<Result<Bytes>> {
-        self.run_batch("get", keys, |k| k.as_str(), |k| self.get_after_fault(k))
+        self.run_batch(
+            "get",
+            keys,
+            |k| k.as_str(),
+            |k, corruption| self.get_after_fault(k, corruption),
+        )
     }
 
     fn get_range_many(&self, ranges: &[(String, u64, u64)]) -> Vec<Result<Bytes>> {
@@ -422,12 +453,19 @@ impl ObjectStore for Oss {
             "get",
             ranges,
             |(key, _, _)| key.as_str(),
-            |(key, start, len)| self.get_range_after_fault(key, *start, *len),
+            |(key, start, len), corruption| {
+                self.get_range_after_fault(key, *start, *len, corruption)
+            },
         )
     }
 
     fn len_many(&self, keys: &[String]) -> Vec<Result<Option<u64>>> {
-        self.run_batch("head", keys, |k| k.as_str(), |k| self.len_after_fault(k))
+        self.run_batch(
+            "head",
+            keys,
+            |k| k.as_str(),
+            |k, _| self.len_after_fault(k),
+        )
     }
 
     fn delete_many(&self, keys: &[String]) -> Vec<Result<()>> {
@@ -435,7 +473,7 @@ impl ObjectStore for Oss {
             "delete",
             keys,
             |k| k.as_str(),
-            |k| self.delete_after_fault(k),
+            |k, _| self.delete_after_fault(k),
         )
     }
 
@@ -758,6 +796,50 @@ mod tests {
         let hist = oss.metrics().batch_fanout.snapshot();
         assert_eq!(hist.max, 4, "fan-out honors the knob");
         assert_eq!(oss.metrics().batch_items.get(), 8);
+    }
+
+    #[test]
+    fn corrupt_read_fault_mangles_payload_and_counts() {
+        use crate::fault::CorruptionKind;
+        let oss = Oss::in_memory();
+        let payload = Bytes::from(vec![0u8; 64]);
+        oss.put("containers/1/data", payload.clone()).unwrap();
+        oss.inject_fault(FaultPlan::CorruptRead {
+            prefix: "containers/".into(),
+            kind: CorruptionKind::BitFlip,
+            seed: 42,
+        });
+        let got = oss.get("containers/1/data").unwrap();
+        assert_ne!(got, payload, "bit flip must alter the payload");
+        assert_eq!(got.len(), payload.len());
+        // Writes and non-matching reads are unaffected.
+        oss.put("recipes/a", Bytes::from_static(b"ok")).unwrap();
+        assert_eq!(oss.get("recipes/a").unwrap(), Bytes::from_static(b"ok"));
+        // Range reads are corrupted too.
+        let range = oss.get_range("containers/1/data", 0, 16).unwrap();
+        assert_eq!(range.len(), 16);
+        // Batched reads draw from the same decision stream.
+        let keys = vec!["containers/1/data".to_string()];
+        let batched = oss.get_many(&keys);
+        assert_ne!(batched[0].as_ref().unwrap(), &payload);
+        assert!(oss.metrics().corruptions.get() >= 2);
+        oss.clear_faults();
+        assert_eq!(oss.get("containers/1/data").unwrap(), payload);
+    }
+
+    #[test]
+    fn truncating_corruption_shortens_reads() {
+        use crate::fault::CorruptionKind;
+        let oss = Oss::in_memory();
+        oss.put("k", Bytes::from(vec![7u8; 32])).unwrap();
+        oss.inject_fault(FaultPlan::CorruptRead {
+            prefix: String::new(),
+            kind: CorruptionKind::Truncate,
+            seed: 5,
+        });
+        let got = oss.get("k").unwrap();
+        assert!(got.len() < 32, "truncation drops at least one byte");
+        assert!(got.iter().all(|&b| b == 7), "prefix bytes intact");
     }
 
     #[test]

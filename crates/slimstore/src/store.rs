@@ -4,7 +4,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
-use slim_gnode::{GNode, GNodeCycleStats, OrphanScrubStats};
+use slim_gnode::{GNode, GNodeCycleStats, IntegrityReport, OrphanScrubStats, RecoveryReport};
 use slim_index::{GlobalIndex, SimilarFileIndex};
 use slim_lnode::node::ChunkerKind;
 use slim_lnode::restore::RestoreOptions;
@@ -139,6 +139,10 @@ impl SlimStoreBuilder {
         if enabled {
             gnode = gnode.with_telemetry(registry.scope("gnode"));
         }
+        // A maintenance pass killed mid-flight leaves intents in the G-node
+        // journal; replay them before serving any request so the index and
+        // container set are consistent from the first operation.
+        gnode.recover()?;
         let next_version = storage.list_versions().last().map(|v| v.0 + 1).unwrap_or(0);
         Ok(SlimStore {
             oss,
@@ -434,6 +438,21 @@ impl SlimStore {
     /// reclaims nothing.
     pub fn scrub_orphans(&self) -> Result<OrphanScrubStats> {
         self.gnode.scrub_orphans()
+    }
+
+    /// Replay any outstanding G-node maintenance intents (also done
+    /// automatically by [`SlimStoreBuilder::build`]). Idempotent; a clean
+    /// deployment returns a report with every count zero.
+    pub fn recover(&self) -> Result<RecoveryReport> {
+        self.gnode.recover()
+    }
+
+    /// Payload-level integrity sweep: verify the CRC framing of every
+    /// container data/meta object, quarantine corrupted ones, and drop
+    /// global-index references to them so reads fail loudly
+    /// ([`SlimError::ChunkUnresolvable`]) instead of returning bad bytes.
+    pub fn verify_checksums(&self) -> Result<IntegrityReport> {
+        self.gnode.verify_checksums()
     }
 
     /// Integrity scrub: check that every record of every retained version

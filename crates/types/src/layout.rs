@@ -57,6 +57,28 @@ pub const RECIPE_PREFIX: &str = "recipes/";
 /// Prefix of all recipe-index objects.
 pub const RECIPE_INDEX_PREFIX: &str = "recipe-index/";
 
+/// Prefix of the G-node maintenance intent journal.
+pub const JOURNAL_PREFIX: &str = "gnode-journal/";
+
+/// Prefix under which corrupted objects are parked for offline forensics.
+pub const QUARANTINE_PREFIX: &str = "quarantine/";
+
+/// Key of intent-journal record `seq`.
+pub fn journal_intent(seq: u64) -> String {
+    format!("{JOURNAL_PREFIX}{seq:012}")
+}
+
+/// Parse the sequence number out of a `gnode-journal/{:012}` key.
+pub fn parse_journal_seq(key: &str) -> Option<u64> {
+    key.strip_prefix(JOURNAL_PREFIX)?.parse::<u64>().ok()
+}
+
+/// Quarantine key for a corrupted object: the original key, relocated under
+/// [`QUARANTINE_PREFIX`] so nothing in the live layout resolves to it.
+pub fn quarantine_key(original: &str) -> String {
+    format!("{QUARANTINE_PREFIX}{original}")
+}
+
 /// Parse the container id out of a `containers/{:012}/...` key.
 ///
 /// Returns `None` for keys outside the container prefix or with a malformed
@@ -124,6 +146,19 @@ mod tests {
         );
         assert_eq!(parse_recipe_version("versions/00000003"), None);
         assert_eq!(parse_recipe_version("recipes/odd"), None);
+    }
+
+    #[test]
+    fn journal_and_quarantine_keys() {
+        assert_eq!(journal_intent(7), "gnode-journal/000000000007");
+        assert_eq!(parse_journal_seq("gnode-journal/000000000007"), Some(7));
+        assert_eq!(parse_journal_seq("gnode-journal/xx"), None);
+        assert_eq!(parse_journal_seq("containers/000000000007/data"), None);
+        assert!(journal_intent(2) < journal_intent(10), "seqs sort textually");
+        assert_eq!(
+            quarantine_key("containers/000000000001/data"),
+            "quarantine/containers/000000000001/data"
+        );
     }
 
     #[test]

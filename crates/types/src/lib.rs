@@ -25,6 +25,7 @@ pub mod chunk;
 pub mod codec;
 pub mod config;
 pub mod container;
+pub mod crc;
 pub mod error;
 pub mod fingerprint;
 pub mod layout;

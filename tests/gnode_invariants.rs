@@ -3,9 +3,13 @@
 //! of any retained version, and the global index must always resolve every
 //! live recipe record.
 
+use std::collections::HashSet;
+use std::sync::Arc;
+
 use proptest::prelude::*;
 use slim_oss::rocks::RocksConfig;
-use slim_types::{FileId, SlimConfig, VersionId};
+use slim_oss::{FaultPlan, ObjectStore, Oss};
+use slim_types::{ContainerId, FileId, SlimConfig, VersionId};
 use slimstore::{SlimStore, SlimStoreBuilder};
 
 #[derive(Debug, Clone)]
@@ -51,6 +55,50 @@ fn store() -> SlimStore {
         .with_rocks_config(RocksConfig::small_for_tests())
         .build()
         .unwrap()
+}
+
+fn store_over(oss: Arc<dyn ObjectStore>) -> SlimStore {
+    SlimStoreBuilder::in_memory()
+        .with_object_store(oss)
+        .with_config(SlimConfig::small_for_tests())
+        .with_rocks_config(RocksConfig::small_for_tests())
+        .build()
+        .unwrap()
+}
+
+/// Every container the global index references must exist on OSS.
+fn assert_no_dangle(store: &SlimStore) -> std::result::Result<(), TestCaseError> {
+    let existing: HashSet<ContainerId> = store.storage().list_containers().into_iter().collect();
+    for c in store.gnode().global_index().referenced_containers().unwrap() {
+        prop_assert!(
+            existing.contains(&c),
+            "global index references deleted container {c}"
+        );
+    }
+    Ok(())
+}
+
+/// Every container on OSS must be referenced by the global index or be
+/// reachable from a retained version's manifest/recipes.
+fn assert_no_leak(store: &SlimStore) -> std::result::Result<(), TestCaseError> {
+    let mut reachable: HashSet<ContainerId> =
+        store.gnode().global_index().referenced_containers().unwrap();
+    for v in store.versions() {
+        let manifest = store.storage().get_manifest(v).unwrap();
+        reachable.extend(manifest.new_containers.iter().copied());
+        reachable.extend(manifest.garbage_on_delete.iter().copied());
+        for file in &manifest.files {
+            let recipe = store.storage().get_recipe(&file.file, v).unwrap();
+            reachable.extend(recipe.records().map(|r| r.container_id));
+        }
+    }
+    for c in store.storage().list_containers() {
+        prop_assert!(
+            reachable.contains(&c),
+            "container {c} is unreferenced by both index and manifests"
+        );
+    }
+    Ok(())
 }
 
 proptest! {
@@ -137,6 +185,60 @@ proptest! {
                     );
                 }
             }
+        }
+    }
+
+    /// Kill the offline cycle at an arbitrary OSS operation, recover, and
+    /// re-run it to completion: the global index must never reference a
+    /// deleted container (no dangle), every surviving container must be
+    /// referenced by the index or a manifest once orphans are scrubbed (no
+    /// leak), and every version must restore byte-identically throughout.
+    #[test]
+    fn killed_and_recovered_cycle_never_dangles_or_leaks(kill_point in 1..400u64) {
+        let oss = Oss::in_memory();
+        let mut files = base_files();
+        let mut retained: Vec<(VersionId, Vec<(FileId, Vec<u8>)>)> = Vec::new();
+        {
+            let store = store_over(Arc::new(oss.clone()));
+            for round in 0..3u64 {
+                let r = store.backup_version(files.clone()).unwrap();
+                retained.push((r.version, files.clone()));
+                if round < 2 {
+                    // Earlier cycles complete; the last one is the victim.
+                    store.run_gnode_cycle(r.version).unwrap();
+                }
+                for (i, (_, data)) in files.iter_mut().enumerate() {
+                    let at = (round as usize * 731 + i * 137) % (data.len() - 600);
+                    for b in &mut data[at..at + 600] {
+                        *b ^= 0x5A;
+                    }
+                }
+            }
+            oss.inject_fault(FaultPlan::NthOnPrefix {
+                prefix: String::new(),
+                nth: kill_point,
+            });
+            let _ = store.run_gnode_cycle(VersionId(2));
+            oss.clear_faults();
+        }
+
+        // Reopen: the builder replays the intent journal.
+        let store = store_over(Arc::new(oss.clone()));
+        assert_no_dangle(&store)?;
+        for (v, expected) in &retained {
+            store.verify_version(*v, expected).unwrap();
+        }
+
+        // Re-run the interrupted cycle to completion and scrub: the bucket
+        // must converge to a stable, fully referenced key set.
+        store.run_gnode_cycle(VersionId(2)).unwrap();
+        assert_no_dangle(&store)?;
+        store.scrub_orphans().unwrap();
+        let again = store.scrub_orphans().unwrap();
+        prop_assert_eq!(again.objects_reclaimed(), 0, "scrub must be idempotent");
+        assert_no_leak(&store)?;
+        for (v, expected) in &retained {
+            store.verify_version(*v, expected).unwrap();
         }
     }
 }
