@@ -140,7 +140,9 @@ pub fn collect_version(
     let seq = if doomed.is_empty() {
         None
     } else {
-        Some(journal.record(&Intent::DropContainers { ids: doomed.clone() })?)
+        Some(journal.record(&Intent::DropContainers {
+            ids: doomed.clone(),
+        })?)
     };
     storage.delete_containers(&doomed)?;
     stats.containers_deleted += doomed.len() as u64;
@@ -432,7 +434,10 @@ mod tests {
     #[test]
     fn collect_missing_version_errors() {
         let env = setup();
-        assert!(matches!(collect(&env, 0), Err(SlimError::VersionNotFound(0))));
+        assert!(matches!(
+            collect(&env, 0),
+            Err(SlimError::VersionNotFound(0))
+        ));
     }
 
     #[test]

@@ -38,7 +38,13 @@ pub enum Intent {
     /// Replay re-relocates each entry whose target container still holds a
     /// live copy — the marks on the old copies may be durable while the
     /// index update was lost with the memtable.
-    RepointIndex { entries: Vec<(Fingerprint, ContainerId)> },
+    RepointIndex {
+        entries: Vec<(Fingerprint, ContainerId)>,
+    },
+    /// Redundancy-plane objects (replicas, parity blocks, group manifests)
+    /// about to be dropped by a re-tier pass. Replay re-deletes; deletion is
+    /// idempotent, so a crash between record and delete rolls forward.
+    DropObjects { keys: Vec<String> },
 }
 
 impl Intent {
@@ -64,6 +70,13 @@ impl Intent {
                 for (fp, id) in entries {
                     w.fingerprint(fp);
                     w.u64(id.0);
+                }
+            }
+            Intent::DropObjects { keys } => {
+                w.u8(4);
+                w.u32(keys.len() as u32);
+                for key in keys {
+                    w.string(key);
                 }
             }
         }
@@ -97,6 +110,14 @@ impl Intent {
                     entries.push((fp, ContainerId(r.u64()?)));
                 }
                 Intent::RepointIndex { entries }
+            }
+            4 => {
+                let n = r.u32()? as usize;
+                let mut keys = Vec::with_capacity(n);
+                for _ in 0..n {
+                    keys.push(r.string()?);
+                }
+                Intent::DropObjects { keys }
             }
             other => {
                 return Err(SlimError::corrupt(
@@ -140,7 +161,8 @@ impl Journal {
     /// are durable.
     pub fn record(&self, intent: &Intent) -> Result<u64> {
         let seq = self.next_seq.fetch_add(1, Ordering::SeqCst);
-        self.oss.put(&layout::journal_intent(seq), intent.encode())?;
+        self.oss
+            .put(&layout::journal_intent(seq), intent.encode())?;
         Ok(seq)
     }
 
@@ -216,6 +238,12 @@ mod tests {
             },
             Intent::RepointIndex {
                 entries: vec![(fp(1), ContainerId(7)), (fp(2), ContainerId(8))],
+            },
+            Intent::DropObjects {
+                keys: vec![
+                    "redundancy/replica/containers/000000000001/data".into(),
+                    "redundancy/groups/000000000000".into(),
+                ],
             },
         ]
     }

@@ -18,7 +18,12 @@
 //!   frees them), so deleting a version is a pure Sweep (§VI-B);
 //! * **orphan scrubbing** ([`collect::scrub_orphans`]) — backup jobs commit
 //!   by PUTting the version manifest last, so a job killed mid-backup leaves
-//!   unreachable container/recipe keys; the scrub reclaims them.
+//!   unreachable container/recipe keys; the scrub reclaims them;
+//! * **redundancy & repair** ([`redundancy`]) — a dedup-aware protection
+//!   policy (full replicas for highly-referenced containers, XOR parity
+//!   groups for the rest, metadata always replicated) re-tiered each cycle,
+//!   plus the [`GNode::repair`] sweep that reconstructs quarantined
+//!   containers from the plane and re-points the global index.
 //!
 //! Because every one of these passes rewrites or deletes shared objects in
 //! multiple non-atomic OSS steps, each destructive step is preceded by an
@@ -33,9 +38,11 @@ pub mod collect;
 pub mod journal;
 pub mod meta_cache;
 pub mod node;
+pub mod redundancy;
 pub mod reverse_dedup;
 pub mod scc;
 
 pub use collect::{scrub_orphans, CollectStats, OrphanScrubStats};
 pub use journal::{Intent, Journal};
 pub use node::{GNode, GNodeCycleStats, IntegrityReport, RecoveryReport};
+pub use redundancy::{PurgeReport, RedundancyStats, RepairReport};

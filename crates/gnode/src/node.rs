@@ -30,6 +30,7 @@ use crate::collect::{
 };
 use crate::journal::{Intent, Journal};
 use crate::meta_cache::MetaCache;
+use crate::redundancy::{PurgeReport, RedundancyStats, RepairReport};
 use crate::reverse_dedup::{reverse_dedup, ReverseDedupStats};
 use crate::scc::{compact_sparse_containers, SccStats};
 
@@ -42,6 +43,10 @@ pub struct GNodeCycleStats {
     pub scc: SccStats,
     /// Containers newly marked garbage for the previous version.
     pub marked_garbage: u64,
+    /// Quarantine-repair outcome (when redundancy is enabled).
+    pub repair: RepairReport,
+    /// Redundancy re-tier outcome (when redundancy is enabled).
+    pub redundancy: RedundancyStats,
 }
 
 impl GNodeCycleStats {
@@ -79,6 +84,27 @@ impl GNodeCycleStats {
             .counter("recipes_rewritten")
             .add(self.scc.recipes_rewritten);
         scope.counter("marked_garbage").add(self.marked_garbage);
+        scope
+            .counter("repair.containers_repaired")
+            .add(self.repair.containers_repaired);
+        scope
+            .counter("repair.containers_unrepairable")
+            .add(self.repair.containers_unrepairable);
+        scope
+            .counter("repair.objects_rewritten")
+            .add(self.repair.objects_rewritten);
+        scope
+            .counter("repair.index_entries_restored")
+            .add(self.repair.index_entries_restored);
+        scope
+            .counter("redundancy.replicas_written")
+            .add(self.redundancy.replicas_written);
+        scope
+            .counter("redundancy.parity_groups_sealed")
+            .add(self.redundancy.parity_groups_sealed);
+        scope
+            .counter("redundancy.objects_dropped")
+            .add(self.redundancy.objects_dropped);
     }
 }
 
@@ -229,6 +255,25 @@ impl GNode {
             }
         }
         drop(stage);
+
+        // 4. Redundancy plane: reconstruct what the plane can repair, then
+        // re-tier protection to this cycle's dedup state. Repair runs first
+        // so a container the cycle damaged detection-wise can be grouped or
+        // replicated again; re-tier runs last so replicas and parity reflect
+        // the containers' final post-rewrite bytes.
+        if self.config.redundancy {
+            let stage = self.telemetry.as_ref().map(|s| s.span("repair"));
+            stats.repair = crate::redundancy::repair_quarantined(&self.storage, &self.global)?;
+            drop(stage);
+            let stage = self.telemetry.as_ref().map(|s| s.span("redundancy"));
+            stats.redundancy = crate::redundancy::update_redundancy(
+                &self.storage,
+                &self.global,
+                &self.journal,
+                &self.config,
+            )?;
+            drop(stage);
+        }
 
         if let Some(scope) = &self.telemetry {
             stats.emit(scope);
@@ -402,6 +447,15 @@ impl GNode {
                 Intent::DropContainers { ids } => {
                     self.storage.delete_containers(ids)?;
                 }
+                Intent::DropObjects { keys } => {
+                    // Redundancy-plane drops roll forward: re-delete.
+                    for res in self.storage.oss().delete_many(keys) {
+                        match res {
+                            Ok(()) | Err(SlimError::ObjectNotFound(_)) => {}
+                            Err(e) => return Err(e),
+                        }
+                    }
+                }
             }
         }
         self.global.flush()?;
@@ -422,7 +476,9 @@ impl GNode {
         }
 
         if let Some(scope) = &self.telemetry {
-            scope.counter("journal.replayed").add(report.intents_replayed);
+            scope
+                .counter("journal.replayed")
+                .add(report.intents_replayed);
             scope
                 .counter("journal.rolled_forward")
                 .add(report.rewrites_rolled_forward);
@@ -483,38 +539,104 @@ impl GNode {
         Ok(report)
     }
 
+    /// Full self-healing sweep (`slim scrub --repair`, and the cycle's
+    /// repair stage): CRC-verify every container, quarantine damage, then
+    /// reconstruct every repairable quarantined container from the
+    /// redundancy plane and re-point the global index at the revived
+    /// copies. Both halves are idempotent — verification quarantines by
+    /// raw moves, reconstruction rewrites byte-identical primaries — so a
+    /// kill at any point re-runs cleanly after [`GNode::recover`].
+    pub fn repair(&self) -> Result<(IntegrityReport, RepairReport)> {
+        let integrity = self.verify_checksums()?;
+        let stage = self.telemetry.as_ref().map(|s| s.span("repair"));
+        let repair = crate::redundancy::repair_quarantined(&self.storage, &self.global)?;
+        drop(stage);
+        if let Some(scope) = &self.telemetry {
+            scope
+                .counter("repair.containers_repaired")
+                .add(repair.containers_repaired);
+            scope
+                .counter("repair.containers_unrepairable")
+                .add(repair.containers_unrepairable);
+            scope
+                .counter("repair.objects_rewritten")
+                .add(repair.objects_rewritten);
+            scope
+                .counter("repair.index_entries_restored")
+                .add(repair.index_entries_restored);
+        }
+        Ok((integrity, repair))
+    }
+
+    /// Re-tier the redundancy plane to the current dedup state without
+    /// running a full cycle (see [`crate::redundancy::update_redundancy`]).
+    pub fn update_redundancy(&self) -> Result<RedundancyStats> {
+        let _stage = self.telemetry.as_ref().map(|s| s.span("redundancy"));
+        crate::redundancy::update_redundancy(
+            &self.storage,
+            &self.global,
+            &self.journal,
+            &self.config,
+        )
+    }
+
+    /// Split the quarantined containers into `(repairable, lost)` counts by
+    /// probing the redundancy plane for reconstruction sources.
+    pub fn classify_quarantine(&self) -> Result<(u64, u64)> {
+        crate::redundancy::classify_quarantine(self.storage.oss().as_ref())
+    }
+
+    /// Delete quarantined objects whose primaries are whole again; `force`
+    /// discards everything, including unrepairable forensic copies.
+    pub fn purge_quarantine(&self, force: bool) -> Result<PurgeReport> {
+        crate::redundancy::purge_quarantine(self.storage.oss().as_ref(), force)
+    }
+
     /// CRC-verify one container's pair of objects.
+    ///
+    /// Reads bypass the redundancy plane ([`ObjectStore::get_raw`]): this is
+    /// the *detection* path, and a self-healing `get` would silently mask
+    /// the damage it exists to find. Healing happens explicitly afterwards,
+    /// in [`GNode::repair`] or the cycle's repair stage.
     fn container_state(&self, id: ContainerId) -> Result<ContainerState> {
-        match self.storage.get_container_meta(id) {
-            Ok(_) => {}
-            Err(SlimError::ContainerMissing(_)) => {
+        use slim_types::{crc, ContainerMeta};
+        let oss = self.storage.oss();
+        match oss.get_raw(&layout::container_meta(id)) {
+            Ok(buf) => {
+                let decoded = crc::unseal(&buf, "container meta")
+                    .and_then(|payload| ContainerMeta::decode(&payload));
+                if decoded.is_err() {
+                    return Ok(ContainerState::Corrupt);
+                }
+            }
+            Err(SlimError::ObjectNotFound(_)) => {
                 // No meta. A leftover data object is a remnant, not a
                 // container; report Corrupt so callers quarantine it.
-                return match self.storage.oss().exists(&layout::container_data(id))? {
+                return match oss.exists(&layout::container_data(id))? {
                     true => Ok(ContainerState::Corrupt),
                     false => Ok(ContainerState::Missing),
                 };
             }
-            Err(SlimError::Corrupt { .. }) => return Ok(ContainerState::Corrupt),
             Err(e) => return Err(e),
         }
-        match self.storage.get_container_data(id) {
-            Ok(_) => Ok(ContainerState::Intact),
-            Err(SlimError::ContainerMissing(_)) | Err(SlimError::Corrupt { .. }) => {
-                Ok(ContainerState::Corrupt)
-            }
+        match oss.get_raw(&layout::container_data(id)) {
+            Ok(buf) => match crc::verified_payload_len(&buf, "container data") {
+                Ok(_) => Ok(ContainerState::Intact),
+                Err(_) => Ok(ContainerState::Corrupt),
+            },
+            Err(SlimError::ObjectNotFound(_)) => Ok(ContainerState::Corrupt),
             Err(e) => Err(e),
         }
     }
 
     /// Move a container's surviving objects under the quarantine prefix
-    /// (raw byte moves — the objects may not decode). Returns the number of
-    /// objects moved.
+    /// (raw byte moves — the objects may not decode, so the copy must not
+    /// trigger read-repair either). Returns the number of objects moved.
     fn quarantine_container(&self, id: ContainerId) -> Result<u64> {
         let oss = self.storage.oss();
         let mut moved = 0u64;
         for key in [layout::container_data(id), layout::container_meta(id)] {
-            match oss.get(&key) {
+            match oss.get_raw(&key) {
                 Ok(buf) => {
                     oss.put(&layout::quarantine_key(&key), buf)?;
                     oss.delete(&key)?;
@@ -540,7 +662,10 @@ impl GNode {
         let mut objects_quarantined = 0u64;
         let mut doomed: HashSet<ContainerId> = HashSet::new();
         for batch in ids.chunks(64) {
-            for (&id, meta) in batch.iter().zip(self.storage.get_container_meta_many(batch)) {
+            for (&id, meta) in batch
+                .iter()
+                .zip(self.storage.get_container_meta_many(batch))
+            {
                 let meta = match meta {
                     Ok(meta) => meta,
                     Err(SlimError::ContainerMissing(_)) => continue,
@@ -1006,5 +1131,159 @@ mod tests {
             matches!(err, slim_types::SlimError::ChunkUnresolvable { .. }),
             "{err:?}"
         );
+    }
+
+    #[test]
+    fn cycle_builds_redundancy_plane() {
+        let env = setup();
+        let f = FileId::new("f");
+        env.backup_version(0, &[(&f, &data(70, 60_000))]);
+        let stats = env.gnode.run_cycle(VersionId(0)).unwrap();
+        let ids = env.storage.list_containers();
+        assert!(!ids.is_empty());
+        // Every live container's metadata object is replicated.
+        for id in &ids {
+            let rkey = slim_types::layout::replica_key(&slim_types::layout::container_meta(*id));
+            assert!(env.oss.exists(&rkey).unwrap(), "meta replica for {id:?}");
+        }
+        // Every data object is protected by one tier or the other.
+        assert_eq!(
+            stats.redundancy.replica_tier + stats.redundancy.parity_tier,
+            ids.len() as u64,
+            "{:?}",
+            stats.redundancy
+        );
+        assert!(stats.redundancy.replicas_written >= ids.len() as u64);
+    }
+
+    #[test]
+    fn retier_is_idempotent() {
+        let env = setup();
+        let f = FileId::new("f");
+        env.backup_version(0, &[(&f, &data(72, 60_000))]);
+        env.gnode.run_cycle(VersionId(0)).unwrap();
+        let again = env.gnode.update_redundancy().unwrap();
+        assert_eq!(again.replicas_written, 0, "{again:?}");
+        assert_eq!(again.parity_groups_sealed, 0, "{again:?}");
+        assert_eq!(again.objects_dropped, 0, "{again:?}");
+    }
+
+    #[test]
+    fn repair_restores_quarantined_container_from_plane() {
+        let env = setup();
+        let f = FileId::new("f");
+        let input = data(71, 60_000);
+        env.backup_version(0, &[(&f, &input)]);
+        env.gnode.run_cycle(VersionId(0)).unwrap(); // builds the plane
+        let victim = *env.storage.list_containers().first().unwrap();
+        let key = slim_types::layout::container_data(victim);
+        let mut buf = env.oss.get(&key).unwrap().to_vec();
+        buf[0] ^= 0x01;
+        env.oss.put(&key, bytes::Bytes::from(buf)).unwrap();
+
+        let (integrity, repair) = env.gnode.repair().unwrap();
+        assert_eq!(integrity.containers_quarantined, 1);
+        assert_eq!(repair.containers_repaired, 1, "{repair:?}");
+        assert_eq!(repair.containers_unrepairable, 0);
+        assert!(repair.objects_rewritten >= 1);
+        // Second sweep is clean and the version restores byte-identically,
+        // through the raw (non-healing) store.
+        let clean = env.gnode.verify_checksums().unwrap();
+        assert_eq!(clean.containers_quarantined, 0, "{clean:?}");
+        assert_eq!(env.restore(&f, 0), input);
+        // Purge releases the now-redundant quarantine copies.
+        let purge = env.gnode.purge_quarantine(false).unwrap();
+        assert_eq!(purge.objects_purged, 2, "{purge:?}");
+        assert_eq!(purge.objects_kept, 0);
+        assert!(env
+            .oss
+            .list(slim_types::layout::QUARANTINE_PREFIX)
+            .is_empty());
+    }
+
+    #[test]
+    fn repair_reconstructs_parity_tier_member_byte_identically() {
+        let env = setup();
+        // Three small containers with two references each: well below the
+        // replica threshold, so their data objects land in one parity group.
+        let a = put_container(&env, &[(1, 400), (2, 400)]);
+        let b = put_container(&env, &[(3, 400), (4, 400)]);
+        let c = put_container(&env, &[(5, 400), (6, 400)]);
+        let global = env.gnode.global_index();
+        for (id, tags) in [(a, [1u8, 2]), (b, [3, 4]), (c, [5, 6])] {
+            for t in tags {
+                global.insert(&fp(t), id).unwrap();
+            }
+        }
+        global.flush().unwrap();
+        let stats = env.gnode.update_redundancy().unwrap();
+        assert_eq!(stats.parity_groups_sealed, 1, "{stats:?}");
+        assert_eq!(stats.parity_tier, 3);
+
+        // Delete one member's data object outright.
+        let key = slim_types::layout::container_data(b);
+        let before = env.oss.get(&key).unwrap();
+        env.oss.delete(&key).unwrap();
+
+        let (integrity, repair) = env.gnode.repair().unwrap();
+        assert_eq!(integrity.containers_quarantined, 1);
+        assert_eq!(repair.containers_repaired, 1, "{repair:?}");
+        assert_eq!(
+            env.oss.get(&key).unwrap(),
+            before,
+            "byte-identical reconstruction"
+        );
+        assert_eq!(global.get(&fp(3)).unwrap(), Some(b));
+        assert_eq!(global.get(&fp(4)).unwrap(), Some(b));
+    }
+
+    #[test]
+    fn unrepairable_damage_is_reported_and_quarantine_kept() {
+        let env = setup();
+        // A container with no redundancy plane behind it: damage is honest
+        // loss, and the forensic quarantine copy survives a non-forced purge.
+        let id = put_container(&env, &[(9, 500)]);
+        env.gnode.global_index().insert(&fp(9), id).unwrap();
+        env.gnode.global_index().flush().unwrap();
+        let key = slim_types::layout::container_data(id);
+        let mut buf = env.oss.get(&key).unwrap().to_vec();
+        buf[4] ^= 0xFF;
+        env.oss.put(&key, bytes::Bytes::from(buf)).unwrap();
+
+        let (integrity, repair) = env.gnode.repair().unwrap();
+        assert_eq!(integrity.containers_quarantined, 1);
+        assert_eq!(repair.containers_repaired, 0);
+        assert_eq!(repair.containers_unrepairable, 1, "{repair:?}");
+        let (repairable, lost) = env.gnode.classify_quarantine().unwrap();
+        assert_eq!((repairable, lost), (0, 1));
+        let purge = env.gnode.purge_quarantine(false).unwrap();
+        assert_eq!(purge.objects_purged, 0, "{purge:?}");
+        assert_eq!(purge.objects_kept, 2);
+        // Forced purge discards the forensic copies too.
+        let purge = env.gnode.purge_quarantine(true).unwrap();
+        assert_eq!(purge.objects_purged, 2);
+        assert!(env
+            .oss
+            .list(slim_types::layout::QUARANTINE_PREFIX)
+            .is_empty());
+    }
+
+    #[test]
+    fn recover_replays_drop_objects_intent() {
+        let env = setup();
+        let stale = "redundancy/replica/containers/000000000042/data";
+        env.oss
+            .put(stale, bytes::Bytes::from_static(b"obsolete"))
+            .unwrap();
+        let journal = crate::journal::Journal::open(env.storage.oss().clone());
+        journal
+            .record(&Intent::DropObjects {
+                keys: vec![stale.to_string()],
+            })
+            .unwrap();
+        let report = env.gnode.recover().unwrap();
+        assert_eq!(report.intents_replayed, 1);
+        assert!(!env.oss.exists(stale).unwrap(), "drop rolled forward");
+        assert!(journal.is_empty());
     }
 }

@@ -1,0 +1,430 @@
+//! Dedup-aware redundancy policy and the offline repair sweep.
+//!
+//! The OSS-side half of the redundancy plane ([`slim_oss::RedundantStore`])
+//! only *consumes* protection copies; this module is the half that decides
+//! and writes them. Policy is dedup-aware, following FASTEN's observation
+//! that deduplication concentrates risk: the containers worth the cost of a
+//! full replica are exactly those holding many authoritative chunk copies
+//! (live global-index entries), because every version that deduplicated
+//! against them depends on that one object. Containers below the threshold
+//! get cheaper XOR parity-group protection; container *metadata* objects are
+//! always replicated — they are tiny, mutate in place (deletion marks), and
+//! parity over mutable members would go stale.
+//!
+//! The re-tier pass runs at the end of every maintenance cycle, after
+//! reverse dedup / SCC have settled the cycle's rewrites:
+//!
+//! 1. compute desired tiers from [`slim_index::GlobalIndex::reference_counts`];
+//! 2. keep every still-valid parity group, and keep any group or replica
+//!    whose member is currently damaged (it is a repair source);
+//! 3. seal new parity groups over uncovered members (parity block first,
+//!    CRC-sealed manifest last — the manifest PUT is the commit point);
+//! 4. write missing replicas and refresh stale metadata replicas;
+//! 5. journal an idempotent [`Intent::DropObjects`] for every obsolete
+//!    protection object, then delete — a crash between record and delete
+//!    rolls forward on recovery.
+//!
+//! Additions are idempotent byte-identical PUTs and removals are journaled,
+//! so a kill at any step leaves a plane the next cycle converges from.
+
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+
+use slim_index::GlobalIndex;
+use slim_lnode::StorageLayer;
+use slim_oss::{reconstruct_object, ObjectStore};
+use slim_types::redundancy::{parity_of, GroupMember};
+use slim_types::{crc, layout, ContainerId, ParityGroup, Result, SlimConfig, SlimError};
+
+use crate::journal::{Intent, Journal};
+
+/// Outcome of one re-tier pass over the redundancy plane.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RedundancyStats {
+    /// Container data objects in the replica tier after the pass.
+    pub replica_tier: u64,
+    /// Container data objects covered by a parity group after the pass.
+    pub parity_tier: u64,
+    /// Replica objects written (new replicas + refreshed metadata).
+    pub replicas_written: u64,
+    /// Parity groups sealed by this pass.
+    pub parity_groups_sealed: u64,
+    /// Obsolete redundancy objects dropped (journaled).
+    pub objects_dropped: u64,
+}
+
+/// Outcome of a repair sweep over quarantined containers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Containers whose primaries needed and received reconstruction.
+    pub containers_repaired: u64,
+    /// Containers with a damaged primary and no usable reconstruction
+    /// source — still quarantined, honestly lost.
+    pub containers_unrepairable: u64,
+    /// Primary objects rewritten from a reconstruction.
+    pub objects_rewritten: u64,
+    /// Global-index entries re-pointed at revived containers.
+    pub index_entries_restored: u64,
+    /// Quarantined objects whose primary is whole again (eligible for
+    /// `scrub --purge`).
+    pub quarantine_released: u64,
+}
+
+/// Outcome of a quarantine purge.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PurgeReport {
+    /// Quarantined objects deleted.
+    pub objects_purged: u64,
+    /// Quarantined objects kept (primary still damaged and purge not
+    /// forced).
+    pub objects_kept: u64,
+}
+
+/// Whether `key`'s primary currently holds CRC-intact bytes.
+fn primary_intact(oss: &dyn ObjectStore, key: &str) -> Result<bool> {
+    match oss.get_raw(key) {
+        Ok(buf) => Ok(crc::verified_payload_len(&buf, "primary object").is_ok()),
+        Err(SlimError::ObjectNotFound(_)) => Ok(false),
+        Err(e) => Err(e),
+    }
+}
+
+/// Whether `key` is damaged in a way the redundancy plane may still have to
+/// repair: present-but-corrupt, or missing with a quarantined copy parked.
+/// (Missing with no quarantine copy is legitimate deletion.)
+fn primary_damaged(oss: &dyn ObjectStore, key: &str) -> Result<bool> {
+    match oss.get_raw(key) {
+        Ok(buf) => Ok(crc::verified_payload_len(&buf, "primary object").is_err()),
+        Err(SlimError::ObjectNotFound(_)) => oss.exists(&layout::quarantine_key(key)),
+        Err(e) => Err(e),
+    }
+}
+
+/// Re-tier the redundancy plane to match the current dedup state (see the
+/// module docs for the pass structure).
+pub fn update_redundancy(
+    storage: &StorageLayer,
+    global: &GlobalIndex,
+    journal: &Journal,
+    config: &SlimConfig,
+) -> Result<RedundancyStats> {
+    let oss = storage.oss();
+    let mut stats = RedundancyStats::default();
+
+    let mut ids = storage.list_containers();
+    ids.sort();
+    let counts = global.reference_counts()?;
+
+    // Desired tiers. Metadata objects of every live container are always
+    // replicated; data objects split by reference count.
+    let mut desired_replicas: BTreeSet<String> =
+        ids.iter().map(|&id| layout::container_meta(id)).collect();
+    let mut parity_keys: BTreeSet<String> = BTreeSet::new();
+    for &id in &ids {
+        let refs = counts.get(&id).copied().unwrap_or(0);
+        if refs >= config.redundancy_replica_refs {
+            desired_replicas.insert(layout::container_data(id));
+        } else {
+            parity_keys.insert(layout::container_data(id));
+        }
+    }
+
+    let mut drop_keys: Vec<String> = Vec::new();
+
+    // Existing parity groups: keep the still-valid and the still-needed.
+    let mut covered: HashSet<String> = HashSet::new();
+    let mut next_gid = 0u64;
+    for gkey in oss.list(layout::PARITY_GROUP_PREFIX) {
+        let Some(gid) = layout::parse_parity_group_key(&gkey) else {
+            continue;
+        };
+        next_gid = next_gid.max(gid + 1);
+        let group = match oss.get_raw(&gkey).map(|buf| ParityGroup::decode(&buf)) {
+            Ok(Ok(group)) => group,
+            // A corrupt manifest is useless as a repair source: drop it and
+            // its parity block.
+            Ok(Err(_)) => {
+                drop_keys.push(gkey);
+                drop_keys.push(layout::parity_data(gid));
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
+        let valid = group
+            .members
+            .iter()
+            .all(|m| parity_keys.contains(&m.key) && !covered.contains(&m.key));
+        let mut keep = valid;
+        if !keep {
+            // Membership is obsolete, but the group must survive while any
+            // member is damaged — it may be the only reconstruction source.
+            for m in &group.members {
+                if primary_damaged(oss.as_ref(), &m.key)? {
+                    keep = true;
+                    break;
+                }
+            }
+        }
+        if keep {
+            covered.extend(group.members.iter().map(|m| m.key.clone()));
+        } else {
+            drop_keys.push(gkey);
+            drop_keys.push(layout::parity_data(gid));
+        }
+    }
+
+    // Seal new groups over uncovered parity-tier members. Parity block
+    // first, manifest last: an unreferenced parity block is invisible, so
+    // the manifest PUT is the commit point.
+    let uncovered: Vec<&String> = parity_keys
+        .iter()
+        .filter(|k| !covered.contains(*k))
+        .collect();
+    for chunk in uncovered.chunks(config.parity_group_size.max(1)) {
+        let mut members: Vec<(String, bytes::Bytes)> = Vec::with_capacity(chunk.len());
+        for key in chunk {
+            // Never seal damage into a group; a skipped member is grouped
+            // by a later cycle, after repair.
+            match oss.get_raw(key) {
+                Ok(buf) if crc::verified_payload_len(&buf, "group member").is_ok() => {
+                    members.push(((*key).clone(), buf));
+                }
+                Ok(_) | Err(SlimError::ObjectNotFound(_)) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        if members.is_empty() {
+            continue;
+        }
+        let gid = next_gid;
+        next_gid += 1;
+        let parity = parity_of(members.iter().map(|(_, b)| b.as_ref()));
+        oss.put(&layout::parity_data(gid), crc::seal(&parity))?;
+        let manifest = ParityGroup {
+            id: gid,
+            members: members
+                .iter()
+                .map(|(key, buf)| GroupMember {
+                    key: key.clone(),
+                    len: buf.len() as u64,
+                })
+                .collect(),
+        };
+        oss.put(&layout::parity_group_manifest(gid), manifest.encode())?;
+        covered.extend(members.into_iter().map(|(key, _)| key));
+        stats.parity_groups_sealed += 1;
+    }
+
+    // Replicas: data replicas are immutable (write when absent); metadata
+    // replicas refresh whenever the primary's bytes moved on (deletion
+    // marks land in place).
+    let existing_replicas: BTreeSet<String> =
+        oss.list(layout::REPLICA_PREFIX).into_iter().collect();
+    for original in &desired_replicas {
+        let rkey = layout::replica_key(original);
+        let primary = match oss.get_raw(original) {
+            Ok(buf) if crc::verified_payload_len(&buf, "replica source").is_ok() => buf,
+            // Never replicate damage; the repair sweep goes first.
+            Ok(_) | Err(SlimError::ObjectNotFound(_)) => continue,
+            Err(e) => return Err(e),
+        };
+        let fresh = if existing_replicas.contains(&rkey) {
+            match oss.get_raw(&rkey) {
+                Ok(existing) => existing == primary,
+                Err(SlimError::ObjectNotFound(_)) => false,
+                Err(e) => return Err(e),
+            }
+        } else {
+            false
+        };
+        if !fresh {
+            oss.put(&rkey, primary)?;
+            stats.replicas_written += 1;
+        }
+    }
+
+    // Obsolete replicas: dropped only once their primary is whole again (or
+    // legitimately gone) — a demoted-but-damaged container keeps its
+    // replica as the repair source.
+    for rkey in &existing_replicas {
+        let Some(original) = layout::replica_original(rkey) else {
+            continue;
+        };
+        if desired_replicas.contains(original) {
+            continue;
+        }
+        if !primary_damaged(oss.as_ref(), original)? {
+            drop_keys.push(rkey.clone());
+        }
+    }
+
+    // Journaled two-phase drop: record the idempotent intent, delete, then
+    // retire. A crash after the record rolls the deletions forward.
+    if !drop_keys.is_empty() {
+        stats.objects_dropped = drop_keys.len() as u64;
+        let seq = journal.record(&Intent::DropObjects {
+            keys: drop_keys.clone(),
+        })?;
+        for res in oss.delete_many(&drop_keys) {
+            res?;
+        }
+        journal.retire(seq)?;
+    }
+
+    stats.replica_tier = desired_replicas
+        .iter()
+        .filter(|k| k.ends_with("/data"))
+        .count() as u64;
+    stats.parity_tier = parity_keys.iter().filter(|k| covered.contains(*k)).count() as u64;
+    Ok(stats)
+}
+
+/// Distinct containers with objects parked under the quarantine prefix.
+fn quarantined_containers(oss: &dyn ObjectStore) -> Vec<ContainerId> {
+    let mut out: BTreeSet<ContainerId> = BTreeSet::new();
+    for key in oss.list(layout::QUARANTINE_PREFIX) {
+        if let Some(original) = key.strip_prefix(layout::QUARANTINE_PREFIX) {
+            if let Some(id) = layout::parse_container_key(original) {
+                out.insert(id);
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
+/// Reconstruct every repairable quarantined container and re-point the
+/// global index at the revived copies. Quarantined copies are *not*
+/// deleted — that is `purge_quarantine`'s job, gated on the primary being
+/// whole.
+pub fn repair_quarantined(storage: &StorageLayer, global: &GlobalIndex) -> Result<RepairReport> {
+    let oss = storage.oss();
+    let mut report = RepairReport::default();
+    for id in quarantined_containers(oss.as_ref()) {
+        // Gather first, commit second: a container whose metadata is
+        // reconstructible but whose data is lost must stay fully
+        // quarantined, not be half-restored.
+        let mut pending: Vec<(String, bytes::Bytes)> = Vec::new();
+        let mut whole = true;
+        for key in [layout::container_data(id), layout::container_meta(id)] {
+            if primary_intact(oss.as_ref(), &key)? {
+                continue;
+            }
+            match reconstruct_object(oss.as_ref(), &key)? {
+                Some((bytes, _)) => pending.push((key, bytes)),
+                None => whole = false,
+            }
+        }
+        if !whole {
+            report.containers_unrepairable += 1;
+            continue;
+        }
+        let needed_repair = !pending.is_empty();
+        for (key, bytes) in pending {
+            // Idempotent byte-identical rewrite: a kill between the two
+            // object rewrites re-runs cleanly.
+            oss.put(&key, bytes)?;
+            report.objects_rewritten += 1;
+        }
+        // Re-point the index: entries for this container's live chunks were
+        // removed at quarantine time; restore any that no newer container
+        // claimed meanwhile (insert-if-absent keeps the reverse-dedup
+        // "newest copy wins" invariant).
+        let meta = storage.get_container_meta(id)?;
+        for entry in meta.entries.iter().filter(|e| !e.deleted) {
+            if global.get(&entry.fp)?.is_none() {
+                global.insert(&entry.fp, id)?;
+                report.index_entries_restored += 1;
+            }
+        }
+        if needed_repair {
+            report.containers_repaired += 1;
+        }
+    }
+    global.flush()?;
+
+    // Quarantined objects whose primary is whole again are released for
+    // purging.
+    for key in oss.list(layout::QUARANTINE_PREFIX) {
+        let Some(original) = key.strip_prefix(layout::QUARANTINE_PREFIX) else {
+            continue;
+        };
+        if layout::parse_container_key(original).is_some()
+            && primary_intact(oss.as_ref(), original)?
+        {
+            report.quarantine_released += 1;
+        }
+    }
+    Ok(report)
+}
+
+/// Split the quarantined containers into `(repairable, lost)` using
+/// redundancy-plane membership: a container is repairable when every one of
+/// its damaged objects has a CRC-verified reconstruction source.
+pub fn classify_quarantine(oss: &dyn ObjectStore) -> Result<(u64, u64)> {
+    let mut repairable = 0u64;
+    let mut lost = 0u64;
+    for id in quarantined_containers(oss) {
+        let mut ok = true;
+        for key in [layout::container_data(id), layout::container_meta(id)] {
+            if primary_intact(oss, &key)? {
+                continue;
+            }
+            if reconstruct_object(oss, &key)?.is_none() {
+                ok = false;
+                break;
+            }
+        }
+        if ok {
+            repairable += 1;
+        } else {
+            lost += 1;
+        }
+    }
+    Ok((repairable, lost))
+}
+
+/// Delete quarantined objects. Without `force`, an object is purged only
+/// when its primary is whole again (successful repair); `force` discards
+/// everything, including honestly-lost forensic copies.
+pub fn purge_quarantine(oss: &dyn ObjectStore, force: bool) -> Result<PurgeReport> {
+    let mut report = PurgeReport::default();
+    for key in oss.list(layout::QUARANTINE_PREFIX) {
+        let Some(original) = key.strip_prefix(layout::QUARANTINE_PREFIX) else {
+            continue;
+        };
+        if force || primary_intact(oss, original)? {
+            oss.delete(&key)?;
+            report.objects_purged += 1;
+        } else {
+            report.objects_kept += 1;
+        }
+    }
+    Ok(report)
+}
+
+/// Redundancy-plane keys protecting containers that no longer exist
+/// anywhere (not live, not quarantined) — used by tests to assert the plane
+/// does not leak.
+pub fn orphaned_redundancy_keys(oss: &dyn ObjectStore) -> Result<Vec<String>> {
+    let mut orphans = Vec::new();
+    for rkey in oss.list(layout::REPLICA_PREFIX) {
+        let Some(original) = layout::replica_original(&rkey) else {
+            continue;
+        };
+        if !oss.exists(original)? && !oss.exists(&layout::quarantine_key(original))? {
+            orphans.push(rkey);
+        }
+    }
+    Ok(orphans)
+}
+
+/// Per-tier protected-object counts `(replica_data, parity_data)` read back
+/// from the plane itself (diagnostics / space accounting).
+pub fn protection_summary(oss: &dyn ObjectStore) -> Result<BTreeMap<&'static str, u64>> {
+    let mut out = BTreeMap::new();
+    out.insert("replicas", oss.list(layout::REPLICA_PREFIX).len() as u64);
+    out.insert(
+        "parity_groups",
+        oss.list(layout::PARITY_GROUP_PREFIX).len() as u64,
+    );
+    Ok(out)
+}

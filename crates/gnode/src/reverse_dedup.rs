@@ -246,7 +246,10 @@ pub(crate) fn maybe_rewrite(
     }
     let data = storage.get_container_data(id)?;
     let new_id = storage.allocate_container_id();
-    let seq = journal.record(&Intent::RewriteContainer { old: id, new: new_id })?;
+    let seq = journal.record(&Intent::RewriteContainer {
+        old: id,
+        new: new_id,
+    })?;
     let mut builder = ContainerBuilder::new(new_id, data.len());
     for entry in meta.entries.iter().filter(|e| !e.deleted) {
         builder.push(
@@ -313,7 +316,11 @@ mod tests {
         }
     }
 
-    fn run(env: &Env, cache: &mut MetaCache, new: &[ContainerId]) -> (ReverseDedupStats, RelocationMap) {
+    fn run(
+        env: &Env,
+        cache: &mut MetaCache,
+        new: &[ContainerId],
+    ) -> (ReverseDedupStats, RelocationMap) {
         let out = reverse_dedup(
             &env.storage,
             &env.global,

@@ -208,7 +208,9 @@ pub fn compact_sparse_containers(
     // Physically shrink the sparse containers we touched (each call is its
     // own journaled two-phase rewrite).
     for &container in &sparse_sorted {
-        maybe_rewrite(storage, global, meta_cache, journal, config, container, rd_stats)?;
+        maybe_rewrite(
+            storage, global, meta_cache, journal, config, container, rd_stats,
+        )?;
     }
     meta_cache.flush()?;
     global.flush()?;

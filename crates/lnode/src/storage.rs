@@ -6,6 +6,11 @@
 //! as the numeric max over every parsed container key (zero-padding makes
 //! keys *usually* sort numerically, but recovery must not depend on it —
 //! a 13-digit id sorts before any 12-digit one).
+//!
+//! The handed-in store may be a healing wrapper (`slim_oss::RedundantStore`):
+//! whole-object container reads then transparently reconstruct damaged
+//! primaries from the redundancy plane. Integrity sweeps that must observe
+//! the primary as stored bypass healing via `ObjectStore::get_raw`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;

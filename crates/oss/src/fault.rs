@@ -401,11 +401,7 @@ mod tests {
         c.apply(&mut b);
         assert_eq!(a, b, "same draw, same damage");
         assert_eq!(a.iter().filter(|&&x| x != 0).count(), 1, "one bit flipped");
-        assert_eq!(
-            st.decide("recipes/a").corruption,
-            None,
-            "prefix-filtered"
-        );
+        assert_eq!(st.decide("recipes/a").corruption, None, "prefix-filtered");
         // Truncation drops at least one byte and never empties more than
         // the payload.
         let st = FaultState::default();

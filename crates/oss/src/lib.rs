@@ -17,7 +17,10 @@
 //!   failures from a seeded probabilistic schedule ([`fault`]);
 //! * **retries** — [`RetryingStore`] wraps any [`ObjectStore`] with
 //!   exponential backoff, deterministic jitter, and attempt/deadline budgets
-//!   ([`retry`]).
+//!   ([`retry`]);
+//! * **self-healing redundancy** — [`RedundantStore`] reconstructs corrupt
+//!   or missing container objects from replicas or XOR parity groups and
+//!   read-repairs the primary in place ([`redundant`]).
 //!
 //! [`rocks`] implements *Rocks-OSS* (§III-B): an LSM key-value store whose
 //! SSTables are OSS objects, used by the global fingerprint index.
@@ -27,6 +30,7 @@ pub mod fault;
 pub mod metrics;
 pub mod namespace;
 pub mod network;
+pub mod redundant;
 pub mod retry;
 pub mod rocks;
 pub mod store;
@@ -36,5 +40,6 @@ pub use fault::{Corruption, CorruptionKind, FaultDecision, FaultErrorKind, Fault
 pub use metrics::{MetricsSnapshot, OssMetrics};
 pub use namespace::NamespacedStore;
 pub use network::NetworkModel;
+pub use redundant::{reconstruct_object, RedundancyMetrics, RedundantStore, RepairSource};
 pub use retry::{RetryMetrics, RetryPolicy, RetryingStore};
 pub use store::{ObjectStore, Oss, DEFAULT_BATCH_WORKERS};

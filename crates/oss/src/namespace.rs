@@ -68,6 +68,12 @@ impl ObjectStore for NamespacedStore {
             .map_err(|e| Self::relative_err(key, e))
     }
 
+    fn get_raw(&self, key: &str) -> Result<Bytes> {
+        self.inner
+            .get_raw(&self.full(key))
+            .map_err(|e| Self::relative_err(key, e))
+    }
+
     fn get_range(&self, key: &str, start: u64, len: u64) -> Result<Bytes> {
         self.inner
             .get_range(&self.full(key), start, len)

@@ -492,7 +492,10 @@ mod tests {
                 Err(SlimError::corrupt("get", format!("bad checksum on {key}")))
             }
             fn get_range(&self, key: &str, _: u64, _: u64) -> Result<Bytes> {
-                Err(SlimError::corrupt("get_range", format!("bad checksum on {key}")))
+                Err(SlimError::corrupt(
+                    "get_range",
+                    format!("bad checksum on {key}"),
+                ))
             }
             fn delete(&self, _: &str) -> Result<()> {
                 Ok(())

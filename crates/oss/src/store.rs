@@ -45,6 +45,15 @@ pub trait ObjectStore: Send + Sync {
     /// Fetch a whole object.
     fn get(&self, key: &str) -> Result<Bytes>;
 
+    /// Fetch a whole object *without* any redundancy-plane healing: always
+    /// the primary's current bytes, corrupt or not. Integrity sweeps and
+    /// quarantine moves read through this so detection stays observable;
+    /// self-healing wrappers override it to expose the raw primary, and for
+    /// every other store it is exactly [`ObjectStore::get`].
+    fn get_raw(&self, key: &str) -> Result<Bytes> {
+        self.get(key)
+    }
+
     /// Fetch `[start, start+len)` of an object.
     fn get_range(&self, key: &str, start: u64, len: u64) -> Result<Bytes>;
 
@@ -460,12 +469,7 @@ impl ObjectStore for Oss {
     }
 
     fn len_many(&self, keys: &[String]) -> Vec<Result<Option<u64>>> {
-        self.run_batch(
-            "head",
-            keys,
-            |k| k.as_str(),
-            |k, _| self.len_after_fault(k),
-        )
+        self.run_batch("head", keys, |k| k.as_str(), |k, _| self.len_after_fault(k))
     }
 
     fn delete_many(&self, keys: &[String]) -> Vec<Result<()>> {

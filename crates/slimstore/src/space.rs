@@ -12,6 +12,13 @@ pub struct SpaceReport {
     pub recipe_bytes: u64,
     /// Global-index (Rocks-OSS) bytes.
     pub global_index_bytes: u64,
+    /// Redundancy-plane bytes (replicas, parity blocks, group manifests) —
+    /// the protection overhead the redundancy knobs trade against dedup's
+    /// space savings.
+    pub redundancy_bytes: u64,
+    /// Quarantined objects retained for repair or forensics; reclaimable
+    /// via `slim scrub --purge` once their primaries are whole again.
+    pub quarantine_bytes: u64,
     /// Version manifests, similar-index snapshot, everything else.
     pub other_bytes: u64,
 }
@@ -35,18 +42,32 @@ impl SpaceReport {
         let container_bytes = sum(layout::CONTAINER_PREFIX)?;
         let recipe_bytes = sum(layout::RECIPE_PREFIX)? + sum(layout::RECIPE_INDEX_PREFIX)?;
         let global_index_bytes = sum(layout::GLOBAL_INDEX_PREFIX)?;
+        let redundancy_bytes = sum(layout::REDUNDANCY_PREFIX)?;
+        let quarantine_bytes = sum(layout::QUARANTINE_PREFIX)?;
         let total: u64 = sum("")?;
         Ok(SpaceReport {
             container_bytes,
             recipe_bytes,
             global_index_bytes,
-            other_bytes: total - container_bytes - recipe_bytes - global_index_bytes,
+            redundancy_bytes,
+            quarantine_bytes,
+            other_bytes: total
+                - container_bytes
+                - recipe_bytes
+                - global_index_bytes
+                - redundancy_bytes
+                - quarantine_bytes,
         })
     }
 
     /// Total bytes stored.
     pub fn total(&self) -> u64 {
-        self.container_bytes + self.recipe_bytes + self.global_index_bytes + self.other_bytes
+        self.container_bytes
+            + self.recipe_bytes
+            + self.global_index_bytes
+            + self.redundancy_bytes
+            + self.quarantine_bytes
+            + self.other_bytes
     }
 }
 
@@ -69,11 +90,25 @@ mod tests {
             .unwrap();
         oss.put("versions/00000000", Bytes::from(vec![0; 5]))
             .unwrap();
+        oss.put(
+            "redundancy/replica/containers/000000000001/data",
+            Bytes::from(vec![0; 100]),
+        )
+        .unwrap();
+        oss.put("redundancy/groups/000000000000", Bytes::from(vec![0; 15]))
+            .unwrap();
+        oss.put(
+            "quarantine/containers/000000000002/data",
+            Bytes::from(vec![0; 50]),
+        )
+        .unwrap();
         let report = SpaceReport::measure(&oss).unwrap();
         assert_eq!(report.container_bytes, 100);
         assert_eq!(report.recipe_bytes, 40);
         assert_eq!(report.global_index_bytes, 20);
+        assert_eq!(report.redundancy_bytes, 115);
+        assert_eq!(report.quarantine_bytes, 50);
         assert_eq!(report.other_bytes, 5);
-        assert_eq!(report.total(), 165);
+        assert_eq!(report.total(), 330);
     }
 }

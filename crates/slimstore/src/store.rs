@@ -119,6 +119,22 @@ impl SlimStoreBuilder {
                 Arc::new(oss)
             }
         };
+        // Self-healing redundancy plane (whether the store was built here or
+        // attached by the caller): a protected container read that fails its
+        // CRC or went missing reconstructs from replica/parity copies, is
+        // served byte-identical, and read-repairs the primary in place.
+        let oss: Arc<dyn ObjectStore> = if self.config.redundancy {
+            if enabled {
+                Arc::new(slim_oss::RedundantStore::with_telemetry(
+                    oss,
+                    &registry.scope("oss"),
+                ))
+            } else {
+                Arc::new(slim_oss::RedundantStore::new(oss))
+            }
+        } else {
+            oss
+        };
         let storage = StorageLayer::open(oss.clone());
         let similar = SimilarFileIndex::load(oss.as_ref())?;
         let global = GlobalIndex::open_with(oss.clone(), self.rocks, 1 << 20)?;
@@ -455,6 +471,29 @@ impl SlimStore {
         self.gnode.verify_checksums()
     }
 
+    /// Self-healing sweep (`slim scrub --repair`): [`verify_checksums`]
+    /// followed by reconstruction of every repairable quarantined container
+    /// from the redundancy plane, re-pointing the global index at the
+    /// revived copies.
+    ///
+    /// [`verify_checksums`]: Self::verify_checksums
+    pub fn repair(&self) -> Result<(IntegrityReport, slim_gnode::RepairReport)> {
+        self.gnode.repair()
+    }
+
+    /// Split the currently quarantined containers into `(repairable, lost)`
+    /// counts by probing the redundancy plane for reconstruction sources.
+    pub fn classify_quarantine(&self) -> Result<(u64, u64)> {
+        self.gnode.classify_quarantine()
+    }
+
+    /// Delete quarantined objects whose primaries are whole again (i.e.
+    /// after a successful repair); `force` discards every quarantined
+    /// object, including unrepairable forensic copies.
+    pub fn purge_quarantine(&self, force: bool) -> Result<slim_gnode::PurgeReport> {
+        self.gnode.purge_quarantine(force)
+    }
+
     /// Integrity scrub: check that every record of every retained version
     /// is resolvable — live in its stated container, or reachable through
     /// the global index. Returns the number of records checked.
@@ -728,6 +767,45 @@ mod tests {
         // the per-backup traffic view.
         assert!(report.telemetry.span("lnode.0", "backup").is_none());
         assert!(report.oss_metrics.expect("overlay").put_requests > 0);
+    }
+
+    #[test]
+    fn corrupt_container_read_self_heals_during_restore() {
+        let raw = Arc::new(Oss::in_memory());
+        let store = SlimStoreBuilder::in_memory()
+            .with_object_store(raw.clone())
+            .with_config(SlimConfig::small_for_tests())
+            .with_rocks_config(RocksConfig::small_for_tests())
+            .build()
+            .unwrap();
+        let f = FileId::new("f");
+        let input = data(21, 60_000);
+        store
+            .backup_version(vec![(f.clone(), input.clone())])
+            .unwrap();
+        store.run_gnode_cycle(VersionId(0)).unwrap(); // builds the plane
+                                                      // Rot one container's data object behind the deployment's back
+                                                      // (single-fault model: one damaged member per redundancy group).
+        let victim = raw
+            .list(slim_types::layout::CONTAINER_PREFIX)
+            .into_iter()
+            .find(|k| k.ends_with("/data"))
+            .expect("backup created containers");
+        let mut buf = raw.get(&victim).unwrap().to_vec();
+        buf[0] ^= 0x5A;
+        raw.put(&victim, bytes::Bytes::from(buf)).unwrap();
+
+        let (bytes, _) = store.restore_file(&f, VersionId(0)).unwrap();
+        assert_eq!(bytes, input, "read path healed the damaged container");
+        let snap = store.telemetry_snapshot();
+        assert!(snap.counter("oss.redundancy.reconstructions") > 0);
+        assert_eq!(snap.counter("oss.redundancy.repair_failures"), 0);
+        assert_eq!(snap.counter("oss.redundancy.unrepairable_reads"), 0);
+        // Read-repair rewrote the primary: a raw read is clean again.
+        slim_types::crc::verified_payload_len(&raw.get(&victim).unwrap(), "healed data").unwrap();
+        // And the offline sweep agrees the store is clean.
+        let report = store.verify_checksums().unwrap();
+        assert_eq!(report.containers_quarantined, 0, "{report:?}");
     }
 
     #[test]

@@ -73,10 +73,39 @@ pub struct SlimConfig {
     /// spans. The hot-path cost is a handful of relaxed atomic adds per job.
     #[serde(default = "default_telemetry")]
     pub telemetry: bool,
+
+    /// Whether the dedup-aware redundancy plane is active: container objects
+    /// are protected by replicas or XOR parity groups, reads self-heal from
+    /// them, and the G-node re-tiers protection each maintenance cycle.
+    #[serde(default = "default_redundancy")]
+    pub redundancy: bool,
+    /// Number of live global-index entries (authoritative chunk copies) at or
+    /// above which a container's data object is protected by a full replica
+    /// instead of parity-only. Deduplication concentrates risk in exactly
+    /// these containers: many versions depend on their chunks.
+    #[serde(default = "default_redundancy_replica_refs")]
+    pub redundancy_replica_refs: u64,
+    /// Number of container data objects XOR-ed together into one parity
+    /// group (the `k` of k+1 erasure coding; any single member is
+    /// reconstructible from the other k-1 plus the parity block).
+    #[serde(default = "default_parity_group_size")]
+    pub parity_group_size: usize,
 }
 
 fn default_telemetry() -> bool {
     true
+}
+
+fn default_redundancy() -> bool {
+    true
+}
+
+fn default_redundancy_replica_refs() -> u64 {
+    64
+}
+
+fn default_parity_group_size() -> usize {
+    4
 }
 
 impl Default for SlimConfig {
@@ -101,6 +130,9 @@ impl Default for SlimConfig {
             restore_cache_disk: 256 * 1024 * 1024,
             prefetch_threads: 6,
             telemetry: true,
+            redundancy: true,
+            redundancy_replica_refs: 64,
+            parity_group_size: 4,
         }
     }
 }
@@ -131,6 +163,9 @@ impl SlimConfig {
             restore_cache_disk: 256 * 1024,
             prefetch_threads: 2,
             telemetry: true,
+            redundancy: true,
+            redundancy_replica_refs: 8,
+            parity_group_size: 3,
         }
     }
 
@@ -201,7 +236,18 @@ impl SlimConfig {
                 "restore_cache_mem must be > 0".into(),
             ));
         }
+        if self.redundancy && self.parity_group_size == 0 {
+            return Err(SlimError::InvalidConfig(
+                "parity_group_size must be > 0 when redundancy is enabled".into(),
+            ));
+        }
         Ok(())
+    }
+
+    /// Builder-style toggle for the redundancy plane.
+    pub fn with_redundancy(mut self, on: bool) -> Self {
+        self.redundancy = on;
+        self
     }
 
     /// Builder-style override of the chunk-size triple, keeping the
@@ -265,6 +311,16 @@ mod tests {
         let mut cfg = SlimConfig::default();
         cfg.container_rewrite_threshold = -0.1;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn rejects_zero_parity_group() {
+        let mut cfg = SlimConfig::default();
+        cfg.parity_group_size = 0;
+        assert!(cfg.validate().is_err());
+        // Harmless when the redundancy plane is off.
+        cfg.redundancy = false;
+        cfg.validate().unwrap();
     }
 
     #[test]

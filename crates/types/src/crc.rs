@@ -70,7 +70,10 @@ pub fn verified_payload_len(buf: &[u8], what: &'static str) -> Result<usize> {
     if buf.len() < CRC_TRAILER_LEN {
         return Err(SlimError::corrupt(
             what,
-            format!("object of {} bytes cannot carry a checksum trailer", buf.len()),
+            format!(
+                "object of {} bytes cannot carry a checksum trailer",
+                buf.len()
+            ),
         ));
     }
     let payload_len = buf.len() - CRC_TRAILER_LEN;

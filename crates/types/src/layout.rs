@@ -63,6 +63,22 @@ pub const JOURNAL_PREFIX: &str = "gnode-journal/";
 /// Prefix under which corrupted objects are parked for offline forensics.
 pub const QUARANTINE_PREFIX: &str = "quarantine/";
 
+/// Prefix of the whole redundancy plane (replicas, parity blocks, group
+/// manifests). Lives outside [`CONTAINER_PREFIX`] so orphan scrubs and
+/// container space accounting never confuse protection copies with
+/// primaries.
+pub const REDUNDANCY_PREFIX: &str = "redundancy/";
+
+/// Prefix of full-replica protection copies; a replica key is the primary
+/// key relocated under this prefix (mirroring [`quarantine_key`]).
+pub const REPLICA_PREFIX: &str = "redundancy/replica/";
+
+/// Prefix of CRC-sealed parity-group manifests, keyed by group id.
+pub const PARITY_GROUP_PREFIX: &str = "redundancy/groups/";
+
+/// Prefix of CRC-sealed XOR parity blocks, keyed by group id.
+pub const PARITY_DATA_PREFIX: &str = "redundancy/parity/";
+
 /// Key of intent-journal record `seq`.
 pub fn journal_intent(seq: u64) -> String {
     format!("{JOURNAL_PREFIX}{seq:012}")
@@ -77,6 +93,33 @@ pub fn parse_journal_seq(key: &str) -> Option<u64> {
 /// [`QUARANTINE_PREFIX`] so nothing in the live layout resolves to it.
 pub fn quarantine_key(original: &str) -> String {
     format!("{QUARANTINE_PREFIX}{original}")
+}
+
+/// Replica key protecting `original`: the primary key relocated under
+/// [`REPLICA_PREFIX`], so the mapping is invertible via
+/// [`replica_original`].
+pub fn replica_key(original: &str) -> String {
+    format!("{REPLICA_PREFIX}{original}")
+}
+
+/// Invert [`replica_key`]: the primary key a replica protects.
+pub fn replica_original(key: &str) -> Option<&str> {
+    key.strip_prefix(REPLICA_PREFIX)
+}
+
+/// Key of parity group `gid`'s manifest.
+pub fn parity_group_manifest(gid: u64) -> String {
+    format!("{PARITY_GROUP_PREFIX}{gid:012}")
+}
+
+/// Key of parity group `gid`'s XOR parity block.
+pub fn parity_data(gid: u64) -> String {
+    format!("{PARITY_DATA_PREFIX}{gid:012}")
+}
+
+/// Parse the group id out of a `redundancy/groups/{:012}` key.
+pub fn parse_parity_group_key(key: &str) -> Option<u64> {
+    key.strip_prefix(PARITY_GROUP_PREFIX)?.parse::<u64>().ok()
 }
 
 /// Parse the container id out of a `containers/{:012}/...` key.
@@ -154,11 +197,42 @@ mod tests {
         assert_eq!(parse_journal_seq("gnode-journal/000000000007"), Some(7));
         assert_eq!(parse_journal_seq("gnode-journal/xx"), None);
         assert_eq!(parse_journal_seq("containers/000000000007/data"), None);
-        assert!(journal_intent(2) < journal_intent(10), "seqs sort textually");
+        assert!(
+            journal_intent(2) < journal_intent(10),
+            "seqs sort textually"
+        );
         assert_eq!(
             quarantine_key("containers/000000000001/data"),
             "quarantine/containers/000000000001/data"
         );
+    }
+
+    #[test]
+    fn redundancy_keys() {
+        let primary = container_data(ContainerId(7));
+        let rep = replica_key(&primary);
+        assert_eq!(rep, "redundancy/replica/containers/000000000007/data");
+        assert_eq!(replica_original(&rep), Some(primary.as_str()));
+        assert_eq!(replica_original(&primary), None);
+        assert_eq!(parity_group_manifest(3), "redundancy/groups/000000000003");
+        assert_eq!(parity_data(3), "redundancy/parity/000000000003");
+        assert_eq!(
+            parse_parity_group_key("redundancy/groups/000000000003"),
+            Some(3)
+        );
+        assert_eq!(
+            parse_parity_group_key("redundancy/parity/000000000003"),
+            None
+        );
+        for key in [
+            replica_key(&primary),
+            parity_group_manifest(3),
+            parity_data(3),
+        ] {
+            assert!(key.starts_with(REDUNDANCY_PREFIX));
+            assert!(!key.starts_with(CONTAINER_PREFIX));
+        }
+        assert!(parity_group_manifest(2) < parity_group_manifest(10));
     }
 
     #[test]

@@ -30,6 +30,7 @@ pub mod error;
 pub mod fingerprint;
 pub mod layout;
 pub mod recipe;
+pub mod redundancy;
 pub mod version;
 
 pub use bloom::{BloomFilter, CountingBloomFilter};
@@ -39,4 +40,5 @@ pub use container::{ContainerBuilder, ContainerEntry, ContainerId, ContainerMeta
 pub use error::{Result, SlimError};
 pub use fingerprint::Fingerprint;
 pub use recipe::{Recipe, RecipeIndex, RecipeIndexEntry, SegmentRecipe};
+pub use redundancy::{GroupMember, ParityGroup};
 pub use version::{FileBackupInfo, FileId, VersionId, VersionManifest};

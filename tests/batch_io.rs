@@ -134,6 +134,91 @@ fn len_and_delete_many_are_equivalent_to_sequential_under_seeded_faults() {
     }
 }
 
+#[test]
+fn batched_reads_draw_the_same_corruption_schedule_as_sequential() {
+    use slim_oss::CorruptionKind;
+    // Corruption decisions are pre-drawn per plan ordinal: under the same
+    // seeded CorruptRead plan, a batch must hand back byte-identically
+    // mangled payloads as the equivalent sequence of single reads — the
+    // read-repair plane depends on detection being schedule-independent.
+    for kind in [CorruptionKind::BitFlip, CorruptionKind::Truncate] {
+        for seed in [5u64, 23, 0xfeed] {
+            let mk = |seed: u64| {
+                let oss = Oss::in_memory();
+                for i in 0..24u64 {
+                    let len = 80 + (i as usize * 53) % 900;
+                    oss.put(&format!("objs/{i:03}"), Bytes::from(data(seed ^ i, len)))
+                        .unwrap();
+                }
+                oss.inject_fault(FaultPlan::CorruptRead {
+                    prefix: "objs/".into(),
+                    kind,
+                    seed,
+                });
+                oss
+            };
+            let sequential = mk(seed);
+            let batched = mk(seed);
+            let keys: Vec<String> = (0..32u64)
+                .map(|i| {
+                    if i % 11 == 6 {
+                        format!("missing/{i}")
+                    } else {
+                        format!("objs/{:03}", i % 24)
+                    }
+                })
+                .collect();
+
+            let seq_results: Vec<_> = keys.iter().map(|k| sequential.get(k)).collect();
+            for (i, (s, b)) in seq_results.iter().zip(batched.get_many(&keys)).enumerate() {
+                match (s, &b) {
+                    (Ok(x), Ok(y)) => assert_eq!(
+                        x, y,
+                        "{kind:?} seed {seed} key {i}: mangled payload diverged"
+                    ),
+                    (Err(x), Err(y)) => {
+                        assert_eq!(x.to_string(), y.to_string(), "{kind:?} seed {seed} key {i}")
+                    }
+                    _ => panic!("{kind:?} seed {seed} key {i}: ok/err divergence ({s:?} vs {b:?})"),
+                }
+            }
+
+            // Ranged reads draw from the same ordinal stream.
+            let ranges: Vec<(String, u64, u64)> =
+                keys.iter().map(|k| (k.clone(), 3u64, 40u64)).collect();
+            let seq_ranges: Vec<_> = ranges
+                .iter()
+                .map(|(k, off, len)| sequential.get_range(k, *off, *len))
+                .collect();
+            for (i, (s, b)) in seq_ranges
+                .iter()
+                .zip(batched.get_range_many(&ranges))
+                .enumerate()
+            {
+                match (s, &b) {
+                    (Ok(x), Ok(y)) => assert_eq!(
+                        x, y,
+                        "{kind:?} seed {seed} range {i}: mangled payload diverged"
+                    ),
+                    (Err(x), Err(y)) => assert_eq!(
+                        x.to_string(),
+                        y.to_string(),
+                        "{kind:?} seed {seed} range {i}"
+                    ),
+                    _ => {
+                        panic!("{kind:?} seed {seed} range {i}: ok/err divergence ({s:?} vs {b:?})")
+                    }
+                }
+            }
+            assert_same_traffic(
+                "corrupt reads",
+                sequential.metrics_snapshot().unwrap(),
+                batched.metrics_snapshot().unwrap(),
+            );
+        }
+    }
+}
+
 /// Acceptance: with the paper's OSS-like network model, the G-node offline
 /// cycle (reverse dedup + version collection) over ≥ 32 containers is faster
 /// through the batched I/O plane than with batching disabled

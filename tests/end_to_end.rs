@@ -184,12 +184,19 @@ fn space_report_structure() {
     assert!(report.container_bytes > 0);
     assert!(report.recipe_bytes > 0);
     assert!(report.global_index_bytes > 0, "global index persisted");
+    assert!(
+        report.redundancy_bytes > 0,
+        "the cycle built the redundancy plane"
+    );
+    assert_eq!(report.quarantine_bytes, 0, "nothing quarantined");
     assert!(report.other_bytes > 0, "manifests + similar index");
     assert_eq!(
         report.total(),
         report.container_bytes
             + report.recipe_bytes
             + report.global_index_bytes
+            + report.redundancy_bytes
+            + report.quarantine_bytes
             + report.other_bytes
     );
 }

@@ -404,7 +404,10 @@ fn collect_kill_point_sweep_preserves_retained_versions() {
         let store = system_store(Arc::new(oss.clone()));
         for v in 1..3u64 {
             store
-                .verify_version(VersionId(v), &[(file.clone(), contents[v as usize].clone())])
+                .verify_version(
+                    VersionId(v),
+                    &[(file.clone(), contents[v as usize].clone())],
+                )
                 .unwrap();
         }
         if result.is_ok() {
@@ -429,7 +432,10 @@ fn collect_kill_point_sweep_preserves_retained_versions() {
         );
         for v in 1..3u64 {
             store
-                .verify_version(VersionId(v), &[(file.clone(), contents[v as usize].clone())])
+                .verify_version(
+                    VersionId(v),
+                    &[(file.clone(), contents[v as usize].clone())],
+                )
                 .unwrap();
         }
     }
@@ -448,9 +454,13 @@ fn corrupt_read_during_cycle_is_detected_and_recovery_converges() {
     let mut v1 = v0.clone();
     v1[1_000..1_500].copy_from_slice(&data(98, 500));
     let store = system_store(Arc::new(oss.clone()));
-    store.backup_version(vec![(file.clone(), v0.clone())]).unwrap();
+    store
+        .backup_version(vec![(file.clone(), v0.clone())])
+        .unwrap();
     store.run_gnode_cycle(VersionId(0)).unwrap();
-    store.backup_version(vec![(file.clone(), v1.clone())]).unwrap();
+    store
+        .backup_version(vec![(file.clone(), v1.clone())])
+        .unwrap();
 
     oss.inject_fault(FaultPlan::CorruptRead {
         prefix: "containers/".into(),

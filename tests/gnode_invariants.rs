@@ -69,7 +69,12 @@ fn store_over(oss: Arc<dyn ObjectStore>) -> SlimStore {
 /// Every container the global index references must exist on OSS.
 fn assert_no_dangle(store: &SlimStore) -> std::result::Result<(), TestCaseError> {
     let existing: HashSet<ContainerId> = store.storage().list_containers().into_iter().collect();
-    for c in store.gnode().global_index().referenced_containers().unwrap() {
+    for c in store
+        .gnode()
+        .global_index()
+        .referenced_containers()
+        .unwrap()
+    {
         prop_assert!(
             existing.contains(&c),
             "global index references deleted container {c}"
@@ -81,8 +86,11 @@ fn assert_no_dangle(store: &SlimStore) -> std::result::Result<(), TestCaseError>
 /// Every container on OSS must be referenced by the global index or be
 /// reachable from a retained version's manifest/recipes.
 fn assert_no_leak(store: &SlimStore) -> std::result::Result<(), TestCaseError> {
-    let mut reachable: HashSet<ContainerId> =
-        store.gnode().global_index().referenced_containers().unwrap();
+    let mut reachable: HashSet<ContainerId> = store
+        .gnode()
+        .global_index()
+        .referenced_containers()
+        .unwrap();
     for v in store.versions() {
         let manifest = store.storage().get_manifest(v).unwrap();
         reachable.extend(manifest.new_containers.iter().copied());
