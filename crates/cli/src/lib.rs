@@ -13,7 +13,9 @@
 //! slim check    <repo>
 //! slim diff     <repo> <versionA> <versionB>
 //! slim cat      <repo> <version> <file>        (file bytes to stdout)
-//! slim stats    <repo>                         (telemetry snapshot as JSON)
+//! slim stats    <repo> [--qos]                 (telemetry snapshot as JSON;
+//!                                               --qos appends a human-readable
+//!                                               frontend queue/QoS section)
 //! slim scrub    <repo> [--repair] [--purge] [--force]
 //!                                              (journal replay + checksum sweep;
 //!                                               --repair reconstructs from the
@@ -84,6 +86,7 @@ pub enum Command {
     },
     Stats {
         repo: PathBuf,
+        qos: bool,
     },
     Scrub {
         repo: PathBuf,
@@ -103,6 +106,7 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, String> {
     let mut repair = false;
     let mut purge = false;
     let mut force = false;
+    let mut qos = false;
     let rest: Vec<&String> = it.collect();
     let mut i = 0;
     while i < rest.len() {
@@ -125,6 +129,7 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, String> {
             "--repair" => repair = true,
             "--purge" => purge = true,
             "--force" => force = true,
+            "--qos" => qos = true,
             other if other.starts_with("--") => {
                 return Err(format!("unknown flag {other}"));
             }
@@ -185,6 +190,7 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, String> {
         },
         "stats" => Command::Stats {
             repo: pos(0)?.into(),
+            qos,
         },
         "scrub" => Command::Scrub {
             repo: pos(0)?.into(),
@@ -253,6 +259,58 @@ fn safe_relative(id: &FileId) -> Result<PathBuf> {
         path.push(segment);
     }
     Ok(path)
+}
+
+/// Render the `frontend.*` metrics of a snapshot as the human-readable
+/// queue/QoS section appended by `slim stats --qos`. All zeros (and `-`
+/// for unrecorded latencies) when no request plane ran in this process;
+/// piped from a process hosting a [`slim_frontend::Frontend`], it shows
+/// the admission and scheduling story of the whole session.
+pub fn qos_section(snap: &slim_telemetry::TelemetrySnapshot) -> String {
+    let p95_ms = |class: slim_frontend::Priority| -> String {
+        match snap.histogram(&format!("frontend.latency_ns.{}", class.label())) {
+            Some(h) if h.count > 0 => format!("{:.1}ms", h.p95() as f64 / 1e6),
+            _ => "-".to_string(),
+        }
+    };
+    let class_depth = |class: slim_frontend::Priority| -> i64 {
+        snap.gauge(&format!("frontend.class.{}.queue_depth", class.label()))
+    };
+    use slim_frontend::Priority;
+    [
+        "qos:".to_string(),
+        format!(
+            "  admitted {}, completed {}, failed {}",
+            snap.counter("frontend.admitted"),
+            snap.counter("frontend.completed"),
+            snap.counter("frontend.failed"),
+        ),
+        format!(
+            "  shed {} (rate_limit {}, queue_full {}, deadline {}, draining {}), timeouts {}",
+            snap.counter("frontend.shed"),
+            snap.counter("frontend.shed.rate_limit"),
+            snap.counter("frontend.shed.queue_full"),
+            snap.counter("frontend.shed.deadline"),
+            snap.counter("frontend.shed.draining"),
+            snap.counter("frontend.timeout"),
+        ),
+        format!(
+            "  queued {} (restore {}, backup {}, maintenance {}), inflight {} ({:.1} MiB)",
+            snap.gauge("frontend.queue_depth"),
+            class_depth(Priority::Restore),
+            class_depth(Priority::Backup),
+            class_depth(Priority::Maintenance),
+            snap.gauge("frontend.inflight"),
+            snap.gauge("frontend.inflight_bytes") as f64 / (1024.0 * 1024.0),
+        ),
+        format!(
+            "  p95 latency: restore {}, backup {}, maintenance {}",
+            p95_ms(Priority::Restore),
+            p95_ms(Priority::Backup),
+            p95_ms(Priority::Maintenance),
+        ),
+    ]
+    .join("\n")
 }
 
 /// Execute a parsed command; returns the human-readable report.
@@ -345,14 +403,17 @@ pub fn run(cmd: Command) -> Result<String> {
         Command::Gc { repo, keep } => {
             let store = open_repo(&repo, true)?;
             let before = store.versions().len();
-            let reclaimed = store.retain_last(keep)?;
+            let report = store.retain_last(keep)?;
             let vacuumed = store.gnode().vacuum()?;
             Ok(format!(
-                "kept {} of {} versions; reclaimed {:.1} MiB (+{:.1} MiB vacuumed)",
+                "kept {} of {} versions; reclaimed {:.1} MiB (+{:.1} MiB vacuumed), {} containers, {} recipes, {} stale redundancy objects dropped",
                 store.versions().len(),
                 before,
-                reclaimed as f64 / (1024.0 * 1024.0),
+                report.bytes_reclaimed as f64 / (1024.0 * 1024.0),
                 vacuumed.bytes_reclaimed as f64 / (1024.0 * 1024.0),
+                report.containers_deleted,
+                report.recipes_deleted,
+                report.redundancy_objects_dropped(),
             ))
         }
         Command::Diff { repo, from, to } => {
@@ -412,13 +473,18 @@ pub fn run(cmd: Command) -> Result<String> {
                 store.versions().len(),
             ))
         }
-        Command::Stats { repo } => {
+        Command::Stats { repo, qos } => {
             // Telemetry is process-local (counters start at zero for each
             // invocation), so the snapshot covers the traffic of opening
             // the repository: index loads, marker checks, LSM scans. Piped
             // after a long-running import it covers the whole session.
             let store = open_repo(&repo, true)?;
-            Ok(store.telemetry_snapshot().to_json())
+            let snap = store.telemetry_snapshot();
+            if qos {
+                Ok(format!("{}\n{}", snap.to_json(), qos_section(&snap)))
+            } else {
+                Ok(snap.to_json())
+            }
         }
         Command::Scrub {
             repo,
@@ -561,7 +627,17 @@ mod tests {
         );
         assert_eq!(
             parse(&s(&["stats", "/r"])).unwrap(),
-            Command::Stats { repo: "/r".into() }
+            Command::Stats {
+                repo: "/r".into(),
+                qos: false
+            }
+        );
+        assert_eq!(
+            parse(&s(&["stats", "/r", "--qos"])).unwrap(),
+            Command::Stats {
+                repo: "/r".into(),
+                qos: true
+            }
         );
         assert_eq!(
             parse(&s(&["scrub", "/r"])).unwrap(),
@@ -658,12 +734,26 @@ mod tests {
         .unwrap();
         assert!(diff.contains("M  a.txt"), "{diff}");
         assert!(!diff.contains("b.bin"), "unchanged file listed: {diff}");
-        let stats = run(Command::Stats { repo: repo.clone() }).unwrap();
+        let stats = run(Command::Stats {
+            repo: repo.clone(),
+            qos: false,
+        })
+        .unwrap();
         let snap = slim_telemetry::TelemetrySnapshot::from_json(&stats).unwrap();
         assert!(
             snap.counters.contains_key("oss.get_requests"),
             "canonical OSS counters present: {stats}"
         );
+        // --qos appends the queue/QoS section after the JSON document.
+        let stats = run(Command::Stats {
+            repo: repo.clone(),
+            qos: true,
+        })
+        .unwrap();
+        let (json, qos) = stats.split_once("\nqos:").expect("qos section present");
+        assert!(slim_telemetry::TelemetrySnapshot::from_json(json).is_ok());
+        assert!(qos.contains("admitted 0"), "no frontend ran: {qos}");
+        assert!(qos.contains("p95 latency: restore -"), "{qos}");
         let gc = run(Command::Gc {
             repo: repo.clone(),
             keep: 1,
@@ -855,6 +945,57 @@ mod tests {
         for d in [repo, src] {
             let _ = fs::remove_dir_all(d);
         }
+    }
+
+    #[test]
+    fn qos_section_reflects_frontend_activity() {
+        use slim_frontend::{FrontendBuilder, FrontendConfig, Request};
+        use slim_oss::rocks::RocksConfig;
+        use slim_oss::NetworkModel;
+        use slim_types::SlimConfig;
+        use slimstore::TenantStoreManager;
+
+        let manager = Arc::new(
+            TenantStoreManager::in_memory(NetworkModel::instant())
+                .with_config(SlimConfig::small_for_tests())
+                .with_rocks_config(RocksConfig::small_for_tests()),
+        );
+        let fe = FrontendBuilder::new(manager)
+            .with_config(FrontendConfig::small_for_tests())
+            .start()
+            .unwrap();
+        let report = fe
+            .submit(
+                "acme",
+                Request::Backup {
+                    files: vec![(FileId::new("f"), b"qos".repeat(2000))],
+                    jobs: 1,
+                },
+            )
+            .unwrap()
+            .wait()
+            .unwrap()
+            .into_backup()
+            .unwrap();
+        fe.submit(
+            "acme",
+            Request::RestoreFile {
+                file: FileId::new("f"),
+                version: report.version,
+            },
+        )
+        .unwrap()
+        .wait()
+        .unwrap()
+        .into_file()
+        .unwrap();
+        let section = qos_section(&fe.telemetry_snapshot());
+        assert!(
+            section.contains("admitted 2, completed 2, failed 0"),
+            "{section}"
+        );
+        assert!(section.contains("shed 0"), "{section}");
+        assert!(!section.contains("p95 latency: restore -"), "{section}");
     }
 
     #[test]

@@ -1,0 +1,100 @@
+//! Virtual time for admission control.
+//!
+//! Token-bucket refills and request deadlines are measured against a
+//! [`Clock`] rather than [`std::time::Instant`] directly, so tests can
+//! drive rate limiting and deadline expiry deterministically with a
+//! [`ManualClock`] while production uses the monotonic [`SystemClock`].
+//! Latency *histograms* always use real wall-clock time — they describe
+//! what actually happened, not what the admission plane believed.
+
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+/// A monotonic time source: `now` is the elapsed time since an arbitrary
+/// fixed origin. Only differences between readings are meaningful.
+pub trait Clock: Send + Sync {
+    /// Monotonic elapsed time since this clock's origin.
+    fn now(&self) -> Duration;
+}
+
+/// Real monotonic time, anchored at construction.
+#[derive(Debug)]
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl SystemClock {
+    /// A clock whose origin is "now".
+    pub fn new() -> Self {
+        SystemClock {
+            origin: Instant::now(),
+        }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        SystemClock::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now(&self) -> Duration {
+        self.origin.elapsed()
+    }
+}
+
+/// A hand-advanced clock for deterministic tests: time moves only when
+/// [`ManualClock::advance`] (or [`ManualClock::set`]) is called.
+#[derive(Debug, Default)]
+pub struct ManualClock {
+    now: Mutex<Duration>,
+}
+
+impl ManualClock {
+    /// A clock frozen at its origin.
+    pub fn new() -> Self {
+        ManualClock::default()
+    }
+
+    /// Move time forward by `by`.
+    pub fn advance(&self, by: Duration) {
+        *self.now.lock() += by;
+    }
+
+    /// Jump to an absolute reading (must not move backwards in real use;
+    /// the clock does not enforce it so tests can model clock bugs).
+    pub fn set(&self, to: Duration) {
+        *self.now.lock() = to;
+    }
+}
+
+impl Clock for ManualClock {
+    fn now(&self) -> Duration {
+        *self.now.lock()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_is_monotonic() {
+        let c = SystemClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn manual_clock_moves_only_on_demand() {
+        let c = ManualClock::new();
+        assert_eq!(c.now(), Duration::ZERO);
+        c.advance(Duration::from_secs(3));
+        assert_eq!(c.now(), Duration::from_secs(3));
+        c.set(Duration::from_secs(10));
+        assert_eq!(c.now(), Duration::from_secs(10));
+    }
+}

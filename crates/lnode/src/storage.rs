@@ -252,13 +252,22 @@ impl StorageLayer {
     }
 
     /// All stored versions, ascending.
+    ///
+    /// Sorted numerically after parsing: the listing order of the object
+    /// store is lexicographic over padded keys, which agrees with numeric
+    /// order only while every id fits the pad width. Version ids past the
+    /// pad width (and FIFO collection, which deletes the *numerically*
+    /// oldest versions) must not depend on that coincidence.
     pub fn list_versions(&self) -> Vec<VersionId> {
-        self.oss
+        let mut versions: Vec<VersionId> = self
+            .oss
             .list(layout::VERSION_PREFIX)
             .iter()
             .filter_map(|k| k.strip_prefix(layout::VERSION_PREFIX)?.parse::<u64>().ok())
             .map(VersionId)
-            .collect()
+            .collect();
+        versions.sort_unstable();
+        versions
     }
 
     /// Total bytes stored in the container store (the paper's "occupied
@@ -409,6 +418,20 @@ mod tests {
         ));
         s.delete_manifest(VersionId(0)).unwrap();
         assert_eq!(s.list_versions(), vec![VersionId(1)]);
+    }
+
+    #[test]
+    fn list_versions_sorts_numerically_beyond_pad_width() {
+        let (_oss, s) = layer();
+        // 8-digit pad: 100000000 lists lexicographically *before* 99999999
+        // ("1…" < "9…"). The numeric sort must not inherit that order.
+        for v in [99_999_999u64, 100_000_000, 3] {
+            s.put_manifest(&VersionManifest::new(VersionId(v))).unwrap();
+        }
+        assert_eq!(
+            s.list_versions(),
+            vec![VersionId(3), VersionId(99_999_999), VersionId(100_000_000)]
+        );
     }
 
     #[test]

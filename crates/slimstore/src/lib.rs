@@ -25,7 +25,9 @@
 pub mod compute;
 pub mod space;
 pub mod store;
+pub mod tenants;
 
 pub use compute::{ComputeLayer, JobScheduler};
 pub use space::SpaceReport;
-pub use store::{SlimStore, SlimStoreBuilder, VersionBackupReport};
+pub use store::{RetentionReport, SlimStore, SlimStoreBuilder, VersionBackupReport};
+pub use tenants::TenantStoreManager;

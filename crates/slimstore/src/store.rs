@@ -173,6 +173,33 @@ impl SlimStoreBuilder {
     }
 }
 
+/// Outcome of one [`SlimStore::retain_last`] retention sweep.
+#[derive(Debug, Clone, Default)]
+pub struct RetentionReport {
+    /// Versions deleted by the FIFO sweep, oldest first.
+    pub versions_collected: Vec<VersionId>,
+    /// Garbage containers deleted across all collected versions.
+    pub containers_deleted: u64,
+    /// Recipe objects deleted across all collected versions.
+    pub recipes_deleted: u64,
+    /// Bytes of container data/metadata reclaimed by the sweep itself.
+    pub bytes_reclaimed: u64,
+    /// Outcome of the immediate redundancy re-tier that followed the sweep
+    /// (replicas/parity groups that only covered collected containers are
+    /// dropped right away instead of waiting for the next G-node cycle).
+    /// `None` when the deployment runs without a redundancy plane or when
+    /// the sweep collected nothing.
+    pub redundancy: Option<slim_gnode::RedundancyStats>,
+}
+
+impl RetentionReport {
+    /// Redundancy objects (replicas / parity-group members) dropped because
+    /// the containers they protected were collected.
+    pub fn redundancy_objects_dropped(&self) -> u64 {
+        self.redundancy.as_ref().map_or(0, |r| r.objects_dropped)
+    }
+}
+
 /// Report of one whole-version backup.
 #[derive(Debug, Clone)]
 pub struct VersionBackupReport {
@@ -412,18 +439,30 @@ impl SlimStore {
     }
 
     /// Delete versions until only the newest `keep` remain (FIFO sweep).
-    pub fn retain_last(&self, keep: usize) -> Result<u64> {
+    ///
+    /// After the sweep, when a redundancy plane is configured, the G-node's
+    /// re-tier pass runs immediately: replicas and parity groups that only
+    /// protected now-collected containers are stale the moment the sweep
+    /// finishes, and leaving them until the next maintenance cycle would
+    /// bill the tenant for protection of data that no longer exists.
+    pub fn retain_last(&self, keep: usize) -> Result<RetentionReport> {
         let versions = self.storage.list_versions();
+        let mut report = RetentionReport::default();
         if versions.len() <= keep {
-            return Ok(0);
+            return Ok(report);
         }
-        let mut reclaimed = 0;
         for &v in &versions[..versions.len() - keep] {
             let stats = self.gnode.collect_version(v)?;
-            reclaimed += stats.bytes_reclaimed;
+            report.versions_collected.push(v);
+            report.containers_deleted += stats.containers_deleted;
+            report.recipes_deleted += stats.recipes_deleted;
+            report.bytes_reclaimed += stats.bytes_reclaimed;
         }
         self.similar.save(self.oss.as_ref())?;
-        Ok(reclaimed)
+        if self.config.redundancy {
+            report.redundancy = Some(self.gnode.update_redundancy()?);
+        }
+        Ok(report)
     }
 
     /// All stored versions, ascending.
@@ -639,8 +678,22 @@ mod tests {
                 .unwrap();
             store.run_gnode_cycle(VersionId(v)).unwrap();
         }
-        store.retain_last(2).unwrap();
+        let report = store.retain_last(2).unwrap();
+        assert_eq!(
+            report.versions_collected,
+            vec![VersionId(0), VersionId(1), VersionId(2)]
+        );
+        assert!(report.bytes_reclaimed > 0);
+        // The deployment runs with the default redundancy plane, so the
+        // sweep re-tiers immediately: protection covering only collected
+        // containers is dropped now, not at the next cycle.
+        let redundancy = report.redundancy.expect("redundancy on by default");
+        assert!(redundancy.objects_dropped > 0, "{redundancy:?}");
         assert_eq!(store.versions(), vec![VersionId(3), VersionId(4)]);
+        // A second sweep finds nothing to collect and skips the re-tier.
+        let report = store.retain_last(2).unwrap();
+        assert!(report.versions_collected.is_empty());
+        assert!(report.redundancy.is_none());
         let (bytes, _) = store.restore_file(&f, VersionId(4)).unwrap();
         assert_eq!(bytes, data(14, 20_000));
         assert!(store.restore_file(&f, VersionId(0)).is_err());

@@ -1,0 +1,199 @@
+//! Per-tenant deployment management over one shared bucket.
+//!
+//! The paper's service model (§III-B) runs one logical SLIMSTORE per user:
+//! each tenant has its own similar-file index, global fingerprint index and
+//! version history, all stored under a tenant prefix of a single shared OSS
+//! bucket ([`slim_oss::NamespacedStore`]). The [`TenantStoreManager`] builds
+//! those deployments on demand from one template and caches them, so a
+//! request plane (the `slim-frontend` crate) can resolve `tenant name →
+//! SlimStore` cheaply on every admission.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use slim_lnode::node::ChunkerKind;
+use slim_oss::rocks::RocksConfig;
+use slim_oss::{NetworkModel, ObjectStore, Oss};
+use slim_types::{Result, SlimConfig};
+
+use crate::store::{SlimStore, SlimStoreBuilder};
+
+/// Builds and caches one [`SlimStore`] per tenant over a shared bucket.
+///
+/// Every tenant deployment is constructed from the same template (config,
+/// L-node count, chunker, Rocks tuning); isolation comes entirely from the
+/// tenant namespace. Deployments are cached: the first request for a tenant
+/// pays the build cost (index load, journal recovery), later requests reuse
+/// the same instance — matching how a service front door would pin tenant
+/// state to warm serving processes.
+pub struct TenantStoreManager {
+    base: Arc<dyn ObjectStore>,
+    config: SlimConfig,
+    l_nodes: usize,
+    chunker: ChunkerKind,
+    rocks: RocksConfig,
+    stores: RwLock<HashMap<String, Arc<SlimStore>>>,
+}
+
+impl TenantStoreManager {
+    /// Manage tenant deployments over `base` with default settings.
+    pub fn new(base: Arc<dyn ObjectStore>) -> Self {
+        TenantStoreManager {
+            base,
+            config: SlimConfig::default(),
+            l_nodes: 1,
+            chunker: ChunkerKind::FastCdc,
+            rocks: RocksConfig::default(),
+            stores: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// Manage tenants over a fresh in-memory bucket with the given network
+    /// model (tests, examples).
+    pub fn in_memory(network: NetworkModel) -> Self {
+        TenantStoreManager::new(Arc::new(Oss::new(network)))
+    }
+
+    /// System configuration applied to every tenant deployment.
+    pub fn with_config(mut self, config: SlimConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// L-node pool size of every tenant deployment.
+    pub fn with_l_nodes(mut self, n: usize) -> Self {
+        self.l_nodes = n;
+        self
+    }
+
+    /// CDC algorithm of every tenant deployment.
+    pub fn with_chunker(mut self, chunker: ChunkerKind) -> Self {
+        self.chunker = chunker;
+        self
+    }
+
+    /// Rocks-OSS tuning of every tenant deployment.
+    pub fn with_rocks_config(mut self, rocks: RocksConfig) -> Self {
+        self.rocks = rocks;
+        self
+    }
+
+    /// The shared bucket every tenant namespace lives in.
+    pub fn bucket(&self) -> &Arc<dyn ObjectStore> {
+        &self.base
+    }
+
+    /// The template configuration applied to every tenant deployment.
+    pub fn config(&self) -> &SlimConfig {
+        &self.config
+    }
+
+    /// The deployment of `tenant`, building (and caching) it on first use.
+    ///
+    /// Tenant names are validated by [`slim_oss::NamespacedStore`]; an
+    /// invalid name fails here, before anything is queued or executed.
+    pub fn get_or_create(&self, tenant: &str) -> Result<Arc<SlimStore>> {
+        if let Some(store) = self.stores.read().get(tenant) {
+            return Ok(store.clone());
+        }
+        // Build under the write lock: concurrent first touches of the same
+        // tenant must not race two half-built deployments (each would replay
+        // the journal and recover version numbering independently).
+        let mut stores = self.stores.write();
+        if let Some(store) = stores.get(tenant) {
+            return Ok(store.clone());
+        }
+        let store = Arc::new(
+            SlimStoreBuilder::in_memory()
+                .with_object_store(self.base.clone())
+                .with_tenant(tenant)?
+                .with_config(self.config.clone())
+                .with_l_nodes(self.l_nodes)
+                .with_chunker(self.chunker)
+                .with_rocks_config(self.rocks.clone())
+                .build()?,
+        );
+        stores.insert(tenant.to_string(), store.clone());
+        Ok(store)
+    }
+
+    /// The cached deployment of `tenant`, if it was already built.
+    pub fn get(&self, tenant: &str) -> Option<Arc<SlimStore>> {
+        self.stores.read().get(tenant).cloned()
+    }
+
+    /// Names of every tenant with a cached deployment, sorted.
+    pub fn tenants(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.stores.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of cached tenant deployments.
+    pub fn len(&self) -> usize {
+        self.stores.read().len()
+    }
+
+    /// Whether no tenant deployment has been built yet.
+    pub fn is_empty(&self) -> bool {
+        self.stores.read().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slim_types::{FileId, VersionId};
+
+    fn manager() -> TenantStoreManager {
+        TenantStoreManager::in_memory(NetworkModel::instant())
+            .with_config(SlimConfig::small_for_tests())
+            .with_rocks_config(RocksConfig::small_for_tests())
+    }
+
+    #[test]
+    fn tenants_are_isolated_and_cached() {
+        let mgr = manager();
+        let a = mgr.get_or_create("acme").unwrap();
+        let b = mgr.get_or_create("globex").unwrap();
+        let file = FileId::new("db/f");
+        a.backup_version(vec![(file.clone(), b"acme bytes".repeat(800))])
+            .unwrap();
+        b.backup_version(vec![(file.clone(), b"globex bytes".repeat(800))])
+            .unwrap();
+        // Same name resolves to the same cached instance.
+        let a2 = mgr.get_or_create("acme").unwrap();
+        assert!(Arc::ptr_eq(&a, &a2));
+        assert_eq!(mgr.tenants(), vec!["acme", "globex"]);
+        assert_eq!(mgr.len(), 2);
+        // Cross-tenant reads resolve against each tenant's own namespace.
+        let (bytes, _) = a.restore_file(&file, VersionId(0)).unwrap();
+        assert_eq!(bytes, b"acme bytes".repeat(800));
+        let (bytes, _) = b.restore_file(&file, VersionId(0)).unwrap();
+        assert_eq!(bytes, b"globex bytes".repeat(800));
+    }
+
+    #[test]
+    fn invalid_tenant_name_fails_fast() {
+        let mgr = manager();
+        assert!(mgr.get_or_create("../escape").is_err());
+        assert!(mgr.is_empty());
+    }
+
+    #[test]
+    fn concurrent_first_touch_builds_once() {
+        let mgr = Arc::new(manager());
+        let stores: Vec<Arc<SlimStore>> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let mgr = mgr.clone();
+                    s.spawn(move || mgr.get_or_create("acme").unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(stores.windows(2).all(|w| Arc::ptr_eq(&w[0], &w[1])));
+        assert_eq!(mgr.len(), 1);
+    }
+}

@@ -60,6 +60,14 @@ pub enum SlimError {
         last: String,
     },
 
+    /// The request plane refused or abandoned the request because the
+    /// deployment is saturated: admission queue full, tenant rate limit
+    /// exceeded, deadline expired while queued, or the frontend is
+    /// draining. The request was *not* executed; retrying after backing
+    /// off may succeed.
+    #[error("overloaded: {0}")]
+    Overloaded(String),
+
     /// Configuration rejected at construction time.
     #[error("invalid configuration: {0}")]
     InvalidConfig(String),
@@ -86,12 +94,18 @@ impl SlimError {
     /// Transient and throttling failures are the retryable class; a
     /// [`SlimError::Timeout`] is retryable too because it wraps a retryable
     /// cause that merely ran out of budget at one layer — an outer layer with
-    /// a larger budget may still succeed. Permanent conditions (missing
-    /// objects, corruption, injected hard faults, config errors) are not.
+    /// a larger budget may still succeed. [`SlimError::Overloaded`] is
+    /// retryable by construction: the request plane guarantees a shed
+    /// request was never executed, so resubmitting after backoff is safe.
+    /// Permanent conditions (missing objects, corruption, injected hard
+    /// faults, config errors) are not.
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
-            SlimError::Transient(_) | SlimError::Throttled(_) | SlimError::Timeout { .. }
+            SlimError::Transient(_)
+                | SlimError::Throttled(_)
+                | SlimError::Timeout { .. }
+                | SlimError::Overloaded(_)
         )
     }
 }
@@ -110,6 +124,7 @@ mod tests {
             last: "transient".into(),
         }
         .is_retryable());
+        assert!(SlimError::Overloaded("queue full".into()).is_retryable());
         assert!(!SlimError::ObjectNotFound("k".into()).is_retryable());
         assert!(!SlimError::InjectedFault("put k".into()).is_retryable());
         assert!(!SlimError::corrupt("recipe", "bad magic").is_retryable());

@@ -22,8 +22,10 @@
 //! produce identical bytes. Experiments are therefore reproducible and files
 //! can be regenerated lazily instead of held in memory.
 
+pub mod arrivals;
 pub mod generator;
 pub mod stats;
 
+pub use arrivals::PoissonArrivals;
 pub use generator::{FileVersion, Workload, WorkloadConfig};
 pub use stats::DatasetStats;

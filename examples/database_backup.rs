@@ -56,10 +56,12 @@ fn main() -> slim_types::Result<()> {
     );
 
     // Keep a one-week retention window.
-    let reclaimed = store.retain_last(7)?;
+    let retention = store.retain_last(7)?;
     println!(
-        "retention sweep reclaimed {:.1} MiB; versions kept: {:?}",
-        reclaimed as f64 / (1024.0 * 1024.0),
+        "retention sweep reclaimed {:.1} MiB ({} containers, {} stale redundancy objects); versions kept: {:?}",
+        retention.bytes_reclaimed as f64 / (1024.0 * 1024.0),
+        retention.containers_deleted,
+        retention.redundancy_objects_dropped(),
         store.versions().iter().map(|v| v.0).collect::<Vec<_>>(),
     );
 

@@ -2,46 +2,95 @@
 //! isolated SLIMSTORE deployment — the paper's cloud-backup service model,
 //! where the similar-file index and global fingerprint index are per user.
 //!
+//! All traffic flows through the `slim-frontend` request plane: a
+//! `TenantStoreManager` resolves tenant names to deployments, and the
+//! `Frontend` applies admission control (per-tenant rate limits, bounded
+//! queues) and weighted fair scheduling across priority classes (restores
+//! outrank backups outrank G-node maintenance) before anything touches a
+//! store.
+//!
 //! ```sh
 //! cargo run --release --example multi_tenant
 //! ```
 
 use std::sync::Arc;
 
+use slim_frontend::{FrontendBuilder, FrontendConfig, Request, TenantPolicy};
 use slim_oss::{ObjectStore, Oss};
-use slim_types::{FileId, VersionId};
-use slimstore::SlimStoreBuilder;
+use slim_types::{FileId, SlimError, VersionId};
+use slimstore::TenantStoreManager;
 
 fn main() -> slim_types::Result<()> {
-    // One shared bucket for the whole service.
+    // One shared bucket for the whole service; the manager stamps every
+    // deployment out of the same template, isolated by key namespace.
     let bucket: Arc<dyn ObjectStore> = Arc::new(Oss::in_memory());
+    let manager = Arc::new(TenantStoreManager::new(bucket.clone()));
+
+    // The request plane: "acme" pays for twice the scheduling weight.
+    let frontend = FrontendBuilder::new(manager.clone())
+        .with_config(FrontendConfig::default().with_workers(3))
+        .with_tenant_policy("acme", TenantPolicy::default().with_weight(2))
+        .start()?;
 
     let tenants = ["acme", "globex", "initech"];
+    let file = FileId::new("db/main.sqlite");
     for (i, tenant) in tenants.iter().enumerate() {
-        let store = SlimStoreBuilder::in_memory()
-            .with_object_store(bucket.clone())
-            .with_tenant(tenant)?
-            .build()?;
         // Every tenant uses the same file path and version numbers —
         // namespaces keep them apart.
-        let file = FileId::new("db/main.sqlite");
         let v0 = format!("{tenant} confidential row set {i}")
             .into_bytes()
             .repeat(3000);
         let mut v1 = v0.clone();
         v1.extend_from_slice(format!("{tenant} appended transactions").as_bytes());
 
-        let r0 = store.backup_version(vec![(file.clone(), v0)])?;
-        let r1 = store.backup_version(vec![(file.clone(), v1.clone())])?;
-        store.run_gnode_cycle(r1.version)?;
-        let (restored, _) = store.restore_file(&file, r1.version)?;
+        let r0 = frontend
+            .submit(
+                tenant,
+                Request::Backup {
+                    files: vec![(file.clone(), v0)],
+                    jobs: 1,
+                },
+            )?
+            .wait()?
+            .into_backup()?;
+        let r1 = frontend
+            .submit(
+                tenant,
+                Request::Backup {
+                    files: vec![(file.clone(), v1.clone())],
+                    jobs: 1,
+                },
+            )?
+            .wait()?
+            .into_backup()?;
+        // Offline dedup rides the maintenance class: under foreground
+        // pressure it waits — never the other way around.
+        frontend
+            .submit(
+                tenant,
+                Request::GNodeCycle {
+                    version: r1.version,
+                },
+            )?
+            .wait()?
+            .into_maintenance()?;
+        let (restored, _) = frontend
+            .submit(
+                tenant,
+                Request::RestoreFile {
+                    file: file.clone(),
+                    version: r1.version,
+                },
+            )?
+            .wait()?
+            .into_file()?;
         assert_eq!(restored, v1);
         println!(
             "tenant {tenant:<8} v{}..v{}: dedup {:>5.1}%, integrity {}",
             r0.version.0,
             r1.version.0,
             r1.stats.dedup_ratio() * 100.0,
-            if store.scrub().is_ok() {
+            if manager.get_or_create(tenant)?.scrub().is_ok() {
                 "ok"
             } else {
                 "FAILED"
@@ -49,22 +98,62 @@ fn main() -> slim_types::Result<()> {
         );
     }
 
-    // Cross-tenant isolation check: reopening one tenant sees only its own
-    // data, and its restore differs from every other tenant's.
+    // QoS contracts are live-editable: cap initech at 2 requests/second
+    // (burst 2), then rapid-fire four restores. The overflow is shed at
+    // the door with a retryable `Overloaded` — not queued forever.
+    frontend.set_tenant_policy("initech", TenantPolicy::default().with_rate(2.0, 2.0))?;
+    let mut tickets = Vec::new();
+    let mut shed = 0;
+    for _ in 0..4 {
+        match frontend.submit(
+            "initech",
+            Request::RestoreFile {
+                file: file.clone(),
+                version: VersionId(1),
+            },
+        ) {
+            Ok(ticket) => tickets.push(ticket),
+            Err(SlimError::Overloaded(_)) => shed += 1,
+            Err(other) => return Err(other),
+        }
+    }
+    for ticket in tickets {
+        ticket.wait()?.into_file()?;
+    }
+    assert!(shed > 0);
+    println!("\ninitech rapid-fire: {shed} of 4 restores shed by the 2/s rate limit");
+    frontend.set_tenant_policy("initech", TenantPolicy::default())?;
+
+    // Cross-tenant isolation check: each tenant's restore resolves against
+    // its own namespace and differs from every other tenant's.
     let mut payloads = Vec::new();
     for tenant in tenants {
-        let store = SlimStoreBuilder::in_memory()
-            .with_object_store(bucket.clone())
-            .with_tenant(tenant)?
-            .build()?;
-        let (bytes, _) = store.restore_file(&FileId::new("db/main.sqlite"), VersionId(1))?;
+        let (bytes, _) = frontend
+            .submit(
+                tenant,
+                Request::RestoreFile {
+                    file: file.clone(),
+                    version: VersionId(1),
+                },
+            )?
+            .wait()?
+            .into_file()?;
         payloads.push(bytes);
     }
     assert!(payloads.windows(2).all(|w| w[0] != w[1]));
+
+    let snap = frontend.telemetry_snapshot();
     println!(
-        "\n{} tenants share one bucket ({} objects) with zero cross-tenant visibility",
+        "{} tenants share one bucket ({} objects) with zero cross-tenant visibility",
         tenants.len(),
         bucket.list("tenants/").len(),
     );
+    println!(
+        "frontend: {} admitted, {} completed, {} shed",
+        snap.counter("frontend.admitted"),
+        snap.counter("frontend.completed"),
+        snap.counter("frontend.shed"),
+    );
+    frontend.shutdown();
     Ok(())
 }

@@ -6,6 +6,7 @@
 
 pub use slim_baselines as baselines;
 pub use slim_chunking as chunking;
+pub use slim_frontend as frontend;
 pub use slim_gnode as gnode;
 pub use slim_index as index;
 pub use slim_lnode as lnode;
