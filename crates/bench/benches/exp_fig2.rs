@@ -18,7 +18,9 @@
 
 use std::sync::Arc;
 
-use slim_bench::{bench_network, pct, print_telemetry, scale, span_secs, Table, VersionedFile};
+use slim_bench::{
+    bench_network, pct, pipeline_threads, print_telemetry, scale, span_secs, Table, VersionedFile,
+};
 use slim_index::SimilarFileIndex;
 use slim_lnode::node::ChunkerKind;
 use slim_lnode::{LNode, StorageLayer};
@@ -33,9 +35,13 @@ fn main() {
     let stream = VersionedFile::new("fig2", bytes_per_version, versions, 0.84);
 
     for kind in [ChunkerKind::Rabin, ChunkerKind::FastCdc] {
-        let cfg = SlimConfig::default()
+        let mut cfg = SlimConfig::default()
             .with_skip_chunking(false)
             .with_chunk_merging(false);
+        // SLIM_PIPELINE overrides; default-size from the network model
+        // (more channels → more pipeline threads pay off).
+        cfg.backup_pipeline_threads =
+            pipeline_threads().unwrap_or_else(|| bench_network().suggested_pipeline_threads());
         let registry = Registry::new();
         let scope = registry.scope("lnode").child("0");
         let storage = StorageLayer::open(Arc::new(Oss::new(bench_network())));

@@ -12,7 +12,7 @@
 
 use std::sync::Arc;
 
-use slim_bench::{bench_network_fast, f1, pct, scale, Table, VersionedFile};
+use slim_bench::{bench_network_fast, f1, pct, pipeline_threads, scale, Table, VersionedFile};
 use slim_index::SimilarFileIndex;
 use slim_lnode::{LNode, StorageLayer};
 use slim_oss::Oss;
@@ -33,6 +33,8 @@ fn run(stream: &VersionedFile, merging: bool, versions: usize) -> Outcome {
         .with_skip_chunking(false)
         .with_chunk_merging(merging);
     cfg.superchunk_max_members = 8;
+    cfg.backup_pipeline_threads =
+        pipeline_threads().unwrap_or_else(|| bench_network_fast().suggested_pipeline_threads());
     let storage = StorageLayer::open(Arc::new(Oss::new(bench_network_fast())));
     let node = LNode::new(storage.clone(), SimilarFileIndex::new(), cfg).unwrap();
     let mut last = None;

@@ -50,6 +50,21 @@ pub fn batch_workers() -> Option<usize> {
     raw.parse::<usize>().ok().map(|n| n.max(1))
 }
 
+/// Backup-pipeline thread budget from `SLIM_PIPELINE`.
+///
+/// Unset → `None` (experiments size the pipeline from their network model
+/// via `NetworkModel::suggested_pipeline_threads`). `SLIM_PIPELINE=0` or
+/// `SLIM_PIPELINE=off` → `Some(0)`, forcing the sequential backup path —
+/// the A/B knob for the Fig 2 / Fig 6 backup-throughput lines. Any other
+/// integer runs the pipelined plane with that many threads per job.
+pub fn pipeline_threads() -> Option<usize> {
+    let raw = std::env::var("SLIM_PIPELINE").ok()?;
+    if raw.eq_ignore_ascii_case("off") {
+        return Some(0);
+    }
+    raw.parse::<usize>().ok()
+}
+
 /// The network model used by throughput experiments: OSS-like latency and
 /// per-channel bandwidth so that network effects (Fig 2, Fig 8, Table II)
 /// are visible, scaled down so runs finish in seconds.

@@ -34,7 +34,7 @@ pub use fixed::FixedChunker;
 pub use fp::fingerprint;
 pub use gear::GearChunker;
 pub use rabin::RabinChunker;
-pub use stream::{chunk_all, ChunkRef};
+pub use stream::{boundaries, chunk_all, Boundaries, ChunkRef};
 
 use slim_types::SlimConfig;
 

@@ -62,6 +62,40 @@ pub fn chunk_all(chunker: &dyn Chunker, data: &[u8]) -> Vec<ChunkRef> {
     out
 }
 
+/// Lazy iterator over the plain-CDC cut spans of a buffer, *without*
+/// fingerprinting. This is the feed stage of the parallel backup pipeline:
+/// one thread walks boundaries (cheap rolling hash), a pool of workers
+/// fingerprints the spans it emits. Yields `(start, end)` pairs that tile
+/// `data` exactly like [`chunk_all`].
+pub struct Boundaries<'a> {
+    chunker: &'a dyn Chunker,
+    data: &'a [u8],
+    pos: usize,
+}
+
+/// Iterate the plain-CDC cut spans of `data`.
+pub fn boundaries<'a>(chunker: &'a dyn Chunker, data: &'a [u8]) -> Boundaries<'a> {
+    Boundaries {
+        chunker,
+        data,
+        pos: 0,
+    }
+}
+
+impl Iterator for Boundaries<'_> {
+    type Item = (usize, usize);
+
+    fn next(&mut self) -> Option<(usize, usize)> {
+        if self.pos >= self.data.len() {
+            return None;
+        }
+        let start = self.pos;
+        let end = self.chunker.next_boundary(self.data, start);
+        self.pos = end;
+        Some((start, end))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -105,5 +139,18 @@ mod tests {
     fn empty_input_yields_no_chunks() {
         let c = FastCdcChunker::new(ChunkSpec::new(64, 256, 1024));
         assert!(chunk_all(&c, &[]).is_empty());
+    }
+
+    #[test]
+    fn boundaries_match_chunk_all() {
+        let c = FastCdcChunker::new(ChunkSpec::new(64, 256, 1024));
+        let data = random_data(40_000, 4);
+        let spans: Vec<_> = boundaries(&c, &data).collect();
+        let chunks = chunk_all(&c, &data);
+        assert_eq!(spans.len(), chunks.len());
+        for (span, ch) in spans.iter().zip(&chunks) {
+            assert_eq!(*span, (ch.start, ch.end));
+        }
+        assert!(boundaries(&c, &[]).next().is_none());
     }
 }

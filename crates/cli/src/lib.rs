@@ -4,7 +4,7 @@
 //!
 //! ```text
 //! slim init     <repo>
-//! slim backup   <repo> <source-dir> [--jobs N]
+//! slim backup   <repo> <source-dir> [--jobs N] [--pipeline N]
 //! slim restore  <repo> <version> <target-dir> [--jobs N]
 //! slim versions <repo>
 //! slim files    <repo> <version>
@@ -34,7 +34,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use slim_oss::LocalDiskOss;
-use slim_types::{FileId, Result, SlimError, VersionId};
+use slim_types::{FileId, Result, SlimConfig, SlimError, VersionId};
 use slimstore::{SlimStore, SlimStoreBuilder};
 
 /// Marker object proving a directory is a SLIMSTORE repository.
@@ -50,6 +50,10 @@ pub enum Command {
         repo: PathBuf,
         source: PathBuf,
         jobs: usize,
+        /// `--pipeline N`: per-job thread budget for the pipelined backup
+        /// plane (`0` forces the sequential path; absent keeps the store
+        /// default).
+        pipeline: Option<usize>,
     },
     Restore {
         repo: PathBuf,
@@ -102,6 +106,7 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, String> {
     let cmd = it.next().ok_or_else(usage)?;
     let mut positional: Vec<&String> = Vec::new();
     let mut jobs = 4usize;
+    let mut pipeline: Option<usize> = None;
     let mut keep: Option<usize> = None;
     let mut repair = false;
     let mut purge = false;
@@ -117,6 +122,14 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, String> {
                     .get(i)
                     .and_then(|s| s.parse().ok())
                     .ok_or("--jobs needs a number")?;
+            }
+            "--pipeline" => {
+                i += 1;
+                pipeline = Some(
+                    rest.get(i)
+                        .and_then(|s| s.parse().ok())
+                        .ok_or("--pipeline needs a thread count")?,
+                );
             }
             "--keep" => {
                 i += 1;
@@ -154,6 +167,7 @@ pub fn parse(args: &[String]) -> std::result::Result<Command, String> {
             repo: pos(0)?.into(),
             source: pos(1)?.into(),
             jobs,
+            pipeline,
         },
         "restore" => Command::Restore {
             repo: pos(0)?.into(),
@@ -207,6 +221,10 @@ fn usage() -> String {
 }
 
 fn open_repo(repo: &Path, must_exist: bool) -> Result<SlimStore> {
+    open_repo_with(repo, must_exist, None)
+}
+
+fn open_repo_with(repo: &Path, must_exist: bool, config: Option<SlimConfig>) -> Result<SlimStore> {
     let oss = LocalDiskOss::open(repo)?;
     use slim_oss::ObjectStore;
     if must_exist && !oss.exists(REPO_MARKER)? {
@@ -215,9 +233,11 @@ fn open_repo(repo: &Path, must_exist: bool) -> Result<SlimStore> {
             repo.display()
         )));
     }
-    SlimStoreBuilder::in_memory()
-        .with_object_store(Arc::new(oss))
-        .build()
+    let mut builder = SlimStoreBuilder::in_memory().with_object_store(Arc::new(oss));
+    if let Some(config) = config {
+        builder = builder.with_config(config);
+    }
+    builder.build()
 }
 
 /// Collect the relative paths + contents of every regular file under `dir`.
@@ -331,8 +351,18 @@ pub fn run(cmd: Command) -> Result<String> {
                 repo.display()
             ))
         }
-        Command::Backup { repo, source, jobs } => {
-            let store = open_repo(&repo, true)?;
+        Command::Backup {
+            repo,
+            source,
+            jobs,
+            pipeline,
+        } => {
+            let config = pipeline.map(|threads| {
+                let mut cfg = SlimConfig::default();
+                cfg.backup_pipeline_threads = threads;
+                cfg
+            });
+            let store = open_repo_with(&repo, true, config)?;
             let files = read_tree(&source)?;
             if files.is_empty() {
                 return Err(SlimError::InvalidConfig(format!(
@@ -606,9 +636,20 @@ mod tests {
             Command::Backup {
                 repo: "/r".into(),
                 source: "/src".into(),
-                jobs: 8
+                jobs: 8,
+                pipeline: None
             }
         );
+        assert_eq!(
+            parse(&s(&["backup", "/r", "/src", "--pipeline", "6"])).unwrap(),
+            Command::Backup {
+                repo: "/r".into(),
+                source: "/src".into(),
+                jobs: 4,
+                pipeline: Some(6)
+            }
+        );
+        assert!(parse(&s(&["backup", "/r", "/src", "--pipeline"])).is_err());
         assert_eq!(
             parse(&s(&["restore", "/r", "v3", "/out"])).unwrap(),
             Command::Restore {
@@ -681,16 +722,18 @@ mod tests {
             repo: repo.clone(),
             source: src.clone(),
             jobs: 2,
+            pipeline: None,
         })
         .unwrap();
         assert!(msg.contains("2 files"), "{msg}");
 
-        // Mutate and take a second version.
+        // Mutate and take a second version, through the pipelined plane.
         fs::write(src.join("a.txt"), b"hello world".repeat(501)).unwrap();
         run(Command::Backup {
             repo: repo.clone(),
             source: src.clone(),
             jobs: 2,
+            pipeline: Some(4),
         })
         .unwrap();
 
@@ -791,6 +834,7 @@ mod tests {
             repo: repo.clone(),
             source: src.clone(),
             jobs: 1,
+            pipeline: None,
         })
         .unwrap();
         fs::remove_file(src.join("old.txt")).unwrap();
@@ -799,6 +843,7 @@ mod tests {
             repo: repo.clone(),
             source: src.clone(),
             jobs: 1,
+            pipeline: None,
         })
         .unwrap();
         let diff = run(Command::Diff {
@@ -836,6 +881,7 @@ mod tests {
             repo: repo.clone(),
             source: src.clone(),
             jobs: 1,
+            pipeline: None,
         })
         .unwrap();
 
@@ -900,6 +946,7 @@ mod tests {
             repo: repo.clone(),
             source: src.clone(),
             jobs: 1,
+            pipeline: None,
         })
         .unwrap();
 
@@ -1006,7 +1053,8 @@ mod tests {
         assert!(run(Command::Backup {
             repo: repo.clone(),
             source: src.clone(),
-            jobs: 1
+            jobs: 1,
+            pipeline: None
         })
         .is_err());
         for d in [repo, src] {
@@ -1022,7 +1070,8 @@ mod tests {
         assert!(run(Command::Backup {
             repo: repo.clone(),
             source: src.clone(),
-            jobs: 1
+            jobs: 1,
+            pipeline: None
         })
         .is_err());
         for d in [repo, src] {

@@ -200,6 +200,20 @@ impl FrontendConfig {
         self
     }
 
+    /// Couple the dispatcher pool to the per-job backup pipeline: a
+    /// pipelined job occupies `1 + pipeline_threads` OS threads and holds up
+    /// to three sealed containers in flight instead of one, so with
+    /// pipelining enabled the dispatcher admits proportionally fewer
+    /// concurrent jobs. This keeps the total thread count — and the working
+    /// memory the per-tenant `max_inflight_bytes` admission budgets are
+    /// sized against — where a sequential deployment put it.
+    pub fn coupled_to_pipeline(mut self, pipeline_threads: usize) -> Self {
+        if pipeline_threads >= 2 {
+            self.workers = (self.workers / (1 + pipeline_threads)).max(1);
+        }
+        self
+    }
+
     /// Builder-style worker count.
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = workers;
@@ -327,6 +341,29 @@ mod tests {
             .with_workers(16)
             .coupled_to_network(&NetworkModel::instant());
         assert_eq!(cfg.workers, 16);
+    }
+
+    #[test]
+    fn pipeline_coupling_shrinks_the_dispatcher_pool() {
+        // 16 dispatcher threads over 3-thread pipelined jobs = 4 concurrent
+        // jobs x 4 threads each: the same 16 OS threads as before.
+        let cfg = FrontendConfig::default()
+            .with_workers(16)
+            .coupled_to_pipeline(3);
+        assert_eq!(cfg.workers, 4);
+        // Sequential pipelines (0 or 1 threads) leave the pool alone.
+        for threads in [0usize, 1] {
+            let cfg = FrontendConfig::default()
+                .with_workers(16)
+                .coupled_to_pipeline(threads);
+            assert_eq!(cfg.workers, 16);
+        }
+        // The pool never collapses below one dispatcher.
+        let cfg = FrontendConfig::default()
+            .with_workers(2)
+            .coupled_to_pipeline(7);
+        assert_eq!(cfg.workers, 1);
+        cfg.validate().unwrap();
     }
 
     #[test]

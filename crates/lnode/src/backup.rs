@@ -25,6 +25,7 @@
 //! member copies are reclaimed later by the G-node's reverse deduplication).
 
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 use std::time::Instant;
 
 use slim_chunking::{chunk_all, fingerprint, sample::file_representatives, Chunker};
@@ -36,6 +37,7 @@ use slim_types::{
     RecipeIndex, Result, SegmentRecipe, SlimConfig, SlimError, SuperChunkInfo, VersionId,
 };
 
+use crate::pipeline::{ChunkFeed, PipelineShared, UploadSink};
 use crate::stats::BackupStats;
 use crate::storage::StorageLayer;
 
@@ -158,9 +160,16 @@ impl<'a> BackupPipeline<'a> {
             cur_records: Vec::new(),
             cur_spans: Vec::new(),
             prediction: None,
+            feed: None,
+            sink: None,
             stats,
         };
-        job.run()?;
+        let threads = self.config.backup_pipeline_threads;
+        if threads >= 2 && !data.is_empty() {
+            job.run_pipelined(threads)?;
+        } else {
+            job.run()?;
+        }
         let Job {
             mut stats,
             segments,
@@ -300,6 +309,10 @@ struct Job<'p, 'a> {
     cur_spans: Vec<(usize, usize)>,
     /// Skip-chunking prediction: the record expected to match at the cursor.
     prediction: Option<ChunkRecord>,
+    /// Pipelined mode: the precomputed plain-CDC chunk stream (stages 1+2).
+    feed: Option<ChunkFeed>,
+    /// Pipelined mode: async container uploads (stage 4).
+    sink: Option<UploadSink>,
     stats: BackupStats,
 }
 
@@ -319,6 +332,48 @@ impl Job<'_, '_> {
         self.close_segment()?;
         self.seal_container()?;
         Ok(())
+    }
+
+    /// Run the same dedup loop with the parallel stages of
+    /// [`crate::pipeline`] around it: a chunking feeder, `threads - 2`
+    /// fingerprint workers, and an async container uploader, all scoped to
+    /// this call. The loop itself — and therefore every byte of output — is
+    /// identical to [`Job::run`]; the stages only precompute the plain-CDC
+    /// stream it consumes and overlap the uploads it orders.
+    fn run_pipelined(&mut self, threads: usize) -> Result<()> {
+        debug_assert!(threads >= 2);
+        let shared = Arc::new(PipelineShared::default());
+        let chunker = self.pipeline.chunker;
+        let data = self.data;
+        let storage = self.pipeline.storage.clone();
+        let fp_workers = threads - 2; // one feeder + one uploader
+        let result = std::thread::scope(|s| {
+            self.feed = Some(ChunkFeed::spawn(
+                s,
+                chunker,
+                data,
+                fp_workers,
+                shared.clone(),
+            ));
+            let (sink, uploader) = UploadSink::spawn(s, storage, shared.clone());
+            self.sink = Some(sink);
+            // The feed and sink must be detached from `self` before the
+            // scope ends even if the loop panics (a debug assertion, say):
+            // their queues are what lets the spawned threads exit, and the
+            // scope joins those threads.
+            let run_result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| self.run()));
+            self.feed = None;
+            let sink_result = match self.sink.take() {
+                Some(sink) => sink.finish(uploader),
+                None => Ok(()),
+            };
+            match run_result {
+                Ok(res) => res.and(sink_result),
+                Err(panic) => std::panic::resume_unwind(panic),
+            }
+        });
+        shared.fold_into(&mut self.stats);
+        result
     }
 
     /// Process one chunk (or superchunk) starting at `pos`; returns the new
@@ -348,12 +403,7 @@ impl Job<'_, '_> {
         }
 
         // -- Plain CDC cut --
-        let t = Instant::now();
-        let end = self.pipeline.chunker.next_boundary(self.data, pos);
-        self.stats.chunking_time += t.elapsed();
-        let t = Instant::now();
-        let fp = fingerprint(&self.data[pos..end]);
-        self.stats.fingerprint_time += t.elapsed();
+        let (end, fp) = self.cut_at(pos);
 
         // -- Probe the recipe index and prefetch matching segments --
         self.maybe_prefetch(&fp)?;
@@ -399,6 +449,26 @@ impl Job<'_, '_> {
         Ok(end)
     }
 
+    /// The plain-CDC cut and fingerprint at `pos`: consumed from the
+    /// parallel feed when pipelined, computed inline otherwise. The feed is
+    /// the same `next_boundary`/`fingerprint` pair evaluated ahead of time,
+    /// so both sources yield the identical chunk.
+    fn cut_at(&mut self, pos: usize) -> (usize, Fingerprint) {
+        if let Some(feed) = &mut self.feed {
+            if let Some(c) = feed.take_at(pos) {
+                return (c.end, c.fp);
+            }
+            feed.note_fallback();
+        }
+        let t = Instant::now();
+        let end = self.pipeline.chunker.next_boundary(self.data, pos);
+        self.stats.chunking_time += t.elapsed();
+        let t = Instant::now();
+        let fp = fingerprint(&self.data[pos..end]);
+        self.stats.fingerprint_time += t.elapsed();
+        (end, fp)
+    }
+
     /// Attempt a skip-chunking jump: land on the predicted cut, check the
     /// cut condition in O(window), verify by fingerprint. Returns the chunk
     /// end on success.
@@ -418,6 +488,22 @@ impl Job<'_, '_> {
                 return Some(end);
             }
             return None;
+        }
+        // Pipelined: the plain chunk at `pos` is already cut and hashed.
+        // The prediction holds iff it *is* that chunk — same decision as
+        // the inline check below (a fingerprint match implies content
+        // equality, so the historical cut is the next plain-CDC cut), with
+        // the hash work already paid by the worker pool. On a miss the
+        // chunk stays buffered for the plain-CDC path.
+        if let Some(feed) = &mut self.feed {
+            if let Some(c) = feed.peek_at(pos) {
+                if c.end == end && c.fp == predicted.fp {
+                    feed.consume_head();
+                    return Some(end);
+                }
+                return None;
+            }
+            // Feed exhausted/misaligned: verify inline below.
         }
         let t = Instant::now();
         let cut_ok = self.pipeline.chunker.is_boundary(self.data, pos, end);
@@ -607,9 +693,18 @@ impl Job<'_, '_> {
                 return Ok(());
             }
             let (data, meta) = builder.seal();
-            let t = Instant::now();
-            self.pipeline.storage.put_container(data, &meta)?;
-            self.stats.network_time += t.elapsed();
+            match &self.sink {
+                // Pipelined: hand off to the async uploader. Containers are
+                // sealed — and ids allocated — in stream order, so the
+                // queue's FIFO order is container-id order; the uploader's
+                // time is folded into network_time when the stages join.
+                Some(sink) => sink.push(data, meta)?,
+                None => {
+                    let t = Instant::now();
+                    self.pipeline.storage.put_container(data, &meta)?;
+                    self.stats.network_time += t.elapsed();
+                }
+            }
         }
         Ok(())
     }
@@ -1031,6 +1126,99 @@ mod tests {
             out.stats.dedup_ratio()
         );
         assert_eq!(reassemble(&storage, &file, 1), v1);
+    }
+
+    /// Full bucket contents, sorted by key — the byte-identity oracle for
+    /// pipelined-vs-sequential comparisons.
+    fn bucket(oss: &Oss) -> Vec<(String, Vec<u8>)> {
+        use slim_oss::ObjectStore;
+        let mut keys = oss.list("");
+        keys.sort();
+        keys.into_iter()
+            .map(|k| {
+                let bytes = oss.get(&k).unwrap().to_vec();
+                (k, bytes)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pipelined_backup_is_byte_identical_to_sequential() {
+        // The acceptance invariant of the parallel backup plane: same
+        // containers, same recipes, same dedup statistics — for every
+        // thread count, with every history-aware fast path enabled.
+        let file = FileId::new("f");
+        let v0 = data(30, 90_000);
+        let mut v1 = v0.clone();
+        v1[20_000..20_400].copy_from_slice(&data(31, 400));
+        let mut v2 = v1.clone();
+        v2.extend_from_slice(&v0[..10_000]); // tail self-references the head
+        let versions = [&v0, &v1, &v2];
+
+        let run = |threads: usize| {
+            let (oss, storage, similar, mut cfg) = setup();
+            cfg.merge_threshold = 2; // superchunks by v2
+            cfg.backup_pipeline_threads = threads;
+            let mut sigs = Vec::new();
+            for (v, bytes) in versions.iter().enumerate() {
+                let out = backup(&storage, &similar, &cfg, &file, v as u64, bytes);
+                let s = &out.stats;
+                sigs.push((
+                    s.logical_bytes,
+                    s.stored_bytes,
+                    s.chunks,
+                    s.duplicates,
+                    s.skip_hits,
+                    s.skip_misses,
+                    s.super_hits,
+                    s.super_misses,
+                    s.superchunks_created,
+                    s.chunks_merged,
+                    s.segments_prefetched,
+                ));
+            }
+            (bucket(&oss), sigs)
+        };
+
+        let (seq_bucket, seq_sigs) = run(0);
+        for threads in [2usize, 3, 4, 8] {
+            let (pipe_bucket, pipe_sigs) = run(threads);
+            assert_eq!(
+                pipe_sigs, seq_sigs,
+                "dedup statistics diverged at {threads} threads"
+            );
+            assert_eq!(
+                pipe_bucket.len(),
+                seq_bucket.len(),
+                "object count diverged at {threads} threads"
+            );
+            for ((pk, pv), (sk, sv)) in pipe_bucket.iter().zip(&seq_bucket) {
+                assert_eq!(pk, sk, "key set diverged at {threads} threads");
+                assert_eq!(pv, sv, "object {pk} diverged at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn pipelined_backup_uses_the_feed() {
+        let (_oss, storage, similar, mut cfg) = setup();
+        cfg.backup_pipeline_threads = 4;
+        let file = FileId::new("f");
+        let input = data(32, 60_000);
+        let out = backup(&storage, &similar, &cfg, &file, 0, &input);
+        assert!(out.stats.pipeline_chunks_fed > 0, "feed never consulted");
+        assert_eq!(
+            out.stats.pipeline_fallbacks, 0,
+            "feed misaligned: {:?}",
+            out.stats
+        );
+        assert!(out.stats.pipeline_async_uploads > 0, "uploader idle");
+        assert_eq!(reassemble(&storage, &file, 0), input);
+        // A duplicate second version exercises the feed under skip hits.
+        let out = backup(&storage, &similar, &cfg, &file, 1, &input);
+        assert!(out.stats.skip_hits > 0);
+        assert_eq!(out.stats.pipeline_fallbacks, 0);
+        assert_eq!(reassemble(&storage, &file, 1), input);
     }
 
     #[test]

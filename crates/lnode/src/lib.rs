@@ -23,6 +23,7 @@
 pub mod backup;
 pub mod fv_cache;
 pub mod node;
+pub(crate) mod pipeline;
 pub mod prefetch;
 pub mod restore;
 pub mod stats;

@@ -1,0 +1,486 @@
+//! The pipelined parallel backup plane.
+//!
+//! Splits the sequential hot loop of [`crate::backup::BackupPipeline`] into
+//! bounded-queue stages so CPU-side chunking/fingerprinting overlaps both
+//! itself and the OSS uploads:
+//!
+//! ```text
+//!  (1) feeder ──(seq,start,end)──▶ (2) fp workers ──(seq,ChunkRef)──▶ (3)
+//!      rolling-hash CDC scan           SHA-1 pool        in-order dedup
+//!                                                        (caller thread)
+//!                                                              │ sealed
+//!                                                              ▼ containers
+//!                                                  (4) uploader ──▶ OSS
+//! ```
+//!
+//! Stage (3) is the *unchanged* dedup loop: cache lookups, similar-index
+//! sampling, skip-chunking and self-reference semantics all run on one
+//! thread, in stream order, exactly as the sequential path does. The feed
+//! only precomputes what that loop would have computed anyway — the plain
+//! CDC cut sequence and its fingerprints — which is sound because every
+//! history-aware jump is accepted only on a fingerprint match, i.e. content
+//! equality, so a jump always lands back on the plain-CDC boundary sequence
+//! (the invariant `chunk_stream_identical_with_and_without_skip` pins down).
+//! Output is therefore byte-identical to the sequential path; only
+//! wall-clock and `pipeline_*` telemetry differ.
+//!
+//! **Ordering/commit invariants.** Container ids are allocated by stage (3)
+//! in stream order and sealed containers enter the upload queue in that same
+//! order; the single uploader PUTs them sequentially, so containers commit
+//! in container-id order. [`UploadSink::finish`] joins the uploader *before*
+//! the recipe/index PUTs, preserving the crash-commit protocol (containers →
+//! recipe → recipe index → version manifest).
+//!
+//! **Memory bounds.** The feed queues carry `(seq, ChunkRef)` tuples (~40
+//! bytes), bounded at [`FEED_QUEUE`] each; the out-of-order buffer holds at
+//! most the in-flight window. The upload queue holds at most
+//! [`UPLOAD_QUEUE`] sealed containers (double buffering), so a pipelined job
+//! uses at most ~`(UPLOAD_QUEUE + 1) * container_capacity` bytes more than a
+//! sequential one. A stalled tenant therefore still fits the admission
+//! byte-budget reasoning of the frontend (see
+//! `FrontendConfig::coupled_to_pipeline`).
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{Scope, ScopedJoinHandle};
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+use slim_chunking::{boundaries, fingerprint, ChunkRef, Chunker};
+use slim_types::{ContainerMeta, Result, SlimError};
+
+use crate::stats::BackupStats;
+use crate::storage::StorageLayer;
+
+/// Bounded depth of the feeder→worker and worker→consumer queues, in chunk
+/// descriptors. Deep enough to ride out scheduling jitter, small enough that
+/// the feeder can never run unboundedly ahead of the dedup stage.
+const FEED_QUEUE: usize = 512;
+
+/// Sealed containers allowed to queue behind the uploader (double
+/// buffering): the dedup stage fills container N+2 while N uploads and N+1
+/// waits.
+const UPLOAD_QUEUE: usize = 2;
+
+/// Counters and phase-time accumulators shared across pipeline threads,
+/// folded into the job's [`BackupStats`] once the stages have joined.
+#[derive(Default)]
+pub(crate) struct PipelineShared {
+    chunk_nanos: AtomicU64,
+    fp_nanos: AtomicU64,
+    upload_nanos: AtomicU64,
+    stall_nanos: AtomicU64,
+    fed: AtomicU64,
+    fallbacks: AtomicU64,
+    uploads: AtomicU64,
+}
+
+impl PipelineShared {
+    fn add(cell: &AtomicU64, d: Duration) {
+        cell.fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Fold the accumulated thread work into the job's stats. The worker
+    /// phase times land in the same `chunking`/`fingerprinting`/`container
+    /// I/O` buckets the sequential path uses — they measure the same work,
+    /// just done elsewhere — while the `pipeline_*` fields are new.
+    pub(crate) fn fold_into(&self, stats: &mut BackupStats) {
+        let ns = |cell: &AtomicU64| Duration::from_nanos(cell.load(Ordering::Relaxed));
+        stats.chunking_time += ns(&self.chunk_nanos);
+        stats.fingerprint_time += ns(&self.fp_nanos);
+        stats.network_time += ns(&self.upload_nanos);
+        stats.pipeline_stall_time += ns(&self.stall_nanos);
+        stats.pipeline_chunks_fed += self.fed.load(Ordering::Relaxed);
+        stats.pipeline_fallbacks += self.fallbacks.load(Ordering::Relaxed);
+        stats.pipeline_async_uploads += self.uploads.load(Ordering::Relaxed);
+    }
+}
+
+/// Consumer end of stages (1)+(2): the plain-CDC chunk stream of the input,
+/// in order, with fingerprints computed by the worker pool. The dedup stage
+/// pulls from it at its cursor; chunks the cursor jumped over (skip hits,
+/// superchunk matches) are discarded on the fly.
+pub(crate) struct ChunkFeed {
+    rx: Receiver<(u64, ChunkRef)>,
+    /// Out-of-order arrivals parked until their predecessors show up.
+    pending: BTreeMap<u64, ChunkRef>,
+    next_seq: u64,
+    head: Option<ChunkRef>,
+    exhausted: bool,
+    shared: Arc<PipelineShared>,
+}
+
+impl ChunkFeed {
+    /// Spawn the feeder (and `fp_workers` fingerprint workers when > 0)
+    /// inside `scope` and return the consumer handle. With zero workers the
+    /// feeder fingerprints inline — still one stage ahead of the consumer.
+    pub(crate) fn spawn<'scope, 'env>(
+        scope: &'scope Scope<'scope, 'env>,
+        chunker: &'env dyn Chunker,
+        data: &'env [u8],
+        fp_workers: usize,
+        shared: Arc<PipelineShared>,
+    ) -> ChunkFeed {
+        let (done_tx, done_rx) = bounded::<(u64, ChunkRef)>(FEED_QUEUE);
+        if fp_workers == 0 {
+            let shared_f = shared.clone();
+            scope.spawn(move || {
+                let mut seq = 0u64;
+                let mut iter = boundaries(chunker, data);
+                loop {
+                    let t = Instant::now();
+                    let span = iter.next();
+                    PipelineShared::add(&shared_f.chunk_nanos, t.elapsed());
+                    let Some((start, end)) = span else { return };
+                    let t = Instant::now();
+                    let fp = fingerprint(&data[start..end]);
+                    PipelineShared::add(&shared_f.fp_nanos, t.elapsed());
+                    if done_tx.send((seq, ChunkRef { start, end, fp })).is_err() {
+                        return; // consumer is gone
+                    }
+                    seq += 1;
+                }
+            });
+        } else {
+            let (work_tx, work_rx) = bounded::<(u64, usize, usize)>(FEED_QUEUE);
+            for _ in 0..fp_workers {
+                let work_rx = work_rx.clone();
+                let done_tx = done_tx.clone();
+                let shared_w = shared.clone();
+                scope.spawn(move || {
+                    while let Ok((seq, start, end)) = work_rx.recv() {
+                        let t = Instant::now();
+                        let fp = fingerprint(&data[start..end]);
+                        PipelineShared::add(&shared_w.fp_nanos, t.elapsed());
+                        if done_tx.send((seq, ChunkRef { start, end, fp })).is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+            let shared_f = shared.clone();
+            scope.spawn(move || {
+                let mut seq = 0u64;
+                let mut iter = boundaries(chunker, data);
+                loop {
+                    let t = Instant::now();
+                    let span = iter.next();
+                    PipelineShared::add(&shared_f.chunk_nanos, t.elapsed());
+                    let Some((start, end)) = span else { return };
+                    if work_tx.send((seq, start, end)).is_err() {
+                        return; // workers are gone
+                    }
+                    seq += 1;
+                }
+            });
+        }
+        ChunkFeed {
+            rx: done_rx,
+            pending: BTreeMap::new(),
+            next_seq: 0,
+            head: None,
+            exhausted: false,
+            shared,
+        }
+    }
+
+    /// Block until the next in-order chunk is buffered in `head` (or the
+    /// feed is exhausted).
+    fn fill_head(&mut self) {
+        while self.head.is_none() && !self.exhausted {
+            if let Some(c) = self.pending.remove(&self.next_seq) {
+                self.head = Some(c);
+                self.next_seq += 1;
+                return;
+            }
+            let t = Instant::now();
+            let msg = self.rx.recv();
+            PipelineShared::add(&self.shared.stall_nanos, t.elapsed());
+            match msg {
+                Ok((seq, c)) => {
+                    if seq == self.next_seq {
+                        self.head = Some(c);
+                        self.next_seq += 1;
+                    } else {
+                        self.pending.insert(seq, c);
+                    }
+                }
+                Err(_) => self.exhausted = true,
+            }
+        }
+    }
+
+    /// The plain-CDC chunk starting exactly at `pos`, without consuming it.
+    /// Chunks entirely behind `pos` (jumped over by a skip or superchunk
+    /// match) are discarded. Returns `None` if the feed is exhausted or — a
+    /// defensive case that content-local CDC makes unreachable — misaligned
+    /// past `pos`; the caller then computes inline.
+    pub(crate) fn peek_at(&mut self, pos: usize) -> Option<ChunkRef> {
+        loop {
+            self.fill_head();
+            let c = self.head?;
+            if c.start < pos {
+                self.head = None; // jumped over: discard and refill
+                continue;
+            }
+            if c.start == pos {
+                return Some(c);
+            }
+            debug_assert!(false, "feed misaligned: chunk at {} cursor {pos}", c.start);
+            return None;
+        }
+    }
+
+    /// Consume the buffered head chunk (after a successful `peek_at`).
+    pub(crate) fn consume_head(&mut self) {
+        debug_assert!(self.head.is_some(), "consume without peek");
+        self.head = None;
+        self.shared.fed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// The chunk at `pos`, consumed, or `None` (see [`ChunkFeed::peek_at`]).
+    pub(crate) fn take_at(&mut self, pos: usize) -> Option<ChunkRef> {
+        let c = self.peek_at(pos)?;
+        self.consume_head();
+        Some(c)
+    }
+
+    /// Record an inline fallback (feed exhausted or misaligned).
+    pub(crate) fn note_fallback(&self) {
+        self.shared.fallbacks.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Stage (4): sealed containers travel a bounded queue to one uploader
+/// thread, which PUTs them strictly in arrival (= container-id) order.
+pub(crate) struct UploadSink {
+    tx: Option<Sender<(Bytes, ContainerMeta)>>,
+    state: Arc<SinkState>,
+}
+
+struct SinkState {
+    failed: AtomicBool,
+    error: Mutex<Option<SlimError>>,
+}
+
+impl UploadSink {
+    /// Spawn the uploader inside `scope` over its own handle to the storage
+    /// layer. Returns the sink plus the uploader's join handle (consumed by
+    /// [`UploadSink::finish`]).
+    pub(crate) fn spawn<'scope>(
+        scope: &'scope Scope<'scope, '_>,
+        storage: StorageLayer,
+        shared: Arc<PipelineShared>,
+    ) -> (UploadSink, ScopedJoinHandle<'scope, ()>) {
+        let (tx, rx) = bounded::<(Bytes, ContainerMeta)>(UPLOAD_QUEUE);
+        let state = Arc::new(SinkState {
+            failed: AtomicBool::new(false),
+            error: Mutex::new(None),
+        });
+        let state_w = state.clone();
+        let handle = scope.spawn(move || {
+            while let Ok((data, meta)) = rx.recv() {
+                if state_w.failed.load(Ordering::Acquire) {
+                    // A container already failed to commit: later containers
+                    // must not commit either (the job is doomed and every
+                    // skipped PUT is one orphan fewer to scrub).
+                    continue;
+                }
+                let t = Instant::now();
+                match storage.put_container(data, &meta) {
+                    Ok(()) => {
+                        PipelineShared::add(&shared.upload_nanos, t.elapsed());
+                        shared.uploads.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(e) => {
+                        *state_w.error.lock() = Some(e);
+                        state_w.failed.store(true, Ordering::Release);
+                    }
+                }
+            }
+        });
+        (
+            UploadSink {
+                tx: Some(tx),
+                state,
+            },
+            handle,
+        )
+    }
+
+    /// Queue a sealed container for upload. Surfaces the uploader's first
+    /// error (once), aborting the job before it can seal more work.
+    pub(crate) fn push(&self, data: Bytes, meta: ContainerMeta) -> Result<()> {
+        if self.state.failed.load(Ordering::Acquire) {
+            if let Some(e) = self.state.error.lock().take() {
+                return Err(e);
+            }
+            // The error was already delivered; refuse further pushes.
+            return Err(SlimError::Transient(
+                "container uploader already failed".into(),
+            ));
+        }
+        let tx = self.tx.as_ref().expect("push after finish");
+        if tx.send((data, meta)).is_err() {
+            if let Some(e) = self.state.error.lock().take() {
+                return Err(e);
+            }
+            return Err(SlimError::Transient("container uploader stopped".into()));
+        }
+        Ok(())
+    }
+
+    /// Close the queue, join the uploader, and surface any upload error not
+    /// yet delivered through [`UploadSink::push`]. Must run before the
+    /// recipe/index PUTs: a version must never commit over unwritten
+    /// containers.
+    pub(crate) fn finish(mut self, handle: ScopedJoinHandle<'_, ()>) -> Result<()> {
+        drop(self.tx.take());
+        let _ = handle.join();
+        match self.state.error.lock().take() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use slim_chunking::{chunk_all, ChunkSpec, FastCdcChunker};
+    use slim_oss::{FaultPlan, Oss};
+    use slim_types::{ContainerBuilder, ContainerId, Fingerprint};
+
+    fn chunker() -> FastCdcChunker {
+        FastCdcChunker::new(ChunkSpec::new(64, 256, 1024))
+    }
+
+    fn random_data(len: usize, seed: u64) -> Vec<u8> {
+        use rand::{RngCore, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut buf = vec![0u8; len];
+        rng.fill_bytes(&mut buf);
+        buf
+    }
+
+    #[test]
+    fn feed_reproduces_the_plain_cdc_stream() {
+        let c = chunker();
+        let data = random_data(100_000, 1);
+        let expected = chunk_all(&c, &data);
+        for workers in [0usize, 1, 3] {
+            let shared = Arc::new(PipelineShared::default());
+            let got = std::thread::scope(|s| {
+                let mut feed = ChunkFeed::spawn(s, &c, &data, workers, shared.clone());
+                let mut got = Vec::new();
+                let mut pos = 0usize;
+                while let Some(ch) = feed.take_at(pos) {
+                    pos = ch.end;
+                    got.push(ch);
+                }
+                got
+            });
+            assert_eq!(got, expected, "workers = {workers}");
+            assert_eq!(
+                shared.fed.load(Ordering::Relaxed),
+                expected.len() as u64,
+                "workers = {workers}"
+            );
+        }
+    }
+
+    #[test]
+    fn feed_discards_jumped_over_chunks() {
+        let c = chunker();
+        let data = random_data(60_000, 2);
+        let expected = chunk_all(&c, &data);
+        assert!(expected.len() > 8, "need enough chunks to jump over");
+        std::thread::scope(|s| {
+            let shared = Arc::new(PipelineShared::default());
+            let mut feed = ChunkFeed::spawn(s, &c, &data, 2, shared);
+            // Consume two chunks, then jump the cursor over the next three —
+            // the way a superchunk hit moves it — and resume.
+            let a = feed.take_at(0).unwrap();
+            let b = feed.take_at(a.end).unwrap();
+            let resume = expected[5].start;
+            assert!(resume > b.end);
+            let after_jump = feed.take_at(resume).unwrap();
+            assert_eq!(after_jump, expected[5]);
+        });
+    }
+
+    #[test]
+    fn feed_peek_does_not_consume() {
+        let c = chunker();
+        let data = random_data(20_000, 3);
+        std::thread::scope(|s| {
+            let shared = Arc::new(PipelineShared::default());
+            let mut feed = ChunkFeed::spawn(s, &c, &data, 1, shared);
+            let peeked = feed.peek_at(0).unwrap();
+            let taken = feed.take_at(0).unwrap();
+            assert_eq!(peeked, taken);
+        });
+    }
+
+    fn sealed(storage: &StorageLayer, b: u8) -> (ContainerId, Bytes, ContainerMeta) {
+        let id = storage.allocate_container_id();
+        let mut builder = ContainerBuilder::new(id, 4096);
+        builder.push(Fingerprint::from_slice(&[b; 20]).unwrap(), &[b; 128]);
+        let (data, meta) = builder.seal();
+        (id, data, meta)
+    }
+
+    #[test]
+    fn sink_uploads_everything_before_finish_returns() {
+        let oss = Arc::new(Oss::in_memory());
+        let storage = StorageLayer::open(oss.clone());
+        let shared = Arc::new(PipelineShared::default());
+        let ids = std::thread::scope(|s| {
+            let (sink, handle) = UploadSink::spawn(s, storage.clone(), shared.clone());
+            let mut ids = Vec::new();
+            for b in 0..10u8 {
+                let (id, data, meta) = sealed(&storage, b);
+                sink.push(data, meta).unwrap_or_else(|e| panic!("{e}"));
+                ids.push(id);
+            }
+            sink.finish(handle).unwrap();
+            ids
+        });
+        assert_eq!(shared.uploads.load(Ordering::Relaxed), 10);
+        for id in ids {
+            storage.get_container_meta(id).unwrap();
+            storage.get_container_data(id).unwrap();
+        }
+    }
+
+    #[test]
+    fn sink_surfaces_upload_errors_and_stops_committing() {
+        let oss = Arc::new(Oss::in_memory());
+        let storage = StorageLayer::open(oss.clone());
+        oss.inject_fault(FaultPlan::NthOnPrefix {
+            prefix: "containers/".into(),
+            nth: 3,
+        });
+        let shared = Arc::new(PipelineShared::default());
+        let err = std::thread::scope(|s| {
+            let (sink, handle) = UploadSink::spawn(s, storage.clone(), shared.clone());
+            for b in 0..8u8 {
+                let (_, data, meta) = sealed(&storage, b);
+                if let Err(e) = sink.push(data, meta) {
+                    drop(sink.finish(handle));
+                    return e;
+                }
+            }
+            sink.finish(handle).unwrap_err()
+        });
+        assert!(
+            matches!(err, SlimError::InjectedFault(_)),
+            "uploader error type must survive: {err:?}"
+        );
+        // Once a container failed, later ones are skipped, not committed.
+        assert!(shared.uploads.load(Ordering::Relaxed) < 8);
+    }
+}

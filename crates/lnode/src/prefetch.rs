@@ -26,7 +26,10 @@ enum Slot {
     /// The container's objects are gone (collected/rewritten) — callers may
     /// fall back to the global index.
     Missing,
-    Failed(String),
+    /// The background fetch failed. The *actual* error is kept (not a
+    /// stringified copy): the consumer must be able to tell a retryable
+    /// `Transient`/`Throttled`/`Timeout` fault apart from a permanent one.
+    Failed(SlimError),
 }
 
 struct Shared {
@@ -106,37 +109,59 @@ impl Prefetcher {
     /// Obtain a container: from the prefetch buffer if ready (waiting for an
     /// in-flight fetch), otherwise with a synchronous read. Returns the
     /// container and whether it was served by the prefetcher.
+    ///
+    /// A retryable background failure (`Transient`/`Throttled`/`Timeout`)
+    /// degrades to a synchronous re-read — the retry — instead of surfacing;
+    /// permanent errors surface with their original type intact.
     pub fn take(&self, id: ContainerId) -> Result<(FetchedContainer, bool)> {
+        let mut count_read = true;
         if self.is_active() {
-            let mut results = self.shared.results.lock();
-            loop {
-                match results.get(&id) {
-                    Some(Slot::Ready(_)) => {
-                        let Some(Slot::Ready(fetched)) = results.remove(&id) else {
-                            unreachable!("checked ready above");
-                        };
-                        drop(results);
-                        self.shared.done.lock().insert(id);
-                        return Ok((fetched, true));
+            if self.shared.done.lock().contains(&id) {
+                // Already delivered once (a container id re-entering the
+                // look-ahead window under self-reference, or a relocation
+                // re-read). Serve a fresh synchronous read, but do not count
+                // it again: `containers_read`/`bytes_read` measure the
+                // read-once invariant the full-vision cache provides, and a
+                // re-take is the caller's cache decision, not a cache miss.
+                count_read = false;
+            } else {
+                let mut results = self.shared.results.lock();
+                loop {
+                    match results.get(&id) {
+                        Some(Slot::Ready(_)) => {
+                            let Some(Slot::Ready(fetched)) = results.remove(&id) else {
+                                unreachable!("checked ready above");
+                            };
+                            drop(results);
+                            self.shared.done.lock().insert(id);
+                            return Ok((fetched, true));
+                        }
+                        Some(Slot::Missing) => {
+                            results.remove(&id);
+                            return Err(SlimError::ContainerMissing(id.0));
+                        }
+                        Some(Slot::Failed(_)) => {
+                            let Some(Slot::Failed(err)) = results.remove(&id) else {
+                                unreachable!("checked failed above");
+                            };
+                            if !err.is_retryable() {
+                                return Err(err);
+                            }
+                            // Retryable: fall through to the sync read below.
+                            // The failed background attempt never touched the
+                            // counters, so the retry counts as the (single)
+                            // physical read if it succeeds.
+                            break;
+                        }
+                        Some(Slot::InFlight) => {
+                            self.shared.results_cv.wait(&mut results);
+                        }
+                        None => break, // never scheduled: fall through to sync read
                     }
-                    Some(Slot::Missing) => {
-                        results.remove(&id);
-                        return Err(SlimError::ContainerMissing(id.0));
-                    }
-                    Some(Slot::Failed(_)) => {
-                        let Some(Slot::Failed(msg)) = results.remove(&id) else {
-                            unreachable!("checked failed above");
-                        };
-                        return Err(SlimError::corrupt("prefetch", msg));
-                    }
-                    Some(Slot::InFlight) => {
-                        self.shared.results_cv.wait(&mut results);
-                    }
-                    None => break, // never scheduled: fall through to sync read
                 }
             }
         }
-        let fetched = read_container(&self.storage, id, &self.shared)?;
+        let fetched = read_container(&self.storage, id, &self.shared, count_read)?;
         if self.is_active() {
             self.shared.done.lock().insert(id);
         }
@@ -198,7 +223,7 @@ fn worker_loop(shared: &Shared, storage: &StorageLayer) {
                 shared.queue_cv.wait(&mut queue);
             }
         };
-        let outcome = read_container(storage, id, shared);
+        let outcome = read_container(storage, id, shared, true);
         let mut results = shared.results.lock();
         match outcome {
             Ok(fetched) => {
@@ -208,7 +233,7 @@ fn worker_loop(shared: &Shared, storage: &StorageLayer) {
                 results.insert(id, Slot::Missing);
             }
             Err(e) => {
-                results.insert(id, Slot::Failed(e.to_string()));
+                results.insert(id, Slot::Failed(e));
             }
         }
         shared.results_cv.notify_all();
@@ -219,22 +244,36 @@ fn read_container(
     storage: &StorageLayer,
     id: ContainerId,
     shared: &Shared,
+    count: bool,
 ) -> Result<FetchedContainer> {
     let meta = storage.get_container_meta(id)?;
     let data = storage.get_container_data(id)?;
-    shared.reads.fetch_add(1, Ordering::Relaxed);
-    shared.bytes.fetch_add(
-        data.len() as u64 + meta.encode().len() as u64,
-        Ordering::Relaxed,
-    );
+    if count {
+        shared.reads.fetch_add(1, Ordering::Relaxed);
+        shared.bytes.fetch_add(
+            data.len() as u64 + meta.encode().len() as u64,
+            Ordering::Relaxed,
+        );
+    }
     Ok((data, meta))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use slim_oss::Oss;
+    use slim_oss::{FaultPlan, Oss};
     use slim_types::{ContainerBuilder, Fingerprint};
+
+    /// Block until the background worker has parked a `Failed` slot for `id`.
+    fn wait_for_failed_slot(pf: &Prefetcher, id: ContainerId) {
+        for _ in 0..5_000 {
+            if matches!(pf.shared.results.lock().get(&id), Some(Slot::Failed(_))) {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        panic!("worker never recorded a failure for {id:?}");
+    }
 
     fn fp(b: u8) -> Fingerprint {
         Fingerprint::from_slice(&[b; 20]).unwrap()
@@ -297,6 +336,94 @@ mod tests {
         let ghost = ContainerId(999);
         pf.schedule(ghost);
         assert!(pf.take(ghost).is_err());
+    }
+
+    #[test]
+    fn retryable_worker_failure_retries_synchronously() {
+        let oss = Arc::new(Oss::in_memory());
+        let storage = StorageLayer::open(oss.clone());
+        let id = store_container(&storage, 4);
+        // Every container read fails with a retryable Transient fault while
+        // the background worker runs...
+        oss.inject_fault(FaultPlan::TransientProb {
+            prefix: "containers/".into(),
+            prob: 1.0,
+            seed: 42,
+        });
+        let pf = Prefetcher::new(storage, 1);
+        pf.schedule(id);
+        wait_for_failed_slot(&pf, id);
+        // ...then the fault clears, as transient faults do. `take` must
+        // retry synchronously and succeed instead of surfacing the stale
+        // worker failure (which it used to do, as a non-retryable Corrupt).
+        oss.clear_faults();
+        let ((data, meta), from_prefetch) = pf.take(id).unwrap();
+        assert!(!from_prefetch, "retry is a synchronous read");
+        assert_eq!(meta.id, id);
+        assert_eq!(data.len(), 64);
+        assert_eq!(
+            pf.containers_read(),
+            1,
+            "the failed attempt is uncounted; the retry counts once"
+        );
+    }
+
+    #[test]
+    fn worker_failure_preserves_error_type_and_retryability() {
+        // Retryable class: a Transient worker failure whose sync retry also
+        // fails must surface as a *retryable* error, not Corrupt.
+        let oss = Arc::new(Oss::in_memory());
+        let storage = StorageLayer::open(oss.clone());
+        let id = store_container(&storage, 5);
+        oss.inject_fault(FaultPlan::TransientProb {
+            prefix: "containers/".into(),
+            prob: 1.0,
+            seed: 7,
+        });
+        let pf = Prefetcher::new(storage, 1);
+        pf.schedule(id);
+        wait_for_failed_slot(&pf, id);
+        let err = pf.take(id).unwrap_err();
+        assert!(
+            err.is_retryable(),
+            "transient prefetch failure must stay retryable, got {err:?}"
+        );
+
+        // Permanent class: the original error type survives the prefetch
+        // path instead of being stringified into Corrupt.
+        let oss = Arc::new(Oss::in_memory());
+        let storage = StorageLayer::open(oss.clone());
+        let id = store_container(&storage, 6);
+        oss.inject_fault(FaultPlan::KeyPrefix("containers/".into()));
+        let pf = Prefetcher::new(storage, 1);
+        pf.schedule(id);
+        let err = pf.take(id).unwrap_err();
+        assert!(
+            matches!(err, SlimError::InjectedFault(_)),
+            "expected the injected fault's own type, got {err:?}"
+        );
+        assert!(!err.is_retryable());
+    }
+
+    #[test]
+    fn retake_of_delivered_container_is_not_double_counted() {
+        let storage = StorageLayer::open(Arc::new(Oss::in_memory()));
+        let id = store_container(&storage, 7);
+        let pf = Prefetcher::new(storage, 2);
+        pf.schedule(id);
+        let (_, hit) = pf.take(id).unwrap();
+        assert!(hit);
+        assert_eq!(pf.containers_read(), 1);
+        let bytes_after_first = pf.bytes_read();
+        // A second take of the same container (self-referencing recipes do
+        // this when a container id re-enters the look-ahead window) still
+        // returns the data but must not break the read-once accounting.
+        let ((data, meta), hit2) = pf.take(id).unwrap();
+        assert!(!hit2);
+        assert_eq!(meta.id, id);
+        assert_eq!(data.len(), 64);
+        assert_eq!(pf.containers_read(), 1, "re-take must not double-count");
+        assert_eq!(pf.bytes_read(), bytes_after_first);
     }
 
     #[test]

@@ -50,6 +50,21 @@ impl RestoreOptions {
     }
 }
 
+/// Upper bound on the output preallocation of an in-memory restore. The
+/// recipe's `logical_bytes` is untrusted input here: a corrupt or hostile
+/// recipe must not make us reserve unbounded memory (or truncate the
+/// reservation through a `u64 as usize` cast on 32-bit targets) before a
+/// single chunk has been validated. The `Vec` still grows to the true size
+/// as assembled bytes arrive; this only caps the up-front hint.
+const MAX_PREALLOC_BYTES: usize = 256 * 1024 * 1024;
+
+/// Checked, clamped capacity hint for the restore output buffer.
+fn prealloc_hint(logical_bytes: u64) -> usize {
+    usize::try_from(logical_bytes)
+        .unwrap_or(usize::MAX)
+        .min(MAX_PREALLOC_BYTES)
+}
+
 /// The restore engine of an L-node.
 pub struct RestoreEngine<'a> {
     storage: &'a StorageLayer,
@@ -85,7 +100,7 @@ impl<'a> RestoreEngine<'a> {
         recipe: &Recipe,
         options: &RestoreOptions,
     ) -> Result<(Vec<u8>, RestoreStats)> {
-        let mut out = Vec::with_capacity(recipe.logical_bytes() as usize);
+        let mut out = Vec::with_capacity(prealloc_hint(recipe.logical_bytes()));
         let stats = self.restore_recipe_to(recipe, options, &mut out)?;
         Ok((out, stats))
     }
@@ -488,5 +503,19 @@ mod tests {
         // Later versions are dominated by superchunks; they must restore.
         let (out, _) = env.restore(&file, 4, &opts(&env.cfg));
         assert_eq!(out, input);
+    }
+
+    #[test]
+    fn prealloc_hint_is_clamped() {
+        assert_eq!(prealloc_hint(0), 0);
+        assert_eq!(prealloc_hint(1000), 1000);
+        assert_eq!(prealloc_hint(MAX_PREALLOC_BYTES as u64), MAX_PREALLOC_BYTES);
+        // A hostile recipe claiming absurd logical sizes cannot force an
+        // unbounded (or, on 32-bit, truncated) reservation.
+        assert_eq!(
+            prealloc_hint(MAX_PREALLOC_BYTES as u64 + 1),
+            MAX_PREALLOC_BYTES
+        );
+        assert_eq!(prealloc_hint(u64::MAX), MAX_PREALLOC_BYTES);
     }
 }

@@ -41,6 +41,15 @@ pub struct BackupStats {
     /// Segment recipes prefetched into the dedup cache.
     pub segments_prefetched: u64,
 
+    /// Chunks consumed pre-fingerprinted from the parallel feed (pipelined
+    /// backups only; zero on the sequential path).
+    pub pipeline_chunks_fed: u64,
+    /// Plain-CDC cuts computed inline because the feed was exhausted or
+    /// misaligned (expected: zero — a canary, not a cost).
+    pub pipeline_fallbacks: u64,
+    /// Containers committed by the pipeline's async uploader stage.
+    pub pipeline_async_uploads: u64,
+
     /// Wall time of the whole job.
     pub wall_time: Duration,
     /// CPU time spent scanning for cut points (CDC).
@@ -54,6 +63,10 @@ pub struct BackupStats {
     /// segment-recipe prefetches, container/recipe uploads) — measured
     /// per call, so concurrent jobs do not pollute each other's numbers.
     pub network_time: Duration,
+    /// Time the pipelined dedup stage spent blocked waiting on the chunk
+    /// feed (zero on the sequential path). High stall with low network time
+    /// means the job is CPU-bound and more fingerprint workers would help.
+    pub pipeline_stall_time: Duration,
 }
 
 impl BackupStats {
@@ -106,11 +119,21 @@ impl BackupStats {
         scope
             .counter("segments_prefetched")
             .add(self.segments_prefetched);
+        scope
+            .counter("pipeline_chunks_fed")
+            .add(self.pipeline_chunks_fed);
+        scope
+            .counter("pipeline_fallbacks")
+            .add(self.pipeline_fallbacks);
+        scope
+            .counter("pipeline_async_uploads")
+            .add(self.pipeline_async_uploads);
         scope.record_span("backup", self.wall_time);
         scope.record_span("chunking", self.chunking_time);
         scope.record_span("fingerprinting", self.fingerprint_time);
         scope.record_span("index", self.index_time);
         scope.record_span("container_io", self.network_time);
+        scope.record_span("pipeline_stall", self.pipeline_stall_time);
         scope.record_span("other", self.other_time());
     }
 
@@ -127,11 +150,15 @@ impl BackupStats {
         self.superchunks_created += other.superchunks_created;
         self.chunks_merged += other.chunks_merged;
         self.segments_prefetched += other.segments_prefetched;
+        self.pipeline_chunks_fed += other.pipeline_chunks_fed;
+        self.pipeline_fallbacks += other.pipeline_fallbacks;
+        self.pipeline_async_uploads += other.pipeline_async_uploads;
         self.wall_time += other.wall_time;
         self.chunking_time += other.chunking_time;
         self.fingerprint_time += other.fingerprint_time;
         self.index_time += other.index_time;
         self.network_time += other.network_time;
+        self.pipeline_stall_time += other.pipeline_stall_time;
     }
 }
 

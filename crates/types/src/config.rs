@@ -90,6 +90,15 @@ pub struct SlimConfig {
     /// reconstructible from the other k-1 plus the parity block).
     #[serde(default = "default_parity_group_size")]
     pub parity_group_size: usize,
+
+    /// Thread budget for the pipelined parallel backup plane, *per backup
+    /// job*. `0` or `1` runs the classic single-threaded path; `>= 2`
+    /// splits a job into chunking-feed, fingerprint-worker, in-order dedup
+    /// and async-upload stages (one feeder + one uploader + the remainder
+    /// as fingerprint workers). Output is byte-identical to the sequential
+    /// path — only wall-clock and pipeline telemetry differ.
+    #[serde(default = "default_backup_pipeline_threads")]
+    pub backup_pipeline_threads: usize,
 }
 
 fn default_telemetry() -> bool {
@@ -105,6 +114,10 @@ fn default_redundancy_replica_refs() -> u64 {
 }
 
 fn default_parity_group_size() -> usize {
+    4
+}
+
+fn default_backup_pipeline_threads() -> usize {
     4
 }
 
@@ -133,6 +146,7 @@ impl Default for SlimConfig {
             redundancy: true,
             redundancy_replica_refs: 64,
             parity_group_size: 4,
+            backup_pipeline_threads: default_backup_pipeline_threads(),
         }
     }
 }
@@ -166,6 +180,10 @@ impl SlimConfig {
             redundancy: true,
             redundancy_replica_refs: 8,
             parity_group_size: 3,
+            // Sequential by default: byte-level unit tests stay on the
+            // classic path; the pipeline is exercised explicitly by the
+            // equivalence suite in `tests/pipeline_backup.rs`.
+            backup_pipeline_threads: 0,
         }
     }
 
@@ -241,6 +259,12 @@ impl SlimConfig {
                 "parity_group_size must be > 0 when redundancy is enabled".into(),
             ));
         }
+        if self.backup_pipeline_threads > 256 {
+            return Err(SlimError::InvalidConfig(format!(
+                "backup_pipeline_threads must be <= 256, got {}",
+                self.backup_pipeline_threads
+            )));
+        }
         Ok(())
     }
 
@@ -268,6 +292,12 @@ impl SlimConfig {
     /// Builder-style toggle for chunk merging.
     pub fn with_chunk_merging(mut self, on: bool) -> Self {
         self.chunk_merging = on;
+        self
+    }
+
+    /// Builder-style backup-pipeline thread budget (0 = sequential).
+    pub fn with_backup_pipeline_threads(mut self, threads: usize) -> Self {
+        self.backup_pipeline_threads = threads;
         self
     }
 }
@@ -321,6 +351,33 @@ mod tests {
         // Harmless when the redundancy plane is off.
         cfg.redundancy = false;
         cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn rejects_absurd_pipeline_thread_budget() {
+        let cfg = SlimConfig::default().with_backup_pipeline_threads(257);
+        assert!(cfg.validate().is_err());
+        SlimConfig::default()
+            .with_backup_pipeline_threads(256)
+            .validate()
+            .unwrap();
+        SlimConfig::default()
+            .with_backup_pipeline_threads(0)
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn pipeline_threads_default_fills_in_for_old_configs() {
+        // Configs serialized before the pipeline existed must deserialize
+        // with the production default rather than failing.
+        let mut json: serde_json::Value =
+            serde_json::to_value(SlimConfig::small_for_tests()).unwrap();
+        json.as_object_mut()
+            .unwrap()
+            .remove("backup_pipeline_threads");
+        let cfg: SlimConfig = serde_json::from_value(json).unwrap();
+        assert_eq!(cfg.backup_pipeline_threads, 4);
     }
 
     #[test]

@@ -147,6 +147,101 @@ fn restore_with_prefetch_surfaces_worker_failures() {
     assert_eq!(out, input);
 }
 
+/// An object store that fails the first `remaining` `get`s under `prefix`
+/// with a retryable [`SlimError::Transient`], then passes everything
+/// through — the deterministic model of a network blip during prefetch.
+struct FailFirstGets {
+    inner: Oss,
+    prefix: String,
+    remaining: std::sync::atomic::AtomicU64,
+}
+
+impl ObjectStore for FailFirstGets {
+    fn put(&self, key: &str, value: bytes::Bytes) -> slim_types::Result<()> {
+        self.inner.put(key, value)
+    }
+
+    fn get(&self, key: &str) -> slim_types::Result<bytes::Bytes> {
+        use std::sync::atomic::Ordering;
+        if key.starts_with(&self.prefix)
+            && self
+                .remaining
+                .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                .is_ok()
+        {
+            return Err(SlimError::Transient("injected prefetch blip".into()));
+        }
+        self.inner.get(key)
+    }
+
+    fn get_range(&self, key: &str, start: u64, len: u64) -> slim_types::Result<bytes::Bytes> {
+        self.inner.get_range(key, start, len)
+    }
+
+    fn delete(&self, key: &str) -> slim_types::Result<()> {
+        self.inner.delete(key)
+    }
+
+    fn exists(&self, key: &str) -> slim_types::Result<bool> {
+        self.inner.exists(key)
+    }
+
+    fn len(&self, key: &str) -> slim_types::Result<Option<u64>> {
+        self.inner.len(key)
+    }
+
+    fn list(&self, prefix: &str) -> Vec<String> {
+        self.inner.list(prefix)
+    }
+}
+
+/// A transient blip while the prefetch workers are reading containers:
+/// before the error-fidelity fix the worker's failure was rethrown as a
+/// non-retryable corruption error and the whole restore failed; now the
+/// retryable class falls back to one synchronous re-read per failed
+/// container and the restore succeeds end to end.
+#[test]
+fn transient_prefetch_failure_is_absorbed_by_the_sync_fallback() {
+    use std::sync::atomic::Ordering;
+
+    let oss = Oss::in_memory();
+    let flaky = Arc::new(FailFirstGets {
+        inner: oss.clone(),
+        prefix: "containers/".into(),
+        remaining: std::sync::atomic::AtomicU64::new(0),
+    });
+    let storage = StorageLayer::open(flaky.clone());
+    let cfg = SlimConfig::small_for_tests();
+    let similar = SimilarFileIndex::new();
+    let file = FileId::new("f");
+    let input = data(9, 60_000);
+    let chunker = FastCdcChunker::new(ChunkSpec::from_config(&cfg));
+    BackupPipeline::new(&storage, &similar, &chunker, &cfg)
+        .backup_file(&file, VersionId(0), &input)
+        .unwrap();
+
+    // Arm: the next container read fails transiently. The LAW window covers
+    // the whole small file, so every container is scheduled with the
+    // prefetcher and the failing read is issued by a worker; exactly one
+    // failure keeps the synchronous fallback read itself clean.
+    flaky.remaining.store(1, Ordering::SeqCst);
+    let opts = RestoreOptions {
+        cache_mem: 64 * 1024,
+        cache_disk: 256 * 1024,
+        law_window: 64,
+        prefetch_threads: 3,
+    };
+    let (out, _) = RestoreEngine::new(&storage, None)
+        .restore_file(&file, VersionId(0), &opts)
+        .unwrap();
+    assert_eq!(out, input, "restore must succeed despite the blip");
+    assert_eq!(
+        flaky.remaining.load(Ordering::SeqCst),
+        0,
+        "the injected failures must actually have fired"
+    );
+}
+
 #[test]
 fn corrupt_container_meta_detected() {
     let env = setup();
