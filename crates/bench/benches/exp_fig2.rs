@@ -16,10 +16,9 @@
 //! `SLIM_JSON=1` the full cumulative snapshot is emitted per chunker as a
 //! `TELEMETRY` line.
 
-use std::sync::Arc;
-
 use slim_bench::{
-    bench_network, pct, pipeline_threads, print_telemetry, scale, span_secs, Table, VersionedFile,
+    apply_hedge, bench_network, pct, pipeline_threads, print_telemetry, scale, span_secs, Table,
+    VersionedFile,
 };
 use slim_index::SimilarFileIndex;
 use slim_lnode::node::ChunkerKind;
@@ -44,7 +43,9 @@ fn main() {
             pipeline_threads().unwrap_or_else(|| bench_network().suggested_pipeline_threads());
         let registry = Registry::new();
         let scope = registry.scope("lnode").child("0");
-        let storage = StorageLayer::open(Arc::new(Oss::new(bench_network())));
+        // SLIM_HEDGE=N models N OSS endpoints with hedged reads; unset
+        // leaves the bare store, byte-identical to historical runs.
+        let storage = StorageLayer::open(apply_hedge(Oss::new(bench_network())));
         let node = LNode::with_chunker(storage, SimilarFileIndex::new(), cfg, kind)
             .unwrap()
             .with_telemetry(scope);

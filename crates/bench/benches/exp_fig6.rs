@@ -10,9 +10,9 @@
 //! Setup follows §VII-B: initial chunk size 4 KB, merge threshold
 //! `duplicateTimes >= 5`, measured on the versions after merging kicks in.
 
-use std::sync::Arc;
-
-use slim_bench::{bench_network_fast, f1, pct, pipeline_threads, scale, Table, VersionedFile};
+use slim_bench::{
+    apply_hedge, bench_network_fast, f1, pct, pipeline_threads, scale, Table, VersionedFile,
+};
 use slim_index::SimilarFileIndex;
 use slim_lnode::{LNode, StorageLayer};
 use slim_oss::Oss;
@@ -35,7 +35,8 @@ fn run(stream: &VersionedFile, merging: bool, versions: usize) -> Outcome {
     cfg.superchunk_max_members = 8;
     cfg.backup_pipeline_threads =
         pipeline_threads().unwrap_or_else(|| bench_network_fast().suggested_pipeline_threads());
-    let storage = StorageLayer::open(Arc::new(Oss::new(bench_network_fast())));
+    // SLIM_HEDGE=N models N OSS endpoints with hedged reads (unset: bare).
+    let storage = StorageLayer::open(apply_hedge(Oss::new(bench_network_fast())));
     let node = LNode::new(storage.clone(), SimilarFileIndex::new(), cfg).unwrap();
     let mut last = None;
     for v in 0..versions {

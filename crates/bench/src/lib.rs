@@ -65,6 +65,37 @@ pub fn pipeline_threads() -> Option<usize> {
     raw.parse::<usize>().ok()
 }
 
+/// Hedged-read endpoint count from `SLIM_HEDGE`.
+///
+/// Unset → `None` (today's default: no hedging plane, byte-identical to
+/// historical runs). `SLIM_HEDGE=0` or `SLIM_HEDGE=off` → `Some(0)`, an
+/// explicit "plane wired but disabled" A/B baseline. Any other integer
+/// models that many OSS endpoints with hedged reads — the knob for the
+/// Fig 2 / Fig 6 tail-latency comparison.
+pub fn hedge_endpoints() -> Option<usize> {
+    let raw = std::env::var("SLIM_HEDGE").ok()?;
+    if raw.eq_ignore_ascii_case("off") {
+        return Some(0);
+    }
+    raw.parse::<usize>().ok()
+}
+
+/// Wrap `oss` per the `SLIM_HEDGE` knob: with `n >= 2` endpoints the store
+/// models them and hedged reads race the healthiest pair; otherwise the
+/// bare store is returned unchanged (no wrapper, no extra indirection).
+pub fn apply_hedge(oss: slim_oss::Oss) -> std::sync::Arc<dyn slim_oss::ObjectStore> {
+    match hedge_endpoints() {
+        Some(n) if n >= 2 => {
+            oss.set_endpoints(n);
+            std::sync::Arc::new(slim_oss::HedgedStore::new(
+                std::sync::Arc::new(oss),
+                slim_oss::HedgePolicy::for_endpoints(n),
+            ))
+        }
+        _ => std::sync::Arc::new(oss),
+    }
+}
+
 /// The network model used by throughput experiments: OSS-like latency and
 /// per-channel bandwidth so that network effects (Fig 2, Fig 8, Table II)
 /// are visible, scaled down so runs finish in seconds.

@@ -329,6 +329,63 @@ pub fn qos_section(snap: &slim_telemetry::TelemetrySnapshot) -> String {
             p95_ms(Priority::Backup),
             p95_ms(Priority::Maintenance),
         ),
+        resilience_section(snap),
+    ]
+    .join("\n")
+}
+
+/// Render the gray-failure resilience counters (`oss.hedge.*`,
+/// `oss.breaker.*`, `oss.health.*`, `retry.*`) of a snapshot. All zeros
+/// (and `-` for unrecorded histograms) when the deployment ran without the
+/// hedging plane or never saw a fault.
+pub fn resilience_section(snap: &slim_telemetry::TelemetrySnapshot) -> String {
+    let p95_ms = |name: &str| -> String {
+        match snap.histogram(name) {
+            Some(h) if h.count > 0 => format!("{:.2}ms", h.p95() as f64 / 1e6),
+            _ => "-".to_string(),
+        }
+    };
+    // Endpoint health gauges are per-index: collect `oss.health.<n>.score`
+    // in index order into one line.
+    let mut scores = Vec::new();
+    for endpoint in 0.. {
+        let key = format!("oss.health.{endpoint}.score");
+        if !snap.gauges.contains_key(&key) {
+            break;
+        }
+        scores.push(format!("{endpoint}: {}", snap.gauge(&key)));
+    }
+    let scores = if scores.is_empty() {
+        "-".to_string()
+    } else {
+        scores.join(", ")
+    };
+    [
+        "resilience:".to_string(),
+        format!(
+            "  hedges: issued {} (won {}, wasted {}), failovers {}, deadline refusals {}, p95 delay {}",
+            snap.counter("oss.hedge.issued"),
+            snap.counter("oss.hedge.won"),
+            snap.counter("oss.hedge.wasted"),
+            snap.counter("oss.hedge.failovers"),
+            snap.counter("oss.hedge.deadline_refused"),
+            p95_ms("oss.hedge.delay_nanos"),
+        ),
+        format!(
+            "  breakers: opened {}, closed {}, probes {}, shed {}",
+            snap.counter("oss.breaker.opened"),
+            snap.counter("oss.breaker.closed"),
+            snap.counter("oss.breaker.probes"),
+            snap.counter("oss.breaker.shed"),
+        ),
+        format!(
+            "  retries: attempts {}, retries {}, giveups {}, p95 backoff wait {}",
+            snap.counter("retry.attempts"),
+            snap.counter("retry.retries"),
+            snap.counter("retry.giveups"),
+            p95_ms("retry.backoff_wait_nanos"),
+        ),
+        format!("  endpoint scores: {scores}"),
     ]
     .join("\n")
 }
@@ -1043,6 +1100,27 @@ mod tests {
         );
         assert!(section.contains("shed 0"), "{section}");
         assert!(!section.contains("p95 latency: restore -"), "{section}");
+        // The resilience block rides along in --qos output; an in-memory run
+        // with healthy endpoints reports a quiet plane, not missing metrics.
+        assert!(section.contains("resilience:"), "{section}");
+        assert!(section.contains("hedges: issued 0"), "{section}");
+        assert!(section.contains("breakers: opened 0"), "{section}");
+    }
+
+    #[test]
+    fn resilience_section_reports_endpoint_scores() {
+        let registry = slim_telemetry::Registry::new();
+        let scope = registry.scope("oss");
+        let tracker = slim_oss::HealthTracker::with_telemetry(2, &scope);
+        tracker.record(0, std::time::Duration::from_micros(100), true);
+        tracker.record(1, std::time::Duration::from_millis(5), false);
+        let section = resilience_section(&registry.snapshot());
+        assert!(section.contains("endpoint scores: 0: "), "{section}");
+        assert!(section.contains(", 1: "), "{section}");
+        // An empty registry renders dashes, not a panic.
+        let empty = resilience_section(&slim_telemetry::Registry::new().snapshot());
+        assert!(empty.contains("endpoint scores: -"), "{empty}");
+        assert!(empty.contains("p95 delay -"), "{empty}");
     }
 
     #[test]

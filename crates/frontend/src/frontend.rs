@@ -163,12 +163,22 @@ impl Shared {
                 request,
                 store,
                 ticket,
+                deadline,
                 ..
             } = job;
             self.scope
                 .histogram(&format!("queue_wait_ns.{}", class.label()))
                 .record_duration(admitted_at.elapsed());
-            let outcome = request.execute(&store);
+            // Propagate whatever deadline budget survived the queue into the
+            // execution as the ambient `Deadline`: every layer below —
+            // retries, hedged reads, prefetch workers — sees the remaining
+            // budget and stops issuing OSS calls once it is spent.
+            let remaining = deadline.map(|d| d.saturating_sub(self.clock.now()));
+            let ambient = match remaining {
+                Some(budget) => slim_types::Deadline::within(budget),
+                None => slim_types::Deadline::never(),
+            };
+            let outcome = ambient.scope(|| request.execute(&store));
 
             let latency = admitted_at.elapsed();
             self.scope

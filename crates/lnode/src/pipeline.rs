@@ -281,7 +281,12 @@ impl UploadSink {
             error: Mutex::new(None),
         });
         let state_w = state.clone();
+        // Scoped threads still don't inherit thread-locals: carry the
+        // ambient request deadline into the uploader so its PUTs observe
+        // the caller's remaining budget.
+        let deadline = slim_types::Deadline::current();
         let handle = scope.spawn(move || {
+            let _deadline = deadline.install();
             while let Ok((data, meta)) = rx.recv() {
                 if state_w.failed.load(Ordering::Acquire) {
                     // A container already failed to commit: later containers

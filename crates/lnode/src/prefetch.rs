@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use bytes::Bytes;
 use parking_lot::{Condvar, Mutex};
-use slim_types::{ContainerId, ContainerMeta, Result, SlimError};
+use slim_types::{ContainerId, ContainerMeta, Deadline, Result, SlimError};
 
 use crate::storage::StorageLayer;
 
@@ -67,11 +67,15 @@ impl Prefetcher {
             reads: AtomicU64::new(0),
             bytes: AtomicU64::new(0),
         });
+        // Thread-locals do not cross spawns: capture the ambient request
+        // deadline here and re-install it inside each worker, so prefetch
+        // reads stop issuing OSS calls once the caller's budget is spent.
+        let deadline = Deadline::current();
         let workers = (0..threads)
             .map(|_| {
                 let shared = shared.clone();
                 let storage = storage.clone();
-                std::thread::spawn(move || worker_loop(&shared, &storage))
+                std::thread::spawn(move || deadline.scope(|| worker_loop(&shared, &storage)))
             })
             .collect();
         Prefetcher {

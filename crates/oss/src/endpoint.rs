@@ -1,0 +1,71 @@
+//! Thread-local endpoint pinning for the simulated multi-endpoint OSS.
+//!
+//! The simulated [`crate::Oss`] can model several service endpoints (think
+//! distinct front-end nodes of one object store: same data, independent
+//! health). By default each operation is spread across endpoints round-robin;
+//! a caller that needs a *specific* endpoint — the hedging layer racing a
+//! primary against a backup, or a test provoking one sick node — pins the
+//! current thread with [`pin`] and every OSS call made under the guard
+//! resolves to that endpoint.
+//!
+//! Pinning is advisory and purely a simulation concern: endpoints share the
+//! same backing object map, so routing only affects fault injection and
+//! health accounting, never data placement.
+
+use std::cell::Cell;
+
+thread_local! {
+    static PIN: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The endpoint the current thread is pinned to, if any.
+pub fn pinned() -> Option<usize> {
+    PIN.with(|p| p.get())
+}
+
+/// Pin the current thread to `endpoint` until the guard drops; the previous
+/// pin (if any) is restored, so pins nest.
+pub fn pin(endpoint: usize) -> PinGuard {
+    let previous = PIN.with(|p| p.replace(Some(endpoint)));
+    PinGuard { previous }
+}
+
+/// Restores the previous endpoint pin on drop.
+#[must_use = "dropping the guard immediately unpins the endpoint"]
+pub struct PinGuard {
+    previous: Option<usize>,
+}
+
+impl Drop for PinGuard {
+    fn drop(&mut self) {
+        let previous = self.previous;
+        PIN.with(|p| p.set(previous));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pin_nests_and_restores() {
+        assert_eq!(pinned(), None);
+        {
+            let _outer = pin(2);
+            assert_eq!(pinned(), Some(2));
+            {
+                let _inner = pin(5);
+                assert_eq!(pinned(), Some(5));
+            }
+            assert_eq!(pinned(), Some(2));
+        }
+        assert_eq!(pinned(), None);
+    }
+
+    #[test]
+    fn pin_is_per_thread() {
+        let _pin = pin(3);
+        let seen = std::thread::spawn(pinned).join().unwrap();
+        assert_eq!(seen, None, "fresh threads start unpinned");
+    }
+}

@@ -57,6 +57,36 @@ pub enum FaultPlan {
         kind: CorruptionKind,
         seed: u64,
     },
+    /// Inject a seeded *heavy-tailed* delay on every operation whose key
+    /// starts with `prefix` (optionally only when served by one endpoint):
+    /// the delay is drawn from a bounded Pareto distribution with minimum
+    /// `scale`, tail exponent `shape`, and hard upper bound `cap` — the
+    /// gray-failure straggler model (most requests near `scale`, a seeded
+    /// few out at the tail). The operation itself succeeds. Draws come from
+    /// `seed` and the per-plan operation ordinal, so straggler schedules
+    /// replay exactly.
+    LatencyPareto {
+        prefix: String,
+        /// Restrict the plan to one endpoint (`None` = every endpoint) —
+        /// how tests model a single degraded-but-alive storage node.
+        endpoint: Option<usize>,
+        /// Minimum injected delay (the Pareto `x_m`).
+        scale: Duration,
+        /// Tail exponent `alpha` (> 0); smaller = heavier tail.
+        shape: f64,
+        /// Hard bound on one injected delay.
+        cap: Duration,
+        seed: u64,
+    },
+    /// Fail each operation served by `endpoint` with probability `prob`,
+    /// drawn deterministically from `seed` and the per-plan ordinal — the
+    /// sick-endpoint model that circuit-breaker tests arm. Operations
+    /// routed to other endpoints are untouched.
+    EndpointTransient {
+        endpoint: usize,
+        prob: f64,
+        seed: u64,
+    },
 }
 
 /// How a [`FaultPlan::CorruptRead`] plan mangles a read payload.
@@ -156,9 +186,18 @@ impl FaultState {
         self.plans.lock().clear();
     }
 
-    /// Decide the fate of the operation on `key`; updates per-plan counters
-    /// and auto-disarms exhausted one-shot plans.
+    /// Decide the fate of the operation on `key` as served by endpoint 0 —
+    /// the single-endpoint convenience form of [`FaultState::decide_at`].
     pub fn decide(&self, key: &str) -> FaultDecision {
+        self.decide_at(key, 0)
+    }
+
+    /// Decide the fate of the operation on `key` as served by `endpoint`;
+    /// updates per-plan counters and auto-disarms exhausted one-shot plans.
+    /// Endpoint-scoped plans ([`FaultPlan::LatencyPareto`],
+    /// [`FaultPlan::EndpointTransient`]) only consider ops routed to their
+    /// endpoint; every other plan ignores the endpoint entirely.
+    pub fn decide_at(&self, key: &str, endpoint: usize) -> FaultDecision {
         let mut guard = self.plans.lock();
         if guard.is_empty() {
             return FaultDecision::ALLOW;
@@ -224,6 +263,34 @@ impl FaultState {
                     }
                     None
                 }
+                FaultPlan::LatencyPareto {
+                    prefix,
+                    endpoint: target,
+                    scale,
+                    shape,
+                    cap,
+                    seed,
+                } => {
+                    if key.starts_with(prefix.as_str()) && target.map_or(true, |t| t == endpoint) {
+                        armed.seen += 1;
+                        let u = unit_f64(splitmix64(seed.wrapping_add(armed.seen)));
+                        delay += pareto_delay(*scale, *shape, *cap, u);
+                    }
+                    None
+                }
+                FaultPlan::EndpointTransient {
+                    endpoint: target,
+                    prob,
+                    seed,
+                } => {
+                    if *target == endpoint {
+                        armed.seen += 1;
+                        (unit_f64(splitmix64(seed.wrapping_add(armed.seen))) < *prob)
+                            .then_some(FaultErrorKind::Transient)
+                    } else {
+                        None
+                    }
+                }
             };
             if error.is_none() {
                 error = fired;
@@ -240,6 +307,20 @@ impl FaultState {
             corruption,
         }
     }
+}
+
+/// Bounded Pareto draw: `scale * (1 - u)^(-1/shape)`, clamped to `cap`.
+/// Degenerate shapes (≤ 0, NaN) fall back to the minimum delay so a bad
+/// plan can never stall a test forever.
+fn pareto_delay(scale: Duration, shape: f64, cap: Duration, u: f64) -> Duration {
+    if !(shape > 0.0) {
+        return scale.min(cap);
+    }
+    let factor = (1.0 - u).powf(-1.0 / shape);
+    if !factor.is_finite() {
+        return cap;
+    }
+    scale.mul_f64(factor).min(cap)
 }
 
 /// splitmix64 — tiny, dependency-free, statistically solid PRNG step.
@@ -417,6 +498,79 @@ mod tests {
         let mut empty: Vec<u8> = Vec::new();
         c.apply(&mut empty);
         assert!(empty.is_empty(), "empty payload unchanged");
+    }
+
+    #[test]
+    fn latency_pareto_is_bounded_seeded_and_endpoint_scoped() {
+        let plan = FaultPlan::LatencyPareto {
+            prefix: String::new(),
+            endpoint: Some(1),
+            scale: Duration::from_millis(1),
+            shape: 1.2,
+            cap: Duration::from_millis(50),
+            seed: 42,
+        };
+        let run = || -> Vec<Duration> {
+            let st = FaultState::default();
+            st.arm(plan.clone());
+            (0..256).map(|_| st.decide_at("k", 1).delay).collect()
+        };
+        let a = run();
+        assert_eq!(a, run(), "same seed replays the same straggler schedule");
+        assert!(
+            a.iter()
+                .all(|d| (Duration::from_millis(1)..=Duration::from_millis(50)).contains(d)),
+            "every delay within [scale, cap]"
+        );
+        assert!(
+            a.iter().any(|d| *d > Duration::from_millis(5)),
+            "heavy tail produces outliers"
+        );
+        let st = FaultState::default();
+        st.arm(plan);
+        let other = st.decide_at("k", 0);
+        assert_eq!(other, FaultDecision::ALLOW, "scoped to endpoint 1");
+        assert_eq!(st.decide_at("k", 1).error, None, "delay-only, op succeeds");
+    }
+
+    #[test]
+    fn endpoint_transient_only_hits_its_endpoint() {
+        let st = FaultState::default();
+        st.arm(FaultPlan::EndpointTransient {
+            endpoint: 1,
+            prob: 1.0,
+            seed: 5,
+        });
+        assert_eq!(st.decide_at("k", 0).error, None);
+        assert_eq!(
+            st.decide_at("k", 1).error,
+            Some(FaultErrorKind::Transient),
+            "sick endpoint fails with a retryable kind"
+        );
+        let run = |seed: u64| -> Vec<bool> {
+            let st = FaultState::default();
+            st.arm(FaultPlan::EndpointTransient {
+                endpoint: 0,
+                prob: 0.4,
+                seed,
+            });
+            (0..64)
+                .map(|_| st.decide_at("k", 0).error.is_some())
+                .collect()
+        };
+        assert_eq!(run(9), run(9), "seed-deterministic");
+        assert_ne!(run(9), run(10), "different seeds differ");
+    }
+
+    #[test]
+    fn decide_is_decide_at_endpoint_zero() {
+        let st = FaultState::default();
+        st.arm(FaultPlan::EndpointTransient {
+            endpoint: 0,
+            prob: 1.0,
+            seed: 1,
+        });
+        assert!(st.decide("k").error.is_some());
     }
 
     #[test]

@@ -22,11 +22,20 @@
 //!   or missing container objects from replicas or XOR parity groups and
 //!   read-repairs the primary in place ([`redundant`]).
 //!
+//! * **gray-failure resilience** — [`HedgedStore`] scores the health of each
+//!   simulated endpoint ([`health`]), hedges idempotent reads against the
+//!   healthiest backup endpoint after a live latency quantile, breaks the
+//!   circuit to persistently sick endpoints, and honors the ambient request
+//!   [`slim_types::Deadline`] before issuing any call ([`hedge`]).
+//!
 //! [`rocks`] implements *Rocks-OSS* (§III-B): an LSM key-value store whose
 //! SSTables are OSS objects, used by the global fingerprint index.
 
 pub mod disk;
+pub mod endpoint;
 pub mod fault;
+pub mod health;
+pub mod hedge;
 pub mod metrics;
 pub mod namespace;
 pub mod network;
@@ -37,9 +46,11 @@ pub mod store;
 
 pub use disk::LocalDiskOss;
 pub use fault::{Corruption, CorruptionKind, FaultDecision, FaultErrorKind, FaultPlan};
+pub use health::HealthTracker;
+pub use hedge::{BreakerPolicy, BreakerStage, CircuitBreaker, HedgePolicy, HedgedStore};
 pub use metrics::{MetricsSnapshot, OssMetrics};
 pub use namespace::NamespacedStore;
 pub use network::NetworkModel;
 pub use redundant::{reconstruct_object, RedundancyMetrics, RedundantStore, RepairSource};
-pub use retry::{RetryMetrics, RetryPolicy, RetryingStore};
+pub use retry::{next_jitter_salt, RetryMetrics, RetryPolicy, RetryingStore};
 pub use store::{ObjectStore, Oss, DEFAULT_BATCH_WORKERS};

@@ -13,12 +13,13 @@
 //! the wrapper reports [`SlimError::Timeout`] carrying the operation, the
 //! attempt count, and the last underlying error.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use bytes::Bytes;
-use slim_telemetry::{Counter, Registry, Scope};
-use slim_types::{Result, SlimError};
+use slim_telemetry::{Counter, Histogram, Registry, Scope};
+use slim_types::{Deadline, Result, SlimError};
 
 use crate::fault::{splitmix64, unit_f64};
 use crate::metrics::MetricsSnapshot;
@@ -54,6 +55,14 @@ impl Default for RetryPolicy {
 }
 
 impl RetryPolicy {
+    /// This policy with its jitter stream re-seeded by `salt`, so several
+    /// wrapper instances built from one config draw *distinct* (still
+    /// deterministic) jitter sequences and never back off in lockstep.
+    pub fn salted(mut self, salt: u64) -> Self {
+        self.jitter_seed = splitmix64(self.jitter_seed ^ salt);
+        self
+    }
+
     /// A policy that retries without sleeping — for tests, where the fault
     /// schedule (not wall time) is the variable under study.
     pub fn no_delay(max_attempts: u32) -> Self {
@@ -83,6 +92,14 @@ impl RetryPolicy {
     }
 }
 
+/// A process-wide salt source for [`RetryPolicy::salted`]: each call yields
+/// a fresh ordinal, so every retry wrapper a builder wires gets its own
+/// jitter stream while replays of the whole process stay deterministic.
+pub fn next_jitter_salt() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
 /// Retry counters of a [`RetryingStore`], shared across clones.
 ///
 /// Registry-backed since PR 2: construct with [`RetryMetrics::new`] to
@@ -102,6 +119,10 @@ pub struct RetryMetrics {
     /// never to the inner store's `bytes_written` — so transient faults do
     /// not inflate the dedup-cost byte counters the paper's figures report.
     pub retry_bytes: Counter,
+    /// Distribution of individual backoff sleeps. Named `backoff_wait_nanos`
+    /// (not `backoff_nanos`) because the registry keeps one name per metric
+    /// kind and `backoff_nanos` is already the cumulative counter above.
+    pub backoff_wait: Histogram,
 }
 
 impl RetryMetrics {
@@ -113,6 +134,7 @@ impl RetryMetrics {
             giveups: scope.counter("giveups"),
             backoff_nanos: scope.counter("backoff_nanos"),
             retry_bytes: scope.counter("retry_bytes"),
+            backoff_wait: scope.histogram("backoff_wait_nanos"),
         }
     }
 
@@ -207,9 +229,21 @@ impl RetryingStore {
         f: impl Fn() -> Result<T>,
     ) -> Result<T> {
         let start = Instant::now();
+        let ambient = Deadline::current();
         let max_attempts = self.policy.max_attempts.max(1);
         let mut attempt = 0u32;
         loop {
+            // Ambient request deadline already spent: give up without
+            // issuing (another) attempt — the caller's budget is gone, so
+            // any further OSS traffic is pure waste.
+            if ambient.expired() {
+                self.metrics.giveups.inc();
+                return Err(SlimError::Timeout {
+                    op: format!("{op} {key}"),
+                    attempts: attempt,
+                    last: "request deadline expired".into(),
+                });
+            }
             attempt += 1;
             self.metrics.attempts.inc();
             let err = match f() {
@@ -233,9 +267,16 @@ impl RetryingStore {
                     return Err(give_up(&err));
                 }
             }
+            // Sleeping past the ambient deadline cannot help either: the
+            // retry would start with the budget already gone.
+            if ambient.would_exceed(delay) {
+                self.metrics.giveups.inc();
+                return Err(give_up(&err));
+            }
             if !delay.is_zero() {
                 std::thread::sleep(delay);
                 self.metrics.backoff_nanos.add(delay.as_nanos() as u64);
+                self.metrics.backoff_wait.record_duration(delay);
             }
             self.metrics.retries.inc();
             self.metrics.retry_bytes.add(upload_bytes);
@@ -258,6 +299,7 @@ impl RetryingStore {
         f: impl Fn(&[I]) -> Vec<Result<T>>,
     ) -> Vec<Result<T>> {
         let start = Instant::now();
+        let ambient = Deadline::current();
         let max_attempts = self.policy.max_attempts.max(1);
         let n = items.len();
         let mut out: Vec<Option<Result<T>>> = (0..n).map(|_| None).collect();
@@ -265,6 +307,23 @@ impl RetryingStore {
         let mut last_err: Vec<Option<SlimError>> = (0..n).map(|_| None).collect();
         let mut attempt = 0u32;
         while !pending.is_empty() {
+            // Ambient request deadline exhausted: resolve every still-
+            // pending item without issuing another batch.
+            if ambient.expired() {
+                for &i in &pending {
+                    self.metrics.giveups.inc();
+                    let last = last_err[i]
+                        .take()
+                        .map(|e| e.to_string())
+                        .unwrap_or_else(|| "request deadline expired".into());
+                    out[i] = Some(Err(SlimError::Timeout {
+                        op: format!("{op} {}", key_of(&items[i])),
+                        attempts: attempt,
+                        last,
+                    }));
+                }
+                break;
+            }
             attempt += 1;
             let batch: Vec<I> = pending.iter().map(|&i| items[i].clone()).collect();
             self.metrics.attempts.add(batch.len() as u64);
@@ -290,7 +349,8 @@ impl RetryingStore {
                 || self
                     .policy
                     .deadline
-                    .is_some_and(|deadline| start.elapsed() + delay >= deadline);
+                    .is_some_and(|deadline| start.elapsed() + delay >= deadline)
+                || ambient.would_exceed(delay);
             if out_of_budget {
                 for &i in &pending {
                     self.metrics.giveups.inc();
@@ -306,6 +366,7 @@ impl RetryingStore {
             if !delay.is_zero() {
                 std::thread::sleep(delay);
                 self.metrics.backoff_nanos.add(delay.as_nanos() as u64);
+                self.metrics.backoff_wait.record_duration(delay);
             }
             self.metrics.retries.add(pending.len() as u64);
         }
@@ -700,6 +761,98 @@ mod tests {
             r.unwrap();
         }
         assert_eq!(oss.object_count(), 0);
+    }
+
+    #[test]
+    fn ambient_deadline_short_circuits_before_any_attempt() {
+        let oss = Oss::in_memory();
+        oss.put("k", Bytes::from_static(b"v")).unwrap();
+        let store = retrying(&oss, 8);
+        let before = oss.metrics().snapshot().get_requests;
+        Deadline::within(Duration::ZERO).scope(|| {
+            let err = store.get("k").unwrap_err();
+            match err {
+                SlimError::Timeout { attempts, .. } => assert_eq!(attempts, 0),
+                other => panic!("expected Timeout, got {other:?}"),
+            }
+            let many = store.get_many(&["k".to_string()]);
+            assert!(matches!(many[0], Err(SlimError::Timeout { .. })));
+        });
+        assert_eq!(
+            oss.metrics().snapshot().get_requests,
+            before,
+            "expired deadline issued no OSS calls"
+        );
+        assert_eq!(store.retry_metrics().giveups(), 2);
+        // Outside the scope the store works normally again.
+        assert_eq!(store.get("k").unwrap(), Bytes::from_static(b"v"));
+    }
+
+    #[test]
+    fn ambient_deadline_bounds_backoff_sleeps() {
+        let oss = Oss::in_memory();
+        oss.put("k", Bytes::from_static(b"v")).unwrap();
+        oss.inject_fault(FaultPlan::TransientProb {
+            prefix: String::new(),
+            prob: 1.0,
+            seed: 2,
+        });
+        let policy = RetryPolicy {
+            max_attempts: 100,
+            base_delay: Duration::from_secs(5),
+            max_delay: Duration::from_secs(5),
+            deadline: None,
+            jitter_seed: 0,
+        };
+        let store = RetryingStore::new(Arc::new(oss.clone()), policy);
+        let t0 = Instant::now();
+        let err = Deadline::within(Duration::from_millis(50)).scope(|| store.get("k").unwrap_err());
+        assert!(matches!(err, SlimError::Timeout { .. }));
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "never slept a 5s backoff into a 50ms budget"
+        );
+        assert_eq!(store.retry_metrics().giveups(), 1);
+    }
+
+    #[test]
+    fn salted_policies_draw_distinct_jitter_streams() {
+        let base = RetryPolicy::default();
+        let a = base.clone().salted(next_jitter_salt());
+        let b = base.clone().salted(next_jitter_salt());
+        assert_ne!(a.jitter_seed, b.jitter_seed, "salts differ per wrapper");
+        assert_ne!(a.jitter_seed, base.jitter_seed);
+        assert!(
+            (1..=8).any(|r| a.backoff(r) != b.backoff(r)),
+            "distinct streams decorrelate backoff"
+        );
+        // Still deterministic: the same salt reproduces the same stream.
+        let c = base.clone().salted(7);
+        let d = base.clone().salted(7);
+        assert_eq!(c.jitter_seed, d.jitter_seed);
+    }
+
+    #[test]
+    fn backoff_sleeps_feed_the_wait_histogram() {
+        let oss = Oss::in_memory();
+        oss.put("k", Bytes::from_static(b"v")).unwrap();
+        oss.inject_fault(FaultPlan::Throttle { every_nth: 2 });
+        let registry = slim_telemetry::Registry::new();
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            base_delay: Duration::from_micros(200),
+            max_delay: Duration::from_millis(1),
+            deadline: None,
+            jitter_seed: 3,
+        };
+        let store =
+            RetryingStore::with_telemetry(Arc::new(oss.clone()), policy, &registry.scope("retry"));
+        oss.get("k").unwrap(); // advance the throttle counter to op 1
+        store.get("k").unwrap(); // fails at op 2, retried at op 3
+        let snap = registry.snapshot();
+        let hist = &snap.histograms["retry.backoff_wait_nanos"];
+        assert_eq!(hist.count, 1, "one backoff sleep recorded");
+        assert!(snap.counter("retry.backoff_nanos") > 0);
     }
 
     #[test]

@@ -18,7 +18,7 @@
 //! sequential loop — batching changes scheduling, not which bytes move.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -120,6 +120,12 @@ struct Inner {
     metrics: OssMetrics,
     faults: FaultState,
     batch_cap: AtomicUsize,
+    /// Number of simulated service endpoints (≥ 1). Endpoints share the
+    /// object map; they only differentiate fault injection and health
+    /// accounting (see [`crate::endpoint`]).
+    endpoints: AtomicUsize,
+    /// Round-robin cursor for unpinned operations.
+    rr: AtomicU64,
 }
 
 /// The simulated OSS. Cheap to clone (shared handle).
@@ -160,6 +166,8 @@ impl Oss {
                 metrics,
                 faults: FaultState::default(),
                 batch_cap: AtomicUsize::new(DEFAULT_BATCH_WORKERS),
+                endpoints: AtomicUsize::new(1),
+                rr: AtomicU64::new(0),
             }),
         }
     }
@@ -191,6 +199,35 @@ impl Oss {
     /// Current fan-out bound of batched operations.
     pub fn batch_workers(&self) -> usize {
         self.inner.batch_cap.load(Ordering::Relaxed)
+    }
+
+    /// Model `n` distinct service endpoints (clamped to at least one).
+    /// Endpoints share the object map — this only affects which endpoint a
+    /// request resolves to for fault injection (endpoint-scoped plans) and
+    /// for the health/hedging plane. With the default of one endpoint,
+    /// behaviour is bit-identical to the pre-endpoint store.
+    pub fn set_endpoints(&self, n: usize) {
+        self.inner.endpoints.store(n.max(1), Ordering::Relaxed);
+    }
+
+    /// Number of simulated endpoints.
+    pub fn endpoints(&self) -> usize {
+        self.inner.endpoints.load(Ordering::Relaxed)
+    }
+
+    /// The endpoint serving the next operation on this thread: the ambient
+    /// pin ([`crate::endpoint::pin`]) when set, round-robin otherwise.
+    /// Always 0 while a single endpoint is configured — the round-robin
+    /// cursor is untouched, so enabling endpoints later starts clean.
+    fn resolve_endpoint(&self) -> usize {
+        let n = self.inner.endpoints.load(Ordering::Relaxed);
+        if n <= 1 {
+            return 0;
+        }
+        match crate::endpoint::pinned() {
+            Some(pin) => pin % n,
+            None => (self.inner.rr.fetch_add(1, Ordering::Relaxed) as usize) % n,
+        }
     }
 
     /// Arm fault injection, replacing any armed plans.
@@ -255,14 +292,14 @@ impl Oss {
     }
 
     fn check_fault(&self, op: &str, key: &str) -> Result<()> {
-        let decision = self.inner.faults.decide(key);
+        let decision = self.inner.faults.decide_at(key, self.resolve_endpoint());
         self.apply_fault(op, key, decision)
     }
 
     /// Like [`Oss::check_fault`], but hands back any payload corruption the
     /// decision carries so read paths can apply it to the returned bytes.
     fn check_read_fault(&self, op: &str, key: &str) -> Result<Option<Corruption>> {
-        let decision = self.inner.faults.decide(key);
+        let decision = self.inner.faults.decide_at(key, self.resolve_endpoint());
         self.apply_fault(op, key, decision)?;
         Ok(decision.corruption)
     }
@@ -371,9 +408,16 @@ impl Oss {
             return Vec::new();
         }
         let n = items.len();
+        // Endpoints resolve at draw time too (the submitting thread's pin
+        // applies to the whole batch; otherwise round-robin per item), so
+        // the schedule matches the equivalent sequential loop exactly.
         let decisions: Vec<FaultDecision> = items
             .iter()
-            .map(|item| self.inner.faults.decide(key_of(item)))
+            .map(|item| {
+                self.inner
+                    .faults
+                    .decide_at(key_of(item), self.resolve_endpoint())
+            })
             .collect();
         let workers = n
             .min(self.inner.network.channels.max(1))
@@ -844,6 +888,59 @@ mod tests {
         let got = oss.get("k").unwrap();
         assert!(got.len() < 32, "truncation drops at least one byte");
         assert!(got.iter().all(|&b| b == 7), "prefix bytes intact");
+    }
+
+    #[test]
+    fn endpoint_routing_pins_and_round_robins() {
+        let oss = Oss::in_memory();
+        assert_eq!(oss.endpoints(), 1);
+        oss.put("k", Bytes::from_static(b"v")).unwrap();
+        oss.set_endpoints(0);
+        assert_eq!(oss.endpoints(), 1, "clamped to at least one endpoint");
+        oss.set_endpoints(2);
+        // Fail only endpoint 1; a thread pinned to endpoint 0 never sees it,
+        // one pinned to endpoint 1 always does.
+        oss.inject_fault(FaultPlan::EndpointTransient {
+            endpoint: 1,
+            prob: 1.0,
+            seed: 7,
+        });
+        {
+            let _pin = crate::endpoint::pin(0);
+            oss.get("k").unwrap();
+            oss.get("k").unwrap();
+        }
+        {
+            let _pin = crate::endpoint::pin(1);
+            assert!(matches!(oss.get("k"), Err(SlimError::Transient(_))));
+        }
+        {
+            let _pin = crate::endpoint::pin(3); // pins wrap modulo n
+            assert!(matches!(oss.get("k"), Err(SlimError::Transient(_))));
+        }
+        // Unpinned ops alternate endpoints round-robin, so roughly half of
+        // them land on the sick endpoint.
+        let outcomes: Vec<bool> = (0..8).map(|_| oss.get("k").is_ok()).collect();
+        assert!(outcomes.iter().any(|ok| *ok));
+        assert!(outcomes.iter().any(|ok| !ok));
+        oss.clear_faults();
+    }
+
+    #[test]
+    fn single_endpoint_batches_ignore_endpoint_plans() {
+        let oss = Oss::in_memory();
+        let keys = batch_keys(4);
+        for k in &keys {
+            oss.put(k, Bytes::from_static(b"v")).unwrap();
+        }
+        oss.inject_fault(FaultPlan::EndpointTransient {
+            endpoint: 1,
+            prob: 1.0,
+            seed: 1,
+        });
+        for r in oss.get_many(&keys) {
+            r.unwrap(); // everything resolves to endpoint 0
+        }
     }
 
     #[test]

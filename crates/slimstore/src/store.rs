@@ -116,7 +116,28 @@ impl SlimStoreBuilder {
                 if let Some(cap) = self.batch_workers {
                     oss.set_batch_workers(cap);
                 }
-                Arc::new(oss)
+                oss.set_endpoints(self.config.oss_endpoints);
+                let oss: Arc<dyn ObjectStore> = Arc::new(oss);
+                // Gray-failure resilience plane (internally built stores
+                // only, like `with_batch_workers`: an attached external
+                // store keeps whatever wrapping its owner chose). The plane
+                // stays inert until the pooled read-latency quantile clears
+                // its activation floor, so fast test stores see exactly one
+                // inner call per operation.
+                if self.config.hedged_reads && self.config.oss_endpoints > 1 {
+                    let policy = slim_oss::HedgePolicy::for_endpoints(self.config.oss_endpoints);
+                    if enabled {
+                        Arc::new(slim_oss::HedgedStore::with_telemetry(
+                            oss,
+                            policy,
+                            &registry.scope("oss"),
+                        ))
+                    } else {
+                        Arc::new(slim_oss::HedgedStore::new(oss, policy))
+                    }
+                } else {
+                    oss
+                }
             }
         };
         // Self-healing redundancy plane (whether the store was built here or
@@ -131,6 +152,28 @@ impl SlimStoreBuilder {
                 ))
             } else {
                 Arc::new(slim_oss::RedundantStore::new(oss))
+            }
+        } else {
+            oss
+        };
+        // Outermost: transparent retries, so a retried attempt re-enters the
+        // whole stack (hedging, redundancy) below it. Each builder-wired
+        // wrapper salts its jitter stream, so several deployments in one
+        // process never back off in lockstep.
+        let oss: Arc<dyn ObjectStore> = if self.config.retry_attempts > 0 {
+            let policy = slim_oss::RetryPolicy {
+                max_attempts: self.config.retry_attempts,
+                ..slim_oss::RetryPolicy::default()
+            }
+            .salted(slim_oss::next_jitter_salt());
+            if enabled {
+                Arc::new(slim_oss::RetryingStore::with_telemetry(
+                    oss,
+                    policy,
+                    &registry.scope("retry"),
+                ))
+            } else {
+                Arc::new(slim_oss::RetryingStore::new(oss, policy))
             }
         } else {
             oss

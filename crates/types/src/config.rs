@@ -99,6 +99,29 @@ pub struct SlimConfig {
     /// path — only wall-clock and pipeline telemetry differ.
     #[serde(default = "default_backup_pipeline_threads")]
     pub backup_pipeline_threads: usize,
+
+    /// Whether idempotent reads (GET / range GET / HEAD and their batched
+    /// forms) go through the gray-failure hedging plane: a backup request
+    /// is issued to a second endpoint after a quantile-derived delay and
+    /// the first success wins. Only effective when the deployment's object
+    /// store exposes more than one endpoint (`oss_endpoints >= 2`); with a
+    /// single endpoint the plane is a pass-through that still scores
+    /// endpoint health.
+    #[serde(default = "default_hedged_reads")]
+    pub hedged_reads: bool,
+    /// Number of simulated OSS endpoints (independent request-routing
+    /// targets) the internally built store spreads requests over. Hedging
+    /// and the per-endpoint circuit breakers need at least 2 to have an
+    /// alternative to route to. Ignored for externally attached stores.
+    #[serde(default = "default_oss_endpoints")]
+    pub oss_endpoints: usize,
+    /// Attempt budget of the retry wrapper the builder wires outermost
+    /// around the store stack. `0` (the default) wires no retry layer —
+    /// fault-handling stays exactly where each caller put it; `>= 1` wraps
+    /// the stack in a `RetryingStore` with this many attempts and a
+    /// per-wrapper salted jitter seed.
+    #[serde(default = "default_retry_attempts")]
+    pub retry_attempts: u32,
 }
 
 fn default_telemetry() -> bool {
@@ -119,6 +142,18 @@ fn default_parity_group_size() -> usize {
 
 fn default_backup_pipeline_threads() -> usize {
     4
+}
+
+fn default_hedged_reads() -> bool {
+    true
+}
+
+fn default_oss_endpoints() -> usize {
+    4
+}
+
+fn default_retry_attempts() -> u32 {
+    0
 }
 
 impl Default for SlimConfig {
@@ -147,6 +182,9 @@ impl Default for SlimConfig {
             redundancy_replica_refs: 64,
             parity_group_size: 4,
             backup_pipeline_threads: default_backup_pipeline_threads(),
+            hedged_reads: true,
+            oss_endpoints: default_oss_endpoints(),
+            retry_attempts: 0,
         }
     }
 }
@@ -184,6 +222,14 @@ impl SlimConfig {
             // classic path; the pipeline is exercised explicitly by the
             // equivalence suite in `tests/pipeline_backup.rs`.
             backup_pipeline_threads: 0,
+            // Hedging is on but inert on the instant network unit tests use
+            // (the plane only engages once observed latency clears its
+            // activation floor), so counters stay byte-identical to the
+            // unhedged path; the chaos suite in `tests/hedging.rs` exercises
+            // it explicitly under latency-bearing models.
+            hedged_reads: true,
+            oss_endpoints: 2,
+            retry_attempts: 0,
         }
     }
 
@@ -265,6 +311,18 @@ impl SlimConfig {
                 self.backup_pipeline_threads
             )));
         }
+        if !(1..=64).contains(&self.oss_endpoints) {
+            return Err(SlimError::InvalidConfig(format!(
+                "oss_endpoints must be within [1, 64], got {}",
+                self.oss_endpoints
+            )));
+        }
+        if self.retry_attempts > 100 {
+            return Err(SlimError::InvalidConfig(format!(
+                "retry_attempts must be <= 100, got {}",
+                self.retry_attempts
+            )));
+        }
         Ok(())
     }
 
@@ -298,6 +356,24 @@ impl SlimConfig {
     /// Builder-style backup-pipeline thread budget (0 = sequential).
     pub fn with_backup_pipeline_threads(mut self, threads: usize) -> Self {
         self.backup_pipeline_threads = threads;
+        self
+    }
+
+    /// Builder-style toggle for the hedged-read plane.
+    pub fn with_hedged_reads(mut self, on: bool) -> Self {
+        self.hedged_reads = on;
+        self
+    }
+
+    /// Builder-style endpoint count for the internally built store.
+    pub fn with_oss_endpoints(mut self, endpoints: usize) -> Self {
+        self.oss_endpoints = endpoints;
+        self
+    }
+
+    /// Builder-style retry-wrapper attempt budget (0 = no retry layer).
+    pub fn with_retry_attempts(mut self, attempts: u32) -> Self {
+        self.retry_attempts = attempts;
         self
     }
 }
@@ -378,6 +454,38 @@ mod tests {
             .remove("backup_pipeline_threads");
         let cfg: SlimConfig = serde_json::from_value(json).unwrap();
         assert_eq!(cfg.backup_pipeline_threads, 4);
+    }
+
+    #[test]
+    fn rejects_bad_resilience_knobs() {
+        let cfg = SlimConfig::default().with_oss_endpoints(0);
+        assert!(cfg.validate().is_err());
+        let cfg = SlimConfig::default().with_oss_endpoints(65);
+        assert!(cfg.validate().is_err());
+        let cfg = SlimConfig::default().with_retry_attempts(101);
+        assert!(cfg.validate().is_err());
+        SlimConfig::default()
+            .with_oss_endpoints(64)
+            .with_retry_attempts(100)
+            .with_hedged_reads(false)
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn resilience_defaults_fill_in_for_old_configs() {
+        // Configs serialized before the resilience plane existed must
+        // deserialize with its production defaults.
+        let mut json: serde_json::Value =
+            serde_json::to_value(SlimConfig::small_for_tests()).unwrap();
+        let obj = json.as_object_mut().unwrap();
+        obj.remove("hedged_reads");
+        obj.remove("oss_endpoints");
+        obj.remove("retry_attempts");
+        let cfg: SlimConfig = serde_json::from_value(json).unwrap();
+        assert!(cfg.hedged_reads);
+        assert_eq!(cfg.oss_endpoints, 4);
+        assert_eq!(cfg.retry_attempts, 0);
     }
 
     #[test]

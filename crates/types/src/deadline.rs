@@ -1,0 +1,197 @@
+//! End-to-end deadline propagation.
+//!
+//! A request admitted by the frontend carries a latency budget; every layer
+//! under it (retries, hedges, prefetches) should spend from that *one*
+//! budget instead of each applying its own static per-op policy. [`Deadline`]
+//! is the carrier: an absolute point in time (or "never"), cheap to copy,
+//! with saturating arithmetic so an expired deadline simply reports zero
+//! remaining budget.
+//!
+//! Because the object-store traits are synchronous and deep call stacks
+//! would need the deadline threaded through every signature, the deadline
+//! travels *ambiently*: [`Deadline::install`] binds it to the current thread
+//! (restoring the previous binding on drop), and storage wrappers consult
+//! [`Deadline::current`] before issuing work. Worker threads that serve a
+//! request (prefetchers, pipeline stages) capture the submitting thread's
+//! deadline at hand-off and install it in their own loop. The default
+//! binding is [`Deadline::never`], so code outside a deadline scope is
+//! completely unaffected.
+
+use std::cell::Cell;
+use std::time::{Duration, Instant};
+
+thread_local! {
+    static CURRENT: Cell<Option<Instant>> = const { Cell::new(None) };
+}
+
+/// An absolute wall-clock deadline, or no deadline at all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadline {
+    at: Option<Instant>,
+}
+
+impl Deadline {
+    /// No deadline: never expires, unbounded remaining budget.
+    pub const fn never() -> Self {
+        Deadline { at: None }
+    }
+
+    /// A deadline `budget` from now.
+    pub fn within(budget: Duration) -> Self {
+        Deadline {
+            at: Some(Instant::now() + budget),
+        }
+    }
+
+    /// A deadline at an absolute instant.
+    pub fn at(at: Instant) -> Self {
+        Deadline { at: Some(at) }
+    }
+
+    /// Whether this deadline carries a bound at all.
+    pub fn is_bounded(&self) -> bool {
+        self.at.is_some()
+    }
+
+    /// Whether the deadline has passed.
+    pub fn expired(&self) -> bool {
+        self.at.is_some_and(|at| Instant::now() >= at)
+    }
+
+    /// Remaining budget: `None` when unbounded, `Some(ZERO)` once expired.
+    pub fn remaining(&self) -> Option<Duration> {
+        self.at
+            .map(|at| at.saturating_duration_since(Instant::now()))
+    }
+
+    /// Whether waiting `wait` would run past the deadline.
+    pub fn would_exceed(&self, wait: Duration) -> bool {
+        match self.remaining() {
+            Some(remaining) => wait >= remaining,
+            None => false,
+        }
+    }
+
+    /// The earlier of two deadlines (an unbounded side never wins).
+    pub fn min(self, other: Deadline) -> Deadline {
+        match (self.at, other.at) {
+            (Some(a), Some(b)) => Deadline { at: Some(a.min(b)) },
+            (Some(a), None) => Deadline { at: Some(a) },
+            (None, b) => Deadline { at: b },
+        }
+    }
+
+    /// The deadline ambiently bound to the current thread
+    /// ([`Deadline::never`] outside any [`Deadline::install`] scope).
+    pub fn current() -> Deadline {
+        Deadline {
+            at: CURRENT.with(|c| c.get()),
+        }
+    }
+
+    /// Bind this deadline to the current thread until the guard drops; the
+    /// previous binding (if any) is restored, so scopes nest. An installed
+    /// bounded deadline is additionally capped by whatever was already
+    /// bound — a nested scope can only tighten the budget, never extend it.
+    pub fn install(self) -> DeadlineGuard {
+        let previous = CURRENT.with(|c| c.get());
+        let effective = self.min(Deadline { at: previous });
+        CURRENT.with(|c| c.set(effective.at));
+        DeadlineGuard { previous }
+    }
+
+    /// Run `f` with this deadline ambiently bound (see [`Deadline::install`]).
+    pub fn scope<T>(self, f: impl FnOnce() -> T) -> T {
+        let _guard = self.install();
+        f()
+    }
+}
+
+impl Default for Deadline {
+    fn default() -> Self {
+        Deadline::never()
+    }
+}
+
+/// Restores the previously bound ambient deadline on drop.
+#[must_use = "dropping the guard immediately unbinds the deadline"]
+pub struct DeadlineGuard {
+    previous: Option<Instant>,
+}
+
+impl Drop for DeadlineGuard {
+    fn drop(&mut self) {
+        let previous = self.previous;
+        CURRENT.with(|c| c.set(previous));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_is_unbounded_and_default() {
+        let d = Deadline::never();
+        assert!(!d.is_bounded());
+        assert!(!d.expired());
+        assert_eq!(d.remaining(), None);
+        assert!(!d.would_exceed(Duration::from_secs(3600)));
+        assert_eq!(Deadline::default(), Deadline::never());
+    }
+
+    #[test]
+    fn within_expires_and_saturates() {
+        let d = Deadline::within(Duration::from_millis(5));
+        assert!(d.is_bounded());
+        assert!(!d.expired());
+        assert!(d.remaining().unwrap() <= Duration::from_millis(5));
+        assert!(d.would_exceed(Duration::from_secs(1)));
+        std::thread::sleep(Duration::from_millis(6));
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Some(Duration::ZERO));
+        assert!(d.would_exceed(Duration::ZERO));
+    }
+
+    #[test]
+    fn min_prefers_the_earlier_bound() {
+        let early = Deadline::within(Duration::from_millis(1));
+        let late = Deadline::within(Duration::from_secs(10));
+        assert_eq!(early.min(late), early);
+        assert_eq!(late.min(early), early);
+        assert_eq!(early.min(Deadline::never()), early);
+        assert_eq!(Deadline::never().min(early), early);
+        assert_eq!(Deadline::never().min(Deadline::never()), Deadline::never());
+    }
+
+    #[test]
+    fn ambient_binding_nests_and_restores() {
+        assert_eq!(Deadline::current(), Deadline::never());
+        let outer = Deadline::within(Duration::from_secs(5));
+        outer.scope(|| {
+            assert_eq!(Deadline::current(), outer);
+            let inner = Deadline::within(Duration::from_secs(1));
+            inner.scope(|| {
+                assert_eq!(Deadline::current(), inner, "tighter inner wins");
+            });
+            assert_eq!(Deadline::current(), outer, "restored after inner");
+            // A looser nested scope cannot extend the budget.
+            Deadline::within(Duration::from_secs(60)).scope(|| {
+                assert_eq!(Deadline::current(), outer);
+            });
+            // An unbounded nested scope cannot clear it either.
+            Deadline::never().scope(|| {
+                assert_eq!(Deadline::current(), outer);
+            });
+        });
+        assert_eq!(Deadline::current(), Deadline::never());
+    }
+
+    #[test]
+    fn ambient_binding_is_per_thread() {
+        Deadline::within(Duration::from_secs(5)).scope(|| {
+            let seen = std::thread::spawn(Deadline::current).join().unwrap();
+            assert_eq!(seen, Deadline::never(), "fresh threads start unbounded");
+        });
+    }
+}

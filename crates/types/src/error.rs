@@ -60,6 +60,13 @@ pub enum SlimError {
         last: String,
     },
 
+    /// A circuit breaker refused the call because every eligible endpoint
+    /// is currently considered sick (Open state). The request was *not*
+    /// issued; retrying after backing off may find a recovered endpoint or
+    /// an admitted half-open probe slot.
+    #[error("circuit open: {0}")]
+    CircuitOpen(String),
+
     /// The request plane refused or abandoned the request because the
     /// deployment is saturated: admission queue full, tenant rate limit
     /// exceeded, deadline expired while queued, or the frontend is
@@ -96,9 +103,10 @@ impl SlimError {
     /// cause that merely ran out of budget at one layer — an outer layer with
     /// a larger budget may still succeed. [`SlimError::Overloaded`] is
     /// retryable by construction: the request plane guarantees a shed
-    /// request was never executed, so resubmitting after backoff is safe.
-    /// Permanent conditions (missing objects, corruption, injected hard
-    /// faults, config errors) are not.
+    /// request was never executed, so resubmitting after backoff is safe,
+    /// and the same reasoning covers [`SlimError::CircuitOpen`] — a breaker
+    /// shed call never reached the endpoint. Permanent conditions (missing
+    /// objects, corruption, injected hard faults, config errors) are not.
     pub fn is_retryable(&self) -> bool {
         matches!(
             self,
@@ -106,6 +114,7 @@ impl SlimError {
                 | SlimError::Throttled(_)
                 | SlimError::Timeout { .. }
                 | SlimError::Overloaded(_)
+                | SlimError::CircuitOpen(_)
         )
     }
 }
@@ -125,6 +134,7 @@ mod tests {
         }
         .is_retryable());
         assert!(SlimError::Overloaded("queue full".into()).is_retryable());
+        assert!(SlimError::CircuitOpen("endpoint 1 sick".into()).is_retryable());
         assert!(!SlimError::ObjectNotFound("k".into()).is_retryable());
         assert!(!SlimError::InjectedFault("put k".into()).is_retryable());
         assert!(!SlimError::corrupt("recipe", "bad magic").is_retryable());

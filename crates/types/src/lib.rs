@@ -26,6 +26,7 @@ pub mod codec;
 pub mod config;
 pub mod container;
 pub mod crc;
+pub mod deadline;
 pub mod error;
 pub mod fingerprint;
 pub mod layout;
@@ -37,6 +38,7 @@ pub use bloom::{BloomFilter, CountingBloomFilter};
 pub use chunk::{ChunkRecord, SuperChunkInfo};
 pub use config::SlimConfig;
 pub use container::{ContainerBuilder, ContainerEntry, ContainerId, ContainerMeta};
+pub use deadline::{Deadline, DeadlineGuard};
 pub use error::{Result, SlimError};
 pub use fingerprint::Fingerprint;
 pub use recipe::{Recipe, RecipeIndex, RecipeIndexEntry, SegmentRecipe};
