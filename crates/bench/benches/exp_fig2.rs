@@ -17,8 +17,8 @@
 //! `TELEMETRY` line.
 
 use slim_bench::{
-    apply_hedge, bench_network, pct, pipeline_threads, print_telemetry, scale, span_secs, Table,
-    VersionedFile,
+    apply_hedge, bench_network, compression, pct, pipeline_threads, print_telemetry, scale,
+    span_secs, Table, VersionedFile,
 };
 use slim_index::SimilarFileIndex;
 use slim_lnode::node::ChunkerKind;
@@ -41,6 +41,11 @@ fn main() {
         // (more channels → more pipeline threads pay off).
         cfg.backup_pipeline_threads =
             pipeline_threads().unwrap_or_else(|| bench_network().suggested_pipeline_threads());
+        // SLIM_COMPRESS=off is the A/B baseline without the per-chunk
+        // container compression plane.
+        if let Some(on) = compression() {
+            cfg.compression = on;
+        }
         let registry = Registry::new();
         let scope = registry.scope("lnode").child("0");
         // SLIM_HEDGE=N models N OSS endpoints with hedged reads; unset

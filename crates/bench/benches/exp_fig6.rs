@@ -11,7 +11,8 @@
 //! `duplicateTimes >= 5`, measured on the versions after merging kicks in.
 
 use slim_bench::{
-    apply_hedge, bench_network_fast, f1, pct, pipeline_threads, scale, Table, VersionedFile,
+    apply_hedge, bench_network_fast, compression, f1, pct, pipeline_threads, scale, Table,
+    VersionedFile,
 };
 use slim_index::SimilarFileIndex;
 use slim_lnode::{LNode, StorageLayer};
@@ -35,6 +36,10 @@ fn run(stream: &VersionedFile, merging: bool, versions: usize) -> Outcome {
     cfg.superchunk_max_members = 8;
     cfg.backup_pipeline_threads =
         pipeline_threads().unwrap_or_else(|| bench_network_fast().suggested_pipeline_threads());
+    // SLIM_COMPRESS=off is the A/B baseline without container compression.
+    if let Some(on) = compression() {
+        cfg.compression = on;
+    }
     // SLIM_HEDGE=N models N OSS endpoints with hedged reads (unset: bare).
     let storage = StorageLayer::open(apply_hedge(Oss::new(bench_network_fast())));
     let node = LNode::new(storage.clone(), SimilarFileIndex::new(), cfg).unwrap();

@@ -80,6 +80,17 @@ pub fn hedge_endpoints() -> Option<usize> {
     raw.parse::<usize>().ok()
 }
 
+/// Container-compression toggle from `SLIM_COMPRESS`.
+///
+/// Unset → `None` (the config's default). `SLIM_COMPRESS=0` or
+/// `SLIM_COMPRESS=off` → `Some(false)`; anything else → `Some(true)` —
+/// the A/B knob for the Fig 2 / Fig 6 stored-bytes and throughput lines
+/// with and without the per-chunk compression plane.
+pub fn compression() -> Option<bool> {
+    let raw = std::env::var("SLIM_COMPRESS").ok()?;
+    Some(!raw.eq_ignore_ascii_case("off") && raw != "0")
+}
+
 /// Wrap `oss` per the `SLIM_HEDGE` knob: with `n >= 2` endpoints the store
 /// models them and hedged reads race the healthiest pair; otherwise the
 /// bare store is returned unchanged (no wrapper, no extra indirection).

@@ -652,8 +652,11 @@ pub fn run(cmd: Command) -> Result<String> {
             let store = open_repo(&repo, true)?;
             let s = store.space_report()?;
             Ok(format!(
-                "containers: {:.1} MiB\nrecipes:    {:.1} MiB\nglobal idx: {:.1} MiB\nredundancy: {:.1} MiB\nquarantine: {:.1} MiB\nother:      {:.1} MiB\ntotal:      {:.1} MiB",
+                "containers: {:.1} MiB\n  logical:  {:.1} MiB\n  stored:   {:.1} MiB (ratio {:.2})\nrecipes:    {:.1} MiB\nglobal idx: {:.1} MiB\nredundancy: {:.1} MiB\nquarantine: {:.1} MiB\nother:      {:.1} MiB\ntotal:      {:.1} MiB",
                 s.container_bytes as f64 / (1024.0 * 1024.0),
+                s.container_logical_bytes as f64 / (1024.0 * 1024.0),
+                s.container_stored_payload_bytes as f64 / (1024.0 * 1024.0),
+                s.compression_ratio(),
                 s.recipe_bytes as f64 / (1024.0 * 1024.0),
                 s.global_index_bytes as f64 / (1024.0 * 1024.0),
                 s.redundancy_bytes as f64 / (1024.0 * 1024.0),

@@ -172,12 +172,13 @@ pub fn reverse_dedup(
             old: *old,
             new: new_id,
         })?);
-        let mut builder = ContainerBuilder::new(new_id, data.len());
+        let mut builder = ContainerBuilder::new(new_id, meta.live_raw_bytes() as usize)
+            .with_compression(config.compression);
         for entry in meta.entries.iter().filter(|e| !e.deleted) {
-            builder.push(
-                entry.fp,
-                &data[entry.offset as usize..(entry.offset + entry.len) as usize],
-            );
+            // Decompress through the validated accessor and recompress under
+            // the current knob: rewrites are also the migration path between
+            // compressed and uncompressed repos.
+            builder.push(entry.fp, &entry.payload_from(&data)?);
         }
         let (new_data, new_meta) = builder.seal();
         storage.put_container(new_data, &new_meta)?;
@@ -186,7 +187,9 @@ pub fn reverse_dedup(
             relocations.insert(entry.fp, new_id);
         }
         stats.containers_rewritten += 1;
-        stats.bytes_reclaimed += meta.data_len as u64 - new_meta.data_len as u64;
+        // Saturating: rewriting a compressed container with compression now
+        // off legitimately grows the data object.
+        stats.bytes_reclaimed += (meta.data_len as u64).saturating_sub(new_meta.data_len as u64);
         meta_cache.put(new_meta);
         meta_cache.forget(*old);
         retired.push(*old);
@@ -250,12 +253,10 @@ pub(crate) fn maybe_rewrite(
         old: id,
         new: new_id,
     })?;
-    let mut builder = ContainerBuilder::new(new_id, data.len());
+    let mut builder = ContainerBuilder::new(new_id, meta.live_raw_bytes() as usize)
+        .with_compression(config.compression);
     for entry in meta.entries.iter().filter(|e| !e.deleted) {
-        builder.push(
-            entry.fp,
-            &data[entry.offset as usize..(entry.offset + entry.len) as usize],
-        );
+        builder.push(entry.fp, &entry.payload_from(&data)?);
     }
     let (new_data, new_meta) = builder.seal();
     storage.put_container(new_data, &new_meta)?;
@@ -263,7 +264,7 @@ pub(crate) fn maybe_rewrite(
         global.relocate(&entry.fp, new_id)?;
     }
     stats.containers_rewritten += 1;
-    stats.bytes_reclaimed += meta.data_len as u64 - new_meta.data_len as u64;
+    stats.bytes_reclaimed += (meta.data_len as u64).saturating_sub(new_meta.data_len as u64);
     meta_cache.put(new_meta);
     meta_cache.forget(id);
     meta_cache.flush()?;
@@ -404,6 +405,57 @@ mod tests {
         assert!(meta.find_live(&fp(3)).is_some());
         let data = env.storage.get_container_data(home).unwrap();
         assert_eq!(data.len(), 100);
+    }
+
+    #[test]
+    fn rewrite_recompresses_under_current_knob() {
+        // An uncompressed (pre-upgrade) container whose survivors are
+        // rewritten with compression on: the rewrite is the migration path.
+        let mut env = setup();
+        env.config.compression = true;
+        let old = make_container(&env.storage, &[(1, 400), (2, 400), (3, 400)]);
+        let mut cache = MetaCache::new(env.storage.clone(), 8);
+        let _ = run(&env, &mut cache, &[old]);
+        let new = make_container(&env.storage, &[(1, 400), (2, 400)]);
+        let (stats, _) = run(&env, &mut cache, &[new]);
+        assert_eq!(stats.containers_rewritten, 1);
+        let home = env.global.get(&fp(3)).unwrap().expect("chunk 3 indexed");
+        let meta = env.storage.get_container_meta(home).unwrap();
+        let entry = *meta.find_live(&fp(3)).unwrap();
+        assert!(entry.is_compressed(), "constant bytes must compress");
+        assert_eq!(entry.raw_len, 400);
+        let data = env.storage.get_container_data(home).unwrap();
+        assert_eq!(data.len(), meta.data_len as usize);
+        assert!(data.len() < 400, "rewritten object shrinks");
+        assert_eq!(entry.payload_from(&data).unwrap(), vec![3u8; 400]);
+    }
+
+    #[test]
+    fn compression_off_rewrite_decompresses_without_underflow() {
+        // The inverse migration: a compressed container rewritten with the
+        // knob off. The survivor grows past the old (compressed) data_len,
+        // so `bytes_reclaimed` must saturate instead of underflowing.
+        let env = setup();
+        let id = env.storage.allocate_container_id();
+        let mut b = ContainerBuilder::new(id, 1 << 20).with_compression(true);
+        for tag in 1u8..=3 {
+            let payload = vec![tag; 300];
+            b.push(fp(tag), &payload);
+        }
+        let (data, meta) = b.seal();
+        assert!((meta.data_len as usize) < 900, "seed container compressed");
+        env.storage.put_container(data, &meta).unwrap();
+        let mut cache = MetaCache::new(env.storage.clone(), 8);
+        let _ = run(&env, &mut cache, &[id]);
+        let new = make_container(&env.storage, &[(1, 300), (2, 300)]);
+        let (stats, _) = run(&env, &mut cache, &[new]);
+        assert_eq!(stats.containers_rewritten, 1);
+        let home = env.global.get(&fp(3)).unwrap().expect("chunk 3 indexed");
+        let meta = env.storage.get_container_meta(home).unwrap();
+        let entry = *meta.find_live(&fp(3)).unwrap();
+        assert!(!entry.is_compressed(), "knob off stores raw");
+        let data = env.storage.get_container_data(home).unwrap();
+        assert_eq!(entry.payload_from(&data).unwrap(), vec![3u8; 300]);
     }
 
     #[test]

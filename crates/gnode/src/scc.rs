@@ -140,7 +140,11 @@ pub fn compact_sparse_containers(
             if relocated.contains_key(&entry.fp) {
                 continue;
             }
-            let payload = &data[entry.offset as usize..(entry.offset + entry.len) as usize];
+            // Validated extraction + decompression; the compacted copy is
+            // recompressed under the current knob. Capacity accounting (and
+            // so compaction container boundaries and `bytes_moved`) is in
+            // raw bytes, invariant under compression.
+            let payload = entry.payload_from(&data)?;
             if builder
                 .as_ref()
                 .is_some_and(|b| b.would_overflow(payload.len()))
@@ -151,14 +155,17 @@ pub fn compact_sparse_containers(
                 Some(b) => b,
                 None => {
                     let id = storage.allocate_container_id();
-                    builder.insert(ContainerBuilder::new(id, config.container_capacity))
+                    builder.insert(
+                        ContainerBuilder::new(id, config.container_capacity)
+                            .with_compression(config.compression),
+                    )
                 }
             };
-            b.push(entry.fp, payload);
+            b.push(entry.fp, &payload);
             relocated.insert(entry.fp, b.id());
             moved.push((container, entry.fp, b.id()));
             stats.chunks_moved += 1;
-            stats.bytes_moved += entry.len as u64;
+            stats.bytes_moved += payload.len() as u64;
         }
     }
     seal(storage, &mut builder, &mut stats)?;

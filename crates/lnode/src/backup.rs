@@ -674,16 +674,25 @@ impl Job<'_, '_> {
         {
             self.seal_container()?;
         }
+        let compress = self.config().compression;
         let builder = match &mut self.builder {
             Some(b) => b,
             None => {
                 let id = self.pipeline.storage.allocate_container_id();
                 self.new_containers.push(id);
-                self.builder
-                    .insert(ContainerBuilder::new(id, self.config().container_capacity))
+                self.builder.insert(
+                    ContainerBuilder::new(id, self.config().container_capacity)
+                        .with_compression(compress),
+                )
             }
         };
-        builder.push(fp, payload);
+        if compress {
+            let t = Instant::now();
+            builder.push(fp, payload);
+            self.stats.compress_time += t.elapsed();
+        } else {
+            builder.push(fp, payload);
+        }
         Ok(builder.id())
     }
 
@@ -692,6 +701,7 @@ impl Job<'_, '_> {
             if builder.is_empty() {
                 return Ok(());
             }
+            self.stats.add_compression(&builder.compression_stats());
             let (data, meta) = builder.seal();
             match &self.sink {
                 // Pipelined: hand off to the async uploader. Containers are
@@ -859,9 +869,7 @@ mod tests {
             let meta = storage.get_container_meta(rec.container_id).unwrap();
             let entry = meta.find(&rec.fp).expect("chunk in container");
             let data = storage.get_container_data(rec.container_id).unwrap();
-            out.extend_from_slice(
-                &data[entry.offset as usize..(entry.offset + entry.len) as usize],
-            );
+            out.extend_from_slice(&entry.payload_from(&data).unwrap());
         }
         out
     }

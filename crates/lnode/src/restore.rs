@@ -279,7 +279,10 @@ impl<'a> RestoreEngine<'a> {
             if entry.deleted {
                 continue;
             }
-            let payload = data.slice(entry.offset as usize..(entry.offset + entry.len) as usize);
+            // Checked extraction (and decompression): a poisoned entry —
+            // bit-flipped meta whose CRC collided, say — surfaces as
+            // `Corrupt`, never as a slice panic.
+            let payload = entry.payload_from(&data)?;
             if entry.fp == rec.fp {
                 target = Some(payload.clone());
             }

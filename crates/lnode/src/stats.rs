@@ -50,6 +50,19 @@ pub struct BackupStats {
     /// Containers committed by the pipeline's async uploader stage.
     pub pipeline_async_uploads: u64,
 
+    /// Chunks pushed through compressing container builders (zero when
+    /// `SlimConfig::compression` is off).
+    pub compress_chunks: u64,
+    /// Raw payload bytes offered to the compressor. Note `stored_bytes`
+    /// above stays in raw bytes — it feeds [`BackupStats::dedup_ratio`],
+    /// which must be invariant under the compression knob.
+    pub compress_raw_bytes: u64,
+    /// Bytes actually written into container data objects (compressed
+    /// where profitable, raw otherwise).
+    pub compress_stored_bytes: u64,
+    /// Chunks stored raw because compression was not strictly smaller.
+    pub compress_incompressible: u64,
+
     /// Wall time of the whole job.
     pub wall_time: Duration,
     /// CPU time spent scanning for cut points (CDC).
@@ -67,6 +80,9 @@ pub struct BackupStats {
     /// feed (zero on the sequential path). High stall with low network time
     /// means the job is CPU-bound and more fingerprint workers would help.
     pub pipeline_stall_time: Duration,
+    /// CPU time spent compressing unique chunk payloads (zero when the
+    /// compression knob is off).
+    pub compress_time: Duration,
 }
 
 impl BackupStats {
@@ -96,6 +112,15 @@ impl BackupStats {
             .saturating_sub(self.fingerprint_time)
             .saturating_sub(self.index_time)
             .saturating_sub(self.network_time)
+            .saturating_sub(self.compress_time)
+    }
+
+    /// Fold a sealed builder's compression accounting into this job.
+    pub fn add_compression(&mut self, c: &slim_types::CompressionStats) {
+        self.compress_chunks += c.chunks;
+        self.compress_raw_bytes += c.raw_bytes;
+        self.compress_stored_bytes += c.stored_bytes;
+        self.compress_incompressible += c.incompressible;
     }
 
     /// Fold this job into a telemetry scope: one observation per phase
@@ -128,12 +153,23 @@ impl BackupStats {
         scope
             .counter("pipeline_async_uploads")
             .add(self.pipeline_async_uploads);
+        scope.counter("compress.chunks").add(self.compress_chunks);
+        scope
+            .counter("compress.raw_bytes")
+            .add(self.compress_raw_bytes);
+        scope
+            .counter("compress.stored_bytes")
+            .add(self.compress_stored_bytes);
+        scope
+            .counter("compress.incompressible")
+            .add(self.compress_incompressible);
         scope.record_span("backup", self.wall_time);
         scope.record_span("chunking", self.chunking_time);
         scope.record_span("fingerprinting", self.fingerprint_time);
         scope.record_span("index", self.index_time);
         scope.record_span("container_io", self.network_time);
         scope.record_span("pipeline_stall", self.pipeline_stall_time);
+        scope.record_span("compress", self.compress_time);
         scope.record_span("other", self.other_time());
     }
 
@@ -153,12 +189,17 @@ impl BackupStats {
         self.pipeline_chunks_fed += other.pipeline_chunks_fed;
         self.pipeline_fallbacks += other.pipeline_fallbacks;
         self.pipeline_async_uploads += other.pipeline_async_uploads;
+        self.compress_chunks += other.compress_chunks;
+        self.compress_raw_bytes += other.compress_raw_bytes;
+        self.compress_stored_bytes += other.compress_stored_bytes;
+        self.compress_incompressible += other.compress_incompressible;
         self.wall_time += other.wall_time;
         self.chunking_time += other.chunking_time;
         self.fingerprint_time += other.fingerprint_time;
         self.index_time += other.index_time;
         self.network_time += other.network_time;
         self.pipeline_stall_time += other.pipeline_stall_time;
+        self.compress_time += other.compress_time;
     }
 }
 

@@ -1,13 +1,19 @@
 //! Space accounting — the "occupied space" metrics of Fig 9 / Fig 10(c).
 
 use slim_oss::ObjectStore;
-use slim_types::{layout, Result};
+use slim_types::{crc, layout, ContainerMeta, Result};
 
 /// Byte-level breakdown of what the deployment stores on OSS.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SpaceReport {
     /// Container payload + metadata bytes.
     pub container_bytes: u64,
+    /// Raw (uncompressed) bytes the live container payload decompresses
+    /// to — the logical size the dedup plane accounts in.
+    pub container_logical_bytes: u64,
+    /// Stored bytes of live container payload (compressed where the
+    /// compression plane found it profitable).
+    pub container_stored_payload_bytes: u64,
     /// Recipe + recipe-index bytes.
     pub recipe_bytes: u64,
     /// Global-index (Rocks-OSS) bytes.
@@ -45,18 +51,47 @@ impl SpaceReport {
         let redundancy_bytes = sum(layout::REDUNDANCY_PREFIX)?;
         let quarantine_bytes = sum(layout::QUARANTINE_PREFIX)?;
         let total: u64 = sum("")?;
+
+        // Logical-vs-stored payload accounting: decode every container meta
+        // and compare what the live chunks occupy with what they decompress
+        // to. Decode failures propagate — a meta this sweep cannot read is a
+        // scrub problem, not a zero.
+        let meta_keys: Vec<String> = oss
+            .list(layout::CONTAINER_PREFIX)
+            .into_iter()
+            .filter(|k| k.ends_with("/meta"))
+            .collect();
+        let mut container_logical_bytes = 0u64;
+        let mut container_stored_payload_bytes = 0u64;
+        for result in oss.get_many(&meta_keys) {
+            let buf = result?;
+            let meta = ContainerMeta::decode(&crc::unseal(&buf, "container meta")?)?;
+            container_logical_bytes += meta.live_raw_bytes();
+            container_stored_payload_bytes += meta.live_bytes();
+        }
+
+        // Saturating, not raw subtraction: the sweeps above are not atomic,
+        // so a concurrent writer can legitimately make the prefix sums
+        // exceed the later whole-store sum. Debug builds still flag it —
+        // on a quiescent store the identity must hold exactly.
+        let accounted = container_bytes
+            + recipe_bytes
+            + global_index_bytes
+            + redundancy_bytes
+            + quarantine_bytes;
+        debug_assert!(
+            total >= accounted,
+            "space sweep accounted {accounted} bytes under prefixes but only {total} in total"
+        );
         Ok(SpaceReport {
             container_bytes,
+            container_logical_bytes,
+            container_stored_payload_bytes,
             recipe_bytes,
             global_index_bytes,
             redundancy_bytes,
             quarantine_bytes,
-            other_bytes: total
-                - container_bytes
-                - recipe_bytes
-                - global_index_bytes
-                - redundancy_bytes
-                - quarantine_bytes,
+            other_bytes: total.saturating_sub(accounted),
         })
     }
 
@@ -68,6 +103,15 @@ impl SpaceReport {
             + self.redundancy_bytes
             + self.quarantine_bytes
             + self.other_bytes
+    }
+
+    /// Stored-to-logical ratio of live container payload: 1.0 means no
+    /// compression benefit, smaller is better. 1.0 on an empty store.
+    pub fn compression_ratio(&self) -> f64 {
+        if self.container_logical_bytes == 0 {
+            return 1.0;
+        }
+        self.container_stored_payload_bytes as f64 / self.container_logical_bytes as f64
     }
 }
 
@@ -110,5 +154,32 @@ mod tests {
         assert_eq!(report.quarantine_bytes, 50);
         assert_eq!(report.other_bytes, 5);
         assert_eq!(report.total(), 330);
+        assert_eq!(report.container_logical_bytes, 0, "no meta objects");
+        assert_eq!(report.compression_ratio(), 1.0);
+    }
+
+    #[test]
+    fn measure_accounts_logical_vs_stored_payload() {
+        use slim_types::{ContainerBuilder, ContainerId, Fingerprint};
+        let oss = Oss::in_memory();
+        let payload: Vec<u8> = b"slimstore ".iter().copied().cycle().take(8192).collect();
+        let mut b = ContainerBuilder::new(ContainerId(1), 1 << 20).with_compression(true);
+        b.push(Fingerprint::from_slice(&[1u8; 20]).unwrap(), &payload);
+        let (data, meta) = b.seal();
+        oss.put(
+            &layout::container_data(ContainerId(1)),
+            slim_types::crc::seal(&data),
+        )
+        .unwrap();
+        oss.put(
+            &layout::container_meta(ContainerId(1)),
+            slim_types::crc::seal(&meta.encode()),
+        )
+        .unwrap();
+        let report = SpaceReport::measure(&oss).unwrap();
+        assert_eq!(report.container_logical_bytes, 8192);
+        assert_eq!(report.container_stored_payload_bytes, data.len() as u64);
+        assert!(report.container_stored_payload_bytes < report.container_logical_bytes);
+        assert!(report.compression_ratio() < 1.0);
     }
 }

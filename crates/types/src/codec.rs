@@ -107,6 +107,23 @@ impl<'a> Reader<'a> {
         Ok(())
     }
 
+    /// Check a 4-byte magic and return the format version byte, for
+    /// structures that accept more than one on-disk version. The caller
+    /// decides which versions it can decode; an unexpected version is its
+    /// corruption error to raise, with the context only it has.
+    pub fn sniff_header(&mut self, magic: &[u8; 4]) -> Result<u8> {
+        self.ensure(5)?;
+        let mut got = [0u8; 4];
+        self.buf.copy_to_slice(&mut got);
+        if &got != magic {
+            return Err(SlimError::corrupt(
+                self.what,
+                format!("bad magic {got:02x?}, expected {magic:02x?}"),
+            ));
+        }
+        Ok(self.buf.get_u8())
+    }
+
     /// Error unless the buffer is fully consumed.
     pub fn finish(self) -> Result<()> {
         if self.buf.remaining() != 0 {

@@ -1,0 +1,337 @@
+//! Per-chunk LZ compression for container payloads.
+//!
+//! A dependency-free, deterministic LZSS codec: greedy longest-match
+//! parsing over hash chains, emitting flag-grouped literal/match tokens.
+//! Each chunk compresses independently, so container range reads, XOR
+//! parity groups and CRC trailers keep operating over stored bytes with no
+//! knowledge of the codec; only the final per-entry decode step differs.
+//!
+//! Framing (no per-chunk header — the container entry's `raw_len` is the
+//! authoritative output length):
+//!
+//! * a *flags* byte precedes every group of up to 8 tokens; bit `i`
+//!   (LSB-first) describes token `i`;
+//! * flag 0 — a literal: one raw byte;
+//! * flag 1 — a match: `u16` little-endian backward distance
+//!   (`1..=65535`, never beyond the bytes already produced) followed by
+//!   one length byte encoding `match_len - MIN_MATCH`
+//!   (`MIN_MATCH..=MIN_MATCH + 255` bytes).
+//!
+//! [`compress`] is strict about profitability: it returns `None` unless the
+//! encoded form is *strictly* smaller than the input, so incompressible
+//! chunks are stored raw and the `stored len == raw len` equality is the
+//! (tag-free) marker for an uncompressed entry. [`decompress`] is strict
+//! about shape: it must produce exactly the expected number of bytes from
+//! exactly the provided input, and any violation — bad distance, output
+//! overrun, input underrun, trailing bytes — is a [`SlimError::Corrupt`].
+
+use crate::error::{Result, SlimError};
+
+/// Shortest back-reference worth encoding: a match token costs 3 bytes
+/// (+1/8 flag), so 4 literal bytes is the break-even point.
+pub const MIN_MATCH: usize = 4;
+
+/// Longest encodable match (`MIN_MATCH + 255`).
+pub const MAX_MATCH: usize = MIN_MATCH + 255;
+
+/// Farthest encodable backward distance (`u16` wire format, 0 reserved).
+pub const MAX_DISTANCE: usize = 65_535;
+
+/// Hash-chain search depth. Bounded for throughput; determinism comes from
+/// the scan itself, not the bound — the same input always walks the same
+/// chain.
+const MAX_CHAIN: usize = 64;
+
+const HASH_BITS: u32 = 15;
+const HASH_SIZE: usize = 1 << HASH_BITS;
+
+#[inline]
+fn hash4(window: &[u8]) -> usize {
+    let v = u32::from_le_bytes([window[0], window[1], window[2], window[3]]);
+    (v.wrapping_mul(0x9E37_79B1) >> (32 - HASH_BITS)) as usize
+}
+
+/// Compress `input` with greedy LZSS. Returns the encoded bytes only when
+/// they are strictly smaller than `input`; `None` means "store raw".
+///
+/// Pure function of `input` — byte-identical output across runs, platforms
+/// and call sites, which keeps recompression during G-node rewrites
+/// convergent and pipelined backups byte-identical to sequential ones.
+pub fn compress(input: &[u8]) -> Option<Vec<u8>> {
+    if input.len() < MIN_MATCH + 1 {
+        return None;
+    }
+    let mut out: Vec<u8> = Vec::with_capacity(input.len());
+    // head[h] / prev[i]: most recent position hashing to `h`, and the chain
+    // of earlier positions with the same hash. usize::MAX = empty.
+    let mut head = vec![usize::MAX; HASH_SIZE];
+    let mut prev = vec![usize::MAX; input.len()];
+
+    let mut flags_at = out.len();
+    out.push(0);
+    let mut flag_bit = 0u8;
+    let mut emit = |out: &mut Vec<u8>, flags_at: &mut usize, flag_bit: &mut u8, is_match: bool| {
+        if *flag_bit == 8 {
+            *flags_at = out.len();
+            out.push(0);
+            *flag_bit = 0;
+        }
+        if is_match {
+            out[*flags_at] |= 1 << *flag_bit;
+        }
+        *flag_bit += 1;
+    };
+
+    let mut pos = 0usize;
+    while pos < input.len() {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if pos + MIN_MATCH <= input.len() {
+            let h = hash4(&input[pos..]);
+            let mut candidate = head[h];
+            let mut steps = 0usize;
+            let limit = (input.len() - pos).min(MAX_MATCH);
+            while candidate != usize::MAX && steps < MAX_CHAIN {
+                let dist = pos - candidate;
+                if dist > MAX_DISTANCE {
+                    break; // chain positions only get older
+                }
+                let mut l = 0usize;
+                while l < limit && input[candidate + l] == input[pos + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_dist = dist;
+                    if l == limit {
+                        break;
+                    }
+                }
+                candidate = prev[candidate];
+                steps += 1;
+            }
+            prev[pos] = head[h];
+            head[h] = pos;
+        }
+        if best_len >= MIN_MATCH {
+            emit(&mut out, &mut flags_at, &mut flag_bit, true);
+            out.extend_from_slice(&(best_dist as u16).to_le_bytes());
+            out.push((best_len - MIN_MATCH) as u8);
+            // Index the interior positions of the match so later matches can
+            // start inside it.
+            for p in pos + 1..pos + best_len {
+                if p + MIN_MATCH <= input.len() {
+                    let h = hash4(&input[p..]);
+                    prev[p] = head[h];
+                    head[h] = p;
+                }
+            }
+            pos += best_len;
+        } else {
+            emit(&mut out, &mut flags_at, &mut flag_bit, false);
+            out.push(input[pos]);
+            pos += 1;
+        }
+        if out.len() >= input.len() {
+            return None; // already unprofitable; stop early
+        }
+    }
+    if out.len() < input.len() {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+/// Decompress `input` into exactly `raw_len` bytes.
+///
+/// Every structural violation is a [`SlimError::Corrupt`]: a distance of 0
+/// or beyond the produced output, a token that would overrun `raw_len`, a
+/// truncated token, or trailing input bytes after the output is complete.
+pub fn decompress(input: &[u8], raw_len: usize) -> Result<Vec<u8>> {
+    let corrupt = |detail: String| SlimError::corrupt("compressed chunk", detail);
+    let mut out: Vec<u8> = Vec::with_capacity(raw_len);
+    let mut i = 0usize;
+    while out.len() < raw_len {
+        if i >= input.len() {
+            return Err(corrupt(format!(
+                "input exhausted at {i} with {} of {raw_len} bytes produced",
+                out.len()
+            )));
+        }
+        let flags = input[i];
+        i += 1;
+        let mut bit = 0u8;
+        while bit < 8 && out.len() < raw_len {
+            if flags & (1 << bit) == 0 {
+                let Some(&b) = input.get(i) else {
+                    return Err(corrupt(format!("truncated literal at {i}")));
+                };
+                out.push(b);
+                i += 1;
+            } else {
+                if i + 3 > input.len() {
+                    return Err(corrupt(format!("truncated match token at {i}")));
+                }
+                let dist = u16::from_le_bytes([input[i], input[i + 1]]) as usize;
+                let len = input[i + 2] as usize + MIN_MATCH;
+                i += 3;
+                if dist == 0 || dist > out.len() {
+                    return Err(corrupt(format!(
+                        "match distance {dist} outside {} produced bytes",
+                        out.len()
+                    )));
+                }
+                if out.len() + len > raw_len {
+                    return Err(corrupt(format!(
+                        "match of {len} overruns raw length {raw_len} at {}",
+                        out.len()
+                    )));
+                }
+                // Byte-at-a-time: matches may self-overlap (RLE-style).
+                let start = out.len() - dist;
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+            bit += 1;
+        }
+    }
+    if i != input.len() {
+        return Err(corrupt(format!(
+            "{} trailing bytes after output completed",
+            input.len() - i
+        )));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(input: &[u8]) -> Option<Vec<u8>> {
+        compress(input).map(|c| {
+            assert!(c.len() < input.len(), "profitability is strict");
+            let back = decompress(&c, input.len()).unwrap();
+            assert_eq!(back, input);
+            c
+        })
+    }
+
+    #[test]
+    fn compresses_repetitive_data() {
+        let input: Vec<u8> = b"the quick brown fox jumps over the lazy dog. "
+            .iter()
+            .copied()
+            .cycle()
+            .take(8192)
+            .collect();
+        let c = roundtrip(&input).expect("repetitive data must compress");
+        assert!(c.len() < input.len() / 4, "expected >4x on cyclic text");
+    }
+
+    #[test]
+    fn run_length_extremes() {
+        let input = vec![0xAB; 100_000];
+        let c = roundtrip(&input).expect("constant data compresses");
+        assert!(c.len() < 1024);
+    }
+
+    #[test]
+    fn random_data_stored_raw() {
+        use rand::{RngCore, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let mut buf = vec![0u8; 16 * 1024];
+        rng.fill_bytes(&mut buf);
+        assert!(compress(&buf).is_none(), "random bytes are incompressible");
+    }
+
+    #[test]
+    fn tiny_inputs_stored_raw() {
+        assert!(compress(&[]).is_none());
+        assert!(compress(b"abc").is_none());
+        assert!(compress(b"aaaa").is_none());
+    }
+
+    #[test]
+    fn deterministic() {
+        let input: Vec<u8> = (0..4096u32).flat_map(|i| (i % 251).to_le_bytes()).collect();
+        assert_eq!(compress(&input), compress(&input));
+    }
+
+    #[test]
+    fn structured_inputs_roundtrip() {
+        // A grab-bag of shapes: short runs, interleaved patterns, mostly
+        // unique with a repeated tail, overlap-copy cases (dist < len).
+        let mut cases: Vec<Vec<u8>> = vec![
+            b"abcabcabcabcabcabcabcabcabcabc".to_vec(),
+            [b"x".repeat(3), b"unique-middle".to_vec(), b"x".repeat(300)].concat(),
+            (0..255u8).collect::<Vec<u8>>().repeat(40),
+        ];
+        let mut semi = Vec::new();
+        for i in 0..2000u64 {
+            semi.extend_from_slice(&(i / 7).to_le_bytes());
+        }
+        cases.push(semi);
+        for input in cases {
+            if compress(&input).is_some() {
+                roundtrip(&input);
+            }
+        }
+    }
+
+    #[test]
+    fn decompress_rejects_bad_distance() {
+        // flags=0b10 -> literal 'a', then a match reaching back 9 bytes when
+        // only 1 has been produced.
+        let bad = [0b0000_0010u8, b'a', 9, 0, 0];
+        let err = decompress(&bad, 10).unwrap_err();
+        assert!(matches!(err, SlimError::Corrupt { .. }), "{err}");
+        // Distance 0 is reserved.
+        let zero = [0b0000_0001u8, 0, 0, 0];
+        assert!(decompress(&zero, 4).is_err());
+    }
+
+    #[test]
+    fn decompress_rejects_length_overrun() {
+        let input = vec![0xCD; 1000];
+        let c = compress(&input).unwrap();
+        // Claiming a shorter raw length than the stream produces must fail
+        // (either by overrun or by trailing input).
+        assert!(decompress(&c, 999).is_err());
+        // Claiming longer must fail with input exhausted.
+        assert!(decompress(&c, 1001).is_err());
+    }
+
+    #[test]
+    fn decompress_rejects_truncation_and_trailing() {
+        let input = vec![0x11; 512];
+        let c = compress(&input).unwrap();
+        assert!(decompress(&c[..c.len() - 1], input.len()).is_err());
+        let mut extended = c.clone();
+        extended.push(0);
+        assert!(decompress(&extended, input.len()).is_err());
+    }
+
+    #[test]
+    fn bit_flip_sweep_never_panics() {
+        let input: Vec<u8> = b"payload payload payload 1234567890 "
+            .iter()
+            .copied()
+            .cycle()
+            .take(4096)
+            .collect();
+        let c = compress(&input).unwrap();
+        for i in 0..c.len() {
+            for bit in 0..8 {
+                let mut m = c.clone();
+                m[i] ^= 1 << bit;
+                // Either decodes to wrong bytes of the right length or
+                // errors; must never panic.
+                let _ = decompress(&m, input.len());
+            }
+        }
+    }
+}

@@ -91,6 +91,15 @@ pub struct SlimConfig {
     #[serde(default = "default_parity_group_size")]
     pub parity_group_size: usize,
 
+    /// Whether chunk payloads are LZ-compressed (per entry, independently)
+    /// when containers are built, stored raw when not strictly smaller.
+    /// Container boundaries — and therefore every dedup statistic — are
+    /// invariant under this knob; only stored/transferred bytes shrink.
+    /// G-node rewrites recompress (or decompress) as they rewrite, so
+    /// flipping the knob converges existing repositories over time.
+    #[serde(default = "default_compression")]
+    pub compression: bool,
+
     /// Thread budget for the pipelined parallel backup plane, *per backup
     /// job*. `0` or `1` runs the classic single-threaded path; `>= 2`
     /// splits a job into chunking-feed, fingerprint-worker, in-order dedup
@@ -140,6 +149,10 @@ fn default_parity_group_size() -> usize {
     4
 }
 
+fn default_compression() -> bool {
+    true
+}
+
 fn default_backup_pipeline_threads() -> usize {
     4
 }
@@ -181,6 +194,7 @@ impl Default for SlimConfig {
             redundancy: true,
             redundancy_replica_refs: 64,
             parity_group_size: 4,
+            compression: true,
             backup_pipeline_threads: default_backup_pipeline_threads(),
             hedged_reads: true,
             oss_endpoints: default_oss_endpoints(),
@@ -218,6 +232,10 @@ impl SlimConfig {
             redundancy: true,
             redundancy_replica_refs: 8,
             parity_group_size: 3,
+            // Off by default so byte-level unit tests see stored == raw
+            // sizes; the compressed paths are exercised explicitly by
+            // `tests/compression.rs` via `with_compression(true)`.
+            compression: false,
             // Sequential by default: byte-level unit tests stay on the
             // classic path; the pipeline is exercised explicitly by the
             // equivalence suite in `tests/pipeline_backup.rs`.
@@ -353,6 +371,12 @@ impl SlimConfig {
         self
     }
 
+    /// Builder-style toggle for per-chunk container compression.
+    pub fn with_compression(mut self, on: bool) -> Self {
+        self.compression = on;
+        self
+    }
+
     /// Builder-style backup-pipeline thread budget (0 = sequential).
     pub fn with_backup_pipeline_threads(mut self, threads: usize) -> Self {
         self.backup_pipeline_threads = threads;
@@ -454,6 +478,18 @@ mod tests {
             .remove("backup_pipeline_threads");
         let cfg: SlimConfig = serde_json::from_value(json).unwrap();
         assert_eq!(cfg.backup_pipeline_threads, 4);
+    }
+
+    #[test]
+    fn compression_default_fills_in_for_old_configs() {
+        // Configs serialized before the compression plane existed must
+        // deserialize with it enabled (the production default).
+        let mut json: serde_json::Value =
+            serde_json::to_value(SlimConfig::small_for_tests().with_compression(false)).unwrap();
+        json.as_object_mut().unwrap().remove("compression");
+        let cfg: SlimConfig = serde_json::from_value(json).unwrap();
+        assert!(cfg.compression);
+        cfg.validate().unwrap();
     }
 
     #[test]

@@ -1,12 +1,26 @@
 //! Containers — the physical storage unit on OSS.
 //!
 //! Non-duplicate chunks are aggregated into fixed-capacity containers
-//! (§III-B). A container's *data object* is the raw concatenation of chunk
-//! payloads; its *metadata* records each chunk's fingerprint, offset, length
-//! and deletion state, plus the stale-chunk proportion used by sparse
-//! container compaction (§V-B) and reverse deduplication (§VI-A). Metadata is
-//! stored as a separate OSS object so the G-node can mark chunks deleted
-//! without touching payload bytes.
+//! (§III-B). A container's *data object* is the concatenation of per-chunk
+//! *stored* payloads — each chunk independently LZ-compressed at build time
+//! when profitable (see [`crate::compress`]), stored raw otherwise; its
+//! *metadata* records each chunk's fingerprint, stored offset and length,
+//! raw (uncompressed) length, and deletion state, plus the stale-chunk
+//! proportion used by sparse container compaction (§V-B) and reverse
+//! deduplication (§VI-A). Metadata is stored as a separate OSS object so the
+//! G-node can mark chunks deleted without touching payload bytes.
+//!
+//! An entry is compressed iff `len < raw_len`; `len == raw_len` means the
+//! stored bytes *are* the chunk. There is no per-chunk tag byte, and every
+//! consumer of payload bytes goes through [`ContainerEntry::payload_from`],
+//! which validates bounds with checked arithmetic and returns
+//! [`SlimError::Corrupt`] — never panics — on a malformed entry.
+//!
+//! Capacity accounting in [`ContainerBuilder`] is deliberately in *raw*
+//! bytes: container sealing boundaries, and therefore container ids and
+//! every dedup statistic (containers read, skip hits, logical bytes), are
+//! byte-for-byte identical whether compression is on or off. Only the
+//! stored object shrinks.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -14,7 +28,8 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use crate::codec::{Reader, Writer};
-use crate::error::Result;
+use crate::compress;
+use crate::error::{Result, SlimError};
 use crate::fingerprint::Fingerprint;
 
 /// Globally unique, monotonically increasing container identifier.
@@ -33,19 +48,76 @@ impl fmt::Display for ContainerId {
 /// Metadata for one chunk stored in a container.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ContainerEntry {
-    /// Fingerprint of the stored payload.
+    /// Fingerprint of the chunk (always of the *raw* payload).
     pub fp: Fingerprint,
-    /// Byte offset of the payload within the container data object.
+    /// Byte offset of the stored payload within the container data object.
     pub offset: u32,
-    /// Payload length in bytes.
+    /// Stored payload length in bytes (compressed size when compressed).
     pub len: u32,
+    /// Raw (uncompressed) chunk length in bytes. Equal to `len` for
+    /// uncompressed entries; strictly greater for compressed ones.
+    pub raw_len: u32,
     /// Set by reverse deduplication / SCC when this copy is superseded; the
     /// payload bytes remain until the container is rewritten.
     pub deleted: bool,
 }
 
+impl ContainerEntry {
+    /// Whether the stored bytes are LZ-compressed.
+    pub fn is_compressed(&self) -> bool {
+        self.len < self.raw_len
+    }
+
+    /// The chunk's raw payload, extracted (and decompressed if needed) from
+    /// the container data object.
+    ///
+    /// All arithmetic is checked in `u64`: an entry whose `offset + len`
+    /// overflows `u32` or falls outside `data` — a bit-flipped meta that
+    /// passed no CRC, say — yields [`SlimError::Corrupt`], never a slice
+    /// panic. A compressed entry additionally must decompress to exactly
+    /// `raw_len` bytes.
+    pub fn payload_from(&self, data: &bytes::Bytes) -> Result<bytes::Bytes> {
+        let start = self.offset as u64;
+        let end = start + self.len as u64; // u32 + u32 cannot overflow u64
+        if end > data.len() as u64 {
+            return Err(SlimError::corrupt(
+                "container entry",
+                format!(
+                    "entry {} spans {start}..{end} but container data is {} bytes",
+                    self.fp.short_hex(),
+                    data.len()
+                ),
+            ));
+        }
+        if self.len > self.raw_len {
+            return Err(SlimError::corrupt(
+                "container entry",
+                format!(
+                    "entry {} stored length {} exceeds raw length {}",
+                    self.fp.short_hex(),
+                    self.len,
+                    self.raw_len
+                ),
+            ));
+        }
+        let stored = data.slice(start as usize..end as usize);
+        if self.is_compressed() {
+            Ok(bytes::Bytes::from(compress::decompress(
+                &stored,
+                self.raw_len as usize,
+            )?))
+        } else {
+            Ok(stored)
+        }
+    }
+}
+
 const META_MAGIC: &[u8; 4] = b"SLCM";
-const META_VERSION: u8 = 1;
+/// v1: uncompressed entries (`fp, offset, len, deleted`), no `raw_len` on
+/// the wire. v2 adds a `raw_len` per entry. Decode accepts both; encode
+/// always writes v2.
+const META_VERSION_V1: u8 = 1;
+const META_VERSION: u8 = 2;
 
 /// Metadata of one container.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -54,8 +126,8 @@ pub struct ContainerMeta {
     pub id: ContainerId,
     /// Entries in physical (offset) order.
     pub entries: Vec<ContainerEntry>,
-    /// Total payload bytes when the container was sealed (including bytes of
-    /// chunks that were later marked deleted).
+    /// Total *stored* payload bytes when the container was sealed (including
+    /// bytes of chunks that were later marked deleted).
     pub data_len: u32,
 }
 
@@ -84,7 +156,7 @@ impl ContainerMeta {
         self.entries.len() - self.live_chunks()
     }
 
-    /// Bytes of live payload.
+    /// *Stored* bytes of live payload (what the live chunks occupy on OSS).
     pub fn live_bytes(&self) -> u64 {
         self.entries
             .iter()
@@ -93,7 +165,17 @@ impl ContainerMeta {
             .sum()
     }
 
-    /// Bytes of deleted payload still physically present.
+    /// *Raw* (uncompressed) bytes of live payload — the logical size the
+    /// live chunks decompress to.
+    pub fn live_raw_bytes(&self) -> u64 {
+        self.entries
+            .iter()
+            .filter(|e| !e.deleted)
+            .map(|e| e.raw_len as u64)
+            .sum()
+    }
+
+    /// Stored bytes of deleted payload still physically present.
     pub fn stale_bytes(&self) -> u64 {
         self.entries
             .iter()
@@ -132,7 +214,7 @@ impl ContainerMeta {
         false
     }
 
-    /// Map fingerprint → (offset, len) for all live entries.
+    /// Map fingerprint → (stored offset, stored len) for all live entries.
     pub fn live_map(&self) -> HashMap<Fingerprint, (u32, u32)> {
         self.entries
             .iter()
@@ -141,7 +223,7 @@ impl ContainerMeta {
             .collect()
     }
 
-    /// Serialize to the OSS wire format.
+    /// Serialize to the OSS wire format (always the current version).
     pub fn encode(&self) -> bytes::Bytes {
         let mut w = Writer::with_header(META_MAGIC, META_VERSION);
         w.u64(self.id.0);
@@ -151,25 +233,69 @@ impl ContainerMeta {
             w.fingerprint(&e.fp);
             w.u32(e.offset);
             w.u32(e.len);
+            w.u32(e.raw_len);
             w.u8(u8::from(e.deleted));
         }
         w.freeze()
     }
 
     /// Deserialize from the OSS wire format.
+    ///
+    /// Accepts v1 (pre-compression; `raw_len` is implied equal to `len`)
+    /// and v2 metas, and validates the structural invariants at the
+    /// boundary: every entry lies within `data_len` (checked in `u64`, so a
+    /// poisoned `offset + len` cannot wrap) and stores no more than its raw
+    /// length. A violating meta decodes to [`SlimError::Corrupt`] instead
+    /// of handing poisoned entries to payload-slicing callers.
     pub fn decode(buf: &[u8]) -> Result<Self> {
         let mut r = Reader::new(buf, "container meta");
-        r.expect_header(META_MAGIC, META_VERSION)?;
+        let version = r.sniff_header(META_MAGIC)?;
+        if version != META_VERSION_V1 && version != META_VERSION {
+            return Err(SlimError::corrupt(
+                "container meta",
+                format!(
+                    "unsupported format version {version}, expected {META_VERSION_V1} or {META_VERSION}"
+                ),
+            ));
+        }
         let id = ContainerId(r.u64()?);
         let data_len = r.u32()?;
         let n = r.u32()? as usize;
-        let mut entries = Vec::with_capacity(n);
+        let mut entries = Vec::with_capacity(n.min(1 << 20));
         for _ in 0..n {
+            let fp = r.fingerprint()?;
+            let offset = r.u32()?;
+            let len = r.u32()?;
+            let raw_len = if version >= META_VERSION {
+                r.u32()?
+            } else {
+                len
+            };
+            let deleted = r.u8()? != 0;
+            if offset as u64 + len as u64 > data_len as u64 {
+                return Err(SlimError::corrupt(
+                    "container meta",
+                    format!(
+                        "entry {} spans {offset}+{len} beyond data_len {data_len}",
+                        fp.short_hex()
+                    ),
+                ));
+            }
+            if len > raw_len {
+                return Err(SlimError::corrupt(
+                    "container meta",
+                    format!(
+                        "entry {} stored length {len} exceeds raw length {raw_len}",
+                        fp.short_hex()
+                    ),
+                ));
+            }
             entries.push(ContainerEntry {
-                fp: r.fingerprint()?,
-                offset: r.u32()?,
-                len: r.u32()?,
-                deleted: r.u8()? != 0,
+                fp,
+                offset,
+                len,
+                raw_len,
+                deleted,
             });
         }
         r.finish()?;
@@ -181,26 +307,69 @@ impl ContainerMeta {
     }
 }
 
+/// Per-builder compression accounting, folded into telemetry
+/// (`compress.*`) by the backup and rewrite paths that seal containers.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompressionStats {
+    /// Chunks pushed through a compressing builder.
+    pub chunks: u64,
+    /// Raw payload bytes pushed.
+    pub raw_bytes: u64,
+    /// Bytes actually stored (compressed where profitable).
+    pub stored_bytes: u64,
+    /// Chunks stored raw because compression was not strictly smaller.
+    pub incompressible: u64,
+}
+
+impl CompressionStats {
+    /// Accumulate another builder's stats.
+    pub fn merge(&mut self, other: &CompressionStats) {
+        self.chunks += other.chunks;
+        self.raw_bytes += other.raw_bytes;
+        self.stored_bytes += other.stored_bytes;
+        self.incompressible += other.incompressible;
+    }
+}
+
 /// An in-memory container being filled by a backup job (§IV-A Step 3).
 ///
 /// When [`ContainerBuilder::is_full`] reports true the caller seals it,
 /// persists the data object and metadata to OSS, and starts a new one.
+/// Capacity is tracked in **raw** bytes regardless of compression, so the
+/// container boundaries a stream produces are identical with compression on
+/// or off.
 pub struct ContainerBuilder {
     id: ContainerId,
     capacity: usize,
     data: Vec<u8>,
     entries: Vec<ContainerEntry>,
+    /// Raw payload bytes pushed so far (== `data.len()` when not
+    /// compressing).
+    raw_total: usize,
+    compress: bool,
+    stats: CompressionStats,
 }
 
 impl ContainerBuilder {
-    /// Start a new container with the given identity and byte capacity.
+    /// Start a new container with the given identity and *raw* byte
+    /// capacity. Compression is off; see [`ContainerBuilder::with_compression`].
     pub fn new(id: ContainerId, capacity: usize) -> Self {
         ContainerBuilder {
             id,
             capacity,
             data: Vec::with_capacity(capacity),
             entries: Vec::new(),
+            raw_total: 0,
+            compress: false,
+            stats: CompressionStats::default(),
         }
+    }
+
+    /// Builder-style toggle for per-chunk compression (gated by
+    /// `SlimConfig::compression` at the production call sites).
+    pub fn with_compression(mut self, on: bool) -> Self {
+        self.compress = on;
+        self
     }
 
     /// The id this container will be sealed under.
@@ -208,8 +377,13 @@ impl ContainerBuilder {
         self.id
     }
 
-    /// Bytes currently buffered.
+    /// Raw payload bytes currently buffered (the capacity-accounting size).
     pub fn len(&self) -> usize {
+        self.raw_total
+    }
+
+    /// Stored bytes currently buffered (what `seal` will persist).
+    pub fn stored_len(&self) -> usize {
         self.data.len()
     }
 
@@ -218,25 +392,49 @@ impl ContainerBuilder {
         self.entries.is_empty()
     }
 
-    /// Whether adding `next_len` more bytes would exceed capacity.
+    /// Whether adding `next_len` more *raw* bytes would exceed capacity.
     pub fn would_overflow(&self, next_len: usize) -> bool {
-        !self.data.is_empty() && self.data.len() + next_len > self.capacity
+        !self.entries.is_empty() && self.raw_total + next_len > self.capacity
     }
 
-    /// Whether the container has reached capacity.
+    /// Whether the container has reached capacity (in raw bytes).
     pub fn is_full(&self) -> bool {
-        self.data.len() >= self.capacity
+        self.raw_total >= self.capacity
     }
 
-    /// Append one chunk payload; returns its entry.
+    /// Compression accounting for the chunks pushed so far.
+    pub fn compression_stats(&self) -> CompressionStats {
+        self.stats
+    }
+
+    /// Append one chunk payload (raw bytes), compressing it when enabled
+    /// and strictly profitable; returns its entry.
     pub fn push(&mut self, fp: Fingerprint, payload: &[u8]) -> ContainerEntry {
+        let compressed = if self.compress {
+            compress::compress(payload)
+        } else {
+            None
+        };
+        let stored: &[u8] = compressed.as_deref().unwrap_or(payload);
+        assert!(
+            self.data.len() as u64 + stored.len() as u64 <= u32::MAX as u64,
+            "container data object exceeds the u32 offset space"
+        );
         let entry = ContainerEntry {
             fp,
             offset: self.data.len() as u32,
-            len: payload.len() as u32,
+            len: stored.len() as u32,
+            raw_len: payload.len() as u32,
             deleted: false,
         };
-        self.data.extend_from_slice(payload);
+        self.stats.chunks += 1;
+        self.stats.raw_bytes += payload.len() as u64;
+        self.stats.stored_bytes += stored.len() as u64;
+        if self.compress && compressed.is_none() {
+            self.stats.incompressible += 1;
+        }
+        self.data.extend_from_slice(stored);
+        self.raw_total += payload.len();
         self.entries.push(entry);
         entry
     }
@@ -266,6 +464,8 @@ mod tests {
         let e2 = b.push(fp(2), &[0u8; 50]);
         assert_eq!(e1.offset, 0);
         assert_eq!(e1.len, 100);
+        assert_eq!(e1.raw_len, 100);
+        assert!(!e1.is_compressed());
         assert_eq!(e2.offset, 100);
         assert_eq!(e2.len, 50);
         let (data, meta) = b.seal();
@@ -287,6 +487,60 @@ mod tests {
     }
 
     #[test]
+    fn compressing_builder_shrinks_storage_and_roundtrips() {
+        let payload: Vec<u8> = b"slimstore ".iter().copied().cycle().take(4096).collect();
+        let mut b = ContainerBuilder::new(ContainerId(7), 1 << 20).with_compression(true);
+        let e = b.push(fp(1), &payload);
+        assert!(e.is_compressed());
+        assert_eq!(e.raw_len as usize, payload.len());
+        assert!((e.len as usize) < payload.len());
+        let stats = b.compression_stats();
+        assert_eq!(stats.chunks, 1);
+        assert_eq!(stats.raw_bytes, payload.len() as u64);
+        assert!(stats.stored_bytes < stats.raw_bytes);
+        assert_eq!(stats.incompressible, 0);
+        let (data, meta) = b.seal();
+        assert_eq!(data.len() as u32, meta.data_len);
+        assert!(data.len() < payload.len());
+        let back = meta.entries[0].payload_from(&data).unwrap();
+        assert_eq!(&back[..], &payload[..]);
+    }
+
+    #[test]
+    fn incompressible_chunks_stored_raw() {
+        use rand::{RngCore, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let mut payload = vec![0u8; 2048];
+        rng.fill_bytes(&mut payload);
+        let mut b = ContainerBuilder::new(ContainerId(8), 1 << 20).with_compression(true);
+        let e = b.push(fp(1), &payload);
+        assert!(!e.is_compressed());
+        assert_eq!(e.len, e.raw_len);
+        assert_eq!(b.compression_stats().incompressible, 1);
+        let (data, meta) = b.seal();
+        assert_eq!(meta.entries[0].payload_from(&data).unwrap(), payload);
+    }
+
+    #[test]
+    fn capacity_accounting_is_raw_not_stored() {
+        // Highly compressible chunks must still seal at the same raw
+        // boundary as uncompressed ones: boundaries (and so container ids
+        // and dedup statistics) are invariant under the compression knob.
+        let payload = vec![7u8; 100];
+        let mut on = ContainerBuilder::new(ContainerId(1), 128).with_compression(true);
+        on.push(fp(1), &payload);
+        assert!(on.stored_len() < 100, "payload compresses");
+        assert_eq!(on.len(), 100, "capacity accounting sees raw bytes");
+        assert!(on.would_overflow(29));
+        assert!(!on.would_overflow(28));
+        let mut off = ContainerBuilder::new(ContainerId(1), 128);
+        off.push(fp(1), &payload);
+        assert_eq!(on.would_overflow(29), off.would_overflow(29));
+        assert_eq!(on.would_overflow(28), off.would_overflow(28));
+        assert_eq!(on.is_full(), off.is_full());
+    }
+
+    #[test]
     fn meta_roundtrip() {
         let meta = ContainerMeta::new(
             ContainerId(9),
@@ -295,12 +549,14 @@ mod tests {
                     fp: fp(1),
                     offset: 0,
                     len: 10,
+                    raw_len: 25,
                     deleted: false,
                 },
                 ContainerEntry {
                     fp: fp(2),
                     offset: 10,
                     len: 20,
+                    raw_len: 20,
                     deleted: true,
                 },
             ],
@@ -312,6 +568,30 @@ mod tests {
     }
 
     #[test]
+    fn v1_meta_still_decodes() {
+        // A pre-compression meta written by the v1 codec: no raw_len on the
+        // wire; decode fills raw_len = len.
+        let mut w = Writer::with_header(META_MAGIC, META_VERSION_V1);
+        w.u64(4);
+        w.u32(30);
+        w.u32(2);
+        w.fingerprint(&fp(1));
+        w.u32(0).u32(10).u8(0);
+        w.fingerprint(&fp(2));
+        w.u32(10).u32(20).u8(1);
+        let meta = ContainerMeta::decode(&w.freeze()).unwrap();
+        assert_eq!(meta.id, ContainerId(4));
+        assert_eq!(meta.data_len, 30);
+        assert_eq!(meta.entries.len(), 2);
+        assert_eq!(meta.entries[0].raw_len, 10);
+        assert!(!meta.entries[0].is_compressed());
+        assert!(meta.entries[1].deleted);
+        // Re-encoding upgrades to the current version transparently.
+        let back = ContainerMeta::decode(&meta.encode()).unwrap();
+        assert_eq!(back, meta);
+    }
+
+    #[test]
     fn meta_decode_rejects_corruption() {
         let meta = ContainerMeta::new(ContainerId(1), vec![], 0);
         let mut buf = meta.encode().to_vec();
@@ -319,6 +599,109 @@ mod tests {
         assert!(ContainerMeta::decode(&buf).is_err());
         let buf = meta.encode();
         assert!(ContainerMeta::decode(&buf[..buf.len() - 1]).is_err());
+        // An unknown future version is corruption, not a silent misparse.
+        let w = Writer::with_header(META_MAGIC, 9);
+        assert!(ContainerMeta::decode(&w.freeze()).is_err());
+    }
+
+    #[test]
+    fn meta_decode_rejects_out_of_bounds_entries() {
+        // Entry extends past data_len.
+        let meta = ContainerMeta::new(
+            ContainerId(2),
+            vec![ContainerEntry {
+                fp: fp(1),
+                offset: 5,
+                len: 100,
+                raw_len: 100,
+                deleted: false,
+            }],
+            50,
+        );
+        let err = ContainerMeta::decode(&meta.encode()).unwrap_err();
+        assert!(matches!(err, SlimError::Corrupt { .. }), "{err}");
+        // offset + len wraps u32 — checked math must still reject it.
+        let meta = ContainerMeta::new(
+            ContainerId(2),
+            vec![ContainerEntry {
+                fp: fp(1),
+                offset: u32::MAX - 10,
+                len: u32::MAX - 10,
+                raw_len: u32::MAX - 10,
+                deleted: false,
+            }],
+            u32::MAX,
+        );
+        let err = ContainerMeta::decode(&meta.encode()).unwrap_err();
+        assert!(matches!(err, SlimError::Corrupt { .. }), "{err}");
+        // Stored longer than raw is structurally impossible for the builder.
+        let meta = ContainerMeta::new(
+            ContainerId(2),
+            vec![ContainerEntry {
+                fp: fp(1),
+                offset: 0,
+                len: 40,
+                raw_len: 10,
+                deleted: false,
+            }],
+            50,
+        );
+        let err = ContainerMeta::decode(&meta.encode()).unwrap_err();
+        assert!(matches!(err, SlimError::Corrupt { .. }), "{err}");
+    }
+
+    #[test]
+    fn payload_from_rejects_poisoned_entries() {
+        let data = bytes::Bytes::from(vec![1u8; 64]);
+        // Overlong len.
+        let e = ContainerEntry {
+            fp: fp(1),
+            offset: 32,
+            len: 64,
+            raw_len: 64,
+            deleted: false,
+        };
+        assert!(matches!(
+            e.payload_from(&data),
+            Err(SlimError::Corrupt { .. })
+        ));
+        // offset + len overflowing u32 must not wrap into a "valid" range.
+        let e = ContainerEntry {
+            fp: fp(1),
+            offset: u32::MAX,
+            len: u32::MAX,
+            raw_len: u32::MAX,
+            deleted: false,
+        };
+        assert!(matches!(
+            e.payload_from(&data),
+            Err(SlimError::Corrupt { .. })
+        ));
+        // len > raw_len is invalid even when in bounds.
+        let e = ContainerEntry {
+            fp: fp(1),
+            offset: 0,
+            len: 32,
+            raw_len: 8,
+            deleted: false,
+        };
+        assert!(matches!(
+            e.payload_from(&data),
+            Err(SlimError::Corrupt { .. })
+        ));
+        // A "compressed" entry whose stored bytes are garbage decodes to
+        // Corrupt, not a panic.
+        let e = ContainerEntry {
+            fp: fp(1),
+            offset: 0,
+            len: 32,
+            raw_len: 1000,
+            deleted: false,
+        };
+        assert!(matches!(
+            e.payload_from(&data),
+            Err(SlimError::Corrupt { .. })
+        ));
     }
 
     #[test]
@@ -330,29 +713,34 @@ mod tests {
                     fp: fp(1),
                     offset: 0,
                     len: 10,
+                    raw_len: 10,
                     deleted: false,
                 },
                 ContainerEntry {
                     fp: fp(2),
                     offset: 10,
                     len: 30,
+                    raw_len: 45,
                     deleted: false,
                 },
                 ContainerEntry {
                     fp: fp(3),
                     offset: 40,
                     len: 60,
+                    raw_len: 80,
                     deleted: false,
                 },
             ],
             100,
         );
         assert_eq!(meta.live_bytes(), 100);
+        assert_eq!(meta.live_raw_bytes(), 135);
         assert_eq!(meta.deleted_ratio(), 0.0);
         assert!(meta.mark_deleted(&fp(2)));
         assert!(!meta.mark_deleted(&fp(2)), "second mark is a no-op");
         assert!(!meta.mark_deleted(&fp(9)), "unknown fp is a no-op");
         assert_eq!(meta.live_bytes(), 70);
+        assert_eq!(meta.live_raw_bytes(), 90);
         assert_eq!(meta.stale_bytes(), 30);
         assert!((meta.deleted_ratio() - 1.0 / 3.0).abs() < 1e-9);
         assert!(meta.find_live(&fp(2)).is_none());

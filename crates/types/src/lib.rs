@@ -23,6 +23,7 @@
 pub mod bloom;
 pub mod chunk;
 pub mod codec;
+pub mod compress;
 pub mod config;
 pub mod container;
 pub mod crc;
@@ -37,7 +38,9 @@ pub mod version;
 pub use bloom::{BloomFilter, CountingBloomFilter};
 pub use chunk::{ChunkRecord, SuperChunkInfo};
 pub use config::SlimConfig;
-pub use container::{ContainerBuilder, ContainerEntry, ContainerId, ContainerMeta};
+pub use container::{
+    CompressionStats, ContainerBuilder, ContainerEntry, ContainerId, ContainerMeta,
+};
 pub use deadline::{Deadline, DeadlineGuard};
 pub use error::{Result, SlimError};
 pub use fingerprint::Fingerprint;

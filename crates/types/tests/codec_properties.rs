@@ -90,22 +90,76 @@ proptest! {
     #[test]
     fn container_meta_roundtrip(
         id in any::<u64>(),
-        entries in proptest::collection::vec(
-            (fp_strategy(), any::<u32>(), 1..u32::MAX, any::<bool>()),
+        // (stored len, extra raw bytes beyond stored, deleted): entries are
+        // laid out sequentially, which is the only structurally valid shape
+        // the decoder now accepts.
+        chunks in proptest::collection::vec(
+            (1..64_000u32, 0..64_000u32, any::<bool>()),
             0..32,
-        )
+        ),
+        fps in proptest::collection::vec(fp_strategy(), 32),
     ) {
-        let entries: Vec<ContainerEntry> = entries
+        let mut offset = 0u32;
+        let entries: Vec<ContainerEntry> = chunks
             .into_iter()
-            .map(|(fp, offset, len, deleted)| ContainerEntry { fp, offset, len, deleted })
+            .zip(fps)
+            .map(|((len, extra, deleted), fp)| {
+                let e = ContainerEntry {
+                    fp,
+                    offset,
+                    len,
+                    raw_len: len + extra,
+                    deleted,
+                };
+                offset += len;
+                e
+            })
             .collect();
-        let data_len = entries.iter().map(|e| e.len).fold(0u32, u32::wrapping_add);
-        let meta = ContainerMeta::new(ContainerId(id), entries, data_len);
+        let meta = ContainerMeta::new(ContainerId(id), entries, offset);
         let back = ContainerMeta::decode(&meta.encode()).unwrap();
         prop_assert_eq!(&back, &meta);
         // Accounting identities.
         prop_assert_eq!(back.live_chunks() + back.deleted_chunks(), back.total_chunks());
         prop_assert!(back.deleted_ratio() >= 0.0 && back.deleted_ratio() <= 1.0);
+        prop_assert!(back.live_raw_bytes() >= back.live_bytes());
+    }
+
+    #[test]
+    fn container_meta_rejects_out_of_bounds_entries(
+        id in any::<u64>(),
+        fp in fp_strategy(),
+        offset in 1..u32::MAX,
+        len in 1..u32::MAX,
+    ) {
+        // Any entry reaching beyond data_len (here: smaller than the entry's
+        // own end, including u32-wrapping offset+len combinations) must
+        // decode to Corrupt rather than a poisoned meta.
+        let end = offset as u64 + len as u64;
+        let data_len = (end - 1).min(u32::MAX as u64) as u32;
+        let meta = ContainerMeta::new(
+            ContainerId(id),
+            vec![ContainerEntry { fp, offset, len, raw_len: len, deleted: false }],
+            data_len,
+        );
+        prop_assert!(ContainerMeta::decode(&meta.encode()).is_err());
+    }
+
+    #[test]
+    fn compress_roundtrips_or_declines(bytes in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        // `None` means stored raw, which is always valid.
+        if let Some(c) = slim_types::compress::compress(&bytes) {
+            prop_assert!(c.len() < bytes.len());
+            let back = slim_types::compress::decompress(&c, bytes.len()).unwrap();
+            prop_assert_eq!(back, bytes);
+        }
+    }
+
+    #[test]
+    fn decompress_never_panics_on_garbage(
+        bytes in proptest::collection::vec(any::<u8>(), 0..512),
+        raw_len in 0..16_384usize,
+    ) {
+        let _ = slim_types::compress::decompress(&bytes, raw_len);
     }
 
     #[test]
